@@ -1,0 +1,384 @@
+// Package qvr_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`). Each benchmark executes the full
+// experiment at reduced frame counts and reports the headline metric
+// as a custom benchmark unit so regressions in the *science* (not just
+// the speed) show up in benchmark diffs.
+package qvr_test
+
+import (
+	"testing"
+
+	"qvr/internal/experiments"
+	"qvr/internal/liwc"
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+	"qvr/internal/scene"
+	"qvr/internal/uca"
+)
+
+// benchOpts keeps benchmark iterations affordable while preserving the
+// steady-state behaviour (the controller converges within ~40 frames).
+var benchOpts = experiments.Options{Frames: 60, Warmup: 40, Seed: 1}
+
+func BenchmarkFig3LocalOnly(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(benchOpts)
+		total = 0
+		for _, row := range r.Local {
+			total += row.TotalMS
+		}
+	}
+	b.ReportMetric(total/5, "avg-local-mtp-ms")
+}
+
+func BenchmarkFig3RemoteOnly(b *testing.B) {
+	var transmitShare float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(benchOpts)
+		var tx, tot float64
+		for _, row := range r.Remote {
+			s := row.Breakdown
+			tx += s.Transmit
+			tot += s.Tracking + s.Sending + s.Rendering + s.Transmit + s.Decode + s.ATW + s.Display
+		}
+		transmitShare = tx / tot
+	}
+	b.ReportMetric(transmitShare*100, "transmit-share-%")
+}
+
+func BenchmarkTable1Static(b *testing.B) {
+	var back float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(benchOpts)
+		back = 0
+		for _, row := range r.Rows {
+			back += row.BackSizeKB
+		}
+		back /= float64(len(r.Rows))
+	}
+	b.ReportMetric(back, "avg-back-KB")
+}
+
+func BenchmarkFig5Interaction(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(benchOpts)
+		ratio = r.Rows[2].LatencyMS / r.Rows[0].LatencyMS
+	}
+	b.ReportMetric(ratio, "near/far-latency-x")
+}
+
+func BenchmarkFig6FovealSizing(b *testing.B) {
+	var e1 float64
+	for i := 0; i < b.N; i++ {
+		e1 = experiments.Fig6(benchOpts).MaxBudgetE1
+	}
+	b.ReportMetric(e1, "budget-e1-deg")
+}
+
+func BenchmarkFig12Overall(b *testing.B) {
+	var avg, max float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(benchOpts)
+		avg, max = r.AvgQVR, r.MaxQVR
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+	b.ReportMetric(max, "max-speedup-x")
+}
+
+func BenchmarkFig12FPSRatios(b *testing.B) {
+	var overStatic, overSW float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(benchOpts)
+		overStatic, overSW = r.QVROverStaticFPS, r.QVROverSWFPS
+	}
+	b.ReportMetric(overStatic, "fps-over-static-x")
+	b.ReportMetric(overSW, "fps-over-sw-x")
+}
+
+func BenchmarkFig13Transmit(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		red = experiments.Fig13(benchOpts).QVROverStaticReduction
+	}
+	b.ReportMetric(red*100, "transmit-reduction-%")
+}
+
+func BenchmarkFig14Convergence(b *testing.B) {
+	var settled float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(experiments.Options{Frames: 300, Warmup: 1, Seed: 1})
+		// Frames until GRID's e1 enters its steady-state band (mean of
+		// the last 100 frames +/- 5 degrees) and stays for 10 frames.
+		s := r.Series[2]
+		var mean float64
+		for _, e := range s.E1[200:] {
+			mean += e
+		}
+		mean /= float64(len(s.E1) - 200)
+		inBand := func(e float64) bool { return e >= mean-5 && e <= mean+5 }
+		settled = 300
+		run := 0
+		for f, e := range s.E1 {
+			if inBand(e) {
+				run++
+				if run == 10 {
+					settled = float64(f - 9)
+					break
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	b.ReportMetric(settled, "frames-to-converge")
+}
+
+func BenchmarkTable4Eccentricity(b *testing.B) {
+	small := experiments.Options{Frames: 40, Warmup: 30, Seed: 1}
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table4(small)
+		lo, hi := 1e9, 0.0
+		for _, c := range r.Cells {
+			if c.AvgE1 < lo {
+				lo = c.AvgE1
+			}
+			if c.AvgE1 > hi {
+				hi = c.AvgE1
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "e1-spread-deg")
+}
+
+func BenchmarkFig15Energy(b *testing.B) {
+	small := experiments.Options{Frames: 40, Warmup: 30, Seed: 1}
+	var red float64
+	for i := 0; i < b.N; i++ {
+		red = experiments.Fig15(small).AvgReduction
+	}
+	b.ReportMetric(red*100, "energy-reduction-%")
+}
+
+func BenchmarkOverheadAnalysis(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Overhead(experiments.Options{})
+		area = r.LIWC.AreaMM2 + 2*r.UCA.AreaMM2
+	}
+	b.ReportMetric(area, "added-area-mm2")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches: design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------------
+
+func runQVR(b *testing.B, mutate func(*pipeline.Config)) pipeline.Result {
+	b.Helper()
+	app, _ := scene.AppByName("Wolf")
+	cfg := pipeline.DefaultConfig(pipeline.QVR, app)
+	cfg.Frames = 60
+	cfg.Warmup = 40
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return pipeline.Run(cfg)
+}
+
+// BenchmarkAblationUCAUnits sweeps the UCA instance count: the paper
+// chose 2 units at 500 MHz as "sufficient for realtime VR".
+func BenchmarkAblationUCAUnits(b *testing.B) {
+	for _, units := range []int{1, 2, 4} {
+		units := units
+		b.Run(map[int]string{1: "units-1", 2: "units-2", 4: "units-4"}[units], func(b *testing.B) {
+			var fps float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(c *pipeline.Config) {
+					u := uca.Default()
+					u.Units = units
+					c.UCA = u
+				})
+				fps = r.FPS()
+			}
+			b.ReportMetric(fps, "fps")
+		})
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the LIWC reward-update rate.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for _, alpha := range []float64{0.1, 0.3, 0.6} {
+		alpha := alpha
+		name := map[float64]string{0.1: "alpha-0.1", 0.3: "alpha-0.3", 0.6: "alpha-0.6"}[alpha]
+		b.Run(name, func(b *testing.B) {
+			var mtp float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(c *pipeline.Config) {
+					l := liwc.DefaultConfig()
+					l.Alpha = alpha
+					c.LIWC = l
+				})
+				mtp = r.AvgMTPSeconds() * 1000
+			}
+			b.ReportMetric(mtp, "mtp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationTargetFloor sweeps the budget-filling floor that
+// trades network traffic against local GPU load. A light benchmark is
+// used so the floor (not the remote chain) is the binding constraint.
+func BenchmarkAblationTargetFloor(b *testing.B) {
+	app, _ := scene.AppByName("HL2-L")
+	for _, floor := range []float64{0.5, 0.75, 0.95} {
+		floor := floor
+		name := map[float64]string{0.5: "floor-0.50", 0.75: "floor-0.75", 0.95: "floor-0.95"}[floor]
+		b.Run(name, func(b *testing.B) {
+			var kb, e1 float64
+			for i := 0; i < b.N; i++ {
+				cfg := pipeline.DefaultConfig(pipeline.QVR, app)
+				cfg.Frames = 60
+				cfg.Warmup = 40
+				l := liwc.DefaultConfig()
+				l.TargetFloor = floor
+				cfg.LIWC = l
+				r := pipeline.Run(cfg)
+				kb = r.AvgBytesSent() / 1024
+				e1 = r.AvgE1()
+			}
+			b.ReportMetric(kb, "payload-KB")
+			b.ReportMetric(e1, "e1-deg")
+		})
+	}
+}
+
+// BenchmarkAblationMotionProfile measures controller robustness across
+// user intensities.
+func BenchmarkAblationMotionProfile(b *testing.B) {
+	for _, p := range []motion.Profile{motion.Calm, motion.Normal, motion.Intense} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var fps float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(c *pipeline.Config) { c.Profile = p })
+				fps = r.FPS()
+			}
+			b.ReportMetric(fps, "fps")
+		})
+	}
+}
+
+// BenchmarkPipelineFrame measures raw simulator throughput: how fast
+// one simulated Q-VR frame executes on the event engine.
+func BenchmarkPipelineFrame(b *testing.B) {
+	app, _ := scene.AppByName("HL2-H")
+	cfg := pipeline.DefaultConfig(pipeline.QVR, app)
+	cfg.Warmup = 0
+	cfg.Frames = b.N
+	b.ResetTimer()
+	pipeline.Run(cfg)
+}
+
+// BenchmarkAblationControllerLatency quantifies the paper's Section 7
+// design-choice argument: the LIWC's table lookup is effectively free,
+// while a DNN-accelerator controller (edge-TPU class, 10-20 ms per
+// inference) would consume the entire frame budget before rendering
+// begins.
+func BenchmarkAblationControllerLatency(b *testing.B) {
+	cases := []struct {
+		name string
+		lat  float64
+	}{
+		{"liwc-ns", 0},
+		{"npu-2ms", 0.002},
+		{"edgetpu-15ms", 0.015},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var fps float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(cfg *pipeline.Config) {
+					cfg.ControllerLatencySeconds = c.lat
+				})
+				fps = r.FPS()
+			}
+			b.ReportMetric(fps, "fps")
+		})
+	}
+}
+
+// BenchmarkAblationRemoteGPUs sweeps the remote cluster size (the
+// paper's server is an 8-way chiplet multi-GPU).
+func BenchmarkAblationRemoteGPUs(b *testing.B) {
+	for _, n := range []int{1, 2, 8} {
+		n := n
+		b.Run(map[int]string{1: "gpus-1", 2: "gpus-2", 8: "gpus-8"}[n], func(b *testing.B) {
+			var mtp float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(cfg *pipeline.Config) {
+					cfg.Remote.GPUs = n
+				})
+				mtp = r.AvgMTPSeconds() * 1000
+			}
+			b.ReportMetric(mtp, "mtp-ms")
+		})
+	}
+}
+
+// BenchmarkAblationNetworks runs Q-VR under each Table 2 condition.
+func BenchmarkAblationNetworks(b *testing.B) {
+	for _, cond := range netsim.Conditions {
+		cond := cond
+		b.Run(cond.Name, func(b *testing.B) {
+			var fps float64
+			for i := 0; i < b.N; i++ {
+				r := runQVR(b, func(cfg *pipeline.Config) {
+					cfg.Network = cond
+				})
+				fps = r.FPS()
+			}
+			b.ReportMetric(fps, "fps")
+		})
+	}
+}
+
+// BenchmarkTailLatency reports P99 motion-to-photon latency — the
+// judder metric — for Q-VR vs the static baseline.
+func BenchmarkTailLatency(b *testing.B) {
+	app, _ := scene.AppByName("UT3")
+	for _, d := range []pipeline.Design{pipeline.StaticCollab, pipeline.QVR} {
+		d := d
+		b.Run(d.String(), func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				cfg := pipeline.DefaultConfig(d, app)
+				cfg.Frames = 120
+				cfg.Warmup = 40
+				p99 = pipeline.Run(cfg).PercentileMTP(0.99) * 1000
+			}
+			b.ReportMetric(p99, "p99-mtp-ms")
+		})
+	}
+}
+
+// BenchmarkSurveyProxy runs the Section 3.1 perception study proxy and
+// reports the minimum foveal fidelity across eccentricities.
+func BenchmarkSurveyProxy(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Survey(benchOpts)
+		worst = 1e9
+		for _, row := range r.Rows {
+			if row.FovealPSNR < worst {
+				worst = row.FovealPSNR
+			}
+		}
+	}
+	b.ReportMetric(worst, "min-foveal-psnr-dB")
+}

@@ -1,0 +1,79 @@
+// Command qvr-bench regenerates the paper's evaluation tables and
+// figures from the simulation pipeline.
+//
+// Usage:
+//
+//	qvr-bench [flags] <experiment>
+//
+// Experiments: fig3, table1, fig5, fig6, fig12, fig13, fig14, table4,
+// fig15, overhead, survey, all.
+//
+// Flags:
+//
+//	-frames N   measured frames per run (default 300)
+//	-warmup N   warmup frames per run (default 60)
+//	-seed N     simulation seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qvr/internal/experiments"
+)
+
+func main() {
+	frames := flag.Int("frames", 300, "measured frames per run")
+	warmup := flag.Int("warmup", 60, "warmup frames per run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	o := experiments.Options{Frames: *frames, Warmup: *warmup, Seed: *seed}
+
+	runners := map[string]func() string{
+		"fig3":     func() string { return experiments.Fig3(o).Render() },
+		"table1":   func() string { return experiments.Table1(o).Render() },
+		"fig5":     func() string { return experiments.Fig5(o).Render() },
+		"fig6":     func() string { return experiments.Fig6(o).Render() },
+		"fig12":    func() string { return experiments.Fig12(o).Render() },
+		"fig13":    func() string { return experiments.Fig13(o).Render() },
+		"fig14":    func() string { return experiments.Fig14(o).Render() },
+		"table4":   func() string { return experiments.Table4(o).Render() },
+		"fig15":    func() string { return experiments.Fig15(o).Render() },
+		"overhead": func() string { return experiments.Overhead(o).Render() },
+		"survey":   func() string { return experiments.Survey(o).Render() },
+	}
+	order := []string{"fig3", "table1", "fig5", "fig6", "survey", "fig12", "fig13", "fig14", "table4", "fig15", "overhead"}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range order {
+			fmt.Println(runners[n]())
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qvr-bench: unknown experiment %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+	fmt.Println(run())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: qvr-bench [flags] <experiment>
+
+Regenerates a table or figure from the Q-VR paper (ASPLOS'21).
+Experiments: fig3 table1 fig5 fig6 survey fig12 fig13 fig14 table4 fig15 overhead all
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,124 @@
+// Command qvr-sim runs one end-to-end simulation of a VR rendering
+// design on a benchmark and prints per-frame and aggregate results.
+//
+// Usage:
+//
+//	qvr-sim -app GRID -design qvr -net Wi-Fi -freq 500 -frames 300
+//
+// Designs: local, remote, static, ffr, dfr, qvr-sw, qvr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+	"qvr/internal/scene"
+	"qvr/internal/stats"
+)
+
+var designs = map[string]pipeline.Design{
+	"local":  pipeline.LocalOnly,
+	"remote": pipeline.RemoteOnly,
+	"static": pipeline.StaticCollab,
+	"ffr":    pipeline.FFR,
+	"dfr":    pipeline.DFR,
+	"qvr-sw": pipeline.QVRSoftware,
+	"qvr":    pipeline.QVR,
+}
+
+var profiles = map[string]motion.Profile{
+	"calm":    motion.Calm,
+	"normal":  motion.Normal,
+	"intense": motion.Intense,
+}
+
+func main() {
+	appName := flag.String("app", "GRID", "benchmark application (see -list)")
+	designName := flag.String("design", "qvr", "rendering design: local remote static ffr dfr qvr-sw qvr")
+	netName := flag.String("net", "Wi-Fi", "network condition: 'Wi-Fi', '4G LTE', 'Early 5G'")
+	freq := flag.Float64("freq", 500, "mobile GPU frequency in MHz")
+	frames := flag.Int("frames", 300, "measured frames")
+	warmup := flag.Int("warmup", 60, "warmup frames")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	profileName := flag.String("profile", "normal", "user motion profile: calm normal intense")
+	perFrame := flag.Bool("trace", false, "print per-frame records")
+	hist := flag.Bool("hist", false, "print an MTP histogram")
+	list := flag.Bool("list", false, "list benchmark applications and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 1 applications (motivation study):")
+		for _, a := range scene.Table1Apps {
+			fmt.Printf("  %s\n", a)
+		}
+		fmt.Println("Table 3 benchmarks (evaluation):")
+		for _, a := range scene.EvalApps {
+			fmt.Printf("  %s\n", a)
+		}
+		return
+	}
+
+	app, ok := scene.AppByName(*appName)
+	if !ok {
+		fail("unknown app %q (use -list)", *appName)
+	}
+	design, ok := designs[strings.ToLower(*designName)]
+	if !ok {
+		fail("unknown design %q", *designName)
+	}
+	net, ok := netsim.ConditionByName(*netName)
+	if !ok {
+		fail("unknown network %q", *netName)
+	}
+	profile, ok := profiles[strings.ToLower(*profileName)]
+	if !ok {
+		fail("unknown profile %q", *profileName)
+	}
+
+	cfg := pipeline.DefaultConfig(design, app)
+	cfg.Network = net
+	cfg.GPU = cfg.GPU.WithFrequency(*freq)
+	cfg.Frames = *frames
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Profile = profile
+
+	res := pipeline.Run(cfg)
+
+	fmt.Printf("app=%s design=%s network=%s gpu=%.0fMHz frames=%d\n",
+		app.Name, design, net.Name, *freq, len(res.Frames))
+	if *perFrame {
+		fmt.Println("frame  mtp(ms)  local(ms)  remote(ms)  e1  bytes  fps")
+		for _, f := range res.Frames {
+			fmt.Printf("%5d  %7.2f  %9.2f  %10.2f  %4.0f  %6d  %4.0f\n",
+				f.Index, f.MTPSeconds*1000, f.LocalRenderSeconds*1000,
+				f.RemoteChainSeconds*1000, f.E1, f.BytesSent, f.StageFPS)
+		}
+	}
+	b := res.Breakdown()
+	fmt.Printf("avg MTP       %.2f ms (p99 %.2f ms)\n", res.AvgMTPSeconds()*1000, res.PercentileMTP(0.99)*1000)
+	fmt.Printf("FPS           %.1f\n", res.FPS())
+	fmt.Printf("stage means   track=%.1f send=%.1f render=%.1f transmit=%.1f decode=%.1f atw=%.1f display=%.1f (ms)\n",
+		b.Tracking*1000, b.Sending*1000, b.Rendering*1000, b.Transmit*1000,
+		b.Decode*1000, b.ATW*1000, b.Display*1000)
+	fmt.Printf("avg e1        %.1f deg\n", res.AvgE1())
+	fmt.Printf("avg payload   %.1f KB/frame\n", res.AvgBytesSent()/1024)
+	fmt.Printf("avg energy    %.1f mJ/frame\n", res.AvgEnergyJoules()*1000)
+	if *hist {
+		xs := make([]float64, len(res.Frames))
+		for i, f := range res.Frames {
+			xs[i] = f.MTPSeconds * 1000
+		}
+		fmt.Printf("\nMTP distribution (ms): %s\n%s", stats.Summarize(xs), stats.Histogram(xs, 10, 40))
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "qvr-sim: "+format+"\n", args...)
+	os.Exit(2)
+}

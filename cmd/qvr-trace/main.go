@@ -1,0 +1,66 @@
+// Command qvr-trace generates head/eye motion traces from the user
+// model and prints them as CSV, for inspecting the tracker substrate
+// or feeding external tools.
+//
+// Usage:
+//
+//	qvr-trace -profile intense -hz 120 -seconds 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qvr/internal/motion"
+)
+
+func main() {
+	profileName := flag.String("profile", "normal", "user profile: calm normal intense")
+	hz := flag.Float64("hz", 120, "sample rate")
+	seconds := flag.Float64("seconds", 5, "trace duration")
+	seed := flag.Int64("seed", 1, "trace seed")
+	deltas := flag.Bool("deltas", false, "emit frame-to-frame deltas instead of absolute samples")
+	flag.Parse()
+
+	var profile motion.Profile
+	switch strings.ToLower(*profileName) {
+	case "calm":
+		profile = motion.Calm
+	case "normal":
+		profile = motion.Normal
+	case "intense":
+		profile = motion.Intense
+	default:
+		fmt.Fprintf(os.Stderr, "qvr-trace: unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	gen := motion.NewGenerator(profile, *seed)
+	dt := 1 / *hz
+	n := int(*seconds / dt)
+
+	if *deltas {
+		fmt.Println("t,dyaw,dpitch,droll,dx,dy,dz,dgx,dgy,magnitude")
+		prev := gen.Advance(dt)
+		for i := 1; i < n; i++ {
+			cur := gen.Advance(dt)
+			d := motion.Sub(prev, cur)
+			fmt.Printf("%.4f,%.4f,%.4f,%.4f,%.5f,%.5f,%.5f,%.3f,%.3f,%.4f\n",
+				cur.TimeSec, d.DYaw, d.DPitch, d.DRoll, d.DX, d.DY, d.DZ,
+				d.DGazeX, d.DGazeY, d.Magnitude())
+			prev = cur
+		}
+		return
+	}
+
+	fmt.Println("t,px,py,pz,qw,qx,qy,qz,gazex,gazey,interactdist")
+	for i := 0; i < n; i++ {
+		s := gen.Advance(dt)
+		q := s.Head.Orientation
+		fmt.Printf("%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.2f\n",
+			s.TimeSec, s.Head.Position.X, s.Head.Position.Y, s.Head.Position.Z,
+			q.W, q.X, q.Y, q.Z, s.Gaze.X, s.Gaze.Y, s.InteractDist)
+	}
+}

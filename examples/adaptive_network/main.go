@@ -1,0 +1,105 @@
+// Adaptive network: drive the LIWC controller directly against a live
+// plant whose network throughput collapses mid-session, and watch the
+// eccentricity knob react — the core Q-VR behaviour that static
+// collaborative designs cannot express.
+//
+// Run with:
+//
+//	go run ./examples/adaptive_network
+package main
+
+import (
+	"fmt"
+
+	"qvr/internal/codec"
+	"qvr/internal/foveation"
+	"qvr/internal/gpu"
+	"qvr/internal/liwc"
+	"qvr/internal/motion"
+	"qvr/internal/scene"
+)
+
+// geom adapts the foveation partitioner to the controller interface
+// for a fixed central gaze.
+type geom struct{ part *foveation.Partitioner }
+
+func (g geom) FoveaShare(e1 float64) float64 {
+	return g.part.Display.AreaFraction(clamp(e1), 0, 0)
+}
+
+func (g geom) PeripheryPixels(e1 float64) int {
+	p, err := g.part.Partition(clamp(e1), 0, 0)
+	if err != nil {
+		return 0
+	}
+	return 2 * p.PeripheryPixels
+}
+
+func clamp(e1 float64) float64 {
+	if e1 < foveation.MinE1 {
+		return foveation.MinE1
+	}
+	if e1 > foveation.MaxE1 {
+		return foveation.MaxE1
+	}
+	return e1
+}
+
+func main() {
+	app, _ := scene.AppByName("UT3")
+	mobile := gpu.MobileDefault()
+	st := scene.NewState(app)
+	gen := motion.NewGenerator(motion.Normal, 42)
+	part := foveation.NewPartitioner(foveation.DefaultDisplay)
+	g := geom{part: part}
+	ctrl := liwc.New(liwc.DefaultConfig())
+	sizes := codec.DefaultSizeModel
+
+	fmt.Println("frame  throughput  e1(deg)  T_local(ms)  T_remote(ms)")
+	prev := gen.Advance(1.0 / 90)
+	var prevLocal float64
+	for frame := 0; frame < 240; frame++ {
+		// Wi-Fi-class goodput for the first half of the session, then a
+		// congestion event cuts it to a quarter.
+		throughput := 130e6
+		if frame >= 120 {
+			throughput = 32e6
+		}
+
+		cur := gen.Advance(1.0 / 90)
+		stats := st.Frame(cur)
+		d := ctrl.Plan(motion.Sub(prev, cur), stats.VisibleTriangles, g, throughput)
+
+		// Plant: actual local render time and remote streaming time at
+		// the chosen eccentricity.
+		share := g.FoveaShare(d.E1)
+		wl := gpu.Workload{
+			Triangles:    float64(stats.VisibleTriangles) * share,
+			Fragments:    share * float64(app.PixelsPerFrame()) * app.Overdraw,
+			ShadingCost:  app.ShadingCost,
+			BytesTouched: share * float64(app.PixelsPerFrame()) * 10,
+		}
+		local := mobile.RenderSeconds(wl)
+		payload := sizes.FrameBytes(g.PeripheryPixels(d.E1), stats.Entropy, 0.85, 0.5)
+		remote := float64(payload*8)/throughput + 0.002
+
+		ctrl.Observe(liwc.Measurement{
+			LocalSeconds:       local,
+			RemoteChainSeconds: remote,
+			Triangles:          stats.VisibleTriangles,
+			FoveaShare:         share,
+			PeripheryPixels:    g.PeripheryPixels(d.E1),
+			PeripheryBytes:     payload,
+			PrevLocalSeconds:   prevLocal,
+		})
+		prevLocal = local
+		prev = cur
+
+		if frame%20 == 0 || frame == 120 {
+			fmt.Printf("%5d  %7.0fMbps  %7.1f  %11.2f  %12.2f\n",
+				frame, throughput/1e6, d.E1, local*1000, remote*1000)
+		}
+	}
+	fmt.Println("\nAfter the throughput collapse the controller grows e1,")
+	fmt.Println("pulling work onto the mobile GPU and shrinking the stream.")
+}

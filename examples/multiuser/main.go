@@ -1,0 +1,72 @@
+// Multiuser: the planet-scale story of the paper's title — users with
+// wildly different devices and networks all running the same content.
+// Each client gets its own simulated Q-VR session; the LIWC controller
+// lands each one on its own operating point, so every user meets the
+// latency target that their hardware can support.
+//
+// Run with:
+//
+//	go run ./examples/multiuser
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+	"qvr/internal/scene"
+)
+
+type client struct {
+	name    string
+	app     string
+	freqMHz float64
+	network netsim.Condition
+	profile motion.Profile
+	seed    int64
+
+	result pipeline.Result
+}
+
+func main() {
+	clients := []*client{
+		{name: "flagship/home-wifi", app: "GRID", freqMHz: 500, network: netsim.WiFi, profile: motion.Intense, seed: 1},
+		{name: "flagship/commute-lte", app: "GRID", freqMHz: 500, network: netsim.LTE4G, profile: motion.Calm, seed: 2},
+		{name: "midrange/home-wifi", app: "HL2-H", freqMHz: 400, network: netsim.WiFi, profile: motion.Normal, seed: 3},
+		{name: "budget/5g", app: "UT3", freqMHz: 300, network: netsim.Early5G, profile: motion.Normal, seed: 4},
+		{name: "budget/lte", app: "Doom3-L", freqMHz: 300, network: netsim.LTE4G, profile: motion.Calm, seed: 5},
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			app, ok := scene.AppByName(c.app)
+			if !ok {
+				panic("unknown app " + c.app)
+			}
+			cfg := pipeline.DefaultConfig(pipeline.QVR, app)
+			cfg.GPU = cfg.GPU.WithFrequency(c.freqMHz)
+			cfg.Network = c.network
+			cfg.Profile = c.profile
+			cfg.Seed = c.seed
+			c.result = pipeline.Run(cfg)
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("%-22s %-8s %7s %-9s %8s %6s %8s %10s\n",
+		"client", "app", "GPU", "network", "MTP(ms)", "FPS", "e1(deg)", "KB/frame")
+	for _, c := range clients {
+		r := c.result
+		fmt.Printf("%-22s %-8s %5.0fMHz %-9s %8.1f %6.0f %8.1f %10.1f\n",
+			c.name, c.app, c.freqMHz, c.network.Name,
+			r.AvgMTPSeconds()*1000, r.FPS(), r.AvgE1(), r.AvgBytesSent()/1024)
+	}
+	fmt.Println("\nEach controller found its own fovea size: big where the GPU is")
+	fmt.Println("strong or the network weak, small where streaming is cheap.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: compare Q-VR against the baselines on one benchmark
+// using the high-level core API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qvr/internal/core"
+)
+
+func main() {
+	// A session fixes the benchmark and environment; see
+	// `go run ./cmd/qvr-sim -list` for the full catalog.
+	session, err := core.NewSession("HL2-H",
+		core.WithNetwork("Wi-Fi"),
+		core.WithGPUFrequency(500),
+		core.WithUserProfile("normal"),
+		core.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Benchmark: %s\n\n", session.App())
+
+	// Run the traditional local-only design, the state-of-the-art
+	// static collaboration, and Q-VR under identical conditions.
+	cmp := session.Compare(core.LocalOnly, core.StaticCollab, core.QVR)
+	fmt.Print(cmp.Render())
+
+	speedups := cmp.SpeedupOverFirst()
+	fmt.Printf("\nQ-VR speedup over local-only: %.2fx (paper reports 3.4x mean)\n", speedups[core.QVR])
+	fmt.Printf("Q-VR speedup over static:     %.2fx\n",
+		speedups[core.QVR]/speedups[core.StaticCollab])
+
+	qvr := cmp.Reports[2]
+	fmt.Printf("\nQ-VR meets the 25ms MTP / 90Hz commercial targets: %v\n", qvr.MeetsRealtime())
+	fmt.Printf("Steady-state fovea radius: %.1f degrees (classic fixed foveation uses 5)\n",
+		qvr.EccentricityDeg())
+}

@@ -1,0 +1,281 @@
+// Package atw implements the image-space post-rendering stages of the
+// VR pipeline: asynchronous time warp (ATW) and foveated-layer
+// composition, in both the baseline order and the reordered unified
+// form that motivates the paper's UCA hardware unit (Section 4.2).
+//
+// Baseline (sequential) order:
+//
+//	composition (anti-alias blend of fovea/middle/outer layers)
+//	-> lens distortion -> coordinate remapping -> bilinear filtering
+//
+// UCA (reordered) order, exploiting the algorithmic similarity between
+// the two averaging passes (Eq. 3/4 of the paper):
+//
+//	lens distortion -> coordinate remapping
+//	-> single trilinear filter that samples the input layers once,
+//	   blending across layers only on boundary tiles
+//
+// Both paths operate on real images so tests can verify they produce
+// equivalent pixels (within filtering tolerance) while the UCA path
+// samples each input exactly once.
+package atw
+
+import (
+	"math"
+
+	"qvr/internal/codec"
+	"qvr/internal/vec"
+)
+
+// LayerSet is the input to composition: the locally rendered fovea at
+// native resolution plus the remote middle and outer layers at reduced
+// resolution, all covering the same field of view. Middle and Outer may
+// be nil (fully local rendering).
+type LayerSet struct {
+	Fovea  *codec.Image
+	Middle *codec.Image
+	Outer  *codec.Image
+	// FoveaRadius and MidRadius are the e1/e2 eccentricity bounds in
+	// normalized display units (fraction of half-diagonal).
+	FoveaRadius, MidRadius float64
+	// Center is the gaze center in normalized [0,1]^2 coordinates.
+	Center vec.Vec2
+}
+
+// Distortion models HMD lens distortion with a standard two-term
+// radial polynomial: r' = r(1 + k1 r^2 + k2 r^4).
+type Distortion struct {
+	K1, K2 float64
+}
+
+// DefaultDistortion approximates a consumer HMD lens.
+var DefaultDistortion = Distortion{K1: 0.22, K2: 0.12}
+
+// apply maps a normalized point (centered at 0.5,0.5) through the
+// distortion, returning source coordinates.
+func (d Distortion) apply(x, y float64) (float64, float64) {
+	dx, dy := x-0.5, y-0.5
+	r2 := (dx*dx + dy*dy) * 4 // normalize so r=1 at edge midpoint
+	f := 1 + d.K1*r2 + d.K2*r2*r2
+	return 0.5 + dx*f, 0.5 + dy*f
+}
+
+// Reprojection rotates the frame to the latest head pose: the core of
+// time warp. It maps output pixels to source pixels via the delta
+// rotation between the pose the frame was rendered at and the pose at
+// scan-out.
+type Reprojection struct {
+	// Delta is renderPose^-1 * displayPose.
+	Delta vec.Quat
+	// FovH, FovV are the display's angular extents in radians.
+	FovH, FovV float64
+}
+
+// NewReprojection builds the remap from render-time and display-time
+// orientations.
+func NewReprojection(rendered, displayed vec.Quat, fovHDeg, fovVDeg float64) Reprojection {
+	return Reprojection{
+		Delta: rendered.Conj().Mul(displayed).Normalize(),
+		FovH:  fovHDeg * math.Pi / 180,
+		FovV:  fovVDeg * math.Pi / 180,
+	}
+}
+
+// apply maps a normalized output coordinate to the normalized source
+// coordinate under the delta rotation, using a planar small-angle
+// projection (adequate for inter-frame head deltas).
+func (rp Reprojection) apply(x, y float64) (float64, float64) {
+	// Convert to angular offsets from view center.
+	ax := (x - 0.5) * rp.FovH
+	ay := (y - 0.5) * rp.FovV
+	// View ray for the output pixel.
+	dir := vec.Vec3{X: math.Tan(ax), Y: math.Tan(ay), Z: -1}
+	// Rotate by the pose delta to find where this ray was at render time.
+	src := rp.Delta.Rotate(dir)
+	if src.Z >= -1e-6 {
+		return -1, -1 // wrapped behind the view
+	}
+	sx := math.Atan(-src.X/src.Z)/rp.FovH + 0.5
+	sy := math.Atan(-src.Y/src.Z)/rp.FovV + 0.5
+	return sx, sy
+}
+
+// bilinear samples im at normalized (x, y) with bilinear filtering.
+// Out-of-range coordinates clamp to the border.
+func bilinear(im *codec.Image, x, y float64) float64 {
+	fx := x*float64(im.W) - 0.5
+	fy := y*float64(im.H) - 0.5
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	c00 := float64(im.At(x0, y0))
+	c10 := float64(im.At(x0+1, y0))
+	c01 := float64(im.At(x0, y0+1))
+	c11 := float64(im.At(x0+1, y0+1))
+	return (c00*(1-tx)+c10*tx)*(1-ty) + (c01*(1-tx)+c11*tx)*ty
+}
+
+// radiusAt returns the normalized eccentricity of (x, y) from the gaze
+// center, where 1.0 is the half-diagonal of the unit square.
+func radiusAt(x, y float64, center vec.Vec2) float64 {
+	dx, dy := x-center.X, y-center.Y
+	return math.Hypot(dx, dy) / math.Sqrt2 * 2
+}
+
+// blendWidth is the normalized width of the anti-aliased boundary band
+// between layers (the MSAA edge region of the paper's composition).
+const blendWidth = 0.04
+
+// layerSample fetches the composited color at a normalized source
+// coordinate: fovea inside e1, middle between e1 and e2, outer beyond,
+// with linear cross-fades in the boundary bands. This is the "sample
+// the input once" primitive shared by both execution orders.
+func layerSample(ls LayerSet, x, y float64) float64 {
+	r := radiusAt(x, y, ls.Center)
+	fv := bilinear(ls.Fovea, x, y)
+	if ls.Middle == nil {
+		return fv
+	}
+	mid := bilinear(ls.Middle, x, y)
+	var outer float64
+	if ls.Outer != nil {
+		outer = bilinear(ls.Outer, x, y)
+	} else {
+		outer = mid
+	}
+	switch {
+	case r < ls.FoveaRadius-blendWidth:
+		return fv
+	case r < ls.FoveaRadius+blendWidth:
+		t := (r - (ls.FoveaRadius - blendWidth)) / (2 * blendWidth)
+		return fv*(1-t) + mid*t
+	case r < ls.MidRadius-blendWidth:
+		return mid
+	case r < ls.MidRadius+blendWidth:
+		t := (r - (ls.MidRadius - blendWidth)) / (2 * blendWidth)
+		return mid*(1-t) + outer*t
+	default:
+		return outer
+	}
+}
+
+// ComposeSequential is the baseline software path: composition first
+// (materializing an intermediate full-resolution frame), then ATW over
+// the composite. It returns the output frame and the number of
+// texture samples taken — the cost the UCA reordering eliminates.
+func ComposeSequential(ls LayerSet, dist Distortion, rp Reprojection, w, h int) (*codec.Image, int) {
+	samples := 0
+	// Pass 1: composition into an intermediate buffer.
+	inter := codec.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y) + 0.5) / float64(h)
+		for x := 0; x < w; x++ {
+			fx := (float64(x) + 0.5) / float64(w)
+			inter.Set(x, y, quantize(layerSample(ls, fx, fy)))
+			samples += 3 // fovea + middle + outer reads
+		}
+	}
+	// Pass 2: ATW (distortion + reprojection + bilinear) over the
+	// composite.
+	out := codec.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y) + 0.5) / float64(h)
+		for x := 0; x < w; x++ {
+			fx := (float64(x) + 0.5) / float64(w)
+			sx, sy := dist.apply(fx, fy)
+			sx, sy = rp.apply(sx, sy)
+			if sx < 0 || sx > 1 || sy < 0 || sy > 1 {
+				out.Set(x, y, 0)
+				continue
+			}
+			out.Set(x, y, quantize(bilinear(inter, sx, sy)))
+			samples++ // composite read
+		}
+	}
+	return out, samples
+}
+
+// ComposeUnified is the UCA path: distortion and reprojection are
+// computed first, then a single unified filter samples the source
+// layers directly — no intermediate frame, one sampling pass. Boundary
+// tiles blend across layers (the trilinear case); interior tiles
+// sample a single layer (the bilinear case).
+func ComposeUnified(ls LayerSet, dist Distortion, rp Reprojection, w, h int) (*codec.Image, int) {
+	out := codec.NewImage(w, h)
+	samples := 0
+	for y := 0; y < h; y++ {
+		fy := (float64(y) + 0.5) / float64(h)
+		for x := 0; x < w; x++ {
+			fx := (float64(x) + 0.5) / float64(w)
+			sx, sy := dist.apply(fx, fy)
+			sx, sy = rp.apply(sx, sy)
+			if sx < 0 || sx > 1 || sy < 0 || sy > 1 {
+				out.Set(x, y, 0)
+				continue
+			}
+			out.Set(x, y, quantize(layerSample(ls, sx, sy)))
+			samples++ // single unified sample
+		}
+	}
+	return out, samples
+}
+
+// BoundaryTileFraction reports the fraction of size x size tiles that
+// straddle a layer boundary and therefore need the trilinear path in
+// UCA hardware; the rest take the cheaper bilinear path.
+func BoundaryTileFraction(ls LayerSet, w, h, size int) float64 {
+	if ls.Middle == nil {
+		return 0
+	}
+	tiles, boundary := 0, 0
+	for ty := 0; ty < h; ty += size {
+		for tx := 0; tx < w; tx += size {
+			tiles++
+			if tileOnBoundary(ls, tx, ty, size, w, h) {
+				boundary++
+			}
+		}
+	}
+	if tiles == 0 {
+		return 0
+	}
+	return float64(boundary) / float64(tiles)
+}
+
+func tileOnBoundary(ls LayerSet, tx, ty, size, w, h int) bool {
+	// A tile straddles a boundary if its corner radii bracket e1 or e2
+	// (inflated by the blend width).
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for _, c := range [4][2]int{{tx, ty}, {tx + size, ty}, {tx, ty + size}, {tx + size, ty + size}} {
+		x := clampF(float64(c[0])/float64(w), 0, 1)
+		y := clampF(float64(c[1])/float64(h), 0, 1)
+		r := radiusAt(x, y, ls.Center)
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	crosses := func(e float64) bool {
+		return minR < e+blendWidth && maxR > e-blendWidth
+	}
+	return crosses(ls.FoveaRadius) || crosses(ls.MidRadius)
+}
+
+func quantize(v float64) uint8 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(math.Round(v))
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

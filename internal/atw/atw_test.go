@@ -1,0 +1,281 @@
+package atw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qvr/internal/codec"
+	"qvr/internal/vec"
+)
+
+func testLayers() LayerSet {
+	return LayerSet{
+		Fovea:       codec.SynthFrame(96, 96, 0.6, 0.1),
+		Middle:      codec.SynthFrame(48, 48, 0.6, 0.1),
+		Outer:       codec.SynthFrame(24, 24, 0.6, 0.1),
+		FoveaRadius: 0.25,
+		MidRadius:   0.6,
+		Center:      vec.Vec2{X: 0.5, Y: 0.5},
+	}
+}
+
+func identityRp() Reprojection {
+	return NewReprojection(vec.IdentityQuat(), vec.IdentityQuat(), 110, 90)
+}
+
+func TestUnifiedMatchesSequential(t *testing.T) {
+	// The paper's Eq. 4 claim: reordering ATW before composition and
+	// fusing the filters is algebraically equivalent up to filtering
+	// error. Verify the two paths agree closely on real images.
+	ls := testLayers()
+	rp := NewReprojection(vec.IdentityQuat(), vec.FromEuler(0.01, 0.005, 0), 110, 90)
+	seq, _ := ComposeSequential(ls, DefaultDistortion, rp, 96, 96)
+	uni, _ := ComposeUnified(ls, DefaultDistortion, rp, 96, 96)
+	p, err := codec.PSNR(seq, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fewer resampling means the unified result is not bit-exact,
+	// but it must be visually identical (> 30 dB).
+	if p < 30 {
+		t.Errorf("sequential vs unified PSNR = %.1f dB, want > 30", p)
+	}
+}
+
+func TestUnifiedSamplesOnce(t *testing.T) {
+	ls := testLayers()
+	rp := identityRp()
+	_, seqSamples := ComposeSequential(ls, DefaultDistortion, rp, 64, 64)
+	_, uniSamples := ComposeUnified(ls, DefaultDistortion, rp, 64, 64)
+	if uniSamples >= seqSamples {
+		t.Errorf("unified samples %d not below sequential %d", uniSamples, seqSamples)
+	}
+	// Sequential takes 4 samples/pixel (3 layer + 1 composite);
+	// unified takes 1 unified sample/pixel (minus clipped pixels).
+	if uniSamples > 64*64 {
+		t.Errorf("unified sampled %d times for %d pixels", uniSamples, 64*64)
+	}
+}
+
+func TestIdentityWarpPreservesFovea(t *testing.T) {
+	// With no pose delta, no distortion, and the fovea covering the
+	// whole frame, output equals input (up to rounding).
+	ls := LayerSet{
+		Fovea:       codec.SynthFrame(64, 64, 0.5, 0),
+		FoveaRadius: 2, // covers everything
+		MidRadius:   3,
+		Center:      vec.Vec2{X: 0.5, Y: 0.5},
+	}
+	out, _ := ComposeUnified(ls, Distortion{}, identityRp(), 64, 64)
+	p, err := codec.PSNR(ls.Fovea, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 45 {
+		t.Errorf("identity warp PSNR = %.1f dB, want ~lossless", p)
+	}
+}
+
+func TestReprojectionShiftsContent(t *testing.T) {
+	// A yaw delta must shift the image horizontally.
+	im := codec.NewImage(64, 64)
+	// Vertical bright bar at x in [28,36).
+	for y := 0; y < 64; y++ {
+		for x := 28; x < 36; x++ {
+			im.Set(x, y, 255)
+		}
+	}
+	ls := LayerSet{Fovea: im, FoveaRadius: 2, MidRadius: 3, Center: vec.Vec2{X: 0.5, Y: 0.5}}
+	rendered := vec.IdentityQuat()
+	displayed := vec.FromEuler(0.05, 0, 0) // yaw right by ~2.9 degrees
+	rp := NewReprojection(rendered, displayed, 110, 90)
+	out, _ := ComposeUnified(ls, Distortion{}, rp, 64, 64)
+
+	centroid := func(im *codec.Image) float64 {
+		var sum, wsum float64
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				v := float64(im.At(x, y))
+				sum += v * float64(x)
+				wsum += v
+			}
+		}
+		return sum / wsum
+	}
+	shift := centroid(out) - centroid(im)
+	if math.Abs(shift) < 0.5 {
+		t.Errorf("yaw delta did not shift content: %.2f px", shift)
+	}
+}
+
+func TestReprojectionOppositeDirections(t *testing.T) {
+	im := codec.SynthFrame(64, 64, 0.7, 0.4)
+	ls := LayerSet{Fovea: im, FoveaRadius: 2, MidRadius: 3, Center: vec.Vec2{X: 0.5, Y: 0.5}}
+	right := NewReprojection(vec.IdentityQuat(), vec.FromEuler(0.05, 0, 0), 110, 90)
+	left := NewReprojection(vec.IdentityQuat(), vec.FromEuler(-0.05, 0, 0), 110, 90)
+	a, _ := ComposeUnified(ls, Distortion{}, right, 64, 64)
+	b, _ := ComposeUnified(ls, Distortion{}, left, 64, 64)
+	diff := 0
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			diff++
+		}
+	}
+	if diff < 64*64/10 {
+		t.Errorf("opposite yaw warps nearly identical (%d differing pixels)", diff)
+	}
+}
+
+func TestDistortionBendsEdges(t *testing.T) {
+	// With distortion, corner pixels sample far from their undistorted
+	// source; verify the mapping is radial (center fixed, corners moved).
+	d := DefaultDistortion
+	cx, cy := d.apply(0.5, 0.5)
+	if math.Abs(cx-0.5) > 1e-12 || math.Abs(cy-0.5) > 1e-12 {
+		t.Errorf("distortion moved the center: %v,%v", cx, cy)
+	}
+	ex, ey := d.apply(0.9, 0.9)
+	if ex <= 0.9 || ey <= 0.9 {
+		t.Errorf("pincushion should push corners outward: %v,%v", ex, ey)
+	}
+}
+
+func TestLayerBlendContinuity(t *testing.T) {
+	// Crossing the e1 boundary must be a smooth fade, not a step:
+	// sample along a radius with constant-color layers.
+	fv := codec.NewImage(32, 32)
+	mid := codec.NewImage(16, 16)
+	for i := range fv.Pix {
+		fv.Pix[i] = 200
+	}
+	for i := range mid.Pix {
+		mid.Pix[i] = 100
+	}
+	ls := LayerSet{Fovea: fv, Middle: mid, Outer: mid, FoveaRadius: 0.4, MidRadius: 0.9, Center: vec.Vec2{X: 0.5, Y: 0.5}}
+	prev := layerSample(ls, 0.5, 0.5)
+	for r := 0.0; r < 0.45; r += 0.005 {
+		v := layerSample(ls, 0.5+r, 0.5)
+		if math.Abs(v-prev) > 12 {
+			t.Fatalf("blend discontinuity at r=%.3f: %v -> %v", r, prev, v)
+		}
+		prev = v
+	}
+	// Far outside must be pure middle color.
+	if v := layerSample(ls, 0.95, 0.5); math.Abs(v-100) > 1 {
+		t.Errorf("outer region = %v, want 100", v)
+	}
+	// Center must be pure fovea color.
+	if v := layerSample(ls, 0.5, 0.5); math.Abs(v-200) > 1 {
+		t.Errorf("center = %v, want 200", v)
+	}
+}
+
+func TestNilMiddleFallsBackToFovea(t *testing.T) {
+	fv := codec.SynthFrame(32, 32, 0.5, 0)
+	ls := LayerSet{Fovea: fv, FoveaRadius: 0.2, MidRadius: 0.5, Center: vec.Vec2{X: 0.5, Y: 0.5}}
+	out, _ := ComposeUnified(ls, Distortion{}, identityRp(), 32, 32)
+	p, err := codec.PSNR(fv, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 40 {
+		t.Errorf("nil-middle compose PSNR = %v", p)
+	}
+}
+
+func TestBoundaryTileFraction(t *testing.T) {
+	ls := testLayers()
+	frac := BoundaryTileFraction(ls, 256, 256, 32)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("boundary fraction = %v, want in (0,1)", frac)
+	}
+	// Smaller tiles localize the boundary better: fraction shrinks.
+	small := BoundaryTileFraction(ls, 256, 256, 8)
+	if small >= frac {
+		t.Errorf("8px tiles fraction %v not below 32px %v", small, frac)
+	}
+	// Fully local frames have no boundaries.
+	if f := BoundaryTileFraction(LayerSet{Fovea: ls.Fovea}, 256, 256, 32); f != 0 {
+		t.Errorf("no-middle boundary fraction = %v", f)
+	}
+}
+
+func TestBilinearInterpolatesBetweenPixels(t *testing.T) {
+	im := codec.NewImage(2, 1)
+	im.Pix[0] = 0
+	im.Pix[1] = 100
+	mid := bilinear(im, 0.5, 0.5)
+	if mid < 40 || mid > 60 {
+		t.Errorf("midpoint sample = %v, want ~50", mid)
+	}
+}
+
+func TestLargeWarpClipsToBlack(t *testing.T) {
+	im := codec.SynthFrame(32, 32, 0.5, 0)
+	ls := LayerSet{Fovea: im, FoveaRadius: 2, MidRadius: 3, Center: vec.Vec2{X: 0.5, Y: 0.5}}
+	// A 60-degree yaw wraps most of the frame out of view.
+	rp := NewReprojection(vec.IdentityQuat(), vec.FromEuler(math.Pi/3, 0, 0), 110, 90)
+	out, _ := ComposeUnified(ls, Distortion{}, rp, 32, 32)
+	black := 0
+	for _, p := range out.Pix {
+		if p == 0 {
+			black++
+		}
+	}
+	if black < 32*32/4 {
+		t.Errorf("large warp left only %d black pixels", black)
+	}
+}
+
+func TestLayerSampleBounded(t *testing.T) {
+	// Property: composed samples never leave pixel range regardless of
+	// gaze center, radii, or sample position.
+	ls := testLayers()
+	f := func(x, y, cx, cy, r1, r2 float64) bool {
+		wrap := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Abs(math.Mod(v, 1))
+		}
+		ls := ls
+		ls.Center = vec.Vec2{X: wrap(cx), Y: wrap(cy)}
+		ls.FoveaRadius = wrap(r1)
+		ls.MidRadius = ls.FoveaRadius + wrap(r2)
+		v := layerSample(ls, wrap(x), wrap(y))
+		return v >= 0 && v <= 255
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReprojectionIdentityIsIdentity(t *testing.T) {
+	// Property: a zero pose delta maps coordinates to themselves.
+	rp := identityRp()
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		x = math.Abs(math.Mod(x, 1))
+		y = math.Abs(math.Mod(y, 1))
+		sx, sy := rp.apply(x, y)
+		return math.Abs(sx-x) < 1e-9 && math.Abs(sy-y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryFractionMonotoneInTileSize(t *testing.T) {
+	ls := testLayers()
+	prev := 0.0
+	for _, size := range []int{8, 16, 32, 64} {
+		frac := BoundaryTileFraction(ls, 256, 256, size)
+		if frac < prev-1e-12 {
+			t.Fatalf("boundary fraction decreased at tile size %d", size)
+		}
+		prev = frac
+	}
+}

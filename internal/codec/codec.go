@@ -1,0 +1,385 @@
+// Package codec models the video compression stage between the remote
+// renderer and the mobile client.
+//
+// The paper compresses remote frames with (lossless-profile) H.264 via
+// ffmpeg and derives network latency from the compressed size. ffmpeg
+// is unavailable here, so this package provides two coordinated pieces:
+//
+//  1. A real, self-contained intra-frame image codec (8x8 DCT,
+//     uniform quantization, zigzag scan, run-length + varint entropy
+//     coding) that actually compresses and decompresses synthetic
+//     framebuffers. It exists to ground the size model in working
+//     code: its measured bits-per-pixel on generated content anchor
+//     the analytic model, and its decode path supplies the video-
+//     decoder latency shape.
+//
+//  2. An analytic SizeModel used by the event-driven simulator, which
+//     must estimate the compressed payload of millions of frames
+//     without touching pixels. It is calibrated so a full 1920x2160x2
+//     game frame compresses to roughly the paper's Table 1 "Back Size"
+//     anchors (about 480-650 KB).
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SizeModel estimates compressed frame sizes from pixel counts and
+// content statistics.
+type SizeModel struct {
+	// BitsPerPixel is the base compressed density for entropy = 1
+	// content at quality = 1.
+	BitsPerPixel float64
+	// HeaderBytes is the fixed per-frame container overhead.
+	HeaderBytes int
+	// MotionFactor scales size with inter-frame motion: fast head
+	// motion reduces temporal redundancy in a real encoder. 0 disables.
+	MotionFactor float64
+}
+
+// DefaultSizeModel reproduces the Table 1 anchors: a full-resolution
+// background frame of game content (entropy ~0.6-0.85) compresses to
+// roughly 480-650 KB.
+var DefaultSizeModel = SizeModel{
+	BitsPerPixel: 0.60,
+	HeaderBytes:  600,
+	MotionFactor: 0.25,
+}
+
+// FrameBytes estimates the compressed size of a frame region.
+// pixels is the transmitted pixel count (already scaled by any
+// foveated resolution reduction), entropy in (0,1] the content
+// complexity, quality in (0,1] the encode quality knob, and motion a
+// normalized motion magnitude (0 = static camera).
+func (m SizeModel) FrameBytes(pixels int, entropy, quality, motion float64) int {
+	if pixels <= 0 {
+		return m.HeaderBytes
+	}
+	entropy = clamp(entropy, 0.05, 1)
+	quality = clamp(quality, 0.05, 1)
+	if motion < 0 {
+		motion = 0
+	}
+	bpp := m.BitsPerPixel * entropy * (0.35 + 0.65*quality) * (1 + m.MotionFactor*math.Min(motion, 2))
+	return int(float64(pixels)*bpp/8) + m.HeaderBytes
+}
+
+// EncodeSeconds models hardware-encoder latency on the server: modern
+// NVENC-class encoders sustain several gigapixels per second and
+// pipeline with rendering, so this is small but not zero.
+func (m SizeModel) EncodeSeconds(pixels int) float64 {
+	const pixelsPerSec = 3e9
+	return 0.0002 + float64(pixels)/pixelsPerSec
+}
+
+// DecodeSeconds models the mobile video decoder: the paper charges
+// video decoding (VD) as a pipeline stage overlapped with streaming.
+// Mobile hardware decoders sustain roughly 1-2 gigapixels per second.
+func (m SizeModel) DecodeSeconds(pixels int) float64 {
+	const pixelsPerSec = 1.2e9
+	return 0.0003 + float64(pixels)/pixelsPerSec
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// Working intra-frame codec
+// ---------------------------------------------------------------------------
+
+// Image is a single-channel (luma) raster. The codec operates on luma
+// only; chroma halves would scale sizes by a constant factor that the
+// SizeModel's calibration already absorbs.
+type Image struct {
+	W, H int
+	Pix  []uint8 // len W*H, row-major
+}
+
+// NewImage allocates a zeroed image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads clamp to the
+// edge (the DCT tiler reads up to 7 pixels past the border).
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are dropped.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+const blockSize = 8
+
+// quantTable is a JPEG-like luminance quantization matrix.
+var quantTable = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag maps scan order to block position.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// dct8 performs a forward 1-D DCT-II on 8 samples.
+func dct8(in, out []float64) {
+	for k := 0; k < 8; k++ {
+		var s float64
+		for n := 0; n < 8; n++ {
+			s += in[n] * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/8)
+		}
+		if k == 0 {
+			s *= math.Sqrt(1.0 / 8)
+		} else {
+			s *= math.Sqrt(2.0 / 8)
+		}
+		out[k] = s
+	}
+}
+
+// idct8 inverts dct8.
+func idct8(in, out []float64) {
+	for n := 0; n < 8; n++ {
+		s := in[0] * math.Sqrt(1.0/8)
+		for k := 1; k < 8; k++ {
+			s += in[k] * math.Sqrt(2.0/8) * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/8)
+		}
+		out[n] = s
+	}
+}
+
+// forwardBlock computes the quantized DCT coefficients of one 8x8
+// block at the given quality in (0,1].
+func forwardBlock(im *Image, bx, by int, quality float64, coef *[64]int16) {
+	var tmp, row [64]float64
+	var buf, out [8]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			buf[x] = float64(im.At(bx+x, by+y)) - 128
+		}
+		dct8(buf[:], out[:])
+		copy(row[y*8:], out[:])
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			buf[y] = row[y*8+x]
+		}
+		dct8(buf[:], out[:])
+		for y := 0; y < 8; y++ {
+			tmp[y*8+x] = out[y]
+		}
+	}
+	// Quantize.
+	qs := quantScale(quality)
+	for i := 0; i < 64; i++ {
+		q := float64(quantTable[i]) * qs
+		coef[i] = int16(math.Round(tmp[i] / q))
+	}
+}
+
+// inverseBlock reconstructs one block from quantized coefficients.
+func inverseBlock(coef *[64]int16, quality float64, im *Image, bx, by int) {
+	var deq, col [64]float64
+	var buf, out [8]float64
+	qs := quantScale(quality)
+	for i := 0; i < 64; i++ {
+		deq[i] = float64(coef[i]) * float64(quantTable[i]) * qs
+	}
+	// Columns first (inverse of forward order).
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			buf[y] = deq[y*8+x]
+		}
+		idct8(buf[:], out[:])
+		for y := 0; y < 8; y++ {
+			col[y*8+x] = out[y]
+		}
+	}
+	for y := 0; y < 8; y++ {
+		idct8(col[y*8:y*8+8], out[:])
+		for x := 0; x < 8; x++ {
+			v := math.Round(out[x] + 128)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Set(bx+x, by+y, uint8(v))
+		}
+	}
+}
+
+// quantScale maps quality in (0,1] to a quantizer multiplier: quality
+// 1 divides the table by 2 (fine), quality 0.05 multiplies it by ~6.
+func quantScale(quality float64) float64 {
+	quality = clamp(quality, 0.05, 1)
+	return 0.5 / quality
+}
+
+var magic = [4]byte{'Q', 'V', 'R', '1'}
+
+// Encode compresses im at the given quality. The stream layout is:
+// magic, width, height, quality (x1000), then per-block zigzag RLE
+// symbols (zero-run varint, level varint).
+func Encode(im *Image, quality float64) []byte {
+	out := make([]byte, 0, im.W*im.H/4+16)
+	out = append(out, magic[:]...)
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(im.W))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(im.H))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(clamp(quality, 0.05, 1)*1000))
+	out = append(out, hdr[:]...)
+
+	var coef [64]int16
+	var scan [64]int16
+	for by := 0; by < im.H; by += blockSize {
+		for bx := 0; bx < im.W; bx += blockSize {
+			forwardBlock(im, bx, by, quality, &coef)
+			for i := 0; i < 64; i++ {
+				scan[i] = coef[zigzag[i]]
+			}
+			out = appendBlock(out, &scan)
+		}
+	}
+	return out
+}
+
+// appendBlock RLE+varint encodes one zigzag-scanned block.
+func appendBlock(out []byte, scan *[64]int16) []byte {
+	i := 0
+	for i < 64 {
+		run := 0
+		for i < 64 && scan[i] == 0 {
+			run++
+			i++
+		}
+		if i == 64 {
+			// End-of-block marker: run 63 is impossible mid-block
+			// after at least one symbol, so use run=255 sentinel.
+			out = append(out, 0xFF)
+			break
+		}
+		out = append(out, byte(run))
+		out = binary.AppendVarint(out, int64(scan[i]))
+		i++
+	}
+	if i == 64 && len(out) > 0 && out[len(out)-1] != 0xFF {
+		out = append(out, 0xFF)
+	}
+	return out
+}
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("codec: corrupt stream")
+
+// Decode decompresses a stream produced by Encode.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < 14 || data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, ErrCorrupt
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:]))
+	h := int(binary.LittleEndian.Uint32(data[8:]))
+	quality := float64(binary.LittleEndian.Uint16(data[12:])) / 1000
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("%w: bad dimensions %dx%d", ErrCorrupt, w, h)
+	}
+	im := NewImage(w, h)
+	pos := 14
+	var scan, coef [64]int16
+	for by := 0; by < h; by += blockSize {
+		for bx := 0; bx < w; bx += blockSize {
+			for i := range scan {
+				scan[i] = 0
+			}
+			i := 0
+			for {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("%w: truncated at block (%d,%d)", ErrCorrupt, bx, by)
+				}
+				run := int(data[pos])
+				pos++
+				if run == 0xFF {
+					break
+				}
+				i += run
+				v, n := binary.Varint(data[pos:])
+				if n <= 0 {
+					return nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+				}
+				pos += n
+				if i >= 64 {
+					return nil, fmt.Errorf("%w: coefficient overflow", ErrCorrupt)
+				}
+				scan[i] = int16(v)
+				i++
+			}
+			for j := 0; j < 64; j++ {
+				coef[zigzag[j]] = scan[j]
+			}
+			inverseBlock(&coef, quality, im, bx, by)
+		}
+	}
+	return im, nil
+}
+
+// PSNR computes peak signal-to-noise ratio between two equally sized
+// images; +Inf for identical content.
+func PSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("codec: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}

@@ -1,0 +1,149 @@
+package codec
+
+import (
+	"testing"
+)
+
+func TestDeltaStaticContentCollapses(t *testing.T) {
+	// A repeated frame must compress to a fraction of its intra size:
+	// the temporal redundancy the SizeModel's motion factor represents.
+	frame := SynthFrame(96, 96, 0.7, 0.3)
+	intra := Encode(frame, 0.8)
+	delta, err := EncodeDelta(frame, frame, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) > len(intra)/4 {
+		t.Errorf("static delta %dB not far below intra %dB", len(delta), len(intra))
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	prev := SynthFrame(64, 64, 0.6, 0.1)
+	cur := SynthFrame(64, 64, 0.6, 0.18) // slight pan
+	data, err := EncodeDelta(prev, cur, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDelta(data) {
+		t.Fatal("delta stream not marked")
+	}
+	back, err := DecodeDelta(prev, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := PSNR(cur, back)
+	if p < 28 {
+		t.Errorf("delta round-trip PSNR %.1f dB", p)
+	}
+}
+
+func TestDeltaMotionCostsMore(t *testing.T) {
+	prev := SynthFrame(96, 96, 0.7, 0.1)
+	still := SynthFrame(96, 96, 0.7, 0.1)
+	moved := SynthFrame(96, 96, 0.7, 0.5) // large pan
+	small, err := EncodeDelta(prev, still, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EncodeDelta(prev, moved, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= len(small) {
+		t.Errorf("motion delta %dB not above still delta %dB", len(big), len(small))
+	}
+}
+
+func TestDeltaSizeMismatchRejected(t *testing.T) {
+	if _, err := EncodeDelta(NewImage(8, 8), NewImage(16, 16), 0.8); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	data, _ := EncodeDelta(NewImage(16, 16), NewImage(16, 16), 0.8)
+	if _, err := DecodeDelta(NewImage(8, 8), data); err == nil {
+		t.Error("reference mismatch accepted")
+	}
+}
+
+func TestDecodeDeltaRejectsIntra(t *testing.T) {
+	intra := Encode(SynthFrame(16, 16, 0.5, 0), 0.8)
+	if _, err := DecodeDelta(NewImage(16, 16), intra); err == nil {
+		t.Error("intra stream decoded as delta")
+	}
+}
+
+func TestGOPStream(t *testing.T) {
+	enc := NewGOPEncoder(0.8, 4)
+	var dec GOPDecoder
+	var sizes []int
+	for i := 0; i < 10; i++ {
+		// Slowly panning content.
+		frame := SynthFrame(64, 64, 0.6, float64(i)*0.01)
+		data, err := enc.Encode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(data))
+		back, err := dec.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := PSNR(frame, back)
+		if p < 26 {
+			t.Fatalf("frame %d PSNR %.1f dB", i, p)
+		}
+		// Frames 0, 4, 8 are intra; others delta.
+		if wantDelta := i%4 != 0; IsDelta(data) != wantDelta {
+			t.Errorf("frame %d delta=%v, want %v", i, IsDelta(data), wantDelta)
+		}
+	}
+	// Delta frames must be cheaper than the intra frames around them.
+	if sizes[1] >= sizes[0] || sizes[5] >= sizes[4] {
+		t.Errorf("delta frames not smaller: %v", sizes)
+	}
+}
+
+func TestGOPDecoderRequiresIntraFirst(t *testing.T) {
+	enc := NewGOPEncoder(0.8, 4)
+	f0 := SynthFrame(32, 32, 0.5, 0)
+	if _, err := enc.Encode(f0); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := enc.Encode(SynthFrame(32, 32, 0.5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec GOPDecoder
+	if _, err := dec.Decode(delta); err == nil {
+		t.Error("delta before intra accepted")
+	}
+}
+
+func TestGOPLengthClamped(t *testing.T) {
+	enc := NewGOPEncoder(0.8, 0) // clamped to all-intra
+	for i := 0; i < 3; i++ {
+		data, err := enc.Encode(SynthFrame(16, 16, 0.5, float64(i)*0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsDelta(data) {
+			t.Errorf("frame %d is delta under all-intra GOP", i)
+		}
+	}
+}
+
+func TestGOPResolutionChangeForcesIntra(t *testing.T) {
+	enc := NewGOPEncoder(0.8, 10)
+	if _, err := enc.Encode(SynthFrame(32, 32, 0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The foveated layers resize when e1 changes; the encoder must
+	// fall back to intra rather than corrupt the stream.
+	data, err := enc.Encode(SynthFrame(48, 48, 0.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsDelta(data) {
+		t.Error("resolution change produced a delta frame")
+	}
+}

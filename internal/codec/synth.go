@@ -1,0 +1,54 @@
+package codec
+
+import "math"
+
+// SynthFrame generates a deterministic synthetic game-like frame:
+// smooth gradients (sky/walls), mid-frequency texture, and sharp
+// edges whose density scales with entropy. It exists so the codec and
+// the analytic SizeModel can be cross-validated on content whose
+// statistical complexity is controllable.
+func SynthFrame(w, h int, entropy float64, phase float64) *Image {
+	im := NewImage(w, h)
+	if entropy < 0.05 {
+		entropy = 0.05
+	}
+	if entropy > 1 {
+		entropy = 1
+	}
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(h)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w)
+			// Base gradient.
+			v := 90 + 70*fy + 20*math.Sin(2*math.Pi*(fx+phase))
+			// Mid-frequency texture grows with entropy.
+			v += entropy * 35 * math.Sin(24*math.Pi*fx+phase*3) * math.Cos(18*math.Pi*fy)
+			// High-frequency detail and edges for busy content.
+			if entropy > 0.3 {
+				v += (entropy - 0.3) * 60 * math.Sin(90*math.Pi*fx*fy+phase)
+				// Hard edges: a grid of object silhouettes.
+				gx := math.Mod(fx*10+phase, 1)
+				gy := math.Mod(fy*8, 1)
+				if gx < 0.08*entropy || gy < 0.06*entropy {
+					v -= 70
+				}
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Pix[y*w+x] = uint8(v)
+		}
+	}
+	return im
+}
+
+// MeasuredBPP compresses a synthetic frame of the given entropy and
+// returns the achieved bits per pixel, for calibrating SizeModel.
+func MeasuredBPP(w, h int, entropy, quality float64) float64 {
+	im := SynthFrame(w, h, entropy, 0.17)
+	data := Encode(im, quality)
+	return float64(len(data)) * 8 / float64(w*h)
+}

@@ -1,0 +1,230 @@
+// Package core is the high-level entry point of the Q-VR reproduction:
+// a small facade over the simulation pipeline that configures a
+// session with functional options, runs any of the seven rendering
+// designs, and produces comparable reports.
+//
+// For fine-grained control (custom GPU configs, codec models, failure
+// injection) use internal/pipeline directly; core covers the common
+// "compare designs on a benchmark under these conditions" workflow
+// that the examples and tools are built from.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+	"qvr/internal/scene"
+)
+
+// Design re-exports the pipeline design enumeration.
+type Design = pipeline.Design
+
+// The available rendering designs.
+const (
+	LocalOnly    = pipeline.LocalOnly
+	RemoteOnly   = pipeline.RemoteOnly
+	StaticCollab = pipeline.StaticCollab
+	FFR          = pipeline.FFR
+	DFR          = pipeline.DFR
+	QVRSoftware  = pipeline.QVRSoftware
+	QVR          = pipeline.QVR
+)
+
+// Session is a configured evaluation context: one benchmark under one
+// set of hardware/network/user conditions. Sessions are immutable
+// after construction and safe to share across goroutines (each Run
+// builds its own simulator state).
+type Session struct {
+	app     scene.App
+	base    pipeline.Config
+	hasBase bool
+}
+
+// Option configures a Session.
+type Option func(*Session) error
+
+// WithNetwork selects a network condition by name ("Wi-Fi", "4G LTE",
+// "Early 5G").
+func WithNetwork(name string) Option {
+	return func(s *Session) error {
+		c, ok := netsim.ConditionByName(name)
+		if !ok {
+			return fmt.Errorf("core: unknown network %q", name)
+		}
+		s.base.Network = c
+		return nil
+	}
+}
+
+// WithGPUFrequency sets the mobile GPU clock in MHz (paper sweep:
+// 300-500).
+func WithGPUFrequency(mhz float64) Option {
+	return func(s *Session) error {
+		if mhz < 100 || mhz > 2000 {
+			return fmt.Errorf("core: implausible GPU frequency %v MHz", mhz)
+		}
+		s.base.GPU = s.base.GPU.WithFrequency(mhz)
+		return nil
+	}
+}
+
+// WithUserProfile selects the motion intensity ("calm", "normal",
+// "intense").
+func WithUserProfile(name string) Option {
+	return func(s *Session) error {
+		switch strings.ToLower(name) {
+		case "calm":
+			s.base.Profile = motion.Calm
+		case "normal":
+			s.base.Profile = motion.Normal
+		case "intense":
+			s.base.Profile = motion.Intense
+		default:
+			return fmt.Errorf("core: unknown user profile %q", name)
+		}
+		return nil
+	}
+}
+
+// WithFrames sets measured and warmup frame counts.
+func WithFrames(measured, warmup int) Option {
+	return func(s *Session) error {
+		if measured <= 0 || warmup < 0 {
+			return fmt.Errorf("core: invalid frame counts %d/%d", measured, warmup)
+		}
+		s.base.Frames = measured
+		s.base.Warmup = warmup
+		return nil
+	}
+}
+
+// WithSeed fixes the simulation seed (runs are deterministic per seed).
+func WithSeed(seed int64) Option {
+	return func(s *Session) error {
+		s.base.Seed = seed
+		return nil
+	}
+}
+
+// NewSession creates a session for the named benchmark (see
+// scene.Table1Apps and scene.EvalApps for the catalog).
+func NewSession(appName string, opts ...Option) (*Session, error) {
+	app, ok := scene.AppByName(appName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", appName)
+	}
+	s := &Session{app: app, base: pipeline.DefaultConfig(pipeline.QVR, app), hasBase: true}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// App returns the session's benchmark.
+func (s *Session) App() scene.App { return s.app }
+
+// Run simulates one design under the session's conditions.
+func (s *Session) Run(d Design) Report {
+	cfg := s.base
+	cfg.Design = d
+	res := pipeline.Run(cfg)
+	return Report{Design: d, Result: res}
+}
+
+// Compare runs several designs and returns their reports in the given
+// order, each normalized against the first.
+func (s *Session) Compare(designs ...Design) Comparison {
+	var c Comparison
+	for _, d := range designs {
+		c.Reports = append(c.Reports, s.Run(d))
+	}
+	return c
+}
+
+// Report wraps one run's results with convenience accessors.
+type Report struct {
+	Design Design
+	Result pipeline.Result
+}
+
+// MTPMilliseconds is the mean motion-to-photon latency.
+func (r Report) MTPMilliseconds() float64 { return r.Result.AvgMTPSeconds() * 1000 }
+
+// FPS is the mean sustainable frame rate.
+func (r Report) FPS() float64 { return r.Result.FPS() }
+
+// EccentricityDeg is the mean fovea radius (0 for non-foveated designs).
+func (r Report) EccentricityDeg() float64 { return r.Result.AvgE1() }
+
+// PayloadKB is the mean downlink payload per frame.
+func (r Report) PayloadKB() float64 { return r.Result.AvgBytesSent() / 1024 }
+
+// EnergyMJ is the mean per-frame system energy in millijoules.
+func (r Report) EnergyMJ() float64 { return r.Result.AvgEnergyJoules() * 1000 }
+
+// MeetsRealtime reports whether the run satisfies the commercial VR
+// targets the paper uses: MTP < 25 ms and frame rate > 90 Hz.
+func (r Report) MeetsRealtime() bool {
+	return r.Result.AvgMTPSeconds() < 0.025 && r.Result.FPS() > 90*0.95
+}
+
+// Summary formats the report as one line.
+func (r Report) Summary() string {
+	return fmt.Sprintf("%-11s mtp=%6.1fms fps=%5.0f e1=%5.1f payload=%7.1fKB energy=%6.1fmJ",
+		r.Design, r.MTPMilliseconds(), r.FPS(), r.EccentricityDeg(), r.PayloadKB(), r.EnergyMJ())
+}
+
+// Comparison is an ordered set of reports.
+type Comparison struct {
+	Reports []Report
+}
+
+// SpeedupOverFirst returns each design's end-to-end speedup relative
+// to the first report.
+func (c Comparison) SpeedupOverFirst() map[Design]float64 {
+	out := map[Design]float64{}
+	if len(c.Reports) == 0 {
+		return out
+	}
+	base := c.Reports[0].Result.AvgMTPSeconds()
+	for _, r := range c.Reports {
+		if m := r.Result.AvgMTPSeconds(); m > 0 {
+			out[r.Design] = base / m
+		}
+	}
+	return out
+}
+
+// Best returns the design with the lowest mean MTP.
+func (c Comparison) Best() (Design, bool) {
+	if len(c.Reports) == 0 {
+		return 0, false
+	}
+	idx := 0
+	for i, r := range c.Reports {
+		if r.Result.AvgMTPSeconds() < c.Reports[idx].Result.AvgMTPSeconds() {
+			idx = i
+		}
+	}
+	return c.Reports[idx].Design, true
+}
+
+// Render formats the comparison as an aligned table, sorted by MTP.
+func (c Comparison) Render() string {
+	rs := append([]Report(nil), c.Reports...)
+	sort.SliceStable(rs, func(i, j int) bool {
+		return rs[i].Result.AvgMTPSeconds() < rs[j].Result.AvgMTPSeconds()
+	})
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.Summary())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

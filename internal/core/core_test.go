@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastSession(t *testing.T, app string, opts ...Option) *Session {
+	t.Helper()
+	opts = append(opts, WithFrames(80, 30))
+	s, err := NewSession(app, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionUnknownApp(t *testing.T) {
+	if _, err := NewSession("NoSuchGame"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []Option{
+		WithNetwork("tin cans"),
+		WithGPUFrequency(5),
+		WithGPUFrequency(99999),
+		WithUserProfile("sleepy"),
+		WithFrames(0, 0),
+		WithFrames(10, -1),
+	}
+	for i, opt := range cases {
+		if _, err := NewSession("GRID", opt); err == nil {
+			t.Errorf("case %d: invalid option accepted", i)
+		}
+	}
+}
+
+func TestRunProducesReport(t *testing.T) {
+	s := fastSession(t, "HL2-H")
+	r := s.Run(QVR)
+	if r.MTPMilliseconds() <= 0 || r.FPS() <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	if r.EccentricityDeg() < 5 {
+		t.Errorf("Q-VR eccentricity %v below minimum", r.EccentricityDeg())
+	}
+	if !strings.Contains(r.Summary(), "qvr") {
+		t.Errorf("summary missing design name: %q", r.Summary())
+	}
+}
+
+func TestQVRMeetsRealtimeLocalDoesNot(t *testing.T) {
+	s := fastSession(t, "HL2-H")
+	if !s.Run(QVR).MeetsRealtime() {
+		t.Error("Q-VR missed the realtime targets on HL2-H/WiFi/500MHz")
+	}
+	if s.Run(LocalOnly).MeetsRealtime() {
+		t.Error("local-only claims realtime on a heavy app")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	s := fastSession(t, "Wolf")
+	c := s.Compare(LocalOnly, FFR, QVR)
+	if len(c.Reports) != 3 {
+		t.Fatalf("reports = %d", len(c.Reports))
+	}
+	sp := c.SpeedupOverFirst()
+	if sp[LocalOnly] != 1 {
+		t.Errorf("baseline speedup = %v, want 1", sp[LocalOnly])
+	}
+	if sp[QVR] <= sp[FFR] || sp[FFR] <= 1 {
+		t.Errorf("speedup ordering broken: %v", sp)
+	}
+	best, ok := c.Best()
+	if !ok || best != QVR {
+		t.Errorf("best design = %v, want qvr", best)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "local-only") || !strings.Contains(out, "qvr") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	// Sorted ascending by MTP: qvr line first.
+	if !strings.HasPrefix(out, "qvr") {
+		t.Errorf("render not sorted by MTP:\n%s", out)
+	}
+}
+
+func TestEmptyComparison(t *testing.T) {
+	var c Comparison
+	if _, ok := c.Best(); ok {
+		t.Error("empty comparison has a best design")
+	}
+	if len(c.SpeedupOverFirst()) != 0 {
+		t.Error("empty comparison has speedups")
+	}
+	if c.Render() != "" {
+		t.Error("empty comparison renders text")
+	}
+}
+
+func TestNetworkOptionChangesOutcome(t *testing.T) {
+	wifi := fastSession(t, "GRID").Run(QVR)
+	lteS := fastSession(t, "GRID", WithNetwork("4G LTE"))
+	lte := lteS.Run(QVR)
+	if lte.EccentricityDeg() <= wifi.EccentricityDeg() {
+		t.Errorf("LTE e1 %v not above WiFi %v", lte.EccentricityDeg(), wifi.EccentricityDeg())
+	}
+}
+
+func TestFrequencyOptionChangesOutcome(t *testing.T) {
+	fast := fastSession(t, "UT3").Run(QVR)
+	slowS := fastSession(t, "UT3", WithGPUFrequency(300))
+	slow := slowS.Run(QVR)
+	if slow.EccentricityDeg() >= fast.EccentricityDeg() {
+		t.Errorf("300MHz e1 %v not below 500MHz %v", slow.EccentricityDeg(), fast.EccentricityDeg())
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a := fastSession(t, "UT3", WithSeed(7)).Run(QVR)
+	b := fastSession(t, "UT3", WithSeed(7)).Run(QVR)
+	if a.MTPMilliseconds() != b.MTPMilliseconds() {
+		t.Error("same seed produced different results")
+	}
+	c := fastSession(t, "UT3", WithSeed(8)).Run(QVR)
+	if a.MTPMilliseconds() == c.MTPMilliseconds() {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestUserProfileOption(t *testing.T) {
+	for _, p := range []string{"calm", "normal", "intense", "CALM"} {
+		if _, err := NewSession("GRID", WithUserProfile(p)); err != nil {
+			t.Errorf("profile %q rejected: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package energy models the mobile system's per-frame energy budget
+// for the Fig. 15 sensitivity study.
+//
+// The paper estimates GPU energy from its simulator, network-module
+// power from published LTE/Wi-Fi measurement studies (Huang et al.,
+// Jin et al.), and adds the McPAT-derived LIWC and UCA powers. The
+// components here mirror that accounting:
+//
+//   - GPU: dynamic power while rendering (frequency/voltage scaled)
+//     plus static power for the whole frame interval;
+//   - radio: per-technology transfer power while receiving, plus a
+//     small tail/idle power;
+//   - video decoder: active power while decoding;
+//   - LIWC and UCA: the Section 4.3 constants.
+//
+// All results are joules per frame; the experiment harness normalizes
+// them against the local-rendering baseline exactly as Fig. 15 does.
+package energy
+
+import "math"
+
+// RadioProfile is the power model of one network technology.
+type RadioProfile struct {
+	Name string
+	// ActiveWatts while the downlink is receiving at full rate.
+	ActiveWatts float64
+	// TailWatts while the radio is powered but idle.
+	TailWatts float64
+}
+
+// Radio profiles follow the measurement literature the paper cites:
+// LTE radios burn considerably more than Wi-Fi; 5G mmWave-class
+// receive power is higher still.
+var (
+	RadioWiFi = RadioProfile{Name: "Wi-Fi", ActiveWatts: 0.9, TailWatts: 0.12}
+	RadioLTE  = RadioProfile{Name: "4G LTE", ActiveWatts: 1.8, TailWatts: 0.25}
+	Radio5G   = RadioProfile{Name: "Early 5G", ActiveWatts: 2.2, TailWatts: 0.30}
+)
+
+// RadioByCondition maps a netsim condition name to its radio profile.
+func RadioByCondition(name string) RadioProfile {
+	switch name {
+	case "4G LTE":
+		return RadioLTE
+	case "Early 5G":
+		return Radio5G
+	default:
+		return RadioWiFi
+	}
+}
+
+// GPUPower returns the mobile GPU's power draw in watts at the given
+// core frequency (MHz) under full rendering load. Voltage tracks
+// frequency across the DVFS range, so dynamic power scales
+// super-linearly (~f^2.2 over the narrow 300-500 MHz window).
+func GPUPower(freqMHz float64) float64 {
+	f := freqMHz / 500
+	const (
+		dynW    = 2.4
+		staticW = 0.5
+	)
+	return dynW*math.Pow(f, 2.2) + staticW
+}
+
+// DecoderPowerWatts is the hardware video decoder's active power.
+const DecoderPowerWatts = 0.35
+
+// LIWCPowerWatts is the Section 4.3 McPAT result (<= 25 mW).
+const LIWCPowerWatts = 0.025
+
+// UCAPowerWatts is the Section 4.3 McPAT result (94 mW per unit).
+const UCAPowerWatts = 0.094
+
+// FrameBreakdown is the per-frame energy by component, in joules.
+type FrameBreakdown struct {
+	GPU     float64
+	Radio   float64
+	Decoder float64
+	LIWC    float64
+	UCA     float64
+}
+
+// Total sums the components.
+func (b FrameBreakdown) Total() float64 {
+	return b.GPU + b.Radio + b.Decoder + b.LIWC + b.UCA
+}
+
+// FrameParams describes one frame's activity for energy accounting.
+type FrameParams struct {
+	// FreqMHz is the GPU core frequency.
+	FreqMHz float64
+	// GPUBusySeconds is GPU render (plus any GPU composition) time.
+	GPUBusySeconds float64
+	// FrameSeconds is the whole frame interval (sets static/tail time).
+	FrameSeconds float64
+	// Radio is the active network technology; RadioSeconds its busy time.
+	Radio        RadioProfile
+	RadioSeconds float64
+	// DecodeSeconds is video decoder busy time.
+	DecodeSeconds float64
+	// UCAUnits and UCASeconds account the dedicated composition unit.
+	UCAUnits   int
+	UCASeconds float64
+	// LIWCActive charges the controller (it is always-on but tiny).
+	LIWCActive bool
+}
+
+// Frame computes the energy breakdown for one frame.
+func Frame(p FrameParams) FrameBreakdown {
+	var b FrameBreakdown
+	if p.FrameSeconds < p.GPUBusySeconds {
+		p.FrameSeconds = p.GPUBusySeconds
+	}
+	gpuP := GPUPower(p.FreqMHz)
+	// Busy at full power; idle remainder at static-only.
+	const gpuIdleW = 0.5
+	b.GPU = gpuP*p.GPUBusySeconds + gpuIdleW*math.Max(0, p.FrameSeconds-p.GPUBusySeconds)
+
+	if p.RadioSeconds > 0 {
+		b.Radio = p.Radio.ActiveWatts*p.RadioSeconds +
+			p.Radio.TailWatts*math.Max(0, p.FrameSeconds-p.RadioSeconds)
+	}
+	b.Decoder = DecoderPowerWatts * p.DecodeSeconds
+	if p.LIWCActive {
+		b.LIWC = LIWCPowerWatts * p.FrameSeconds
+	}
+	if p.UCAUnits > 0 && p.UCASeconds > 0 {
+		b.UCA = UCAPowerWatts * float64(p.UCAUnits) * p.UCASeconds
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGPUPowerScaling(t *testing.T) {
+	p500 := GPUPower(500)
+	p300 := GPUPower(300)
+	if p300 >= p500 {
+		t.Errorf("300MHz power %v not below 500MHz %v", p300, p500)
+	}
+	// Dynamic component must scale super-linearly: the ratio of dynamic
+	// parts exceeds the frequency ratio.
+	dyn500 := p500 - 0.5
+	dyn300 := p300 - 0.5
+	if dyn500/dyn300 <= 500.0/300.0 {
+		t.Errorf("dynamic scaling %v not super-linear", dyn500/dyn300)
+	}
+}
+
+func TestRadioProfiles(t *testing.T) {
+	if !(RadioWiFi.ActiveWatts < RadioLTE.ActiveWatts) {
+		t.Error("LTE must burn more than WiFi")
+	}
+	if RadioByCondition("4G LTE") != RadioLTE {
+		t.Error("condition mapping broken for LTE")
+	}
+	if RadioByCondition("Early 5G") != Radio5G {
+		t.Error("condition mapping broken for 5G")
+	}
+	if RadioByCondition("anything else") != RadioWiFi {
+		t.Error("default mapping should be WiFi")
+	}
+}
+
+func TestLocalOnlyVsCollaborative(t *testing.T) {
+	// The headline Fig. 15 effect: rendering only the fovea locally
+	// saves most of the GPU energy even after paying for the radio.
+	frame := 1.0 / 90
+	localOnly := Frame(FrameParams{
+		FreqMHz: 500, GPUBusySeconds: 0.060, FrameSeconds: 0.060,
+	})
+	qvr := Frame(FrameParams{
+		FreqMHz: 500, GPUBusySeconds: 0.009, FrameSeconds: frame,
+		Radio: RadioWiFi, RadioSeconds: 0.004,
+		DecodeSeconds: 0.002, UCAUnits: 2, UCASeconds: 0.002, LIWCActive: true,
+	})
+	ratio := qvr.Total() / localOnly.Total()
+	if ratio > 0.5 {
+		t.Errorf("Q-VR/local energy ratio = %v, want well below 0.5", ratio)
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	b := Frame(FrameParams{
+		FreqMHz: 500, GPUBusySeconds: 0.005, FrameSeconds: 0.011,
+		Radio: RadioWiFi, RadioSeconds: 0.003, DecodeSeconds: 0.002,
+		UCAUnits: 2, UCASeconds: 0.002, LIWCActive: true,
+	})
+	if b.GPU <= 0 || b.Radio <= 0 || b.Decoder <= 0 || b.LIWC <= 0 || b.UCA <= 0 {
+		t.Errorf("missing component in breakdown: %+v", b)
+	}
+	sum := b.GPU + b.Radio + b.Decoder + b.LIWC + b.UCA
+	if math.Abs(sum-b.Total()) > 1e-15 {
+		t.Errorf("Total() = %v, sum = %v", b.Total(), sum)
+	}
+	// LIWC is tiny: bounded by 25mW x frame time.
+	if b.LIWC > 0.025*0.011+1e-12 {
+		t.Errorf("LIWC energy %v exceeds power bound", b.LIWC)
+	}
+}
+
+func TestNoRadioNoEnergy(t *testing.T) {
+	b := Frame(FrameParams{FreqMHz: 500, GPUBusySeconds: 0.005, FrameSeconds: 0.011})
+	if b.Radio != 0 || b.Decoder != 0 || b.UCA != 0 || b.LIWC != 0 {
+		t.Errorf("inactive components charged: %+v", b)
+	}
+}
+
+func TestFrameShorterThanBusyClamped(t *testing.T) {
+	// FrameSeconds below GPU busy time must not produce negative idle.
+	b := Frame(FrameParams{FreqMHz: 500, GPUBusySeconds: 0.02, FrameSeconds: 0.001})
+	if b.GPU < GPUPower(500)*0.02 {
+		t.Errorf("GPU energy %v below busy floor", b.GPU)
+	}
+}
+
+func TestLowerFrequencyNotAlwaysBetter(t *testing.T) {
+	// The paper: "reducing GPU frequency will not always increase the
+	// energy benefit" — at lower frequency the render takes longer, so
+	// the energy can rise despite the lower power.
+	renderAt := func(freq float64) float64 {
+		// Fixed work: busy time scales inversely with frequency.
+		busy := 0.008 * 500 / freq
+		return Frame(FrameParams{FreqMHz: freq, GPUBusySeconds: busy, FrameSeconds: 1.0 / 90}).Total()
+	}
+	e500 := renderAt(500)
+	e300 := renderAt(300)
+	// Energy at 300 MHz must be within 40% of 500 MHz: the race-to-idle
+	// effect largely cancels the power saving.
+	if e300 < e500*0.6 {
+		t.Errorf("300MHz energy %v implausibly below 500MHz %v", e300, e500)
+	}
+}

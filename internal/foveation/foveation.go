@@ -1,0 +1,308 @@
+// Package foveation implements the vision-perception model at the heart
+// of Q-VR's software layer (Section 3 of the paper).
+//
+// Human visual acuity falls off with eccentricity — the angular distance
+// from the gaze center. Foveated rendering exploits this by rendering a
+// small foveal disc at full resolution and the periphery at resolutions
+// chosen so the *minimum angle of resolution* (MAR) the display presents
+// never exceeds what the eye can resolve at that eccentricity:
+//
+//	MAR(e) = m*e + w0        (linear MAR model, Guenter et al. 2012)
+//
+// Q-VR reorganizes the classic three-layer decomposition (fovea, middle,
+// outer) into a *local* fovea rendered on the mobile GPU at native
+// resolution and a *remote* periphery rendered server-side at
+// MAR-constrained reduced resolution, then streamed back. The fovea
+// radius e1 becomes the collaborative workload-partition knob, and the
+// middle/outer split radius *e2 is chosen per frame to minimize the
+// transmitted periphery payload (Eq. 1 in the paper).
+package foveation
+
+import (
+	"errors"
+	"math"
+)
+
+// MARModel is the linear minimum-angle-of-resolution model. Angles are
+// in degrees; MAR is in degrees per cycle.
+type MARModel struct {
+	// Slope is the MAR increase per degree of eccentricity. User
+	// studies place it around 0.022-0.034; the paper adopts the
+	// Guenter et al. parameters.
+	Slope float64
+	// Fovea is the MAR at zero eccentricity (w0), about 1/48 degree.
+	Fovea float64
+}
+
+// DefaultMAR is the MAR model used throughout the reproduction,
+// matching the user-study parameters the paper imports ("we directly
+// employ the vision parameters (e.g., MAR slope m, fovea MAR w0) from
+// the previous user studies").
+var DefaultMAR = MARModel{Slope: 0.022, Fovea: 1.0 / 48}
+
+// At returns the eye's MAR at eccentricity e degrees.
+func (m MARModel) At(e float64) float64 {
+	if e < 0 {
+		e = 0
+	}
+	return m.Slope*e + m.Fovea
+}
+
+// ResolutionScale returns the relative linear sampling density (0,1]
+// a display layer needs at eccentricity e to stay imperceptible: the
+// ratio of foveal MAR to MAR(e). A scale of 1 means native resolution.
+func (m MARModel) ResolutionScale(e float64) float64 {
+	return m.Fovea / m.At(e)
+}
+
+// Display describes one eye's view: resolution and angular field.
+type Display struct {
+	Width, Height int     // pixels per eye
+	FovH, FovV    float64 // field of view in degrees
+}
+
+// DefaultDisplay is the HMD modeled in the evaluation: a 1920x2160
+// per-eye panel (Table 1 / Table 3 resolutions) with a typical
+// 110x90-degree field of view.
+var DefaultDisplay = Display{Width: 1920, Height: 2160, FovH: 110, FovV: 90}
+
+// PixelsPerDegree returns the display's native linear sampling density
+// along the horizontal axis.
+func (d Display) PixelsPerDegree() float64 { return float64(d.Width) / d.FovH }
+
+// MaxEccentricity returns the largest eccentricity visible on the
+// display: the distance from center to a corner in degrees.
+func (d Display) MaxEccentricity() float64 {
+	return math.Hypot(d.FovH/2, d.FovV/2)
+}
+
+// TotalPixels returns the per-eye pixel count.
+func (d Display) TotalPixels() int { return d.Width * d.Height }
+
+// AreaFraction returns the fraction of the display's angular area
+// covered by a foveal disc of radius e1 degrees centered at gaze
+// (gx, gy) degrees from the display center. The disc is clipped to the
+// display rectangle, so a fovea pushed toward an edge covers less of
+// the frame — which is exactly why the LIWC can afford larger e1 when
+// the user looks off-center.
+func (d Display) AreaFraction(e1, gx, gy float64) float64 {
+	if e1 <= 0 {
+		return 0
+	}
+	halfW, halfV := d.FovH/2, d.FovV/2
+	// Integrate the disc's horizontal chord across vertical strips,
+	// clipping each chord to the display rectangle.
+	const strips = 128
+	y0 := math.Max(gy-e1, -halfV)
+	y1 := math.Min(gy+e1, halfV)
+	if y1 <= y0 {
+		return 0
+	}
+	dy := (y1 - y0) / strips
+	area := 0.0
+	for i := 0; i < strips; i++ {
+		y := y0 + (float64(i)+0.5)*dy
+		h := e1*e1 - (y-gy)*(y-gy)
+		if h <= 0 {
+			continue
+		}
+		half := math.Sqrt(h)
+		x0 := math.Max(gx-half, -halfW)
+		x1 := math.Min(gx+half, halfW)
+		if x1 > x0 {
+			area += (x1 - x0) * dy
+		}
+	}
+	return area / (d.FovH * d.FovV)
+}
+
+// Layer describes one resolution band of the foveated decomposition.
+type Layer struct {
+	Name string
+	// Inner and Outer eccentricity bounds in degrees. The outer layer's
+	// Outer equals the display's maximum eccentricity.
+	Inner, Outer float64
+	// Scale is the linear resolution scale in (0,1] the layer is
+	// rendered and transmitted at.
+	Scale float64
+	// Pixels is the number of pixels the layer occupies after scaling
+	// (per eye).
+	Pixels int
+}
+
+// Partition is a full collaborative decomposition for one frame: the
+// local fovea plus the remote middle and outer layers.
+type Partition struct {
+	E1, E2 float64 // fovea radius and adaptive middle/outer split
+	Gaze   struct{ X, Y float64 }
+
+	Fovea, Middle, Outer Layer
+
+	// FoveaAreaFraction is the clipped angular-area share of the fovea.
+	FoveaAreaFraction float64
+	// PeripheryPixels is Middle.Pixels + Outer.Pixels: what the remote
+	// server renders and streams (per eye).
+	PeripheryPixels int
+	// ResolutionReduction is 1 - (transmitted periphery pixels /
+	// full-frame pixels): the Fig. 13 "resolution reduction" metric.
+	ResolutionReduction float64
+}
+
+// ErrEccentricity reports an eccentricity outside the tunable range.
+var ErrEccentricity = errors.New("foveation: eccentricity out of range")
+
+// MinE1 and MaxE1 bound the tuning knob. MinE1 is the classic 5-degree
+// fovea; MaxE1 of 90 degrees means "render everything locally"
+// (Table 4 reports 90 for Doom3-L on LTE — the network is so slow the
+// controller gives the whole frame to the mobile GPU).
+const (
+	MinE1 = 5.0
+	MaxE1 = 90.0
+)
+
+// Partitioner computes per-frame foveated partitions for a display and
+// MAR model.
+type Partitioner struct {
+	Display Display
+	MAR     MARModel
+	// MidScaleFloor and OuterScaleFloor bound the layer resolution
+	// scales from below. The pure MAR model would let the far
+	// periphery collapse to a handful of pixels; production foveated
+	// renderers keep conservative floors to avoid aliasing and motion
+	// shimmer (the "*Periphery Quality" guardrail of Eq. 1).
+	MidScaleFloor, OuterScaleFloor float64
+}
+
+// NewPartitioner returns a partitioner over the given display using the
+// default MAR model and quality floors.
+func NewPartitioner(d Display) *Partitioner {
+	return &Partitioner{Display: d, MAR: DefaultMAR, MidScaleFloor: 0.75, OuterScaleFloor: 0.50}
+}
+
+// LayerScale returns the linear resolution scale a transmitted layer
+// needs at eccentricity e: the ratio of the display's Nyquist MAR
+// (2 pixels per cycle at native density) to the eye's MAR, clamped to
+// (floor, 1]. The display is already far coarser than foveal acuity,
+// so the scale stays 1 until the eye's MAR overtakes the display's.
+func (p *Partitioner) LayerScale(e, floor float64) float64 {
+	nyquist := 2 / p.Display.PixelsPerDegree()
+	s := nyquist / p.MAR.At(e)
+	if s > 1 {
+		s = 1
+	}
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// Partition computes the layer decomposition for fovea radius e1 and
+// gaze center (gx, gy) degrees. The middle/outer split *e2 is chosen to
+// minimize the transmitted periphery pixel count (Eq. 1): a larger e2
+// grows the middle layer (rendered at the finer middle scale) while a
+// smaller e2 grows the outer layer (coarser but covering more area).
+func (p *Partitioner) Partition(e1, gx, gy float64) (Partition, error) {
+	if e1 < MinE1 || e1 > MaxE1 {
+		return Partition{}, ErrEccentricity
+	}
+	d := p.Display
+	maxEcc := d.MaxEccentricity()
+
+	var part Partition
+	part.E1 = e1
+	part.Gaze.X, part.Gaze.Y = gx, gy
+	part.FoveaAreaFraction = d.AreaFraction(e1, gx, gy)
+
+	total := float64(d.TotalPixels())
+	foveaPixels := part.FoveaAreaFraction * total
+	part.Fovea = Layer{
+		Name:  "fovea",
+		Inner: 0, Outer: e1,
+		Scale:  1,
+		Pixels: int(foveaPixels),
+	}
+
+	if e1 >= maxEcc {
+		// Fovea covers the whole display: nothing is remote.
+		part.E2 = maxEcc
+		part.Middle = Layer{Name: "middle", Inner: e1, Outer: maxEcc, Scale: p.LayerScale(e1, p.MidScaleFloor)}
+		part.Outer = Layer{Name: "outer", Inner: maxEcc, Outer: maxEcc, Scale: p.LayerScale(maxEcc, p.OuterScaleFloor)}
+		part.ResolutionReduction = 0
+		return part, nil
+	}
+
+	// Scan candidate e2 values minimizing periphery payload.
+	bestE2 := e1
+	bestCost := math.Inf(1)
+	sMid := p.LayerScale(e1, p.MidScaleFloor) // middle sampled for its inner edge
+	for e2 := e1; e2 <= maxEcc+1e-9; e2 += 1 {
+		sOut := p.LayerScale(e2, p.OuterScaleFloor)
+		midFrac := d.AreaFraction(e2, gx, gy) - part.FoveaAreaFraction
+		if midFrac < 0 {
+			midFrac = 0
+		}
+		outFrac := 1 - d.AreaFraction(e2, gx, gy)
+		if outFrac < 0 {
+			outFrac = 0
+		}
+		cost := midFrac*total*sMid*sMid + outFrac*total*sOut*sOut
+		if cost < bestCost {
+			bestCost = cost
+			bestE2 = e2
+		}
+	}
+
+	e2 := bestE2
+	sOut := p.LayerScale(e2, p.OuterScaleFloor)
+	midFrac := d.AreaFraction(e2, gx, gy) - part.FoveaAreaFraction
+	if midFrac < 0 {
+		midFrac = 0
+	}
+	outFrac := 1 - d.AreaFraction(e2, gx, gy)
+	if outFrac < 0 {
+		outFrac = 0
+	}
+
+	part.E2 = e2
+	part.Middle = Layer{
+		Name:  "middle",
+		Inner: e1, Outer: e2,
+		Scale:  sMid,
+		Pixels: int(midFrac * total * sMid * sMid),
+	}
+	part.Outer = Layer{
+		Name:  "outer",
+		Inner: e2, Outer: maxEcc,
+		Scale:  sOut,
+		Pixels: int(outFrac * total * sOut * sOut),
+	}
+	part.PeripheryPixels = part.Middle.Pixels + part.Outer.Pixels
+	part.ResolutionReduction = 1 - (foveaPixels+float64(part.PeripheryPixels))/total
+	if part.ResolutionReduction < 0 {
+		part.ResolutionReduction = 0
+	}
+	return part, nil
+}
+
+// PerceptionScore is a proxy for the paper's 50-candidate user survey:
+// it returns 1.0 (no perceptible difference) when every layer meets its
+// MAR constraint, and degrades linearly with the worst violation. The
+// partitioner always satisfies the constraint by construction, so this
+// exists to validate *other* (e.g. ablated) configurations.
+func (p *Partitioner) PerceptionScore(part Partition) float64 {
+	worst := 1.0
+	check := func(l Layer) {
+		if l.Outer <= l.Inner {
+			return
+		}
+		need := p.LayerScale(l.Inner, 0)
+		if l.Scale < need {
+			if r := l.Scale / need; r < worst {
+				worst = r
+			}
+		}
+	}
+	check(part.Middle)
+	check(part.Outer)
+	return worst
+}

@@ -1,0 +1,245 @@
+package foveation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMARIncreasesWithEccentricity(t *testing.T) {
+	m := DefaultMAR
+	prev := m.At(0)
+	for e := 1.0; e <= 70; e++ {
+		cur := m.At(e)
+		if cur <= prev {
+			t.Fatalf("MAR not increasing at e=%v", e)
+		}
+		prev = cur
+	}
+}
+
+func TestMARNegativeClamped(t *testing.T) {
+	if got := DefaultMAR.At(-5); got != DefaultMAR.Fovea {
+		t.Errorf("At(-5) = %v, want fovea MAR", got)
+	}
+}
+
+func TestResolutionScaleBounds(t *testing.T) {
+	m := DefaultMAR
+	if s := m.ResolutionScale(0); s != 1 {
+		t.Errorf("scale at fovea = %v, want 1", s)
+	}
+	for e := 0.0; e <= 80; e += 5 {
+		s := m.ResolutionScale(e)
+		if s <= 0 || s > 1 {
+			t.Fatalf("scale out of (0,1] at e=%v: %v", e, s)
+		}
+	}
+	// At high eccentricity the required resolution collapses: the outer
+	// layer is cheap to transmit.
+	if s := m.ResolutionScale(50); s > 0.05 {
+		t.Errorf("scale at 50deg = %v, want < 0.05", s)
+	}
+}
+
+func TestAreaFractionCenteredMonotonic(t *testing.T) {
+	d := DefaultDisplay
+	prev := 0.0
+	for e1 := 5.0; e1 <= 90; e1 += 5 {
+		f := d.AreaFraction(e1, 0, 0)
+		if f < prev-1e-12 {
+			t.Fatalf("area fraction decreased at e1=%v", e1)
+		}
+		prev = f
+	}
+	if prev < 0.999 {
+		t.Errorf("area fraction at e1=90 = %v, want ~1", prev)
+	}
+}
+
+func TestAreaFractionSmallDisc(t *testing.T) {
+	d := DefaultDisplay
+	// An unclipped disc's analytic area is pi*e1^2.
+	got := d.AreaFraction(10, 0, 0)
+	want := math.Pi * 100 / (d.FovH * d.FovV)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("AreaFraction(10,0,0) = %v, want %v (1%%)", got, want)
+	}
+}
+
+func TestAreaFractionEdgeClipped(t *testing.T) {
+	d := DefaultDisplay
+	center := d.AreaFraction(15, 0, 0)
+	edge := d.AreaFraction(15, d.FovH/2, 0) // gaze at the right edge
+	if edge >= center {
+		t.Errorf("edge fraction %v not less than centered %v", edge, center)
+	}
+	if edge < center*0.4 || edge > center*0.6 {
+		t.Errorf("half-clipped disc should be ~half: %v vs %v", edge, center)
+	}
+}
+
+func TestAreaFractionZeroAndNegative(t *testing.T) {
+	d := DefaultDisplay
+	if d.AreaFraction(0, 0, 0) != 0 {
+		t.Error("zero radius should cover nothing")
+	}
+	if d.AreaFraction(-3, 0, 0) != 0 {
+		t.Error("negative radius should cover nothing")
+	}
+}
+
+func TestAreaFractionRange(t *testing.T) {
+	d := DefaultDisplay
+	f := func(e1, gx, gy float64) bool {
+		e1 = math.Abs(math.Mod(e1, 90))
+		gx = math.Mod(gx, 55)
+		gy = math.Mod(gy, 45)
+		if math.IsNaN(e1) || math.IsNaN(gx) || math.IsNaN(gy) {
+			return true
+		}
+		a := d.AreaFraction(e1, gx, gy)
+		return a >= 0 && a <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionRejectsOutOfRange(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	if _, err := p.Partition(4, 0, 0); err == nil {
+		t.Error("e1=4 should be rejected")
+	}
+	if _, err := p.Partition(91, 0, 0); err == nil {
+		t.Error("e1=91 should be rejected")
+	}
+}
+
+func TestPartitionLayersNested(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	for e1 := MinE1; e1 <= 45; e1 += 5 {
+		part, err := p.Partition(e1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.E2 < part.E1 {
+			t.Fatalf("e2 %v < e1 %v", part.E2, part.E1)
+		}
+		if part.Middle.Inner != e1 || part.Middle.Outer != part.E2 {
+			t.Fatalf("middle layer bounds wrong: %+v", part.Middle)
+		}
+		if part.Outer.Inner != part.E2 {
+			t.Fatalf("outer layer bounds wrong: %+v", part.Outer)
+		}
+	}
+}
+
+func TestPartitionPeripheryShrinksWithE1(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	prev := math.MaxInt64
+	for e1 := MinE1; e1 <= 60; e1 += 5 {
+		part, err := p.Partition(e1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.PeripheryPixels > prev {
+			t.Fatalf("periphery grew at e1=%v: %d > %d", e1, part.PeripheryPixels, prev)
+		}
+		prev = part.PeripheryPixels
+	}
+}
+
+func TestPartitionFullyLocalAtMaxEcc(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	part, err := p.Partition(MaxE1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.PeripheryPixels != 0 {
+		t.Errorf("e1=90 should leave nothing remote, got %d pixels", part.PeripheryPixels)
+	}
+}
+
+func TestPartitionPeripheryMuchSmallerThanFull(t *testing.T) {
+	// The software layer's entire point: streamed periphery pixels are a
+	// small fraction of the full frame even at the minimum fovea.
+	p := NewPartitioner(DefaultDisplay)
+	part, err := p.Partition(MinE1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(part.PeripheryPixels) / float64(DefaultDisplay.TotalPixels())
+	if frac > 0.5 {
+		t.Errorf("periphery fraction at e1=5 is %v, want well under 0.5", frac)
+	}
+	if part.ResolutionReduction <= 0 {
+		t.Errorf("resolution reduction = %v, want positive", part.ResolutionReduction)
+	}
+}
+
+func TestPartitionE2Adaptive(t *testing.T) {
+	// *e2 should move outward as e1 grows (the middle band tracks the
+	// fovea) and always stay within display range.
+	p := NewPartitioner(DefaultDisplay)
+	maxEcc := DefaultDisplay.MaxEccentricity()
+	prevE2 := 0.0
+	for e1 := MinE1; e1 <= 50; e1 += 5 {
+		part, err := p.Partition(e1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.E2 > maxEcc+1 {
+			t.Fatalf("e2 %v beyond display max %v", part.E2, maxEcc)
+		}
+		if part.E2+1e-9 < prevE2 {
+			t.Fatalf("e2 moved inward as e1 grew: %v -> %v", prevE2, part.E2)
+		}
+		prevE2 = part.E2
+	}
+}
+
+func TestPerceptionScoreSatisfied(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	for e1 := MinE1; e1 <= 60; e1 += 5 {
+		part, err := p.Partition(e1, 3, -2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := p.PerceptionScore(part); s != 1 {
+			t.Fatalf("MAR-constrained partition scored %v at e1=%v", s, e1)
+		}
+	}
+}
+
+func TestPerceptionScoreDetectsViolation(t *testing.T) {
+	p := NewPartitioner(DefaultDisplay)
+	part, err := p.Partition(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the outer layer far below its MAR-required scale (the
+	// quality floors keep honest partitions well above it).
+	part.Outer.Scale *= 0.1
+	if s := p.PerceptionScore(part); s >= 1 {
+		t.Errorf("violated partition scored %v, want < 1", s)
+	}
+}
+
+func TestGazeOffCenterReducesPeriphery(t *testing.T) {
+	// Looking toward a corner clips the fovea but also shifts layer
+	// areas; the decomposition must stay consistent (pixels >= 0, sum
+	// sensible).
+	p := NewPartitioner(DefaultDisplay)
+	part, err := p.Partition(20, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Middle.Pixels < 0 || part.Outer.Pixels < 0 {
+		t.Errorf("negative layer pixels: %+v", part)
+	}
+	total := float64(DefaultDisplay.TotalPixels())
+	if float64(part.Fovea.Pixels) > total {
+		t.Errorf("fovea exceeds display: %d", part.Fovea.Pixels)
+	}
+}

@@ -1,0 +1,155 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		in   float64
+		bits Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},           // max finite
+		{-65504, 0xFBFF},          // min finite
+		{6.103515625e-05, 0x0400}, // smallest normal 2^-14
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.in); got != c.bits {
+			t.Errorf("FromFloat64(%v) = %#04x, want %#04x", c.in, got, c.bits)
+		}
+		if back := c.bits.Float64(); back != c.in {
+			t.Errorf("Float64(%#04x) = %v, want %v", c.bits, back, c.in)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	h := FromFloat64(math.Copysign(0, -1))
+	if h != 0x8000 {
+		t.Errorf("negative zero bits = %#04x", h)
+	}
+	if v := h.Float64(); v != 0 || !math.Signbit(v) {
+		t.Errorf("negative zero roundtrip = %v", v)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	h := FromFloat64(1e6)
+	if !h.IsInf() {
+		t.Errorf("1e6 should overflow to Inf, got %#04x (%v)", h, h.Float64())
+	}
+	if v := h.Float64(); !math.IsInf(v, 1) {
+		t.Errorf("overflow value = %v", v)
+	}
+	if v := FromFloat64(-1e6).Float64(); !math.IsInf(v, -1) {
+		t.Errorf("negative overflow = %v", v)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if h := FromFloat64(1e-12); h != 0 {
+		t.Errorf("1e-12 should underflow to zero, got %#04x", h)
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	// Smallest positive subnormal: 2^-24.
+	h := FromFloat64(SmallestNonzero)
+	if h != 0x0001 {
+		t.Errorf("smallest subnormal bits = %#04x", h)
+	}
+	if v := h.Float64(); v != SmallestNonzero {
+		t.Errorf("smallest subnormal roundtrip = %v", v)
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := FromFloat64(math.NaN())
+	if !h.IsNaN() {
+		t.Errorf("NaN encoding = %#04x", h)
+	}
+	if !math.IsNaN(h.Float64()) {
+		t.Errorf("NaN roundtrip = %v", h.Float64())
+	}
+}
+
+func TestInf(t *testing.T) {
+	if h := FromFloat64(math.Inf(1)); !h.IsInf() || h.Float64() != math.Inf(1) {
+		t.Errorf("+Inf roundtrip failed: %#04x", h)
+	}
+	if h := FromFloat64(math.Inf(-1)); !h.IsInf() || h.Float64() != math.Inf(-1) {
+		t.Errorf("-Inf roundtrip failed: %#04x", h)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 and the next half;
+	// round-to-even keeps 1.0.
+	if got := Quantize(1 + math.Pow(2, -11)); got != 1 {
+		t.Errorf("halfway tie rounds to %v, want 1", got)
+	}
+	// 1 + 3*2^-11 is halfway between two halves whose lower has odd
+	// mantissa; round-to-even goes up.
+	want := 1 + 2*math.Pow(2, -10)
+	if got := Quantize(1 + 3*math.Pow(2, -11)); got != want {
+		t.Errorf("odd tie rounds to %v, want %v", got, want)
+	}
+}
+
+func TestRoundTripExactForRepresentable(t *testing.T) {
+	// Every bit pattern that is not NaN must roundtrip exactly through
+	// float64 and back.
+	for i := 0; i <= 0xFFFF; i++ {
+		h := Bits(i)
+		if h.IsNaN() {
+			continue
+		}
+		v := h.Float64()
+		if got := FromFloat64(v); got != h {
+			t.Fatalf("bits %#04x -> %v -> %#04x", h, v, got)
+		}
+	}
+}
+
+func TestQuantizeMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a = math.Mod(a, 60000)
+		b = math.Mod(b, 60000)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantize(a) <= Quantize(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	// For normal-range values the relative quantization error is at
+	// most 2^-11 (half ULP of a 10-bit mantissa).
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 60000)
+		if math.Abs(x) < 6.2e-5 { // below normal range
+			return true
+		}
+		q := Quantize(x)
+		return math.Abs(q-x) <= math.Abs(x)*math.Pow(2, -11)+1e-30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package gpu provides the rendering-latency models for both sides of
+// the collaborative pipeline.
+//
+// The paper evaluates on a modified ATTILA-sim configured after an ARM
+// Mali-G76 (Table 2: 500 MHz, 8 unified shaders with 8 SIMD4 ALUs each,
+// one texture unit, 16x16 tiled rasterization, 256 KB L2, 16 B/cycle
+// DRAM) for the mobile side, and an 8-way chiplet multi-GPU (OO-VR
+// style) for the remote side. A cycle-accurate simulator is out of
+// scope for this reproduction; what the system study needs is the
+// *latency* a given workload costs on each device, so this package
+// implements an analytical timing model with three serial components:
+//
+//	T = Tsetup(triangles) + Tshade(fragments) + Tmem(bytes)
+//
+// calibrated so that the Table 1 applications land on the paper's
+// measured local render times at the default 500 MHz configuration,
+// and scaled linearly with core frequency as the paper's sensitivity
+// study does (Table 4 uses 300/400/500 MHz).
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"qvr/internal/scene"
+)
+
+// Config describes a mobile GPU instance (Table 2 baseline).
+type Config struct {
+	// FrequencyMHz is the core clock. The paper sweeps 300-500 MHz.
+	FrequencyMHz float64
+	// Shaders is the unified shader core count.
+	Shaders int
+	// SIMDWidth is ALU lanes per shader (8 SIMD4 => 32 lanes).
+	SIMDWidth int
+	// TriangleRate is triangles set up per cycle at full pipeline
+	// efficiency (geometry front-end throughput).
+	TriangleRate float64
+	// FragOpsPerPixel is the baseline shading cost in ALU operations
+	// per fragment for ShadingCost = 1.0 content.
+	FragOpsPerPixel float64
+	// DRAMBytesPerCycle is the memory interface width (Table 2:
+	// 16 bytes/cycle).
+	DRAMBytesPerCycle float64
+	// L2KB is the L2 cache size; it sets the fraction of framebuffer
+	// traffic that spills to DRAM.
+	L2KB int
+}
+
+// MobileDefault is the Table 2 baseline mobile GPU.
+func MobileDefault() Config {
+	return Config{
+		FrequencyMHz:      500,
+		Shaders:           8,
+		SIMDWidth:         32, // 8 SIMD4 ALUs
+		TriangleRate:      0.20,
+		FragOpsPerPixel:   640,
+		DRAMBytesPerCycle: 16,
+		L2KB:              256,
+	}
+}
+
+// WithFrequency returns a copy of c clocked at mhz.
+func (c Config) WithFrequency(mhz float64) Config {
+	c.FrequencyMHz = mhz
+	return c
+}
+
+// aluLanes returns total ALU lanes.
+func (c Config) aluLanes() float64 { return float64(c.Shaders * c.SIMDWidth) }
+
+// cyclesPerSec returns the clock rate in Hz.
+func (c Config) cyclesPerSec() float64 { return c.FrequencyMHz * 1e6 }
+
+// Workload is a rendering job quantified for the timing model.
+type Workload struct {
+	// Triangles submitted to the geometry front end.
+	Triangles float64
+	// Fragments shaded (pixels x overdraw, after any foveation scale).
+	Fragments float64
+	// ShadingCost is the content's relative per-fragment cost.
+	ShadingCost float64
+	// BytesTouched is framebuffer+texture traffic in bytes.
+	BytesTouched float64
+}
+
+// RenderSeconds returns the modeled render latency for w on c.
+func (c Config) RenderSeconds(w Workload) float64 {
+	if w.Triangles < 0 || w.Fragments < 0 {
+		return 0
+	}
+	hz := c.cyclesPerSec()
+
+	// Geometry: triangles through the fixed-function front end.
+	tSetup := w.Triangles / (c.TriangleRate * hz)
+
+	// Shading: fragment ops across all ALU lanes with a utilization
+	// derate (divergence, texture stalls) folded into FragOpsPerPixel.
+	ops := w.Fragments * c.FragOpsPerPixel * w.ShadingCost
+	tShade := ops / (c.aluLanes() * hz)
+
+	// Memory: bytes that miss in L2 and pay DRAM bandwidth. Framebuffer
+	// traffic is streaming, so larger jobs approach a miss ratio of 1;
+	// tiny jobs fit on chip.
+	bytes := w.BytesTouched
+	l2 := float64(c.L2KB) * 1024
+	missRatio := bytes / (bytes + 8*l2)
+	tMem := bytes * missRatio / (c.DRAMBytesPerCycle * hz)
+
+	// The three phases overlap in a real pipeline; the tiled
+	// architecture hides most setup and memory time under shading.
+	overlap := 0.65
+	serial := tSetup + tMem
+	return tShade + serial*(1-overlap)
+}
+
+// FrameWorkload converts per-frame scene statistics into a Workload
+// covering `fraction` of the frame at linear resolution scale `scale`.
+// fraction is the share of scene content (triangles and screen area)
+// included; scale further reduces sampled fragments as scale^2.
+func FrameWorkload(app scene.App, fs scene.FrameStats, fraction, scale float64) Workload {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	if scale <= 0 {
+		scale = 1e-3
+	}
+	pixels := float64(app.PixelsPerFrame()) * fraction * scale * scale
+	// Busier views carry more overlapping geometry: depth complexity
+	// tracks the view-dependent workload multiplier around the app's
+	// catalog mean.
+	overdraw := app.Overdraw * (0.7 + 0.3*fs.ViewComplexity)
+	frags := pixels * overdraw
+	// Tile-based rendering keeps intermediate overdraw on chip; DRAM
+	// sees final color+depth writes plus cached texture fetches,
+	// roughly 10 bytes per output pixel.
+	bytes := pixels * 10
+	return Workload{
+		Triangles:    float64(fs.VisibleTriangles) * fraction,
+		Fragments:    frags,
+		ShadingCost:  app.ShadingCost,
+		BytesTouched: bytes,
+	}
+}
+
+// FullFrameSeconds is a convenience: the local render time of the whole
+// frame at native resolution (the local-only baseline's per-frame cost).
+func (c Config) FullFrameSeconds(app scene.App, fs scene.FrameStats) float64 {
+	return c.RenderSeconds(FrameWorkload(app, fs, 1, 1))
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	return fmt.Sprintf("mobile GPU %v MHz, %d shaders x %d lanes", c.FrequencyMHz, c.Shaders, c.SIMDWidth)
+}
+
+// RemoteCluster models the server-side rendering engine: an 8-way
+// chiplet multi-GPU (the paper references an OO-VR-like MCM design).
+// Parallel rendering of the periphery layers scales across GPUs with
+// NUMA efficiency losses.
+type RemoteCluster struct {
+	// GPUs is the chiplet count (paper: up to 8 MCM GPUs).
+	GPUs int
+	// PerGPUSpeedup is one remote GPU's throughput relative to the
+	// 500 MHz mobile baseline (a desktop-class GPU is roughly an order
+	// of magnitude faster).
+	PerGPUSpeedup float64
+	// ScalingEfficiency derates multi-GPU scaling (inter-chiplet
+	// bandwidth, duplicated geometry work).
+	ScalingEfficiency float64
+
+	base Config
+}
+
+// DefaultRemote returns the evaluation's remote rendering cluster.
+func DefaultRemote() RemoteCluster {
+	return RemoteCluster{
+		GPUs:              8,
+		PerGPUSpeedup:     9,
+		ScalingEfficiency: 0.8,
+		base:              MobileDefault(),
+	}
+}
+
+// effectiveSpeedup returns cluster throughput relative to the mobile
+// baseline.
+func (r RemoteCluster) effectiveSpeedup() float64 {
+	if r.GPUs < 1 {
+		return r.PerGPUSpeedup
+	}
+	// Amdahl-ish scaling: first GPU full, others derated.
+	return r.PerGPUSpeedup * (1 + r.ScalingEfficiency*float64(r.GPUs-1))
+}
+
+// RenderSeconds returns the remote render latency for w.
+func (r RemoteCluster) RenderSeconds(w Workload) float64 {
+	base := r.base
+	if base.FrequencyMHz == 0 {
+		base = MobileDefault()
+	}
+	t := base.RenderSeconds(w)
+	s := r.effectiveSpeedup()
+	if s <= 0 {
+		s = 1
+	}
+	// A per-frame dispatch overhead keeps tiny jobs from being free.
+	const dispatch = 300e-6
+	return t/s + dispatch
+}
+
+// PeripherySeconds renders the remote periphery: the whole scene's
+// geometry (the server culls too, but conservatively) at the reduced
+// layer resolutions. midFrac and outFrac are screen-area fractions;
+// midScale and outScale the linear resolution scales.
+func (r RemoteCluster) PeripherySeconds(app scene.App, fs scene.FrameStats, midFrac, midScale, outFrac, outScale float64) float64 {
+	wl := FrameWorkload(app, fs, midFrac, midScale)
+	wl2 := FrameWorkload(app, fs, outFrac, outScale)
+	// Geometry runs once for both layers (multi-channel rendering
+	// shares the scene traversal).
+	combined := Workload{
+		Triangles:    float64(fs.VisibleTriangles),
+		Fragments:    wl.Fragments + wl2.Fragments,
+		ShadingCost:  app.ShadingCost,
+		BytesTouched: wl.BytesTouched + wl2.BytesTouched,
+	}
+	return r.RenderSeconds(combined)
+}
+
+// EnergyJoules estimates the mobile GPU's energy for a render of
+// duration t seconds at configuration c, using a simple P = P_static +
+// P_dyn(f, V(f)) model where voltage tracks frequency (DVFS).
+func (c Config) EnergyJoules(t float64) float64 {
+	f := c.FrequencyMHz / 500 // normalized to baseline
+	// Baseline mobile GPU power at 500 MHz under full rendering load.
+	const (
+		dynW    = 2.4 // dynamic power at f=1
+		staticW = 0.5
+	)
+	// Dynamic power scales ~ f * V^2 with V roughly linear in f over
+	// the DVFS range: P_dyn ~ f^3 is too aggressive for the narrow
+	// 300-500 MHz window; use f^2.2 as a middle ground.
+	p := dynW*math.Pow(f, 2.2) + staticW
+	return p * t
+}

@@ -1,0 +1,203 @@
+// Package integration_test exercises cross-module behaviour: the
+// functional pixel path (rasterizer -> foveated layers -> codec ->
+// shaped transport -> unified composition/ATW) and the consistency
+// between the functional algorithms and the analytic models the
+// simulator runs on.
+package integration_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qvr/internal/atw"
+	"qvr/internal/codec"
+	"qvr/internal/foveation"
+	"qvr/internal/gpu"
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/raster"
+	"qvr/internal/scene"
+	"qvr/internal/vec"
+)
+
+func renderView(w, h int, tris []raster.Triangle, pose vec.Quat) *codec.Image {
+	fb := raster.NewFramebuffer(w, h)
+	fb.Clear(40)
+	r := raster.NewRenderer(fb)
+	r.SetPose(vec.Vec3{Y: 0.4, Z: 6}, pose, math.Pi/2)
+	r.DrawAll(tris)
+	return fb.Image()
+}
+
+// TestFullFunctionalPath runs the renderloop flow with assertions: the
+// collaborative foveated frame must be close to the monolithic render
+// while transmitting a fraction of the bytes.
+func TestFullFunctionalPath(t *testing.T) {
+	const size = 192
+	tris := raster.GenerateScene(40, 100, 11)
+	renderPose := vec.FromEuler(0.1, -0.05, 0)
+	displayPose := vec.FromEuler(0.12, -0.04, 0)
+
+	fovea := renderView(size, size, tris, renderPose)
+	middle := renderView(size*3/5, size*3/5, tris, renderPose)
+	outer := renderView(size*2/5, size*2/5, tris, renderPose)
+
+	midStream := codec.Encode(middle, 0.8)
+	outStream := codec.Encode(outer, 0.7)
+	fullStream := codec.Encode(renderView(size, size, tris, renderPose), 0.8)
+
+	if len(midStream)+len(outStream) >= len(fullStream) {
+		t.Errorf("periphery payload %d not below full-frame %d",
+			len(midStream)+len(outStream), len(fullStream))
+	}
+
+	// Ship over the live shaped transport.
+	tr := netsim.NewTransport(200e6, time.Millisecond)
+	defer tr.Close()
+	go tr.Send("mid", midStream)
+	go tr.Send("out", outStream)
+	payloads := map[string][]byte{}
+	timeout := time.After(5 * time.Second)
+	for len(payloads) < 2 {
+		select {
+		case p := <-tr.Recv():
+			payloads[p.Stream] = p.Payload
+		case <-timeout:
+			t.Fatal("transport stalled")
+		}
+	}
+
+	midBack, err := codec.Decode(payloads["mid"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBack, err := codec.Decode(payloads["out"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	layers := atw.LayerSet{
+		Fovea: fovea, Middle: midBack, Outer: outBack,
+		FoveaRadius: 0.35, MidRadius: 0.7,
+		Center: vec.Vec2{X: 0.5, Y: 0.5},
+	}
+	rp := atw.NewReprojection(renderPose, displayPose, 110, 90)
+	composed, _ := atw.ComposeUnified(layers, atw.DefaultDistortion, rp, size, size)
+
+	ref := atw.LayerSet{
+		Fovea:       renderView(size, size, tris, renderPose),
+		FoveaRadius: 2, MidRadius: 3, Center: vec.Vec2{X: 0.5, Y: 0.5},
+	}
+	reference, _ := atw.ComposeUnified(ref, atw.DefaultDistortion, rp, size, size)
+
+	psnr, err := codec.PSNR(reference, composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 28 {
+		t.Errorf("foveated composite PSNR %.1f dB, want >= 28", psnr)
+	}
+}
+
+// TestRasterStatsMatchGPUModelShape verifies the analytical GPU model
+// and the real rasterizer agree on how workload scales: doubling the
+// resolution roughly quadruples fragments in both worlds.
+func TestRasterStatsMatchGPUModelShape(t *testing.T) {
+	tris := raster.GenerateScene(30, 80, 3)
+	frags := func(size int) int {
+		fb := raster.NewFramebuffer(size, size)
+		r := raster.NewRenderer(fb)
+		r.SetCamera(vec.Vec3{Y: 0.5, Z: 0}, vec.Vec3{X: 5, Z: 5}, math.Pi/2)
+		r.DrawAll(tris)
+		return r.Stats().Fragments
+	}
+	realRatio := float64(frags(128)) / float64(frags(64))
+
+	app := scene.EvalApps[0]
+	fs := scene.FrameStats{VisibleTriangles: app.Triangles, GazeDensity: 1, ViewComplexity: 1, LODFactor: 1, Entropy: app.Entropy}
+	modelRatio := gpu.FrameWorkload(app, fs, 1, 1).Fragments /
+		gpu.FrameWorkload(app, fs, 1, 0.5).Fragments
+
+	if realRatio < 2.5 || realRatio > 5.5 {
+		t.Errorf("rasterizer fragment scaling %.2f not ~4x", realRatio)
+	}
+	if math.Abs(modelRatio-4) > 0.01 {
+		t.Errorf("model fragment scaling %.2f != 4x", modelRatio)
+	}
+}
+
+// TestPartitionerDrivesLayerRendering checks the foveation geometry
+// and the raster layers stay consistent: rendering each layer at its
+// partition scale produces pixel counts matching the partition's
+// accounting within rounding.
+func TestPartitionerDrivesLayerRendering(t *testing.T) {
+	disp := foveation.Display{Width: 256, Height: 256, FovH: 110, FovV: 90}
+	part := foveation.NewPartitioner(disp)
+	p, err := part.Partition(20, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midW := int(float64(disp.Width) * p.Middle.Scale)
+	midH := int(float64(disp.Height) * p.Middle.Scale)
+	if midW <= 0 || midH <= 0 {
+		t.Fatalf("degenerate middle layer %dx%d", midW, midH)
+	}
+	im := renderView(midW, midH, raster.GenerateScene(10, 40, 5), vec.IdentityQuat())
+	if im.W*im.H < p.Middle.Pixels/4 {
+		t.Errorf("rendered middle layer %d px vs partition accounting %d", im.W*im.H, p.Middle.Pixels)
+	}
+}
+
+// TestMotionDrivesSceneDrivesGPU ties the user model, workload model
+// and GPU model: a trace's latency series must vary, stay positive,
+// and respond to the LOD proximity effect.
+func TestMotionDrivesSceneDrivesGPU(t *testing.T) {
+	app, _ := scene.AppByName("Nature")
+	st := scene.NewState(app)
+	cfg := gpu.MobileDefault()
+	gen := motion.NewGenerator(motion.Intense, 9)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 600; i++ {
+		s := gen.Advance(1.0 / 90)
+		sec := cfg.FullFrameSeconds(app, st.Frame(s))
+		if sec <= 0 {
+			t.Fatalf("frame %d: non-positive latency", i)
+		}
+		lo = math.Min(lo, sec)
+		hi = math.Max(hi, sec)
+	}
+	if hi/lo < 1.15 {
+		t.Errorf("latency barely varies over an intense trace: [%v, %v]", lo, hi)
+	}
+}
+
+// TestCodecSizeModelTracksPartition ensures the analytic payload used
+// by the simulator responds to the partition exactly like the real
+// codec responds to layer dimensions: smaller layers, smaller streams.
+func TestCodecSizeModelTracksPartition(t *testing.T) {
+	disp := foveation.DefaultDisplay
+	part := foveation.NewPartitioner(disp)
+	small, err := part.Partition(40, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := part.Partition(10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := codec.DefaultSizeModel
+	smallBytes := m.FrameBytes(2*small.PeripheryPixels, 0.7, 0.85, 0.5)
+	bigBytes := m.FrameBytes(2*big.PeripheryPixels, 0.7, 0.85, 0.5)
+	if smallBytes >= bigBytes {
+		t.Errorf("payload not shrinking with e1: e1=40 %dB vs e1=10 %dB", smallBytes, bigBytes)
+	}
+
+	// Real codec agrees on the direction with actual layer renders.
+	tris := raster.GenerateScene(20, 60, 2)
+	smallIm := renderView(64, 64, tris, vec.IdentityQuat())
+	bigIm := renderView(128, 128, tris, vec.IdentityQuat())
+	if len(codec.Encode(smallIm, 0.8)) >= len(codec.Encode(bigIm, 0.8)) {
+		t.Error("real codec payload not shrinking with layer size")
+	}
+}

@@ -1,0 +1,143 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"qvr/internal/foveation"
+	"qvr/internal/motion"
+	"qvr/internal/raster"
+)
+
+func testScene() []raster.Triangle {
+	return raster.GenerateScene(25, 60, 17)
+}
+
+func fastCfg() ClientConfig {
+	return ClientConfig{
+		Size: 128, E1Deg: 15, Profile: motion.Calm, Seed: 3,
+		Timeout: 5 * time.Second,
+	}
+}
+
+func TestSessionProducesGoodFrames(t *testing.T) {
+	results, err := RunSession(fastCfg(), testScene(), 500e6, time.Millisecond, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("frames = %d, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.PeripheryTimedOut {
+			t.Errorf("frame %d timed out on a fast link", r.Frame)
+		}
+		if r.PSNR < 25 {
+			t.Errorf("frame %d PSNR %.1f dB too low", r.Frame, r.PSNR)
+		}
+		if r.PayloadBytes <= 0 {
+			t.Errorf("frame %d received no periphery data", r.Frame)
+		}
+		if r.Composed == nil || r.Composed.W != 128 {
+			t.Errorf("frame %d composed image wrong", r.Frame)
+		}
+	}
+}
+
+func TestGOPStreamingShrinksSteadyState(t *testing.T) {
+	// With a calm user, delta frames after the first intra frame must
+	// be much smaller: temporal compression working over the live path.
+	results, err := RunSession(fastCfg(), testScene(), 500e6, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := results[0].PayloadBytes
+	later := 0
+	for _, r := range results[1:] {
+		later += r.PayloadBytes
+	}
+	avgLater := later / (len(results) - 1)
+	if avgLater >= first {
+		t.Errorf("steady-state payload %dB not below intra frame %dB", avgLater, first)
+	}
+}
+
+func TestLayerScalesFollowHMDGeometry(t *testing.T) {
+	// The periphery layers must render at the MAR-derived scales of
+	// the realistic HMD geometry, not at the coarse demo panel's
+	// (which would never reduce anything).
+	p := foveation.NewPartitioner(foveation.DefaultDisplay)
+	part, err := p.Partition(15, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Middle.Scale >= 1 || part.Outer.Scale >= part.Middle.Scale {
+		t.Fatalf("HMD scales not reducing: mid=%v out=%v", part.Middle.Scale, part.Outer.Scale)
+	}
+	// A wide fovea prunes the periphery payload visibly: at e1=40 the
+	// outer band dominates and streams far fewer pixels than e1=15's
+	// periphery.
+	narrow := fastCfg()
+	wide := fastCfg()
+	wide.E1Deg = 40
+	pn, _ := p.Partition(narrow.E1Deg, 0, 0)
+	pw, _ := p.Partition(wide.E1Deg, 0, 0)
+	if pw.PeripheryPixels >= pn.PeripheryPixels {
+		t.Errorf("periphery pixels at e1=40 (%d) not below e1=15 (%d)",
+			pw.PeripheryPixels, pn.PeripheryPixels)
+	}
+	// And the live client actually renders at those scales.
+	if s := int(float64(narrow.Size) * pn.Middle.Scale); s >= narrow.Size {
+		t.Errorf("middle layer size %d not reduced from %d", s, narrow.Size)
+	}
+}
+
+func TestTimeoutFallsBackGracefully(t *testing.T) {
+	// A starved link forces the periphery to miss the deadline; the
+	// client must still produce a frame (fovea + stale periphery).
+	cfg := fastCfg()
+	cfg.Timeout = time.Millisecond
+	results, err := RunSession(cfg, testScene(), 1e5 /* 100 kbit/s */, 50*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTimeout := false
+	for _, r := range results {
+		if r.Composed == nil {
+			t.Fatalf("frame %d produced no image", r.Frame)
+		}
+		if r.PeripheryTimedOut {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Skip("link fast enough to avoid timeout on this machine")
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	f, data, err := untagFrame(tagFrame(42, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 42 || string(data) != string(payload) {
+		t.Errorf("roundtrip: frame=%d data=%v", f, data)
+	}
+	if _, _, err := untagFrame([]byte{1}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestClientDefaults(t *testing.T) {
+	c := NewClient(ClientConfig{}, testScene(), nil, nil)
+	if c.cfg.Size != 160 || c.cfg.E1Deg != 15 || c.cfg.Timeout <= 0 {
+		t.Errorf("defaults not applied: %+v", c.cfg)
+	}
+}
+
+func TestClampSize(t *testing.T) {
+	if clampSize(2) != 16 || clampSize(100) != 100 {
+		t.Error("clampSize broken")
+	}
+}

@@ -1,0 +1,344 @@
+package liwc
+
+import (
+	"math"
+	"testing"
+
+	"qvr/internal/motion"
+)
+
+// fakeGeom is a geometry stand-in: share grows with fovea disc area
+// but saturates toward 1 slowly, mimicking the display-edge clipping
+// of the real partitioner (reaching the frame corners needs very
+// large e1); periphery shrinks accordingly.
+type fakeGeom struct {
+	density float64
+}
+
+func (f fakeGeom) FoveaShare(e1 float64) float64 {
+	x := math.Pi * e1 * e1 / 9900 * f.density
+	return 1 - math.Exp(-x)
+}
+
+func (f fakeGeom) PeripheryPixels(e1 float64) int {
+	full := 2 * 1920 * 2160
+	frac := 0.12 * (1 - f.FoveaShare(e1)*0.8)
+	if frac < 0 {
+		frac = 0
+	}
+	return int(float64(full) * frac)
+}
+
+func TestTableGeometry(t *testing.T) {
+	if TableDepth != 32768 {
+		t.Errorf("table depth = %d, want 2^15", TableDepth)
+	}
+	if TableBytes() != 65536 {
+		t.Errorf("table bytes = %d, want 64KB", TableBytes())
+	}
+}
+
+func TestEncodeMotionStillIsZero(t *testing.T) {
+	if idx := EncodeMotion(motion.Delta{}); idx != 0 {
+		t.Errorf("still motion index = %d, want 0", idx)
+	}
+}
+
+func TestEncodeMotionHeadBits(t *testing.T) {
+	cases := []struct {
+		d   motion.Delta
+		bit int
+	}{
+		{motion.Delta{DYaw: 2}, 0},
+		{motion.Delta{DPitch: -1}, 1},
+		{motion.Delta{DRoll: 0.8}, 2},
+		{motion.Delta{DX: 0.02}, 3},
+		{motion.Delta{DY: -0.01}, 4},
+		{motion.Delta{DZ: 0.009}, 5},
+	}
+	for _, c := range cases {
+		idx := EncodeMotion(c.d)
+		if idx != 1<<c.bit {
+			t.Errorf("delta %+v -> index %b, want bit %d", c.d, idx, c.bit)
+		}
+	}
+	// Below threshold: no bits.
+	if idx := EncodeMotion(motion.Delta{DYaw: 0.3, DX: 0.003}); idx != 0 {
+		t.Errorf("sub-threshold motion index = %b", idx)
+	}
+}
+
+func TestEncodeMotionEyeBits(t *testing.T) {
+	// Small move -> code 1; large negative -> 2; large positive -> 3.
+	if idx := EncodeMotion(motion.Delta{DGazeX: 2}); idx != 1<<HeadBits {
+		t.Errorf("small gaze X -> %b", idx)
+	}
+	if idx := EncodeMotion(motion.Delta{DGazeX: -10}); idx != 2<<HeadBits {
+		t.Errorf("saccade left -> %b", idx)
+	}
+	if idx := EncodeMotion(motion.Delta{DGazeY: 10}); idx != 3<<(HeadBits+2) {
+		t.Errorf("saccade up -> %b", idx)
+	}
+}
+
+func TestEncodeMotionIndexRange(t *testing.T) {
+	g := motion.NewGenerator(motion.Intense, 5)
+	prev := g.Advance(1.0 / 90)
+	for i := 0; i < 2000; i++ {
+		cur := g.Advance(1.0 / 90)
+		idx := EncodeMotion(motion.Sub(prev, cur))
+		if int(idx) >= 1<<MotionBits {
+			t.Fatalf("motion index %d out of 10-bit range", idx)
+		}
+		prev = cur
+	}
+}
+
+func TestE1BucketBounds(t *testing.T) {
+	if b := e1Bucket(5); b != 0 {
+		t.Errorf("bucket(5) = %d", b)
+	}
+	if b := e1Bucket(90); b != bucketCount-1 {
+		t.Errorf("bucket(90) = %d", b)
+	}
+	if b := e1Bucket(-10); b != 0 {
+		t.Errorf("bucket(-10) = %d", b)
+	}
+	if b := e1Bucket(500); b != bucketCount-1 {
+		t.Errorf("bucket(500) = %d", b)
+	}
+	// Buckets must be monotone.
+	prev := -1
+	for e := 5.0; e <= 90; e += 0.5 {
+		b := e1Bucket(e)
+		if b < prev {
+			t.Fatalf("bucket not monotone at e1=%v", e)
+		}
+		prev = b
+	}
+}
+
+func TestTableIndexDisjoint(t *testing.T) {
+	seen := map[int]bool{}
+	for m := 0; m < 4; m++ {
+		for _, e1 := range []float64{5, 30, 60, 90} {
+			idx := tableIndex(MotionIndex(m), e1)
+			if idx < 0 || idx >= TableDepth {
+				t.Fatalf("index %d out of table", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index collision at m=%d e1=%v", m, e1)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// runConverged drives the controller against a synthetic plant until
+// steady state and returns the final e1.
+func runConverged(t *testing.T, fullFrameMs float64, remoteFixedMs float64, tputBps float64) float64 {
+	t.Helper()
+	cfg := DefaultConfig()
+	c := New(cfg)
+	g := fakeGeom{density: 1}
+	tri := 1_000_000
+
+	prevLocal := 0.0
+	for i := 0; i < 300; i++ {
+		d := c.Plan(motion.Delta{DYaw: 1}, tri, g, tputBps)
+		// Plant: actual local latency proportional to share.
+		local := fullFrameMs / 1000 * g.FoveaShare(d.E1)
+		payload := int(0.09 * float64(g.PeripheryPixels(d.E1))) // ~bytes
+		remote := remoteFixedMs/1000 + float64(payload)*8/tputBps
+		c.Observe(Measurement{
+			LocalSeconds:       local,
+			RemoteChainSeconds: remote,
+			Triangles:          tri,
+			FoveaShare:         g.FoveaShare(d.E1),
+			PeripheryPixels:    g.PeripheryPixels(d.E1),
+			PeripheryBytes:     payload,
+			PrevLocalSeconds:   prevLocal,
+		})
+		prevLocal = local
+	}
+	return c.E1()
+}
+
+func TestConvergenceHeavyApp(t *testing.T) {
+	// Heavy app (125ms full frame): e1 must settle small.
+	e1 := runConverged(t, 125, 4, 160e6)
+	if e1 < 5 || e1 > 30 {
+		t.Errorf("heavy app settled at e1=%v, want 5-30", e1)
+	}
+}
+
+func TestConvergenceLightApp(t *testing.T) {
+	// Light app (12ms full frame): e1 must grow large (mostly local).
+	e1 := runConverged(t, 12, 4, 160e6)
+	if e1 < 55 {
+		t.Errorf("light app settled at e1=%v, want > 55", e1)
+	}
+}
+
+func TestSlowNetworkPushesLocal(t *testing.T) {
+	fast := runConverged(t, 60, 4, 400e6)
+	slow := runConverged(t, 60, 18, 75e6)
+	if slow <= fast {
+		t.Errorf("slow network e1 %v not above fast %v", slow, fast)
+	}
+}
+
+func TestConvergenceSpeed(t *testing.T) {
+	// Fig. 14: the controller locates balance "after a very short
+	// period". From the e1=5 start against a medium app it must be
+	// within 3 degrees of its final value inside 60 frames.
+	cfg := DefaultConfig()
+	c := New(cfg)
+	g := fakeGeom{density: 1}
+	tri := 1_000_000
+	var prevLocal float64
+	var at60 float64
+	for i := 0; i < 300; i++ {
+		d := c.Plan(motion.Delta{DYaw: 1}, tri, g, 160e6)
+		local := 0.060 * g.FoveaShare(d.E1)
+		payload := int(0.09 * float64(g.PeripheryPixels(d.E1)))
+		remote := 0.004 + float64(payload)*8/160e6
+		c.Observe(Measurement{
+			LocalSeconds: local, RemoteChainSeconds: remote,
+			Triangles: tri, FoveaShare: g.FoveaShare(d.E1),
+			PeripheryPixels: g.PeripheryPixels(d.E1), PeripheryBytes: payload,
+			PrevLocalSeconds: prevLocal,
+		})
+		prevLocal = local
+		if i == 59 {
+			at60 = c.E1()
+		}
+	}
+	if math.Abs(at60-c.E1()) > 4 {
+		t.Errorf("e1 at frame 60 = %v, final = %v: convergence too slow", at60, c.E1())
+	}
+}
+
+func TestDeltaClamped(t *testing.T) {
+	c := New(DefaultConfig())
+	g := fakeGeom{density: 1}
+	d := c.Plan(motion.Delta{}, 5_000_000, g, 160e6)
+	if math.Abs(d.DeltaApplied) > MaxDeltaE1 {
+		t.Errorf("delta %v exceeds +/-%v", d.DeltaApplied, MaxDeltaE1)
+	}
+	if d.E1 < 5 || d.E1 > 90 {
+		t.Errorf("e1 %v out of range", d.E1)
+	}
+}
+
+func TestE1StaysInRangeUnderStress(t *testing.T) {
+	c := New(DefaultConfig())
+	g := fakeGeom{density: 2.4}
+	gen := motion.NewGenerator(motion.Intense, 3)
+	prev := gen.Advance(1.0 / 90)
+	var prevLocal float64
+	for i := 0; i < 1000; i++ {
+		cur := gen.Advance(1.0 / 90)
+		d := c.Plan(motion.Sub(prev, cur), 4_000_000, g, 80e6)
+		if d.E1 < 5 || d.E1 > 90 {
+			t.Fatalf("frame %d: e1=%v out of range", i, d.E1)
+		}
+		local := 0.100 * g.FoveaShare(d.E1)
+		c.Observe(Measurement{
+			LocalSeconds: local, RemoteChainSeconds: 0.01,
+			Triangles: 4_000_000, FoveaShare: g.FoveaShare(d.E1),
+			PeripheryPixels: g.PeripheryPixels(d.E1), PeripheryBytes: 40_000,
+			PrevLocalSeconds: prevLocal,
+		})
+		prevLocal = local
+		prev = cur
+	}
+	if c.Decisions() != 1000 {
+		t.Errorf("decisions = %d", c.Decisions())
+	}
+}
+
+func TestPredictorCalibrates(t *testing.T) {
+	// Feed consistent measurements; the predictor must converge to
+	// the plant's true scale.
+	c := New(DefaultConfig())
+	trueK := 60e-9
+	for i := 0; i < 200; i++ {
+		c.Observe(Measurement{
+			LocalSeconds: trueK * 1_000_000 * 0.2, Triangles: 1_000_000, FoveaShare: 0.2,
+			PeripheryPixels: 500_000, PeripheryBytes: 45_000,
+			RemoteChainSeconds: 0.006, PrevLocalSeconds: trueK * 1_000_000 * 0.2,
+		})
+	}
+	pred := c.PredictLocal(1_000_000, fakeGeom{density: 1}, 25.2)
+	share := fakeGeom{density: 1}.FoveaShare(25.2)
+	want := trueK * 1_000_000 * share
+	if math.Abs(pred-want)/want > 0.05 {
+		t.Errorf("calibrated prediction %v, want %v", pred, want)
+	}
+}
+
+func TestGradientTableLearns(t *testing.T) {
+	c := New(DefaultConfig())
+	g := fakeGeom{density: 1}
+	// Force a known decision then observe a strong gradient.
+	d := c.Plan(motion.Delta{DYaw: 2}, 3_000_000, g, 160e6)
+	if d.DeltaApplied == 0 {
+		t.Skip("controller chose no step; gradient unobservable")
+	}
+	before := c.table[c.lastIndex].Float64()
+	c.Observe(Measurement{
+		LocalSeconds: 0.010, PrevLocalSeconds: 0.004,
+		Triangles: 3_000_000, FoveaShare: 0.3,
+		PeripheryPixels: 400_000, PeripheryBytes: 36_000,
+		RemoteChainSeconds: 0.006,
+	})
+	after := c.table[c.lastIndex].Float64()
+	if before == after {
+		t.Error("gradient entry unchanged after observation")
+	}
+}
+
+func TestFP16QuantizationInTable(t *testing.T) {
+	// Stored gradients must be representable fp16 values.
+	c := New(DefaultConfig())
+	v := c.table[0].Float64()
+	if v != DefaultConfig().InitialGradient && math.Abs(v-DefaultConfig().InitialGradient) > 0.001 {
+		t.Errorf("initial gradient %v not within fp16 tolerance of %v", v, DefaultConfig().InitialGradient)
+	}
+}
+
+func TestSoftwareControllerLagsAndConverges(t *testing.T) {
+	s := NewSoftware(1.0/90, 0.6, 5)
+	// Without observations the controller must hold position.
+	if got := s.Plan(); got != 5 {
+		t.Errorf("unobserved Plan moved e1 to %v", got)
+	}
+	g := fakeGeom{density: 1}
+	full := 0.060
+	for i := 0; i < 400; i++ {
+		e1 := s.Plan()
+		local := full * g.FoveaShare(e1)
+		remote := 0.004 + float64(g.PeripheryPixels(e1))*0.09*8/160e6
+		s.Observe(local, remote)
+	}
+	if s.E1() < 10 || s.E1() > 60 {
+		t.Errorf("software controller settled at %v", s.E1())
+	}
+}
+
+func TestSoftwareStepBounded(t *testing.T) {
+	s := NewSoftware(1.0/90, 0.6, 40)
+	s.Observe(0.100, 0.001) // wildly over budget
+	before := s.E1()
+	after := s.Plan()
+	if math.Abs(after-before) > 2+1e-9 {
+		t.Errorf("software step %v exceeds bound", after-before)
+	}
+}
+
+func TestSoftwareOverheadPositive(t *testing.T) {
+	if SoftwareControlOverheadSeconds <= 0 {
+		t.Error("software control overhead must be positive")
+	}
+}

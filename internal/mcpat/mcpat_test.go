@@ -1,0 +1,76 @@
+package mcpat
+
+import (
+	"testing"
+
+	"qvr/internal/liwc"
+)
+
+func TestLIWCPaperAnchors(t *testing.T) {
+	// Section 4.3: 64 KB table -> ~0.66 mm2 area, <= 25 mW at 500 MHz.
+	r := LIWCReport(liwc.TableBytes(), 500)
+	if r.AreaMM2 < 0.5 || r.AreaMM2 > 0.85 {
+		t.Errorf("LIWC area = %.2f mm2, want ~0.66", r.AreaMM2)
+	}
+	if r.PowerWatt > 0.027 {
+		t.Errorf("LIWC power = %.1f mW, want <= ~25 mW", r.PowerWatt*1000)
+	}
+	if r.PowerWatt <= 0 {
+		t.Error("non-positive LIWC power")
+	}
+}
+
+func TestUCAPaperAnchors(t *testing.T) {
+	// Section 4.3: one UCA -> ~1.6 mm2, ~94 mW at 500 MHz.
+	r := UCAReport(500)
+	if r.AreaMM2 < 1.3 || r.AreaMM2 > 1.9 {
+		t.Errorf("UCA area = %.2f mm2, want ~1.6", r.AreaMM2)
+	}
+	if r.PowerWatt < 0.075 || r.PowerWatt > 0.115 {
+		t.Errorf("UCA power = %.1f mW, want ~94 mW", r.PowerWatt*1000)
+	}
+}
+
+func TestSRAMScaling(t *testing.T) {
+	small := SRAM{Bytes: 32 << 10, Ports: 1}
+	big := SRAM{Bytes: 128 << 10, Ports: 1}
+	if big.AreaMM2() <= small.AreaMM2() {
+		t.Error("SRAM area not monotonic in size")
+	}
+	dual := SRAM{Bytes: 32 << 10, Ports: 2}
+	if dual.AreaMM2() <= small.AreaMM2() {
+		t.Error("extra port should cost area")
+	}
+	zeroPorts := SRAM{Bytes: 32 << 10}
+	if zeroPorts.AreaMM2() != small.AreaMM2() {
+		t.Error("zero ports should clamp to 1")
+	}
+}
+
+func TestPowerFrequencyScaling(t *testing.T) {
+	s := SRAM{Bytes: 64 << 10, Ports: 1}
+	if s.PowerWatts(250) >= s.PowerWatts(500) {
+		t.Error("SRAM power not scaling with frequency")
+	}
+	// Leakage floor: power at 0 MHz is still positive.
+	if s.PowerWatts(0) <= 0 {
+		t.Error("no leakage modeled")
+	}
+	m := Multiplier{Count: 4}
+	if m.PowerWatts(250) >= m.PowerWatts(500) {
+		t.Error("multiplier power not scaling")
+	}
+	f := SIMDFPU{Count: 8}
+	if f.PowerWatts(250) >= f.PowerWatts(500) {
+		t.Error("FPU power not scaling")
+	}
+}
+
+func TestTotalOverheadSmall(t *testing.T) {
+	// The whole Q-VR hardware addition (LIWC + 2 UCAs) must stay tiny
+	// relative to a mobile SoC (~100 mm2): well under 5 mm2 total.
+	total := LIWCReport(liwc.TableBytes(), 500).AreaMM2 + 2*UCAReport(500).AreaMM2
+	if total > 5 {
+		t.Errorf("total added area = %.2f mm2, implausibly large", total)
+	}
+}

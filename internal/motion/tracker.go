@@ -1,0 +1,108 @@
+package motion
+
+import "math/rand"
+
+// Tracker models the sensing chain between the user and the rendering
+// pipeline: a head/eye tracker running at its own fixed frequency
+// (state-of-the-art eye trackers reach 120 Hz, Section 7 of the paper)
+// plus a sensor-data transmission latency of about 2 ms before the
+// sample is visible to the renderer.
+//
+// The tracker decouples sensor frequency from frame frequency exactly
+// as Fig. 2 of the paper shows: the pipeline reads the *latest sample
+// whose arrival time precedes the frame start*, so a frame started at
+// time t sees the pose sensed at or before t - TransmitLatency.
+type Tracker struct {
+	gen       *Generator
+	hz        float64
+	transmit  float64 // seconds from sensing to availability
+	samples   []Sample
+	generated float64 // timestamp of the newest generated sample
+
+	// Gaze measurement noise: production eye trackers are accurate to
+	// about one degree (Section 7 of the paper); SetGazeNoise injects
+	// that error so downstream consumers see realistic gaze jitter.
+	gazeNoise float64
+	noiseRng  *rand.Rand
+}
+
+// DefaultTrackerHz is the sampling rate of the modeled eye/head
+// tracker (HTC Vive Pro Eye class).
+const DefaultTrackerHz = 120
+
+// DefaultTransmitLatency is the modeled sensor-to-renderer
+// transmission latency in seconds (2 ms, per the paper).
+const DefaultTransmitLatency = 0.002
+
+// NewTracker wraps gen with a sampling process at hz samples/second
+// and the given transmission latency in seconds.
+func NewTracker(gen *Generator, hz, transmitLatency float64) *Tracker {
+	if hz <= 0 {
+		hz = DefaultTrackerHz
+	}
+	if transmitLatency < 0 {
+		transmitLatency = DefaultTransmitLatency
+	}
+	return &Tracker{gen: gen, hz: hz, transmit: transmitLatency}
+}
+
+// SetGazeNoise enables Gaussian gaze measurement error with the given
+// standard deviation in degrees. Noise is applied once per generated
+// sample and cached, so repeated reads are consistent.
+func (tr *Tracker) SetGazeNoise(sigmaDeg float64, seed int64) {
+	tr.gazeNoise = sigmaDeg
+	tr.noiseRng = rand.New(rand.NewSource(seed))
+}
+
+func (tr *Tracker) perturb(s Sample) Sample {
+	if tr.gazeNoise <= 0 || tr.noiseRng == nil {
+		return s
+	}
+	s.Gaze.X += tr.noiseRng.NormFloat64() * tr.gazeNoise
+	s.Gaze.Y += tr.noiseRng.NormFloat64() * tr.gazeNoise
+	return s
+}
+
+// SampleAt returns the newest sample available to the renderer at
+// time t (seconds), i.e. sensed at or before t - transmitLatency,
+// generating trace data as needed. Requesting times may only move
+// forward; earlier samples remain cached.
+func (tr *Tracker) SampleAt(t float64) Sample {
+	avail := t - tr.transmit
+	dt := 1 / tr.hz
+	for tr.generated <= avail {
+		tr.samples = append(tr.samples, tr.perturb(tr.gen.Advance(dt)))
+		tr.generated += dt
+	}
+	// Binary search would be overkill: frames consume samples nearly
+	// in order, so scan from the back.
+	for i := len(tr.samples) - 1; i >= 0; i-- {
+		if tr.samples[i].TimeSec <= avail {
+			return tr.samples[i]
+		}
+	}
+	if len(tr.samples) > 0 {
+		return tr.samples[0]
+	}
+	// No sample is available yet (very start of the session): sense one.
+	s := tr.perturb(tr.gen.Advance(dt))
+	tr.samples = append(tr.samples, s)
+	tr.generated += dt
+	return s
+}
+
+// TransmitLatency returns the modeled sensor transmission latency in
+// seconds; pipelines add it to the motion-to-photon accounting.
+func (tr *Tracker) TransmitLatency() float64 { return tr.transmit }
+
+// Trim drops cached samples older than t seconds to bound memory on
+// long simulations.
+func (tr *Tracker) Trim(t float64) {
+	cut := 0
+	for cut < len(tr.samples)-1 && tr.samples[cut+1].TimeSec < t {
+		cut++
+	}
+	if cut > 0 {
+		tr.samples = append([]Sample(nil), tr.samples[cut:]...)
+	}
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConditionsCatalog(t *testing.T) {
+	if len(Conditions) != 3 {
+		t.Fatalf("want 3 conditions, got %d", len(Conditions))
+	}
+	// Table 2 nominal downlinks.
+	want := map[string]float64{"Wi-Fi": 200e6, "4G LTE": 100e6, "Early 5G": 500e6}
+	for name, bw := range want {
+		c, ok := ConditionByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if c.BandwidthBps != bw {
+			t.Errorf("%s bandwidth = %v, want %v", name, c.BandwidthBps, bw)
+		}
+	}
+	if _, ok := ConditionByName("carrier pigeon"); ok {
+		t.Error("bogus condition found")
+	}
+}
+
+func TestTable1RemoteAnchor(t *testing.T) {
+	// Table 1: a ~530 KB background frame over Wi-Fi costs ~28-38 ms.
+	l := NewLink(WiFi, 1)
+	var sum float64
+	n := 200
+	for i := 0; i < n; i++ {
+		sum += l.TransferSeconds(530_000, float64(i)*0.011)
+	}
+	avg := sum / float64(n) * 1000
+	if avg < 22 || avg > 40 {
+		t.Errorf("530KB over WiFi = %.1fms avg, want ~28-38ms", avg)
+	}
+}
+
+func TestTransferScalesWithBandwidth(t *testing.T) {
+	bytes := 200_000
+	avg := func(c Condition) float64 {
+		l := NewLink(c, 7)
+		var s float64
+		for i := 0; i < 100; i++ {
+			s += l.TransferSeconds(bytes, float64(i)*0.011)
+		}
+		return s / 100
+	}
+	wifi, lte, g5 := avg(WiFi), avg(LTE4G), avg(Early5G)
+	if !(g5 < wifi && wifi < lte) {
+		t.Errorf("ordering broken: 5G=%v wifi=%v lte=%v", g5, wifi, lte)
+	}
+}
+
+func TestTransferJitter(t *testing.T) {
+	l := NewLink(WiFi, 3)
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		seen[l.TransferSeconds(100_000, float64(i)*0.011)] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("only %d distinct latencies in 50 transfers: jitter missing", len(seen))
+	}
+}
+
+func TestTransferDeterministicBySeed(t *testing.T) {
+	a := NewLink(WiFi, 42)
+	b := NewLink(WiFi, 42)
+	for i := 0; i < 20; i++ {
+		now := float64(i) * 0.011
+		if a.TransferSeconds(50_000, now) != b.TransferSeconds(50_000, now) {
+			t.Fatal("same seed produced different transfer times")
+		}
+	}
+}
+
+func TestZeroBytesCostsPropagationOnly(t *testing.T) {
+	l := NewLink(WiFi, 1)
+	if got := l.TransferSeconds(0, 0); got != WiFi.RTTSeconds/2 {
+		t.Errorf("empty transfer = %v, want half RTT", got)
+	}
+}
+
+func TestRequestSeconds(t *testing.T) {
+	l := NewLink(LTE4G, 1)
+	if got := l.RequestSeconds(); got != LTE4G.RTTSeconds/2 {
+		t.Errorf("request = %v", got)
+	}
+}
+
+func TestObservedThroughputTracksReality(t *testing.T) {
+	l := NewLink(WiFi, 9)
+	for i := 0; i < 200; i++ {
+		l.TransferSeconds(500_000, float64(i)*0.011)
+	}
+	obs := l.ObservedThroughputBps()
+	nominal := WiFi.BandwidthBps * WiFi.Efficiency
+	if obs < nominal*0.4 || obs > nominal*1.3 {
+		t.Errorf("observed %v vs nominal %v: EWMA diverged", obs, nominal)
+	}
+	if l.Transfers() != 200 {
+		t.Errorf("transfers = %d", l.Transfers())
+	}
+}
+
+func TestParallelTransferAggregates(t *testing.T) {
+	a := NewLink(WiFi, 5)
+	b := NewLink(WiFi, 5)
+	par := a.ParallelTransferSeconds([]int{60_000, 40_000}, 0)
+	single := b.TransferSeconds(100_240, 0) // same payload + framing
+	if math.Abs(par-single) > 1e-9 {
+		t.Errorf("parallel %v vs aggregate %v", par, single)
+	}
+	// Empty layers contribute nothing.
+	c := NewLink(WiFi, 5)
+	if got := c.ParallelTransferSeconds([]int{0, 0}, 0); got != WiFi.RTTSeconds/2 {
+		t.Errorf("empty parallel transfer = %v", got)
+	}
+}
+
+func TestOutageStallsTransfer(t *testing.T) {
+	l := NewLink(WiFi, 1)
+	base := l.TransferSeconds(100_000, 0)
+	l2 := NewLink(WiFi, 1)
+	l2.InjectOutage(0, 0.5)
+	stalled := l2.TransferSeconds(100_000, 0.1)
+	if stalled < 0.4+base*0.2 {
+		t.Errorf("outage transfer %v not stalled (base %v)", stalled, base)
+	}
+	// After the outage, behaviour returns to normal.
+	after := l2.TransferSeconds(100_000, 1.0)
+	if after > base*3 {
+		t.Errorf("post-outage transfer %v far above base %v", after, base)
+	}
+}
+
+func TestLossIncreasesLatency(t *testing.T) {
+	clean := WiFi
+	clean.LossRate = 0
+	lossy := WiFi
+	lossy.LossRate = 0.05
+	a, b := NewLink(clean, 2), NewLink(lossy, 2)
+	var sa, sb float64
+	for i := 0; i < 100; i++ {
+		now := float64(i) * 0.011
+		sa += a.TransferSeconds(300_000, now)
+		sb += b.TransferSeconds(300_000, now)
+	}
+	if sb <= sa {
+		t.Errorf("lossy link (%v) not slower than clean (%v)", sb, sa)
+	}
+}
+
+func TestTransportDelivery(t *testing.T) {
+	tr := NewTransport(1e9, 2*time.Millisecond)
+	defer tr.Close()
+	payload := []byte("middle-layer-frame-data")
+	if err := tr.Send("mid", payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-tr.Recv():
+		if p.Stream != "mid" || string(p.Payload) != string(payload) {
+			t.Errorf("got %q on %q", p.Payload, p.Stream)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delivery timed out")
+	}
+	select {
+	case a := <-tr.Acks():
+		if a.Bytes != len(payload) {
+			t.Errorf("ack bytes = %d", a.Bytes)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ack timed out")
+	}
+}
+
+func TestTransportParallelStreams(t *testing.T) {
+	tr := NewTransport(8e8, time.Millisecond)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	streams := []string{"fovea", "mid-L", "mid-R", "out-L", "out-R"}
+	for _, s := range streams {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tr.Send(s, make([]byte, 2000)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got := map[string]bool{}
+	for range streams {
+		select {
+		case p := <-tr.Recv():
+			got[p.Stream] = true
+		case <-time.After(2 * time.Second):
+			t.Fatal("parallel delivery timed out")
+		}
+	}
+	for _, s := range streams {
+		if !got[s] {
+			t.Errorf("stream %s not delivered", s)
+		}
+	}
+}
+
+func TestTransportShaping(t *testing.T) {
+	// 800 kbit/s = 100 KB/s; 10 KB beyond the burst allowance should
+	// take roughly 100ms of serialization.
+	tr := NewTransport(8e5, 0)
+	defer tr.Close()
+	start := time.Now()
+	// First send drains the 10ms burst allowance (1KB), second pays.
+	if err := tr.Send("a", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("a", make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("shaping too weak: 11KB at 100KB/s took %v", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Errorf("shaping too strong: %v", elapsed)
+	}
+}
+
+func TestTransportClosed(t *testing.T) {
+	tr := NewTransport(1e9, 0)
+	tr.Close()
+	if err := tr.Send("x", []byte("data")); err != ErrClosed {
+		t.Errorf("Send on closed = %v, want ErrClosed", err)
+	}
+	tr.Close() // double close must not panic
+}

@@ -1,0 +1,331 @@
+// Package pipeline assembles the substrates into complete end-to-end
+// VR rendering systems and simulates them frame by frame on the
+// discrete-event engine.
+//
+// Seven designs are implemented, matching the paper's evaluation
+// (Section 6):
+//
+//	LocalOnly    - traditional mobile VR: everything renders on the
+//	               mobile GPU (the Fig. 12 normalization baseline).
+//	RemoteOnly   - cloud streaming: everything renders remotely and
+//	               streams back (the Fig. 13 normalization baseline).
+//	StaticCollab - state-of-the-art static collaboration: pre-defined
+//	               interactive objects local, full background remote
+//	               with pose-predictive prefetching (FlashBack/Furion).
+//	FFR          - collaborative foveated rendering with the classic
+//	               fixed 5-degree fovea.
+//	DFR          - FFR plus the LIWC dynamic eccentricity controller.
+//	QVRSoftware  - Q-VR with the controller implemented in software:
+//	               eccentricity chosen from previous-frame measured
+//	               latencies, control logic on the CPU critical path,
+//	               composition/ATW on the GPU.
+//	QVR          - the full proposal: LIWC + UCA.
+//
+// Stage overlap follows Fig. 4: within a frame the local render, the
+// remote render, the network streams, and the video decode proceed in
+// parallel on their own resources; across frames the pipelines overlap
+// up to a small in-flight limit (double/triple buffering).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"qvr/internal/codec"
+	"qvr/internal/energy"
+	"qvr/internal/foveation"
+	"qvr/internal/gpu"
+	"qvr/internal/liwc"
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/scene"
+	"qvr/internal/uca"
+)
+
+// Design selects a rendering system.
+type Design int
+
+// The evaluated designs.
+const (
+	LocalOnly Design = iota
+	RemoteOnly
+	StaticCollab
+	FFR
+	DFR
+	QVRSoftware
+	QVR
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case LocalOnly:
+		return "local-only"
+	case RemoteOnly:
+		return "remote-only"
+	case StaticCollab:
+		return "static"
+	case FFR:
+		return "ffr"
+	case DFR:
+		return "dfr"
+	case QVRSoftware:
+		return "qvr-sw"
+	case QVR:
+		return "qvr"
+	default:
+		return fmt.Sprintf("design(%d)", int(d))
+	}
+}
+
+// Designs lists all designs in evaluation order.
+var Designs = []Design{LocalOnly, RemoteOnly, StaticCollab, FFR, DFR, QVRSoftware, QVR}
+
+// Latency constants shared by every design (Section 5: "we count 2ms
+// to transmit the sensored data ... and 5 ms to display the frame").
+const (
+	SensorTransmitSeconds = 0.002
+	DisplayScanoutSeconds = 0.005
+	AppLogicSeconds       = 0.0005 // CL: VR application logic on CPU
+	LocalSetupSeconds     = 0.0003 // LS: render setup + remote issue
+	TargetFPS             = 90.0
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Design  Design
+	App     scene.App
+	GPU     gpu.Config
+	Remote  gpu.RemoteCluster
+	Network netsim.Condition
+	Codec   codec.SizeModel
+	UCA     uca.Config
+	LIWC    liwc.Config
+	Profile motion.Profile
+	Frames  int
+	Warmup  int
+	Seed    int64
+	// OutageStartSeconds/OutageDurationSeconds inject a network outage
+	// (failure injection): the downlink stalls for the duration. Zero
+	// duration disables.
+	OutageStartSeconds    float64
+	OutageDurationSeconds float64
+	// GazeNoiseDeg adds eye-tracker error (Section 7 discusses ~1
+	// degree accuracy for production trackers). Zero disables.
+	GazeNoiseDeg float64
+	// ControllerLatencySeconds models an alternative eccentricity
+	// controller's decision latency on the critical path. The LIWC
+	// table lookup costs nanoseconds and is fully hidden (Section 4.3);
+	// the paper rejects DNN accelerators because an edge-TPU inference
+	// costs 10-20 ms per decision — set this to quantify that argument.
+	ControllerLatencySeconds float64
+}
+
+// DefaultConfig returns the evaluation defaults for a design and app:
+// 500 MHz mobile GPU, Wi-Fi, normal user, 300 measured frames after
+// 60 warmup frames.
+func DefaultConfig(d Design, app scene.App) Config {
+	return Config{
+		Design:  d,
+		App:     app,
+		GPU:     gpu.MobileDefault(),
+		Remote:  gpu.DefaultRemote(),
+		Network: netsim.WiFi,
+		Codec:   codec.DefaultSizeModel,
+		UCA:     uca.Default(),
+		LIWC:    liwc.DefaultConfig(),
+		Profile: motion.Normal,
+		Frames:  300,
+		Warmup:  60,
+		Seed:    1,
+	}
+}
+
+// FrameRecord captures one frame's measured behaviour.
+type FrameRecord struct {
+	Index int
+	// StartSeconds is when the CPU began the frame; CompleteSeconds is
+	// when the composed frame was ready for scan-out.
+	StartSeconds, CompleteSeconds float64
+	// MTPSeconds is motion-to-photon: sensor sample time to end of
+	// display scan-out.
+	MTPSeconds float64
+
+	// Stage durations (seconds). RemoteChainSeconds covers request ->
+	// decoded frame; its parts follow.
+	CPUSeconds, LocalRenderSeconds, RemoteChainSeconds float64
+	RequestSeconds, RemoteRenderSeconds, EncodeSeconds float64
+	TransferSeconds, DecodeSeconds, ComposeSeconds     float64
+	// AirtimeSeconds is the radio-active link occupancy for the
+	// payload (serialization only; TransferSeconds adds propagation).
+	AirtimeSeconds float64
+
+	// E1 is the frame's fovea radius (0 for non-foveated designs);
+	// FoveaShare the local workload fraction.
+	E1, FoveaShare float64
+	// BytesSent is the downlink payload.
+	BytesSent int
+	// ResolutionReduction is the Fig. 13 metric (fraction of native
+	// pixels *not* rendered/transmitted).
+	ResolutionReduction float64
+	// PredictionMiss marks static-collab prefetch misses.
+	PredictionMiss bool
+	// StageFPS is the frame's sustainable rate under cross-frame
+	// pipelining: the paper's FPS = min(1/T_GPU, 1/T_network) formula
+	// extended over all pipeline resources.
+	StageFPS float64
+	// Energy is the frame's energy breakdown.
+	Energy energy.FrameBreakdown
+}
+
+// LatencyRatio is the Fig. 14 balance metric T_remote / T_local.
+func (r FrameRecord) LatencyRatio() float64 {
+	if r.LocalRenderSeconds <= 0 {
+		return 0
+	}
+	return r.RemoteChainSeconds / r.LocalRenderSeconds
+}
+
+// Result is a completed run.
+type Result struct {
+	Config Config
+	// Frames holds the measured (post-warmup) frames.
+	Frames []FrameRecord
+	// Partitioner geometry used (for experiment reporting).
+	Display foveation.Display
+}
+
+// AvgMTPSeconds is the mean motion-to-photon latency.
+func (r Result) AvgMTPSeconds() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += f.MTPSeconds
+	}
+	return s / float64(len(r.Frames))
+}
+
+// FPS is the mean sustainable frame rate over measured frames, using
+// the paper's stage-throughput formula (Section 6.1): with the stages
+// pipelined across frames, throughput is set by the busiest resource,
+// FPS = min(1/T_GPU, 1/T_network, ...).
+func (r Result) FPS() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += f.StageFPS
+	}
+	return s / float64(len(r.Frames))
+}
+
+// AvgBytesSent is the mean downlink payload per frame.
+func (r Result) AvgBytesSent() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += float64(f.BytesSent)
+	}
+	return s / float64(len(r.Frames))
+}
+
+// AvgE1 is the mean fovea radius over measured frames.
+func (r Result) AvgE1() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += f.E1
+	}
+	return s / float64(len(r.Frames))
+}
+
+// AvgResolutionReduction is the mean Fig. 13 reduction metric.
+func (r Result) AvgResolutionReduction() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += f.ResolutionReduction
+	}
+	return s / float64(len(r.Frames))
+}
+
+// AvgEnergyJoules is the mean per-frame system energy.
+func (r Result) AvgEnergyJoules() float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Frames {
+		s += f.Energy.Total()
+	}
+	return s / float64(len(r.Frames))
+}
+
+// PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
+// latency over the measured frames; tail latency is what produces the
+// motion anomalies (judder, sickness) the paper opens with.
+func (r Result) PercentileMTP(p float64) float64 {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Frames))
+	for i, f := range r.Frames {
+		xs[i] = f.MTPSeconds
+	}
+	sort.Float64s(xs)
+	idx := int(p*float64(len(xs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}
+
+// StageBreakdown sums the mean per-stage latencies, for the Fig. 3
+// stacked bars.
+type StageBreakdown struct {
+	Tracking, Sending, Rendering, Transmit, Decode, ATW, Display float64
+}
+
+// Breakdown computes the mean stage breakdown in seconds. For local
+// designs Rendering is the GPU time; for remote designs it is the
+// remote render; Transmit covers the downlink.
+func (r Result) Breakdown() StageBreakdown {
+	if len(r.Frames) == 0 {
+		return StageBreakdown{}
+	}
+	var b StageBreakdown
+	for _, f := range r.Frames {
+		b.Tracking += SensorTransmitSeconds
+		b.Sending += f.RequestSeconds + f.CPUSeconds
+		if r.Config.Design == RemoteOnly {
+			b.Rendering += f.RemoteRenderSeconds + f.EncodeSeconds
+		} else {
+			b.Rendering += f.LocalRenderSeconds
+		}
+		b.Transmit += f.TransferSeconds
+		b.Decode += f.DecodeSeconds
+		b.ATW += f.ComposeSeconds
+		b.Display += DisplayScanoutSeconds
+	}
+	n := float64(len(r.Frames))
+	b.Tracking /= n
+	b.Sending /= n
+	b.Rendering /= n
+	b.Transmit /= n
+	b.Decode /= n
+	b.ATW /= n
+	b.Display /= n
+	return b
+}

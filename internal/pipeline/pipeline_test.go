@@ -1,0 +1,434 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"qvr/internal/netsim"
+	"qvr/internal/scene"
+)
+
+func shortCfg(d Design, app scene.App) Config {
+	c := DefaultConfig(d, app)
+	c.Frames = 120
+	c.Warmup = 40
+	return c
+}
+
+func mustApp(t *testing.T, name string) scene.App {
+	t.Helper()
+	app, ok := scene.AppByName(name)
+	if !ok {
+		t.Fatalf("app %s missing", name)
+	}
+	return app
+}
+
+func TestRunProducesRequestedFrames(t *testing.T) {
+	res := Run(shortCfg(QVR, mustApp(t, "HL2-H")))
+	if len(res.Frames) != 120 {
+		t.Fatalf("got %d frames, want 120", len(res.Frames))
+	}
+	for i, f := range res.Frames {
+		if f.Index != 40+i {
+			t.Fatalf("frame %d has index %d", i, f.Index)
+		}
+		if f.CompleteSeconds <= f.StartSeconds {
+			t.Fatalf("frame %d completed before it started", i)
+		}
+		if f.MTPSeconds <= 0 || f.MTPSeconds > 0.5 {
+			t.Fatalf("frame %d MTP %v out of sane range", i, f.MTPSeconds)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Run(shortCfg(QVR, mustApp(t, "UT3")))
+	b := Run(shortCfg(QVR, mustApp(t, "UT3")))
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatal("frame counts differ")
+	}
+	for i := range a.Frames {
+		if a.Frames[i].MTPSeconds != b.Frames[i].MTPSeconds {
+			t.Fatalf("frame %d MTP differs: %v vs %v", i, a.Frames[i].MTPSeconds, b.Frames[i].MTPSeconds)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	a := Run(shortCfg(QVR, mustApp(t, "UT3")))
+	c := shortCfg(QVR, mustApp(t, "UT3"))
+	c.Seed = 99
+	b := Run(c)
+	same := 0
+	for i := range a.Frames {
+		if a.Frames[i].MTPSeconds == b.Frames[i].MTPSeconds {
+			same++
+		}
+	}
+	if same == len(a.Frames) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestQVRBeatsLocalOnHeavyApps(t *testing.T) {
+	for _, name := range []string{"HL2-H", "GRID", "Wolf", "UT3"} {
+		app := mustApp(t, name)
+		local := Run(shortCfg(LocalOnly, app))
+		qvr := Run(shortCfg(QVR, app))
+		speedup := local.AvgMTPSeconds() / qvr.AvgMTPSeconds()
+		if speedup < 2 {
+			t.Errorf("%s: Q-VR speedup %.2fx, want >= 2x", name, speedup)
+		}
+	}
+}
+
+func TestHeadlineSpeedupShape(t *testing.T) {
+	// Fig. 12 shape: mean Q-VR speedup over local-only in the ~3x band
+	// (paper: 3.4x), maximum on the heaviest app in the >4.5x band
+	// (paper: up to 6.7x).
+	var sum, max float64
+	var maxApp string
+	for _, app := range scene.EvalApps {
+		local := Run(shortCfg(LocalOnly, app))
+		qvr := Run(shortCfg(QVR, app))
+		sp := local.AvgMTPSeconds() / qvr.AvgMTPSeconds()
+		sum += sp
+		if sp > max {
+			max, maxApp = sp, app.Name
+		}
+	}
+	avg := sum / float64(len(scene.EvalApps))
+	if avg < 2.3 || avg > 4.5 {
+		t.Errorf("average speedup %.2f outside the expected band", avg)
+	}
+	if max < 4.0 {
+		t.Errorf("max speedup %.2f (on %s) below expected band", max, maxApp)
+	}
+	if maxApp != "GRID" {
+		t.Errorf("max speedup on %s, want the heaviest app GRID", maxApp)
+	}
+}
+
+func TestQVRFPSOverStatic(t *testing.T) {
+	// The paper's 4.1x frame-rate claim over static collaboration; our
+	// reproduction lands ~3x, so assert the >2.5x band.
+	var q, s float64
+	for _, app := range scene.EvalApps {
+		q += Run(shortCfg(QVR, app)).FPS()
+		s += Run(shortCfg(StaticCollab, app)).FPS()
+	}
+	if ratio := q / s; ratio < 2.5 {
+		t.Errorf("Q-VR/static FPS ratio %.2f, want > 2.5", ratio)
+	}
+}
+
+func TestQVRFPSOverSoftware(t *testing.T) {
+	// Hardware controller + UCA must clearly beat the pure-software
+	// implementation (paper: 2.8x; our reproduction ~1.5x).
+	var q, s float64
+	for _, app := range scene.EvalApps {
+		q += Run(shortCfg(QVR, app)).FPS()
+		s += Run(shortCfg(QVRSoftware, app)).FPS()
+	}
+	if ratio := q / s; ratio < 1.3 {
+		t.Errorf("Q-VR/software FPS ratio %.2f, want > 1.3", ratio)
+	}
+}
+
+func TestDFRBetweenFFRAndQVR(t *testing.T) {
+	// DFR (LIWC only) should improve on FFR latency; QVR (adding UCA)
+	// should improve on DFR.
+	app := mustApp(t, "Wolf")
+	ffr := Run(shortCfg(FFR, app)).AvgMTPSeconds()
+	dfr := Run(shortCfg(DFR, app)).AvgMTPSeconds()
+	qvr := Run(shortCfg(QVR, app)).AvgMTPSeconds()
+	if dfr >= ffr {
+		t.Errorf("DFR (%.1fms) not faster than FFR (%.1fms)", dfr*1000, ffr*1000)
+	}
+	if qvr >= dfr {
+		t.Errorf("QVR (%.1fms) not faster than DFR (%.1fms)", qvr*1000, dfr*1000)
+	}
+}
+
+func TestEccentricityOrderingMatchesTable4(t *testing.T) {
+	// Table 4 ordering at 500 MHz / Wi-Fi: GRID smallest, then Wolf,
+	// then the mid-pack, Doom3-H large, Doom3-L near fully local.
+	e1 := map[string]float64{}
+	for _, app := range scene.EvalApps {
+		e1[app.Name] = Run(shortCfg(QVR, app)).AvgE1()
+	}
+	order := []string{"GRID", "Wolf", "HL2-H", "HL2-L", "Doom3-H", "Doom3-L"}
+	for i := 0; i+1 < len(order); i++ {
+		if e1[order[i]] >= e1[order[i+1]] {
+			t.Errorf("e1 ordering broken: %s (%.1f) >= %s (%.1f)",
+				order[i], e1[order[i]], order[i+1], e1[order[i+1]])
+		}
+	}
+	if e1["Doom3-L"] < 70 {
+		t.Errorf("Doom3-L e1 = %.1f, want near fully local (>70)", e1["Doom3-L"])
+	}
+	if e1["GRID"] > 30 {
+		t.Errorf("GRID e1 = %.1f, want small (<30)", e1["GRID"])
+	}
+}
+
+func TestTransmitReductionVsStatic(t *testing.T) {
+	// Fig. 13: Q-VR cuts transmitted data by ~85% vs static collab.
+	var q, s float64
+	for _, app := range scene.EvalApps {
+		q += Run(shortCfg(QVR, app)).AvgBytesSent()
+		s += Run(shortCfg(StaticCollab, app)).AvgBytesSent()
+	}
+	red := 1 - q/s
+	if red < 0.75 || red > 0.99 {
+		t.Errorf("transmit reduction vs static = %.0f%%, want ~85%%", red*100)
+	}
+}
+
+func TestStaticDoesNotReduceData(t *testing.T) {
+	// Fig. 13: static transmits as much as remote-only (it prefetches
+	// instead of shrinking payloads).
+	app := mustApp(t, "HL2-H")
+	st := Run(shortCfg(StaticCollab, app)).AvgBytesSent()
+	ro := Run(shortCfg(RemoteOnly, app)).AvgBytesSent()
+	if st < ro*0.9 {
+		t.Errorf("static bytes %.0f below remote-only %.0f", st, ro)
+	}
+}
+
+func TestResolutionReductionBand(t *testing.T) {
+	// Fig. 13's secondary metric: mean resolution reduction across the
+	// suite lands in the ~40-60% band (paper reports 41%).
+	var sum float64
+	for _, app := range scene.EvalApps {
+		sum += Run(shortCfg(QVR, app)).AvgResolutionReduction()
+	}
+	avg := sum / float64(len(scene.EvalApps))
+	if avg < 0.25 || avg > 0.70 {
+		t.Errorf("avg resolution reduction %.0f%%, want ~40-60%%", avg*100)
+	}
+}
+
+func TestEnergySavingsVsLocal(t *testing.T) {
+	// Fig. 15: Q-VR large energy reduction over local-only (paper 73%)
+	// on heavy apps; lighter apps save less.
+	app := mustApp(t, "GRID")
+	local := Run(shortCfg(LocalOnly, app)).AvgEnergyJoules()
+	qvr := Run(shortCfg(QVR, app)).AvgEnergyJoules()
+	red := 1 - qvr/local
+	if red < 0.4 {
+		t.Errorf("GRID energy reduction %.0f%%, want > 40%%", red*100)
+	}
+}
+
+func TestLatencyRatioConverges(t *testing.T) {
+	// Fig. 14(a): starting from e1=5 the remote/local ratio is high,
+	// then settles near balance within tens of frames.
+	app := mustApp(t, "HL2-H")
+	cfg := DefaultConfig(QVR, app)
+	cfg.Frames = 300
+	cfg.Warmup = 0
+	res := Run(cfg)
+	early := res.Frames[2].LatencyRatio()
+	if early < 1.5 {
+		t.Errorf("early latency ratio %.2f, want > 1.5 (network-bound start)", early)
+	}
+	var late float64
+	for _, f := range res.Frames[200:] {
+		late += f.LatencyRatio()
+	}
+	late /= float64(len(res.Frames) - 200)
+	if late < 0.4 || late > 2.0 {
+		t.Errorf("steady-state latency ratio %.2f, want near balance", late)
+	}
+}
+
+func TestFPSAboveTargetSteadyState(t *testing.T) {
+	// Fig. 14(b): Q-VR sustains the 90 Hz class frame rate.
+	for _, name := range []string{"Doom3-H", "HL2-H", "UT3"} {
+		res := Run(shortCfg(QVR, mustApp(t, name)))
+		if fps := res.FPS(); fps < 80 {
+			t.Errorf("%s: Q-VR FPS %.0f, want >= 80", name, fps)
+		}
+	}
+}
+
+func TestLTEPushesWorkLocal(t *testing.T) {
+	// Table 4: under 4G LTE the controller chooses larger e1 than
+	// under Wi-Fi.
+	app := mustApp(t, "Doom3-H")
+	wifi := Run(shortCfg(QVR, app)).AvgE1()
+	cfg := shortCfg(QVR, app)
+	cfg.Network = netsim.LTE4G
+	lte := Run(cfg).AvgE1()
+	if lte <= wifi {
+		t.Errorf("LTE e1 %.1f not above WiFi %.1f", lte, wifi)
+	}
+}
+
+func Test5GShrinksFovea(t *testing.T) {
+	// Table 4: early 5G lets the controller offload more (smaller e1).
+	app := mustApp(t, "HL2-H")
+	wifi := Run(shortCfg(QVR, app)).AvgE1()
+	cfg := shortCfg(QVR, app)
+	cfg.Network = netsim.Early5G
+	g5 := Run(cfg).AvgE1()
+	if g5 > wifi+1 {
+		t.Errorf("5G e1 %.1f above WiFi %.1f", g5, wifi)
+	}
+}
+
+func TestLowerFrequencyShrinksFovea(t *testing.T) {
+	// Table 4: at 300 MHz the mobile GPU affords a smaller fovea.
+	app := mustApp(t, "HL2-H")
+	f500 := Run(shortCfg(QVR, app)).AvgE1()
+	cfg := shortCfg(QVR, app)
+	cfg.GPU = cfg.GPU.WithFrequency(300)
+	f300 := Run(cfg).AvgE1()
+	if f300 >= f500 {
+		t.Errorf("300MHz e1 %.1f not below 500MHz %.1f", f300, f500)
+	}
+}
+
+func TestRemoteOnlyTransmitDominates(t *testing.T) {
+	// Fig. 3(b): transmission is the majority of remote-only latency.
+	app := mustApp(t, "Viking")
+	res := Run(shortCfg(RemoteOnly, app))
+	b := res.Breakdown()
+	total := b.Tracking + b.Sending + b.Rendering + b.Transmit + b.Decode + b.ATW + b.Display
+	if frac := b.Transmit / total; frac < 0.4 {
+		t.Errorf("transmit share %.0f%% of remote-only latency, want > 40%%", frac*100)
+	}
+}
+
+func TestLocalOnlyRenderDominates(t *testing.T) {
+	// Fig. 3(a): GPU rendering dominates local-only latency for
+	// heavy apps.
+	app := mustApp(t, "Viking")
+	res := Run(shortCfg(LocalOnly, app))
+	b := res.Breakdown()
+	total := b.Tracking + b.Sending + b.Rendering + b.Transmit + b.Decode + b.ATW + b.Display
+	if frac := b.Rendering / total; frac < 0.6 {
+		t.Errorf("render share %.0f%% of local-only latency, want > 60%%", frac*100)
+	}
+}
+
+func TestStaticMissesOccur(t *testing.T) {
+	res := Run(shortCfg(StaticCollab, mustApp(t, "UT3")))
+	misses := 0
+	for _, f := range res.Frames {
+		if f.PredictionMiss {
+			misses++
+		}
+	}
+	rate := float64(misses) / float64(len(res.Frames))
+	if rate < 0.02 || rate > 0.5 {
+		t.Errorf("miss rate %.2f outside plausible band", rate)
+	}
+}
+
+func TestStaticMissesRaiseLatency(t *testing.T) {
+	res := Run(shortCfg(StaticCollab, mustApp(t, "UT3")))
+	var hit, miss float64
+	var nh, nm int
+	for _, f := range res.Frames {
+		if f.PredictionMiss {
+			miss += f.MTPSeconds
+			nm++
+		} else {
+			hit += f.MTPSeconds
+			nh++
+		}
+	}
+	if nm == 0 || nh == 0 {
+		t.Skip("trace produced no hit/miss mix")
+	}
+	if miss/float64(nm) <= hit/float64(nh) {
+		t.Errorf("miss MTP %.1fms not above hit %.1fms",
+			miss/float64(nm)*1000, hit/float64(nh)*1000)
+	}
+}
+
+func TestFFRKeepsFixedFovea(t *testing.T) {
+	res := Run(shortCfg(FFR, mustApp(t, "GRID")))
+	for _, f := range res.Frames {
+		if f.E1 != 5 {
+			t.Fatalf("FFR frame used e1=%v", f.E1)
+		}
+	}
+}
+
+func TestQVREnergyComponentsPresent(t *testing.T) {
+	res := Run(shortCfg(QVR, mustApp(t, "HL2-H")))
+	f := res.Frames[len(res.Frames)/2]
+	if f.Energy.GPU <= 0 || f.Energy.LIWC <= 0 || f.Energy.UCA <= 0 {
+		t.Errorf("missing energy components: %+v", f.Energy)
+	}
+	if f.Energy.Radio <= 0 {
+		t.Errorf("radio energy missing despite network use")
+	}
+}
+
+func TestBudgetFit(t *testing.T) {
+	// Q-VR's whole point: local render time respects the 11 ms frame
+	// budget at steady state (within controller jitter).
+	res := Run(shortCfg(QVR, mustApp(t, "GRID")))
+	over := 0
+	for _, f := range res.Frames {
+		if f.LocalRenderSeconds > 0.016 {
+			over++
+		}
+	}
+	if frac := float64(over) / float64(len(res.Frames)); frac > 0.2 {
+		t.Errorf("%.0f%% of frames blow the local budget", frac*100)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	names := map[Design]string{
+		LocalOnly: "local-only", RemoteOnly: "remote-only",
+		StaticCollab: "static", FFR: "ffr", DFR: "dfr",
+		QVRSoftware: "qvr-sw", QVR: "qvr", Design(42): "design(42)",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("Design(%d).String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
+
+func TestZeroFrameResultAggregates(t *testing.T) {
+	var r Result
+	if r.AvgMTPSeconds() != 0 || r.FPS() != 0 || r.AvgBytesSent() != 0 ||
+		r.AvgE1() != 0 || r.AvgEnergyJoules() != 0 || r.AvgResolutionReduction() != 0 {
+		t.Error("empty result aggregates not zero")
+	}
+	if r.Breakdown() != (StageBreakdown{}) {
+		t.Error("empty breakdown not zero")
+	}
+	if (FrameRecord{}).LatencyRatio() != 0 {
+		t.Error("zero-frame latency ratio not zero")
+	}
+}
+
+func TestMTPBelowCommercialBoundForQVR(t *testing.T) {
+	// The 25 ms MTP requirement (Section 2.1): Q-VR must satisfy it on
+	// average for every benchmark under the default setup.
+	for _, app := range scene.EvalApps {
+		res := Run(shortCfg(QVR, app))
+		if mtp := res.AvgMTPSeconds(); mtp > 0.025 {
+			t.Errorf("%s: Q-VR MTP %.1fms exceeds the 25ms bound", app.Name, mtp*1000)
+		}
+	}
+}
+
+func TestConfigDefaultsFilled(t *testing.T) {
+	res := Run(Config{Design: QVR, App: scene.EvalApps[0], Frames: 30, Warmup: 5, Seed: 1})
+	if len(res.Frames) != 30 {
+		t.Fatalf("defaulted config produced %d frames", len(res.Frames))
+	}
+	if math.IsNaN(res.AvgMTPSeconds()) {
+		t.Fatal("NaN MTP from defaulted config")
+	}
+}

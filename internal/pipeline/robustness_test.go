@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"testing"
+
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/scene"
+)
+
+// Failure-injection and robustness tests: the behaviours a downstream
+// adopter relies on when conditions degrade.
+
+func TestOutageSurvived(t *testing.T) {
+	// Inject a 400 ms downlink outage mid-session: every frame must
+	// still complete and the run must remain deterministic.
+	app := mustApp(t, "HL2-H")
+	cfg := shortCfg(QVR, app)
+	cfg.Frames = 200
+	cfg.OutageStartSeconds = 1.0
+	cfg.OutageDurationSeconds = 0.4
+	res := Run(cfg)
+	if len(res.Frames) != 200 {
+		t.Fatalf("frames = %d, want 200", len(res.Frames))
+	}
+	for _, f := range res.Frames {
+		if f.CompleteSeconds <= f.StartSeconds {
+			t.Fatalf("frame %d never completed", f.Index)
+		}
+	}
+}
+
+func TestOutagePushesWorkLocal(t *testing.T) {
+	// During the outage the remote chain stalls; the controller must
+	// respond by growing the fovea (pulling work onto the mobile GPU).
+	app := mustApp(t, "UT3")
+	cfg := shortCfg(QVR, app)
+	cfg.Frames = 260
+	cfg.Warmup = 0
+	cfg.OutageStartSeconds = 1.5
+	cfg.OutageDurationSeconds = 0.5
+	res := Run(cfg)
+
+	var before, during []float64
+	for _, f := range res.Frames {
+		switch {
+		case f.StartSeconds > 0.8 && f.StartSeconds < 1.5:
+			before = append(before, f.E1)
+		case f.StartSeconds > 1.6 && f.StartSeconds < 2.2:
+			during = append(during, f.E1)
+		}
+	}
+	if len(before) < 5 || len(during) < 3 {
+		t.Skipf("windows too small: before=%d during=%d", len(before), len(during))
+	}
+	if mean(during) <= mean(before) {
+		t.Errorf("e1 during outage %.1f not above pre-outage %.1f", mean(during), mean(before))
+	}
+}
+
+func TestOutageLatencySpikesBounded(t *testing.T) {
+	// The outage produces latency spikes on in-flight transfers but
+	// must not wedge the session: post-outage frames return to normal.
+	app := mustApp(t, "Wolf")
+	cfg := shortCfg(QVR, app)
+	cfg.Frames = 300
+	cfg.Warmup = 0
+	cfg.OutageStartSeconds = 1.0
+	cfg.OutageDurationSeconds = 0.3
+	res := Run(cfg)
+	var post []float64
+	for _, f := range res.Frames {
+		if f.StartSeconds > 2.5 {
+			post = append(post, f.MTPSeconds)
+		}
+	}
+	if len(post) < 10 {
+		t.Skip("run too short to observe recovery")
+	}
+	if m := mean(post); m > 0.035 {
+		t.Errorf("post-outage MTP %.1fms: session did not recover", m*1000)
+	}
+}
+
+func TestGazeNoiseToleratedByController(t *testing.T) {
+	// Production trackers are ~1 degree accurate (Section 7). Latency
+	// with 1 degree of gaze noise must stay within a small factor of
+	// the noiseless run.
+	app := mustApp(t, "GRID")
+	clean := Run(shortCfg(QVR, app))
+	noisy := shortCfg(QVR, app)
+	noisy.GazeNoiseDeg = 1.0
+	res := Run(noisy)
+	ratio := res.AvgMTPSeconds() / clean.AvgMTPSeconds()
+	if ratio > 1.25 {
+		t.Errorf("1-degree gaze noise inflated MTP by %.2fx", ratio)
+	}
+}
+
+func TestExtremeGazeNoiseDegrades(t *testing.T) {
+	// Sanity check the noise actually reaches the pipeline: 10 degrees
+	// of error should visibly perturb the eccentricity trace.
+	app := mustApp(t, "HL2-H")
+	clean := Run(shortCfg(QVR, app))
+	noisy := shortCfg(QVR, app)
+	noisy.GazeNoiseDeg = 10
+	res := Run(noisy)
+	diff := 0
+	for i := range res.Frames {
+		if res.Frames[i].E1 != clean.Frames[i].E1 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("10-degree gaze noise changed nothing")
+	}
+}
+
+func TestIntenseMotionStillMeetsBudget(t *testing.T) {
+	// An intense user produces the largest workload swings; Q-VR must
+	// still hold a 90 Hz-class rate on a mid-weight app.
+	app := mustApp(t, "UT3")
+	cfg := shortCfg(QVR, app)
+	cfg.Profile = intenseProfile()
+	res := Run(cfg)
+	if fps := res.FPS(); fps < 70 {
+		t.Errorf("intense-user FPS %.0f below 90Hz class", fps)
+	}
+}
+
+func TestLTEStillFunctionalThoughSlow(t *testing.T) {
+	// Table 4 marks LTE combos as missing 90 Hz; the system must still
+	// run and the MTP must stay far below local-only.
+	app := mustApp(t, "GRID")
+	cfg := shortCfg(QVR, app)
+	cfg.Network = lteCondition()
+	qvr := Run(cfg)
+	local := Run(shortCfg(LocalOnly, app))
+	if qvr.AvgMTPSeconds() >= local.AvgMTPSeconds() {
+		t.Errorf("Q-VR on LTE (%.1fms) not better than local-only (%.1fms)",
+			qvr.AvgMTPSeconds()*1000, local.AvgMTPSeconds()*1000)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// intenseProfile and lteCondition keep the robustness tests free of
+// direct cross-package literals.
+
+func intenseProfile() motion.Profile { return motion.Intense }
+func lteCondition() netsim.Condition { return netsim.LTE4G }
+
+var _ = scene.EvalApps

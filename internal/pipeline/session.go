@@ -1,0 +1,342 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"qvr/internal/codec"
+	"qvr/internal/energy"
+	"qvr/internal/foveation"
+	"qvr/internal/gpu"
+	"qvr/internal/liwc"
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/scene"
+	"qvr/internal/sim"
+	"qvr/internal/uca"
+)
+
+// session owns one simulation run's state: the event engine, the
+// hardware resources, the user/scene models, and the controllers.
+type session struct {
+	cfg  Config
+	disp foveation.Display
+
+	eng    *sim.Engine
+	cpu    *sim.Resource // application CPU
+	gpuRes *sim.Resource // mobile GPU (render + baseline composition)
+	ucaRes *sim.Resource // UCA units (QVR only)
+	decRes *sim.Resource // video decoder
+	netRes *sim.Resource // downlink
+	remRes *sim.Resource // remote render cluster
+
+	tracker *motion.Tracker
+	st      *scene.State
+	part    *foveation.Partitioner
+	link    *netsim.Link
+	ctrl    *liwc.Controller
+	sw      *liwc.SoftwareController
+	missRng *rand.Rand
+
+	total     int
+	issued    int
+	completed int
+	inFlight  int
+
+	prevSample    motion.Sample
+	havePrev      bool
+	prevLocalMeas float64
+	prevComplete  float64
+
+	records []FrameRecord
+}
+
+// Run simulates cfg and returns the measured result.
+func Run(cfg Config) Result {
+	if cfg.Frames <= 0 {
+		cfg.Frames = 300
+	}
+	if cfg.GPU.FrequencyMHz == 0 {
+		cfg.GPU = gpu.MobileDefault()
+	}
+	if cfg.Remote.GPUs == 0 {
+		cfg.Remote = gpu.DefaultRemote()
+	}
+	if cfg.Network.BandwidthBps == 0 {
+		cfg.Network = netsim.WiFi
+	}
+	if cfg.Codec.BitsPerPixel == 0 {
+		cfg.Codec = codec.DefaultSizeModel
+	}
+	if cfg.UCA.Units == 0 {
+		cfg.UCA = uca.Default()
+	}
+	if cfg.LIWC.BudgetSeconds == 0 {
+		cfg.LIWC = liwc.DefaultConfig()
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = motion.Normal
+	}
+
+	s := &session{
+		cfg: cfg,
+		disp: foveation.Display{
+			Width: cfg.App.Width, Height: cfg.App.Height,
+			FovH: foveation.DefaultDisplay.FovH, FovV: foveation.DefaultDisplay.FovV,
+		},
+		eng:     sim.NewEngine(),
+		st:      scene.NewState(cfg.App),
+		link:    netsim.NewLink(cfg.Network, cfg.Seed*7+3),
+		missRng: rand.New(rand.NewSource(cfg.Seed*13 + 5)),
+		total:   cfg.Frames + cfg.Warmup,
+	}
+	s.part = foveation.NewPartitioner(s.disp)
+	s.tracker = motion.NewTracker(
+		motion.NewGenerator(cfg.Profile, cfg.Seed),
+		motion.DefaultTrackerHz, SensorTransmitSeconds)
+	if cfg.GazeNoiseDeg > 0 {
+		s.tracker.SetGazeNoise(cfg.GazeNoiseDeg, cfg.Seed*31+11)
+	}
+	if cfg.OutageDurationSeconds > 0 {
+		s.link.InjectOutage(cfg.OutageStartSeconds, cfg.OutageDurationSeconds)
+	}
+
+	s.cpu = sim.NewResource(s.eng, "cpu", 1)
+	s.gpuRes = sim.NewResource(s.eng, "gpu", 1)
+	s.ucaRes = sim.NewResource(s.eng, "uca", 1) // units folded into FrameSeconds
+	s.decRes = sim.NewResource(s.eng, "decoder", 1)
+	s.netRes = sim.NewResource(s.eng, "net", 1)
+	s.remRes = sim.NewResource(s.eng, "remote", 1)
+
+	switch cfg.Design {
+	case DFR, QVR:
+		s.ctrl = liwc.New(cfg.LIWC)
+	case QVRSoftware:
+		s.sw = liwc.NewSoftware(cfg.LIWC.BudgetSeconds, cfg.LIWC.TargetFloor, cfg.LIWC.InitialE1)
+	}
+
+	s.tryIssue()
+	s.eng.Run()
+
+	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Index < s.records[j].Index })
+	return Result{Config: cfg, Frames: s.records, Display: s.disp}
+}
+
+// tryIssue starts the next frame if none is in flight. Frames are
+// fully serialized so that each record's completion time is the true
+// per-frame critical path (the paper's Fig. 3 stacked-bar latency);
+// steady-state throughput is computed separately from per-stage busy
+// times via the paper's FPS = min(1/T_GPU, 1/T_network) formula.
+func (s *session) tryIssue() {
+	if s.issued < s.total && s.inFlight == 0 {
+		idx := s.issued
+		s.issued++
+		s.inFlight++
+		s.startFrame(idx)
+	}
+}
+
+// frameState tracks one in-flight frame.
+type frameState struct {
+	idx    int
+	rec    FrameRecord
+	sample motion.Sample
+	stats  scene.FrameStats
+	// join counts outstanding parallel branches before composition.
+	join int
+	// peripheryPixels is the transmitted periphery pixel count (both
+	// eyes), kept for controller feedback.
+	peripheryPixels float64
+}
+
+// startFrame begins frame idx with the CPU stage, then dispatches to
+// the design-specific body.
+func (s *session) startFrame(idx int) {
+	f := &frameState{idx: idx}
+	f.rec.Index = idx
+	cpuTime := AppLogicSeconds + LocalSetupSeconds
+	if s.cfg.Design == QVRSoftware {
+		cpuTime += liwc.SoftwareControlOverheadSeconds
+	}
+	if s.cfg.ControllerLatencySeconds > 0 && (s.cfg.Design == DFR || s.cfg.Design == QVR) {
+		cpuTime += s.cfg.ControllerLatencySeconds
+	}
+	s.cpu.RequestWithStart(sim.Time(cpuTime), func() {
+		// CPU granted: this is the frame's start. Sample the tracker.
+		now := s.eng.Now().Seconds()
+		f.rec.StartSeconds = now
+		f.sample = s.tracker.SampleAt(now)
+		f.stats = s.st.Frame(f.sample)
+		f.rec.CPUSeconds = cpuTime
+	}, func() {
+		s.dispatch(f)
+	})
+}
+
+// dispatch routes to the design body after the CPU stage.
+func (s *session) dispatch(f *frameState) {
+	switch s.cfg.Design {
+	case LocalOnly:
+		s.frameLocalOnly(f)
+	case RemoteOnly:
+		s.frameRemoteOnly(f)
+	case StaticCollab:
+		s.frameStatic(f)
+	default:
+		s.frameCollaborative(f)
+	}
+}
+
+// finish records the frame and advances bookkeeping. composeDone is
+// the moment the displayable frame was ready; sampleTime the sensor
+// timestamp it was rendered from; extraMTP adds design-specific
+// staleness (static prefetch age).
+func (s *session) finish(f *frameState, composeDone, extraMTP float64) {
+	f.rec.CompleteSeconds = composeDone
+	// Motion-to-photon: the pose pipeline contributes its 2 ms sensor
+	// transmission (modern runtimes predict the pose forward to frame
+	// start, so raw sample age does not accumulate), then the frame's
+	// critical path, then the display scan-out.
+	f.rec.MTPSeconds = SensorTransmitSeconds + (composeDone - f.rec.StartSeconds) +
+		DisplayScanoutSeconds + extraMTP
+	f.rec.StageFPS = s.stageFPS(&f.rec)
+
+	// The steady-state frame interval under cross-frame pipelining is
+	// the busiest stage time, not the serialized critical path.
+	interval := 1 / TargetFPS
+	if f.rec.StageFPS > 0 {
+		interval = 1 / f.rec.StageFPS
+	}
+	s.prevComplete = composeDone
+
+	// Energy accounting.
+	p := energy.FrameParams{
+		FreqMHz:        s.cfg.GPU.FrequencyMHz,
+		GPUBusySeconds: f.rec.LocalRenderSeconds,
+		FrameSeconds:   interval,
+		DecodeSeconds:  f.rec.DecodeSeconds,
+	}
+	switch s.cfg.Design {
+	case LocalOnly:
+		p.GPUBusySeconds += f.rec.ComposeSeconds // ATW on GPU
+	case QVR:
+		p.UCAUnits = s.cfg.UCA.Units
+		p.UCASeconds = f.rec.ComposeSeconds
+		p.LIWCActive = true
+	case DFR:
+		p.GPUBusySeconds += f.rec.ComposeSeconds
+		p.LIWCActive = true
+	default:
+		p.GPUBusySeconds += f.rec.ComposeSeconds
+	}
+	if f.rec.TransferSeconds > 0 || f.rec.RequestSeconds > 0 {
+		p.Radio = energy.RadioByCondition(s.cfg.Network.Name)
+		// The radio burns active power only while bits are on the air.
+		p.RadioSeconds = f.rec.AirtimeSeconds + 0.0005
+	}
+	f.rec.Energy = energy.Frame(p)
+
+	if f.idx >= s.cfg.Warmup {
+		s.records = append(s.records, f.rec)
+	}
+
+	// Controller feedback.
+	switch s.cfg.Design {
+	case DFR, QVR:
+		// The balance signal counts only the streamed portion of the
+		// remote side: render, encode and transfer pipeline with each
+		// other (Section 2.3), so transmission dominates.
+		s.ctrl.Observe(liwc.Measurement{
+			LocalSeconds:       f.rec.LocalRenderSeconds,
+			RemoteChainSeconds: f.rec.TransferSeconds + f.rec.DecodeSeconds,
+			Triangles:          f.stats.VisibleTriangles,
+			FoveaShare:         f.rec.FoveaShare,
+			PeripheryPixels:    int(peripheryPixelsOf(f)),
+			PeripheryBytes:     f.rec.BytesSent,
+			PrevLocalSeconds:   s.prevLocalMeas,
+		})
+	case QVRSoftware:
+		s.sw.Observe(f.rec.LocalRenderSeconds, f.rec.TransferSeconds+f.rec.DecodeSeconds)
+	}
+	s.prevLocalMeas = f.rec.LocalRenderSeconds
+	s.prevSample = f.sample
+	s.havePrev = true
+
+	s.inFlight--
+	s.completed++
+	s.tryIssue()
+}
+
+// peripheryPixelsOf reconstructs the transmitted periphery pixel count
+// from the stored reduction metric.
+func peripheryPixelsOf(f *frameState) float64 {
+	return f.peripheryPixels
+}
+
+// stageFPS evaluates the paper's pipelined frame-rate formula for one
+// frame: the sustainable rate is set by the busiest resource.
+func (s *session) stageFPS(rec *FrameRecord) float64 {
+	gpuBusy := rec.LocalRenderSeconds
+	ucaBusy := 0.0
+	if s.cfg.Design == QVR {
+		ucaBusy = rec.ComposeSeconds
+	} else {
+		gpuBusy += rec.ComposeSeconds
+	}
+	busiest := math.Max(rec.CPUSeconds, gpuBusy)
+	if s.cfg.Design == QVRSoftware {
+		// The software control path serializes with rendering: CL must
+		// wait for the previous frame's results (Fig. 4-B), so CPU and
+		// GPU time cannot overlap across frames.
+		busiest = rec.CPUSeconds + gpuBusy
+	}
+	busiest = math.Max(busiest, ucaBusy)
+	busiest = math.Max(busiest, rec.AirtimeSeconds)
+	busiest = math.Max(busiest, rec.RemoteRenderSeconds+rec.EncodeSeconds)
+	busiest = math.Max(busiest, rec.DecodeSeconds)
+	if s.cfg.Design == StaticCollab && rec.PredictionMiss {
+		// A prefetch miss drains the pipeline: the synchronous refetch
+		// chain bounds this frame's effective rate.
+		busiest = math.Max(busiest, rec.RemoteChainSeconds+rec.ComposeSeconds)
+	}
+	if busiest <= 0 {
+		return 0
+	}
+	return 1 / busiest
+}
+
+// motionDelta returns the frame-to-frame motion delta (zero for the
+// first frame).
+func (s *session) motionDelta(f *frameState) motion.Delta {
+	if !s.havePrev {
+		return motion.Delta{}
+	}
+	return motion.Sub(s.prevSample, f.sample)
+}
+
+// motionNorm maps a delta to the codec's normalized motion magnitude.
+func motionNorm(d motion.Delta) float64 {
+	m := d.Magnitude() / 10
+	if m > 2 {
+		m = 2
+	}
+	return m
+}
+
+// boundaryFraction estimates the share of 32x32 UCA tiles straddling
+// the e1/e2 layer boundaries: boundary circumference over tile grid.
+func (s *session) boundaryFraction(e1, e2 float64) float64 {
+	ppd := s.disp.PixelsPerDegree()
+	circPx := 2 * math.Pi * (e1 + e2) * ppd
+	boundaryTiles := circPx / float64(uca.TilePixels)
+	totalTiles := float64(s.disp.Width*s.disp.Height) / float64(uca.TilePixels*uca.TilePixels)
+	frac := boundaryTiles / totalTiles
+	if frac > 0.6 {
+		frac = 0.6
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}

@@ -1,0 +1,338 @@
+package progmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the Fig. 7 configuration language into a RenderGraph.
+// The grammar:
+//
+//	config    := (node | component)*
+//	node      := "node" "{" pipe* "}"
+//	pipe      := "pipe" "{" window* "}"
+//	window    := "window" "{" prop* "}"
+//	component := "component" "{" channel "}"
+//	channel   := "channel" "{" prop* "}"
+//	prop      := "name" string
+//	           | "viewport" "[" anchor ("," ident)? "]"
+//	           | "channel" "{" "name" string "}"
+//	           | "inputframe" string
+//	           | "outputframe" string
+//	anchor    := "fovea" | "origin"
+//
+// Comments run from "//" to end of line.
+func Parse(src string) (RenderGraph, error) {
+	p := &parser{toks: tokenize(src)}
+	g, err := p.config()
+	if err != nil {
+		return RenderGraph{}, err
+	}
+	return g, nil
+}
+
+type token struct {
+	kind string // "ident", "string", "punct"
+	val  string
+	line int
+}
+
+func tokenize(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}' || c == '[' || c == ']' || c == ',':
+			toks = append(toks, token{"punct", string(c), line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				toks = append(toks, token{"error", "unterminated string", line})
+				return toks
+			}
+			// Strings may contain escapes per strconv; keep it simple
+			// and accept raw content.
+			toks = append(toks, token{"string", src[i+1 : j], line})
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			if j == i {
+				toks = append(toks, token{"error", "unexpected character " + strconv.QuoteRune(rune(c)), line})
+				return toks
+			}
+			toks = append(toks, token{"ident", src[i:j], line})
+			i = j
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(kind, val string) (token, error) {
+	t, ok := p.next()
+	if !ok {
+		return token{}, fmt.Errorf("progmodel: unexpected end of config, want %s %q", kind, val)
+	}
+	if t.kind == "error" {
+		return token{}, fmt.Errorf("progmodel: line %d: %s", t.line, t.val)
+	}
+	if t.kind != kind || (val != "" && t.val != val) {
+		return token{}, fmt.Errorf("progmodel: line %d: got %q, want %q", t.line, t.val, val)
+	}
+	return t, nil
+}
+
+func (p *parser) config() (RenderGraph, error) {
+	var g RenderGraph
+	nodeIdx := -1
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind == "error" {
+			return g, fmt.Errorf("progmodel: line %d: %s", t.line, t.val)
+		}
+		switch t.val {
+		case "node":
+			p.pos++
+			nodeIdx++
+			if err := p.node(&g, nodeIdx); err != nil {
+				return g, err
+			}
+		case "component":
+			p.pos++
+			if err := p.component(&g); err != nil {
+				return g, err
+			}
+		default:
+			return g, fmt.Errorf("progmodel: line %d: unexpected %q at top level", t.line, t.val)
+		}
+	}
+	return g, nil
+}
+
+func (p *parser) node(g *RenderGraph, idx int) error {
+	if _, err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("progmodel: unterminated node block")
+		}
+		if t.val == "}" {
+			p.pos++
+			return nil
+		}
+		if t.val != "pipe" {
+			return fmt.Errorf("progmodel: line %d: unexpected %q in node", t.line, t.val)
+		}
+		p.pos++
+		if err := p.pipe(g, idx); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) pipe(g *RenderGraph, idx int) error {
+	if _, err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("progmodel: unterminated pipe block")
+		}
+		if t.val == "}" {
+			p.pos++
+			return nil
+		}
+		if t.val != "window" {
+			return fmt.Errorf("progmodel: line %d: unexpected %q in pipe", t.line, t.val)
+		}
+		p.pos++
+		if err := p.window(g, idx); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) window(g *RenderGraph, idx int) error {
+	if _, err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	windowName := ""
+	var pendingViewport *Viewport
+	for {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("progmodel: unterminated window block")
+		}
+		switch {
+		case t.val == "}":
+			return nil
+		case t.val == "name":
+			s, err := p.expect("string", "")
+			if err != nil {
+				return err
+			}
+			windowName = s.val
+		case strings.HasPrefix(t.val, "viewport"):
+			vp, err := p.viewport()
+			if err != nil {
+				return err
+			}
+			pendingViewport = &vp
+		case strings.HasPrefix(t.val, "channel"):
+			name, err := p.channelName()
+			if err != nil {
+				return err
+			}
+			vp := Viewport{Anchor: AnchorOrigin}
+			if pendingViewport != nil {
+				vp = *pendingViewport
+				pendingViewport = nil
+			}
+			g.Channels = append(g.Channels, Channel{
+				Node: idx, Window: windowName, Name: name, Viewport: vp,
+			})
+		default:
+			return fmt.Errorf("progmodel: line %d: unexpected %q in window", t.line, t.val)
+		}
+	}
+}
+
+func (p *parser) viewport() (Viewport, error) {
+	if _, err := p.expect("punct", "["); err != nil {
+		return Viewport{}, err
+	}
+	anchorTok, err := p.expect("ident", "")
+	if err != nil {
+		return Viewport{}, err
+	}
+	var vp Viewport
+	switch anchorTok.val {
+	case "fovea":
+		vp.Anchor = AnchorFovea
+	case "origin":
+		vp.Anchor = AnchorOrigin
+	default:
+		return Viewport{}, fmt.Errorf("progmodel: line %d: unknown anchor %q", anchorTok.line, anchorTok.val)
+	}
+	t, ok := p.peek()
+	if ok && t.val == "," {
+		p.pos++
+		r, err := p.expect("ident", "")
+		if err != nil {
+			return Viewport{}, err
+		}
+		vp.Radius = r.val
+	}
+	if _, err := p.expect("punct", "]"); err != nil {
+		return Viewport{}, err
+	}
+	return vp, nil
+}
+
+func (p *parser) channelName() (string, error) {
+	if _, err := p.expect("punct", "{"); err != nil {
+		return "", err
+	}
+	if _, err := p.expect("ident", "name"); err != nil {
+		return "", err
+	}
+	s, err := p.expect("string", "")
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect("punct", "}"); err != nil {
+		return "", err
+	}
+	return s.val, nil
+}
+
+func (p *parser) component(g *RenderGraph) error {
+	if _, err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	if _, err := p.expect("ident", "channel"); err != nil {
+		return err
+	}
+	if _, err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	for {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("progmodel: unterminated component block")
+		}
+		switch t.val {
+		case "}":
+			// Close the channel block, then the component block.
+			if _, err := p.expect("punct", "}"); err != nil {
+				return err
+			}
+			return nil
+		case "name":
+			s, err := p.expect("string", "")
+			if err != nil {
+				return err
+			}
+			g.Composition.Name = s.val
+		case "inputframe":
+			s, err := p.expect("string", "")
+			if err != nil {
+				return err
+			}
+			g.Composition.Inputs = append(g.Composition.Inputs, s.val)
+		case "outputframe":
+			s, err := p.expect("string", "")
+			if err != nil {
+				return err
+			}
+			g.Composition.Output = s.val
+		default:
+			return fmt.Errorf("progmodel: line %d: unexpected %q in component", t.line, t.val)
+		}
+	}
+}

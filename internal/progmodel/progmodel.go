@@ -1,0 +1,228 @@
+// Package progmodel implements Q-VR's software-layer programming
+// model: the Equalizer-style declarative configuration of Fig. 7 that
+// application developers use to describe the distributed rendering
+// graph — which node renders which visual layer into which channel,
+// and how the display stage composes them.
+//
+// The configuration language is a cleaned-up version of the listing in
+// Fig. 7:
+//
+//	node {
+//	  pipe {
+//	    window {
+//	      name "Fovea"
+//	      viewport [fovea, e1]
+//	      channel { name "fovea" }
+//	    }
+//	  }
+//	}
+//	node {
+//	  pipe {
+//	    window {
+//	      name "Periphery"
+//	      viewport [fovea, e2]
+//	      channel { name "mid" }
+//	      viewport [origin]
+//	      channel { name "out" }
+//	    }
+//	  }
+//	}
+//	component {
+//	  channel {
+//	    name "Display"
+//	    inputframe "fovea"
+//	    inputframe "mid"
+//	    inputframe "out"
+//	    outputframe "framebuffer"
+//	  }
+//	}
+//
+// Parse produces a RenderGraph; Validate checks the graph is runnable
+// (every display input is produced by exactly one channel, one local
+// fovea channel exists, viewports are well-formed); Standard generates
+// the canonical Q-VR graph programmatically; and Marshal round-trips a
+// graph back to the textual form. The partition engine (LIWC) supplies
+// the concrete eccentricity values at run time — the configuration
+// binds *names*, not numbers, which is exactly the decoupling the
+// paper's software layer introduces.
+package progmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Anchor identifies what a viewport is centered on.
+type Anchor int
+
+// Viewport anchors: the gaze-tracked fovea center or the display origin.
+const (
+	AnchorFovea Anchor = iota
+	AnchorOrigin
+)
+
+func (a Anchor) String() string {
+	if a == AnchorFovea {
+		return "fovea"
+	}
+	return "origin"
+}
+
+// Viewport is a render region: an anchor plus the name of the
+// eccentricity parameter bounding it ("e1", "e2", or "" for the whole
+// display).
+type Viewport struct {
+	Anchor Anchor
+	Radius string // eccentricity parameter name; empty = full display
+}
+
+// Channel is one rendering output: a named frame produced by a window
+// on a node.
+type Channel struct {
+	Node     int // index of the producing node
+	Window   string
+	Name     string
+	Viewport Viewport
+}
+
+// Composition is the display stage: input frames blended into an
+// output frame.
+type Composition struct {
+	Name   string
+	Inputs []string
+	Output string
+}
+
+// RenderGraph is a parsed configuration.
+type RenderGraph struct {
+	Channels    []Channel
+	Composition Composition
+}
+
+// ChannelByName finds a channel.
+func (g RenderGraph) ChannelByName(name string) (Channel, bool) {
+	for _, c := range g.Channels {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Channel{}, false
+}
+
+// LocalChannels returns channels rendered on node 0 (the mobile
+// client, by convention the first node).
+func (g RenderGraph) LocalChannels() []Channel {
+	var out []Channel
+	for _, c := range g.Channels {
+		if c.Node == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RemoteChannels returns channels rendered on nodes > 0.
+func (g RenderGraph) RemoteChannels() []Channel {
+	var out []Channel
+	for _, c := range g.Channels {
+		if c.Node > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks the graph is runnable.
+func (g RenderGraph) Validate() error {
+	if len(g.Channels) == 0 {
+		return fmt.Errorf("progmodel: no channels declared")
+	}
+	seen := map[string]bool{}
+	for _, c := range g.Channels {
+		if c.Name == "" {
+			return fmt.Errorf("progmodel: channel without a name in window %q", c.Window)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("progmodel: duplicate channel %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if g.Composition.Output == "" {
+		return fmt.Errorf("progmodel: display stage has no output frame")
+	}
+	if len(g.Composition.Inputs) == 0 {
+		return fmt.Errorf("progmodel: display stage has no input frames")
+	}
+	for _, in := range g.Composition.Inputs {
+		if !seen[in] {
+			return fmt.Errorf("progmodel: display input %q is not produced by any channel", in)
+		}
+	}
+	// Exactly one full-resolution gaze-anchored channel on the local
+	// node: the fovea.
+	locals := g.LocalChannels()
+	if len(locals) != 1 || locals[0].Viewport.Anchor != AnchorFovea {
+		return fmt.Errorf("progmodel: the local node must render exactly the fovea channel")
+	}
+	if len(g.RemoteChannels()) == 0 {
+		return fmt.Errorf("progmodel: no remote periphery channels")
+	}
+	return nil
+}
+
+// Standard returns the canonical Q-VR render graph of Fig. 7: local
+// fovea, remote middle and outer layers, display composition.
+func Standard() RenderGraph {
+	return RenderGraph{
+		Channels: []Channel{
+			{Node: 0, Window: "Fovea", Name: "fovea", Viewport: Viewport{Anchor: AnchorFovea, Radius: "e1"}},
+			{Node: 1, Window: "Periphery", Name: "mid", Viewport: Viewport{Anchor: AnchorFovea, Radius: "e2"}},
+			{Node: 1, Window: "Periphery", Name: "out", Viewport: Viewport{Anchor: AnchorOrigin}},
+		},
+		Composition: Composition{
+			Name:   "Display",
+			Inputs: []string{"fovea", "mid", "out"},
+			Output: "framebuffer",
+		},
+	}
+}
+
+// Marshal renders a graph in the Fig. 7 textual form; Parse(Marshal(g))
+// reproduces g.
+func Marshal(g RenderGraph) string {
+	var b strings.Builder
+	byNode := map[int]map[string][]Channel{}
+	order := []int{}
+	for _, c := range g.Channels {
+		if byNode[c.Node] == nil {
+			byNode[c.Node] = map[string][]Channel{}
+			order = append(order, c.Node)
+		}
+		byNode[c.Node][c.Window] = append(byNode[c.Node][c.Window], c)
+	}
+	for _, n := range order {
+		b.WriteString("node {\n  pipe {\n")
+		for window, chans := range byNode[n] {
+			b.WriteString("    window {\n")
+			fmt.Fprintf(&b, "      name %q\n", window)
+			for _, c := range chans {
+				if c.Viewport.Radius != "" {
+					fmt.Fprintf(&b, "      viewport [%s, %s]\n", c.Viewport.Anchor, c.Viewport.Radius)
+				} else {
+					fmt.Fprintf(&b, "      viewport [%s]\n", c.Viewport.Anchor)
+				}
+				fmt.Fprintf(&b, "      channel { name %q }\n", c.Name)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n}\n")
+	}
+	b.WriteString("component {\n  channel {\n")
+	fmt.Fprintf(&b, "    name %q\n", g.Composition.Name)
+	for _, in := range g.Composition.Inputs {
+		fmt.Fprintf(&b, "    inputframe %q\n", in)
+	}
+	fmt.Fprintf(&b, "    outputframe %q\n", g.Composition.Output)
+	b.WriteString("  }\n}\n")
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package progmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig7Config = `
+// Fig. 7: the Q-VR collaborative rendering configuration.
+node {
+  pipe {
+    window {
+      name "Fovea"
+      viewport [fovea, e1]
+      channel { name "fovea" }
+    }
+  }
+}
+node {
+  pipe {
+    window {
+      name "Periphery"
+      viewport [fovea, e2]
+      channel { name "mid" }
+      viewport [origin]
+      channel { name "out" }
+    }
+  }
+}
+component {
+  channel {
+    name "Display"
+    inputframe "fovea"
+    inputframe "mid"
+    inputframe "out"
+    outputframe "framebuffer"
+  }
+}
+`
+
+func TestParseFig7(t *testing.T) {
+	g, err := Parse(fig7Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Channels) != 3 {
+		t.Fatalf("channels = %d, want 3", len(g.Channels))
+	}
+	fovea, ok := g.ChannelByName("fovea")
+	if !ok {
+		t.Fatal("fovea channel missing")
+	}
+	if fovea.Node != 0 || fovea.Viewport.Anchor != AnchorFovea || fovea.Viewport.Radius != "e1" {
+		t.Errorf("fovea channel wrong: %+v", fovea)
+	}
+	mid, _ := g.ChannelByName("mid")
+	if mid.Node != 1 || mid.Viewport.Radius != "e2" {
+		t.Errorf("mid channel wrong: %+v", mid)
+	}
+	out, _ := g.ChannelByName("out")
+	if out.Viewport.Anchor != AnchorOrigin || out.Viewport.Radius != "" {
+		t.Errorf("out channel wrong: %+v", out)
+	}
+	if g.Composition.Output != "framebuffer" || len(g.Composition.Inputs) != 3 {
+		t.Errorf("composition wrong: %+v", g.Composition)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Fig.7 config invalid: %v", err)
+	}
+}
+
+func TestParseMatchesStandard(t *testing.T) {
+	g, err := Parse(fig7Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := Standard()
+	if len(g.Channels) != len(std.Channels) {
+		t.Fatalf("channel counts differ")
+	}
+	for i := range std.Channels {
+		if g.Channels[i] != std.Channels[i] {
+			t.Errorf("channel %d: parsed %+v vs standard %+v", i, g.Channels[i], std.Channels[i])
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	std := Standard()
+	text := Marshal(std)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if len(back.Channels) != len(std.Channels) {
+		t.Fatalf("round-trip lost channels")
+	}
+	for i := range std.Channels {
+		if back.Channels[i] != std.Channels[i] {
+			t.Errorf("round-trip channel %d: %+v vs %+v", i, back.Channels[i], std.Channels[i])
+		}
+	}
+	if back.Composition.Output != std.Composition.Output {
+		t.Errorf("round-trip composition: %+v", back.Composition)
+	}
+}
+
+func TestLocalRemoteSplit(t *testing.T) {
+	g := Standard()
+	if n := len(g.LocalChannels()); n != 1 {
+		t.Errorf("local channels = %d, want 1", n)
+	}
+	if n := len(g.RemoteChannels()); n != 2 {
+		t.Errorf("remote channels = %d, want 2", n)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RenderGraph)
+	}{
+		{"no channels", func(g *RenderGraph) { g.Channels = nil }},
+		{"duplicate channel", func(g *RenderGraph) { g.Channels = append(g.Channels, g.Channels[0]) }},
+		{"unnamed channel", func(g *RenderGraph) { g.Channels[0].Name = "" }},
+		{"no output", func(g *RenderGraph) { g.Composition.Output = "" }},
+		{"no inputs", func(g *RenderGraph) { g.Composition.Inputs = nil }},
+		{"dangling input", func(g *RenderGraph) { g.Composition.Inputs = append(g.Composition.Inputs, "ghost") }},
+		{"fovea remote", func(g *RenderGraph) { g.Channels[0].Node = 1 }},
+		{"two local channels", func(g *RenderGraph) { g.Channels[1].Node = 0 }},
+		{"nothing remote", func(g *RenderGraph) {
+			for i := range g.Channels {
+				g.Channels[i].Node = 0
+			}
+		}},
+	}
+	for _, c := range cases {
+		g := Standard()
+		c.mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", "%%%%"},
+		{"unterminated string", `node { pipe { window { name "Fovea`},
+		{"unterminated block", "node { pipe {"},
+		{"top-level junk", `window { }`},
+		{"bad anchor", `node { pipe { window { viewport [nose, e1] channel { name "x" } } } }`},
+		{"missing bracket", `node { pipe { window { viewport fovea, e1] } } }`},
+		{"junk in node", `node { banana }`},
+		{"junk in window", `node { pipe { window { banana } } }`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: parsed without error", c.name)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := "// leading comment\n" + fig7Config + "// trailing comment"
+	if _, err := Parse(src); err != nil {
+		t.Errorf("comments broke parsing: %v", err)
+	}
+}
+
+func TestChannelWithoutViewportDefaultsToOrigin(t *testing.T) {
+	src := `
+node { pipe { window { name "Fovea" viewport [fovea, e1] channel { name "fovea" } } } }
+node { pipe { window { name "P" channel { name "whole" } } } }
+component { channel { name "D" inputframe "fovea" inputframe "whole" outputframe "fb" } }
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := g.ChannelByName("whole")
+	if !ok || ch.Viewport.Anchor != AnchorOrigin {
+		t.Errorf("default viewport wrong: %+v", ch)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestMarshalIsParseable(t *testing.T) {
+	// Marshal must emit every construct the parser accepts.
+	text := Marshal(Standard())
+	for _, want := range []string{"node {", "window {", `viewport [fovea, e1]`, `inputframe "mid"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("marshal output missing %q:\n%s", want, text)
+		}
+	}
+}

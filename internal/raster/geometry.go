@@ -1,0 +1,85 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+
+	"qvr/internal/vec"
+)
+
+// GenerateScene builds a deterministic procedural test scene: a ground
+// plane plus a field of simple objects (boxes and fans) scattered
+// around the origin. It gives the examples and integration tests a
+// geometry source whose triangle count is controllable, standing in
+// for the game content the paper replays.
+func GenerateScene(objects int, trisPerObject int, seed int64) []Triangle {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Triangle
+
+	// Ground plane: two large triangles at y = -1.
+	g := 40.0
+	out = append(out,
+		Triangle{V: [3]Vertex{
+			{Pos: vec.Vec3{X: -g, Y: -1, Z: -g}, U: 0, V: 0},
+			{Pos: vec.Vec3{X: g, Y: -1, Z: g}, U: 8, V: 8},
+			{Pos: vec.Vec3{X: g, Y: -1, Z: -g}, U: 8, V: 0},
+		}, Luma: 0.45},
+		Triangle{V: [3]Vertex{
+			{Pos: vec.Vec3{X: -g, Y: -1, Z: -g}, U: 0, V: 0},
+			{Pos: vec.Vec3{X: -g, Y: -1, Z: g}, U: 0, V: 8},
+			{Pos: vec.Vec3{X: g, Y: -1, Z: g}, U: 8, V: 8},
+		}, Luma: 0.45},
+	)
+
+	for o := 0; o < objects; o++ {
+		// Scatter objects in a ring around the viewer.
+		angle := rng.Float64() * 2 * math.Pi
+		dist := 3 + rng.Float64()*20
+		cx, cz := dist*math.Cos(angle), dist*math.Sin(angle)
+		cy := -1 + rng.Float64()*2
+		size := 0.3 + rng.Float64()*1.5
+		luma := 0.35 + rng.Float64()*0.6
+		out = append(out, generateFan(vec.Vec3{X: cx, Y: cy, Z: cz}, size, trisPerObject, luma)...)
+	}
+	return out
+}
+
+// generateFan builds an object as a triangle fan sphere approximation.
+func generateFan(center vec.Vec3, radius float64, tris int, luma float64) []Triangle {
+	out := make([]Triangle, 0, tris)
+	// Rings of triangles over the sphere surface.
+	rings := int(math.Sqrt(float64(tris)/2)) + 1
+	segs := tris/(2*rings) + 1
+	point := func(ring, seg int) vec.Vec3 {
+		theta := float64(ring) / float64(rings) * math.Pi
+		phi := float64(seg) / float64(segs) * 2 * math.Pi
+		return vec.Vec3{
+			X: center.X + radius*math.Sin(theta)*math.Cos(phi),
+			Y: center.Y + radius*math.Cos(theta),
+			Z: center.Z + radius*math.Sin(theta)*math.Sin(phi),
+		}
+	}
+	for ring := 0; ring < rings && len(out) < tris; ring++ {
+		for seg := 0; seg < segs && len(out) < tris; seg++ {
+			a := point(ring, seg)
+			b := point(ring+1, seg)
+			c := point(ring, seg+1)
+			d := point(ring+1, seg+1)
+			u := float64(seg) / float64(segs)
+			v := float64(ring) / float64(rings)
+			out = append(out, Triangle{V: [3]Vertex{
+				{Pos: a, U: u * 4, V: v * 4},
+				{Pos: b, U: u * 4, V: (v + 0.1) * 4},
+				{Pos: c, U: (u + 0.1) * 4, V: v * 4},
+			}, Luma: luma})
+			if len(out) < tris {
+				out = append(out, Triangle{V: [3]Vertex{
+					{Pos: c, U: (u + 0.1) * 4, V: v * 4},
+					{Pos: b, U: u * 4, V: (v + 0.1) * 4},
+					{Pos: d, U: (u + 0.1) * 4, V: (v + 0.1) * 4},
+				}, Luma: luma * 0.9})
+			}
+		}
+	}
+	return out
+}

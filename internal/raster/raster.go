@@ -1,0 +1,336 @@
+// Package raster is a small but real software rasterizer: perspective
+// projection, back-face culling, tile-binned barycentric triangle
+// fill, depth testing, and a procedural shading stage.
+//
+// The Q-VR *timing* results come from the analytical GPU model in
+// package gpu — a cycle simulator is out of scope — but the system
+// still needs to actually produce pixels: the examples render frames,
+// the codec compresses them, the ATW/UCA stage reprojects and
+// composites them, and the foveated layer decomposition needs an image
+// source at multiple resolutions. This package closes that loop with a
+// 16x16-tile pipeline that mirrors the raster-engine organization of
+// the paper's Table 2 GPU ("16x16 tiled rasterization").
+package raster
+
+import (
+	"math"
+
+	"qvr/internal/codec"
+	"qvr/internal/vec"
+)
+
+// TileSize matches the Table 2 raster engine granularity.
+const TileSize = 16
+
+// Vertex is one triangle corner in world space with a shading
+// parameter (u, v used by the procedural shader).
+type Vertex struct {
+	Pos  vec.Vec3
+	U, V float64
+}
+
+// Triangle is a world-space triangle with a base luminance.
+type Triangle struct {
+	V    [3]Vertex
+	Luma float64 // base shade in [0,1]
+}
+
+// Framebuffer holds color (luma) and depth planes.
+type Framebuffer struct {
+	W, H  int
+	Color []uint8
+	Depth []float32
+}
+
+// NewFramebuffer allocates a cleared framebuffer (depth = +Inf).
+func NewFramebuffer(w, h int) *Framebuffer {
+	fb := &Framebuffer{W: w, H: h, Color: make([]uint8, w*h), Depth: make([]float32, w*h)}
+	fb.Clear(0)
+	return fb
+}
+
+// Clear resets color to the given luma and depth to infinity.
+func (fb *Framebuffer) Clear(luma uint8) {
+	for i := range fb.Color {
+		fb.Color[i] = luma
+		fb.Depth[i] = float32(math.Inf(1))
+	}
+}
+
+// Image converts the color plane to a codec image (shared backing is
+// avoided; the codec may mutate its copy).
+func (fb *Framebuffer) Image() *codec.Image {
+	im := codec.NewImage(fb.W, fb.H)
+	copy(im.Pix, fb.Color)
+	return im
+}
+
+// Stats accumulates rasterization counters; the integration tests use
+// them to cross-check the analytic GPU model's workload accounting.
+type Stats struct {
+	Submitted  int // triangles submitted
+	Culled     int // back-facing or clipped away
+	Rasterized int // triangles that produced fragments
+	Fragments  int // depth-tested fragment shader invocations
+	TilesHit   int // tile bins touched
+}
+
+// Renderer rasterizes triangles through a camera into a framebuffer.
+type Renderer struct {
+	fb   *Framebuffer
+	view vec.Mat4
+	proj vec.Mat4
+	st   Stats
+}
+
+// NewRenderer creates a renderer targeting fb.
+func NewRenderer(fb *Framebuffer) *Renderer {
+	r := &Renderer{fb: fb}
+	r.SetCamera(vec.Vec3{Z: 2}, vec.Vec3{}, math.Pi/2)
+	return r
+}
+
+// SetCamera positions the camera at eye looking at center with the
+// given vertical field of view (radians).
+func (r *Renderer) SetCamera(eye, center vec.Vec3, fovY float64) {
+	aspect := float64(r.fb.W) / float64(r.fb.H)
+	r.view = vec.LookAt(eye, center, vec.Vec3{Y: 1})
+	r.proj = vec.Perspective(fovY, aspect, 0.1, 200)
+}
+
+// SetPose aims the camera from a head pose (position + orientation).
+func (r *Renderer) SetPose(pos vec.Vec3, orient vec.Quat, fovY float64) {
+	fwd := orient.Forward()
+	r.SetCamera(pos, pos.Add(fwd), fovY)
+}
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (r *Renderer) Stats() Stats { return r.st }
+
+// ResetStats clears the counters.
+func (r *Renderer) ResetStats() { r.st = Stats{} }
+
+type screenVert struct {
+	x, y, z float64 // screen x,y and NDC depth
+	u, v    float64
+}
+
+// viewVert is a camera-space vertex with shading attributes, used by
+// the near-plane clipper.
+type viewVert struct {
+	pos  vec.Vec3
+	u, v float64
+}
+
+// nearPlane is the camera-space near clip distance (the camera looks
+// down -Z, so visible points have pos.Z <= -nearPlane).
+const nearPlane = 0.1
+
+// clipNear clips a camera-space triangle against the near plane using
+// Sutherland-Hodgman, returning 0-4 vertices.
+func clipNear(in [3]viewVert) []viewVert {
+	out := make([]viewVert, 0, 4)
+	inside := func(v viewVert) bool { return v.pos.Z <= -nearPlane }
+	intersect := func(a, b viewVert) viewVert {
+		t := (-nearPlane - a.pos.Z) / (b.pos.Z - a.pos.Z)
+		return viewVert{
+			pos: a.pos.Lerp(b.pos, t),
+			u:   a.u + (b.u-a.u)*t,
+			v:   a.v + (b.v-a.v)*t,
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cur, next := in[i], in[(i+1)%3]
+		if inside(cur) {
+			out = append(out, cur)
+			if !inside(next) {
+				out = append(out, intersect(cur, next))
+			}
+		} else if inside(next) {
+			out = append(out, intersect(cur, next))
+		}
+	}
+	return out
+}
+
+// Draw rasterizes one triangle, clipping against the near plane so
+// geometry crossing the camera (large ground planes, close walls)
+// renders correctly instead of vanishing.
+func (r *Renderer) Draw(t Triangle) {
+	r.st.Submitted++
+
+	// To camera space for clipping.
+	var vv [3]viewVert
+	for i := 0; i < 3; i++ {
+		p, _ := r.view.TransformPoint(t.V[i].Pos)
+		vv[i] = viewVert{pos: p, u: t.V[i].U, v: t.V[i].V}
+	}
+	poly := clipNear(vv)
+	if len(poly) < 3 {
+		r.st.Culled++
+		return
+	}
+	// Fan-triangulate the clipped polygon and rasterize each piece.
+	drew := false
+	for k := 1; k+1 < len(poly); k++ {
+		if r.drawClipped([3]viewVert{poly[0], poly[k], poly[k+1]}, t.Luma) {
+			drew = true
+		}
+	}
+	if !drew {
+		r.st.Culled++
+	}
+}
+
+// drawClipped projects and rasterizes one camera-space triangle that
+// is entirely in front of the near plane. It reports whether any
+// fragments could have been produced (i.e. the triangle survived
+// culling).
+func (r *Renderer) drawClipped(tv [3]viewVert, luma float64) bool {
+	var sv [3]screenVert
+	for i := 0; i < 3; i++ {
+		p, w := r.proj.TransformPoint(tv[i].pos)
+		if w <= 0 {
+			return false
+		}
+		sv[i] = screenVert{
+			x: (p.X + 1) / 2 * float64(r.fb.W),
+			y: (1 - (p.Y+1)/2) * float64(r.fb.H),
+			z: p.Z,
+			u: tv[i].u, v: tv[i].v,
+		}
+	}
+	t := Triangle{Luma: luma}
+
+	// Back-face cull via signed area (counter-clockwise = front).
+	area := edge(sv[0], sv[1], sv[2])
+	if area >= 0 {
+		return false
+	}
+
+	// Bounding box clamped to the framebuffer, snapped to tiles.
+	minX := int(math.Floor(min3(sv[0].x, sv[1].x, sv[2].x)))
+	maxX := int(math.Ceil(max3(sv[0].x, sv[1].x, sv[2].x)))
+	minY := int(math.Floor(min3(sv[0].y, sv[1].y, sv[2].y)))
+	maxY := int(math.Ceil(max3(sv[0].y, sv[1].y, sv[2].y)))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX > r.fb.W {
+		maxX = r.fb.W
+	}
+	if maxY > r.fb.H {
+		maxY = r.fb.H
+	}
+	if minX >= maxX || minY >= maxY {
+		return false
+	}
+	r.st.Rasterized++
+
+	inv := 1 / area
+	// Walk tile bins, then pixels within covered tiles.
+	for ty := minY / TileSize * TileSize; ty < maxY; ty += TileSize {
+		for tx := minX / TileSize * TileSize; tx < maxX; tx += TileSize {
+			if !tileOverlaps(sv, float64(tx), float64(ty), TileSize) {
+				continue
+			}
+			r.st.TilesHit++
+			yEnd := minInt(ty+TileSize, maxY)
+			xEnd := minInt(tx+TileSize, maxX)
+			for y := maxInt(ty, minY); y < yEnd; y++ {
+				for x := maxInt(tx, minX); x < xEnd; x++ {
+					px := screenVert{x: float64(x) + 0.5, y: float64(y) + 0.5}
+					w0 := edge(sv[1], sv[2], px) * inv
+					w1 := edge(sv[2], sv[0], px) * inv
+					w2 := edge(sv[0], sv[1], px) * inv
+					if w0 < 0 || w1 < 0 || w2 < 0 {
+						continue
+					}
+					z := w0*sv[0].z + w1*sv[1].z + w2*sv[2].z
+					idx := y*r.fb.W + x
+					if float32(z) >= r.fb.Depth[idx] {
+						continue
+					}
+					r.fb.Depth[idx] = float32(z)
+					u := w0*sv[0].u + w1*sv[1].u + w2*sv[2].u
+					v := w0*sv[0].v + w1*sv[1].v + w2*sv[2].v
+					r.fb.Color[idx] = shade(t.Luma, u, v, z)
+					r.st.Fragments++
+				}
+			}
+		}
+	}
+	return true
+}
+
+// DrawAll rasterizes a batch.
+func (r *Renderer) DrawAll(tris []Triangle) {
+	for _, t := range tris {
+		r.Draw(t)
+	}
+}
+
+// shade is the procedural fragment shader: base luma modulated by a
+// checker texture and depth fog.
+func shade(luma, u, v, z float64) uint8 {
+	c := luma
+	if (int(math.Floor(u*8))+int(math.Floor(v*8)))%2 == 0 {
+		c *= 0.75
+	}
+	// Depth fog toward mid gray.
+	fog := clamp(z, 0, 1) * 0.3
+	c = c*(1-fog) + 0.5*fog
+	val := c * 255
+	if val < 0 {
+		val = 0
+	}
+	if val > 255 {
+		val = 255
+	}
+	return uint8(val)
+}
+
+func edge(a, b, c screenVert) float64 {
+	return (b.x-a.x)*(c.y-a.y) - (b.y-a.y)*(c.x-a.x)
+}
+
+// tileOverlaps conservatively tests triangle/tile overlap using the
+// triangle's bounding box against the tile rect (exact edge tests are
+// done per pixel).
+func tileOverlaps(sv [3]screenVert, tx, ty, size float64) bool {
+	minX := min3(sv[0].x, sv[1].x, sv[2].x)
+	maxX := max3(sv[0].x, sv[1].x, sv[2].x)
+	minY := min3(sv[0].y, sv[1].y, sv[2].y)
+	maxY := max3(sv[0].y, sv[1].y, sv[2].y)
+	return maxX >= tx && minX < tx+size && maxY >= ty && minY < ty+size
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,263 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"qvr/internal/vec"
+)
+
+// frontTri returns a counter-clockwise (front-facing) triangle directly
+// in front of the default camera at the origin looking down -Z... the
+// default camera sits at (0,0,2) looking at the origin, so geometry
+// near the origin is visible.
+func frontTri(luma float64) Triangle {
+	return Triangle{V: [3]Vertex{
+		{Pos: vec.Vec3{X: -0.5, Y: -0.5, Z: 0}},
+		{Pos: vec.Vec3{X: 0.5, Y: -0.5, Z: 0}, U: 1},
+		{Pos: vec.Vec3{X: 0, Y: 0.5, Z: 0}, V: 1},
+	}, Luma: luma}
+}
+
+func countNonZero(fb *Framebuffer) int {
+	n := 0
+	for _, c := range fb.Color {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDrawVisibleTriangle(t *testing.T) {
+	fb := NewFramebuffer(64, 64)
+	r := NewRenderer(fb)
+	r.Draw(frontTri(0.9))
+	st := r.Stats()
+	if st.Rasterized != 1 {
+		t.Fatalf("rasterized = %d, want 1 (stats %+v)", st.Rasterized, st)
+	}
+	if st.Fragments == 0 {
+		t.Fatal("no fragments shaded")
+	}
+	if countNonZero(fb) == 0 {
+		t.Fatal("no pixels written")
+	}
+}
+
+func TestBackfaceCulled(t *testing.T) {
+	fb := NewFramebuffer(64, 64)
+	r := NewRenderer(fb)
+	tri := frontTri(0.9)
+	tri.V[0], tri.V[1] = tri.V[1], tri.V[0] // reverse winding
+	r.Draw(tri)
+	if r.Stats().Culled != 1 {
+		t.Errorf("back-facing triangle not culled: %+v", r.Stats())
+	}
+	if countNonZero(fb) != 0 {
+		t.Error("culled triangle wrote pixels")
+	}
+}
+
+func TestDepthTest(t *testing.T) {
+	fb := NewFramebuffer(64, 64)
+	r := NewRenderer(fb)
+	near := frontTri(1.0)
+	far := frontTri(0.2)
+	for i := range far.V {
+		far.V[i].Pos.Z = -1 // further from the camera at z=+2
+	}
+	// Draw far first, then near: near must win.
+	r.Draw(far)
+	r.Draw(near)
+	centerA := fb.Color[32*64+32]
+
+	fb2 := NewFramebuffer(64, 64)
+	r2 := NewRenderer(fb2)
+	// Reverse order: result must be identical (depth test, not paint order).
+	r2.Draw(frontTri(1.0))
+	farB := far
+	r2.Draw(farB)
+	centerB := fb2.Color[32*64+32]
+	if centerA != centerB {
+		t.Errorf("depth test order-dependent: %d vs %d", centerA, centerB)
+	}
+}
+
+func TestBehindCameraDropped(t *testing.T) {
+	fb := NewFramebuffer(32, 32)
+	r := NewRenderer(fb)
+	tri := frontTri(0.9)
+	for i := range tri.V {
+		tri.V[i].Pos.Z = 10 // behind the z=+2 camera looking at origin
+	}
+	r.Draw(tri)
+	if countNonZero(fb) != 0 {
+		t.Error("behind-camera triangle rasterized")
+	}
+}
+
+func TestOffscreenDropped(t *testing.T) {
+	fb := NewFramebuffer(32, 32)
+	r := NewRenderer(fb)
+	tri := frontTri(0.9)
+	for i := range tri.V {
+		tri.V[i].Pos.X += 100
+	}
+	r.Draw(tri)
+	if r.Stats().Fragments != 0 {
+		t.Error("offscreen triangle shaded fragments")
+	}
+}
+
+func TestClearResetsDepth(t *testing.T) {
+	fb := NewFramebuffer(16, 16)
+	r := NewRenderer(fb)
+	r.Draw(frontTri(0.9))
+	fb.Clear(10)
+	for i, d := range fb.Depth {
+		if !math.IsInf(float64(d), 1) {
+			t.Fatalf("depth[%d] = %v after clear", i, d)
+		}
+	}
+	for _, c := range fb.Color {
+		if c != 10 {
+			t.Fatal("clear color not applied")
+		}
+	}
+}
+
+func TestStatsTilesReasonable(t *testing.T) {
+	fb := NewFramebuffer(64, 64)
+	r := NewRenderer(fb)
+	r.Draw(frontTri(0.9))
+	st := r.Stats()
+	maxTiles := (64 / TileSize) * (64 / TileSize)
+	if st.TilesHit <= 0 || st.TilesHit > maxTiles {
+		t.Errorf("tiles hit = %d, want in (0, %d]", st.TilesHit, maxTiles)
+	}
+	r.ResetStats()
+	if r.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestFragmentsScaleWithResolution(t *testing.T) {
+	frags := func(size int) int {
+		fb := NewFramebuffer(size, size)
+		r := NewRenderer(fb)
+		r.Draw(frontTri(0.9))
+		return r.Stats().Fragments
+	}
+	f64, f128 := frags(64), frags(128)
+	ratio := float64(f128) / float64(f64)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("fragment scaling %d -> %d (ratio %.2f), want ~4x", f64, f128, ratio)
+	}
+}
+
+func TestSetPoseMatchesLookAt(t *testing.T) {
+	fb := NewFramebuffer(32, 32)
+	r := NewRenderer(fb)
+	// Identity orientation forward is -Z; posing at (0,0,2) should
+	// reproduce the default camera.
+	r.SetPose(vec.Vec3{Z: 2}, vec.IdentityQuat(), math.Pi/2)
+	r.Draw(frontTri(0.9))
+	if r.Stats().Fragments == 0 {
+		t.Error("posed camera sees nothing")
+	}
+}
+
+func TestGenerateSceneDeterministic(t *testing.T) {
+	a := GenerateScene(10, 50, 42)
+	b := GenerateScene(10, 50, 42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSceneSize(t *testing.T) {
+	s := GenerateScene(20, 100, 1)
+	// 2 ground triangles + up to 20*100 object triangles.
+	if len(s) < 500 || len(s) > 2002 {
+		t.Errorf("scene size = %d, want 500..2002", len(s))
+	}
+}
+
+func TestGeneratedSceneRenders(t *testing.T) {
+	fb := NewFramebuffer(96, 96)
+	r := NewRenderer(fb)
+	r.SetCamera(vec.Vec3{Y: 0.5, Z: 0}, vec.Vec3{X: 5, Y: 0, Z: 5}, math.Pi/2)
+	r.DrawAll(GenerateScene(30, 80, 7))
+	st := r.Stats()
+	if st.Fragments == 0 {
+		t.Fatal("generated scene produced no fragments")
+	}
+	if st.Rasterized == 0 || st.Rasterized > st.Submitted {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	if countNonZero(fb) < 96*96/10 {
+		t.Errorf("scene covered only %d pixels", countNonZero(fb))
+	}
+}
+
+func TestImageCopyIndependent(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	fb.Color[0] = 77
+	im := fb.Image()
+	im.Pix[0] = 5
+	if fb.Color[0] != 77 {
+		t.Error("Image shares backing with framebuffer")
+	}
+}
+
+func TestNearPlaneClipping(t *testing.T) {
+	// A large triangle passing through the camera plane used to vanish
+	// entirely; the clipper must keep the visible part.
+	fb := NewFramebuffer(64, 64)
+	r := NewRenderer(fb) // camera at (0,0,2) looking at origin
+	tri := Triangle{V: [3]Vertex{
+		{Pos: vec.Vec3{X: -5, Y: -0.5, Z: 5}},  // behind the camera
+		{Pos: vec.Vec3{X: 5, Y: -0.5, Z: 5}},   // behind the camera
+		{Pos: vec.Vec3{X: 0, Y: -0.5, Z: -20}}, // far in front
+	}, Luma: 0.9}
+	r.Draw(tri)
+	if r.Stats().Fragments == 0 {
+		t.Error("straddling triangle produced no fragments after clipping")
+	}
+}
+
+func TestClipNearGeometry(t *testing.T) {
+	// Fully behind: empty. Fully in front: unchanged. One behind: quad.
+	behind := [3]viewVert{
+		{pos: vec.Vec3{Z: 1}}, {pos: vec.Vec3{X: 1, Z: 1}}, {pos: vec.Vec3{Y: 1, Z: 1}},
+	}
+	if got := clipNear(behind); len(got) != 0 {
+		t.Errorf("fully-behind clip kept %d verts", len(got))
+	}
+	front := [3]viewVert{
+		{pos: vec.Vec3{Z: -5}}, {pos: vec.Vec3{X: 1, Z: -5}}, {pos: vec.Vec3{Y: 1, Z: -5}},
+	}
+	if got := clipNear(front); len(got) != 3 {
+		t.Errorf("fully-front clip produced %d verts", len(got))
+	}
+	mixed := [3]viewVert{
+		{pos: vec.Vec3{Z: 1}, u: 0}, // behind
+		{pos: vec.Vec3{X: 1, Z: -5}, u: 1},
+		{pos: vec.Vec3{Y: 1, Z: -5}, u: 2},
+	}
+	got := clipNear(mixed)
+	if len(got) != 4 {
+		t.Fatalf("one-behind clip produced %d verts, want 4", len(got))
+	}
+	for _, v := range got {
+		if v.pos.Z > -nearPlane+1e-12 {
+			t.Errorf("clipped vertex still behind near plane: %+v", v)
+		}
+	}
+}

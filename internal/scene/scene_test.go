@@ -1,0 +1,221 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"qvr/internal/motion"
+	"qvr/internal/vec"
+)
+
+func TestCatalogsComplete(t *testing.T) {
+	if len(Table1Apps) != 5 {
+		t.Errorf("Table1Apps has %d entries, want 5", len(Table1Apps))
+	}
+	if len(EvalApps) != 7 {
+		t.Errorf("EvalApps has %d entries, want 7", len(EvalApps))
+	}
+	for _, a := range append(append([]App{}, Table1Apps...), EvalApps...) {
+		if a.Width <= 0 || a.Height <= 0 || a.Triangles <= 0 || a.Batches <= 0 {
+			t.Errorf("%s: incomplete geometry params", a.Name)
+		}
+		if a.FMin < 0 || a.FMax > 1 || a.FMin > a.FMax {
+			t.Errorf("%s: bad f range [%v,%v]", a.Name, a.FMin, a.FMax)
+		}
+		if a.ShadingCost <= 0 || a.Overdraw < 1 {
+			t.Errorf("%s: bad cost params", a.Name)
+		}
+		if a.Entropy <= 0 || a.Entropy > 1 {
+			t.Errorf("%s: bad entropy %v", a.Name, a.Entropy)
+		}
+	}
+}
+
+func TestPublishedStatistics(t *testing.T) {
+	// Spot-check the statistics the paper publishes.
+	checks := []struct {
+		name string
+		tris int
+	}{
+		{"Viking", 2_800_000},
+		{"SanMiguel", 4_200_000},
+		{"Foveated3D", 231_000},
+		{"Sponza", 282_000},
+		{"Nature", 1_400_000},
+	}
+	for _, c := range checks {
+		a, ok := AppByName(c.name)
+		if !ok {
+			t.Fatalf("%s missing from catalog", c.name)
+		}
+		if a.Triangles != c.tris {
+			t.Errorf("%s triangles = %d, want %d", c.name, a.Triangles, c.tris)
+		}
+	}
+	batches := map[string]int{
+		"Doom3-H": 382, "Doom3-L": 382, "HL2-H": 656, "HL2-L": 656,
+		"GRID": 3680, "UT3": 1752, "Wolf": 3394,
+	}
+	for name, want := range batches {
+		a, ok := AppByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if a.Batches != want {
+			t.Errorf("%s batches = %d, want %d", name, a.Batches, want)
+		}
+	}
+}
+
+func TestResolutions(t *testing.T) {
+	hi, _ := AppByName("Doom3-H")
+	lo, _ := AppByName("Doom3-L")
+	if hi.Width != 1920 || hi.Height != 2160 {
+		t.Errorf("Doom3-H resolution = %dx%d", hi.Width, hi.Height)
+	}
+	if lo.Width != 1280 || lo.Height != 1600 {
+		t.Errorf("Doom3-L resolution = %dx%d", lo.Width, lo.Height)
+	}
+	if hi.PixelsPerFrame() != 2*1920*2160 {
+		t.Errorf("PixelsPerFrame = %d", hi.PixelsPerFrame())
+	}
+}
+
+func TestAppByNameMissing(t *testing.T) {
+	if _, ok := AppByName("NoSuchGame"); ok {
+		t.Error("lookup of missing app succeeded")
+	}
+}
+
+func sampleAt(dist float64, gaze vec.Vec2, yaw float64) motion.Sample {
+	return motion.Sample{
+		Head:         motion.Pose{Orientation: vec.FromEuler(yaw, 0, 0)},
+		Gaze:         gaze,
+		InteractDist: dist,
+	}
+}
+
+func TestFrameDeterministic(t *testing.T) {
+	st := NewState(EvalApps[0])
+	s := sampleAt(2, vec.Vec2{X: 5, Y: -3}, 0.4)
+	a := st.Frame(s)
+	b := st.Frame(s)
+	if a != b {
+		t.Errorf("same sample produced different stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestInteractionIncreasesWorkload(t *testing.T) {
+	// The Fig. 5 effect: approaching an interactive object increases
+	// triangle count and interactive share.
+	nature, _ := AppByName("Nature")
+	st := NewState(nature)
+	far := st.Frame(sampleAt(6, vec.Vec2{}, 0))
+	near := st.Frame(sampleAt(0.3, vec.Vec2{}, 0))
+	if near.VisibleTriangles <= far.VisibleTriangles {
+		t.Errorf("close triangles %d not > far %d", near.VisibleTriangles, far.VisibleTriangles)
+	}
+	if near.InteractiveShare <= far.InteractiveShare {
+		t.Errorf("close f %v not > far %v", near.InteractiveShare, far.InteractiveShare)
+	}
+	// The paper reports roughly 2.2x latency growth for the tree; the
+	// LOD factor should land in that neighbourhood.
+	ratio := float64(near.VisibleTriangles) / float64(far.VisibleTriangles)
+	if ratio < 1.3 || ratio > 3 {
+		t.Errorf("near/far workload ratio = %v, want in [1.3, 3]", ratio)
+	}
+}
+
+func TestInteractiveShareWithinRange(t *testing.T) {
+	for _, a := range append(append([]App{}, Table1Apps...), EvalApps...) {
+		st := NewState(a)
+		g := motion.NewGenerator(motion.Intense, 31)
+		for i := 0; i < 1000; i++ {
+			s := g.Advance(1.0 / 90)
+			fs := st.Frame(s)
+			if fs.InteractiveShare < a.FMin-1e-9 || fs.InteractiveShare > a.FMax+1e-9 {
+				t.Fatalf("%s: f=%v outside [%v,%v]", a.Name, fs.InteractiveShare, a.FMin, a.FMax)
+			}
+		}
+	}
+}
+
+func TestViewComplexityVaries(t *testing.T) {
+	st := NewState(EvalApps[4]) // GRID, high ComplexityVar
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for yaw := 0.0; yaw < 6.28; yaw += 0.1 {
+		fs := st.Frame(sampleAt(5, vec.Vec2{}, yaw))
+		lo = math.Min(lo, fs.ViewComplexity)
+		hi = math.Max(hi, fs.ViewComplexity)
+	}
+	if hi/lo < 1.2 {
+		t.Errorf("view complexity barely varies: [%v, %v]", lo, hi)
+	}
+}
+
+func TestStaticSceneWhenNoVariation(t *testing.T) {
+	a := EvalApps[0]
+	a.ComplexityVar = 0
+	a.LODBoost = 1
+	st := NewState(a)
+	ref := st.Frame(sampleAt(5, vec.Vec2{}, 0)).VisibleTriangles
+	for yaw := 0.0; yaw < 3; yaw += 0.5 {
+		fs := st.Frame(sampleAt(1, vec.Vec2{}, yaw))
+		if fs.VisibleTriangles != ref {
+			t.Fatalf("static scene varied: %d vs %d", fs.VisibleTriangles, ref)
+		}
+	}
+}
+
+func TestGazeDensityBounded(t *testing.T) {
+	for _, a := range EvalApps {
+		st := NewState(a)
+		g := motion.NewGenerator(motion.Normal, 17)
+		for i := 0; i < 500; i++ {
+			fs := st.Frame(g.Advance(1.0 / 90))
+			if fs.GazeDensity < 0.45-1e-9 || fs.GazeDensity > 2.4+1e-9 {
+				t.Fatalf("%s: gaze density %v out of bounds", a.Name, fs.GazeDensity)
+			}
+		}
+	}
+}
+
+func TestGazeDensityMeanNearOne(t *testing.T) {
+	// The density field must not bias workloads systematically.
+	st := NewState(EvalApps[2])
+	g := motion.NewGenerator(motion.Normal, 23)
+	sum := 0.0
+	n := 3000
+	for i := 0; i < n; i++ {
+		sum += st.Frame(g.Advance(1.0 / 90)).GazeDensity
+	}
+	mean := sum / float64(n)
+	if mean < 0.7 || mean > 1.45 {
+		t.Errorf("gaze density mean = %v, want near 1", mean)
+	}
+}
+
+func TestAppsDecorrelated(t *testing.T) {
+	// Different seeds should give different complexity fields.
+	a := NewState(EvalApps[0])
+	b := NewState(EvalApps[4])
+	same := 0
+	for yaw := 0.0; yaw < 6; yaw += 0.2 {
+		sa := a.Frame(sampleAt(5, vec.Vec2{}, yaw))
+		sb := b.Frame(sampleAt(5, vec.Vec2{}, yaw))
+		if math.Abs(sa.ViewComplexity-sb.ViewComplexity) < 1e-6 {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("apps share complexity field: %d/30 samples equal", same)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	a, _ := AppByName("GRID")
+	s := a.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+// Resource models a contended hardware unit with a fixed number of
+// identical servers (capacity): one mobile GPU, two UCA units, one
+// video decoder, one radio link, and so on. Jobs are served FIFO; a job
+// occupies one server for its service time and then invokes its
+// completion callback.
+//
+// Resource is the mechanism behind the paper's contention analysis
+// (Fig. 4-3): when composition and ATW run on the GPU Resource they
+// delay queued rendering jobs, and when they run on a separate UCA
+// Resource the contention disappears.
+type Resource struct {
+	engine   *Engine
+	name     string
+	capacity int
+	busy     int
+	queue    []*job
+
+	// Accounting for utilization reports.
+	busyTime   Time
+	lastChange Time
+	served     int64
+}
+
+type job struct {
+	service Time
+	onStart func()
+	onDone  func()
+}
+
+// NewResource creates a resource with the given number of servers
+// attached to engine. Capacity must be at least 1.
+func NewResource(engine *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{engine: engine, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Request enqueues a job needing the given service time. onDone runs
+// when the job completes; it may be nil.
+func (r *Resource) Request(service Time, onDone func()) {
+	r.RequestWithStart(service, nil, onDone)
+}
+
+// RequestWithStart enqueues a job and additionally invokes onStart at
+// the moment a server is granted (used to timestamp queueing delay).
+func (r *Resource) RequestWithStart(service Time, onStart, onDone func()) {
+	if service < 0 {
+		service = 0
+	}
+	j := &job{service: service, onStart: onStart, onDone: onDone}
+	r.queue = append(r.queue, j)
+	r.dispatch()
+}
+
+func (r *Resource) dispatch() {
+	for r.busy < r.capacity && len(r.queue) > 0 {
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		r.accountBusy()
+		r.busy++
+		if j.onStart != nil {
+			j.onStart()
+		}
+		r.engine.Schedule(j.service, func() {
+			r.accountBusy()
+			r.busy--
+			r.served++
+			if j.onDone != nil {
+				j.onDone()
+			}
+			r.dispatch()
+		})
+	}
+}
+
+func (r *Resource) accountBusy() {
+	now := r.engine.Now()
+	r.busyTime += Time(float64(now-r.lastChange) * float64(r.busy) / float64(r.capacity))
+	r.lastChange = now
+}
+
+// InUse reports the number of currently occupied servers.
+func (r *Resource) InUse() int { return r.busy }
+
+// QueueLen reports the number of jobs waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Served reports the number of completed jobs.
+func (r *Resource) Served() int64 { return r.served }
+
+// Utilization reports the time-averaged fraction of capacity in use
+// since the resource was created.
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	if r.engine.Now() == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(r.engine.Now())
+}

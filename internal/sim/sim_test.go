@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(Ms(3), func() { got = append(got, 3) })
+	e.Schedule(Ms(1), func() { got = append(got, 1) })
+	e.Schedule(Ms(2), func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Ms(3) {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Ms(5), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(Ms(1), func() {
+		e.Schedule(Ms(-10), func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+	if e.Now() != Ms(1) {
+		t.Errorf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestAtAbsolute(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(Ms(7), func() { at = e.Now() })
+	e.Run()
+	if at != Ms(7) {
+		t.Errorf("At fired at %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Ms(float64(i)), func() { count++ })
+	}
+	e.RunUntil(Ms(5))
+	if count != 5 {
+		t.Errorf("ran %d events, want 5", count)
+	}
+	if e.Now() != Ms(5) {
+		t.Errorf("clock = %v, want 5ms", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("after Run count = %d", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var tick func()
+	n := 0
+	tick = func() {
+		times = append(times, e.Now().Milliseconds())
+		n++
+		if n < 5 {
+			e.Schedule(Ms(2), tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	for i, ms := range times {
+		if want := float64(i * 2); ms != want {
+			t.Fatalf("tick %d at %vms, want %v", i, ms, want)
+		}
+	}
+}
+
+func TestEventTimesMonotonic(t *testing.T) {
+	// Property: regardless of insertion order, execution times never
+	// decrease.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []float64
+		for _, d := range delays {
+			d := d
+			e.Schedule(Us(float64(d)), func() {
+				seen = append(seen, e.Now().Seconds())
+			})
+		}
+		e.Run()
+		return sort.Float64sAreSorted(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "gpu", 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		r.Request(Ms(10), func() { done = append(done, e.Now().Milliseconds()) })
+	}
+	e.Run()
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Errorf("served = %d", r.Served())
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "uca", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		r.Request(Ms(10), func() { done = append(done, e.Now().Milliseconds()) })
+	}
+	e.Run()
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceOnStartMeasuresQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "dec", 1)
+	var starts []float64
+	for i := 0; i < 3; i++ {
+		r.RequestWithStart(Ms(4), func() {
+			starts = append(starts, e.Now().Milliseconds())
+		}, nil)
+	}
+	e.Run()
+	want := []float64{0, 4, 8}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "gpu", 1)
+	r.Request(Ms(5), nil)
+	e.Schedule(Ms(10), func() {}) // extend sim to 10ms
+	e.Run()
+	u := r.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestResourceConservation(t *testing.T) {
+	// Property: with capacity c and n jobs of service s, total makespan
+	// is ceil(n/c)*s and all jobs complete.
+	f := func(cap8, n8 uint8) bool {
+		c := int(cap8%4) + 1
+		n := int(n8%20) + 1
+		e := NewEngine()
+		r := NewResource(e, "x", c)
+		completed := 0
+		for i := 0; i < n; i++ {
+			r.Request(Ms(2), func() { completed++ })
+		}
+		e.Run()
+		batches := (n + c - 1) / c
+		makespan := e.Now().Milliseconds()
+		want := float64(2 * batches)
+		return completed == n && makespan > want-1e-9 && makespan < want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceRandomizedNoLostJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		r := NewResource(e, "x", 1+rng.Intn(3))
+		n := 1 + rng.Intn(50)
+		completed := 0
+		for i := 0; i < n; i++ {
+			delay := Us(float64(rng.Intn(5000)))
+			service := Us(float64(rng.Intn(3000)))
+			e.Schedule(delay, func() {
+				r.Request(service, func() { completed++ })
+			})
+		}
+		e.Run()
+		if completed != n {
+			t.Fatalf("trial %d: completed %d of %d", trial, completed, n)
+		}
+		if r.InUse() != 0 || r.QueueLen() != 0 {
+			t.Fatalf("trial %d: resource not drained", trial)
+		}
+	}
+}
+
+func TestZeroServiceJob(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	ran := false
+	r.Request(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Error("zero-service job did not complete")
+	}
+}
+
+func TestCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource(0) did not panic")
+		}
+	}()
+	NewResource(NewEngine(), "bad", 0)
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Ms(25).Milliseconds() != 25 {
+		t.Error("Ms roundtrip failed")
+	}
+	if Us(1500) != Ms(1.5) {
+		t.Error("Us/Ms mismatch")
+	}
+	if Ms(11.1).String() != "11.100ms" {
+		t.Errorf("String = %q", Ms(11.1).String())
+	}
+}

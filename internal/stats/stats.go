@@ -1,0 +1,154 @@
+// Package stats provides the summary statistics the experiment harness
+// and tools report: moments, order statistics, and a small ASCII
+// histogram for latency distributions. VR latency analysis cares about
+// tails (a single 40 ms frame causes visible judder even if the mean
+// is 15 ms), so percentiles are first-class here.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary. An empty input yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile returns the p-quantile of a sorted sample using linear
+// interpolation between order statistics.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile returns the p-quantile of an unsorted sample.
+func Quantile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantile(sorted, p)
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g std=%.3g min=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram renders an ASCII histogram of xs across the given number
+// of equal-width bins, one line per bin.
+func Histogram(xs []float64, bins int, width int) string {
+	if len(xs) == 0 || bins <= 0 {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int((x - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		binLo := lo + (hi-lo)*float64(i)/float64(bins)
+		binHi := lo + (hi-lo)*float64(i+1)/float64(bins)
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&b, "%10.3g-%-10.3g %6d %s\n", binLo, binHi, c, bar)
+	}
+	return b.String()
+}
+
+// Correlation computes the Pearson correlation coefficient between two
+// equally sized samples; the LIWC analysis uses it to quantify the
+// motion-to-workload coupling the paper's Fig. 8 observes.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points")
+	}
+	mx := Summarize(xs).Mean
+	my := Summarize(ys).Mean
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

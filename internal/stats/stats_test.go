@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P99 != 7 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Errorf("median of {0,10} = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 0 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 2, 3}
+	h := Histogram(xs, 3, 20)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram lines = %d, want 3:\n%s", len(lines), h)
+	}
+	// The first bin (the 1s) must have the longest bar.
+	if !strings.Contains(lines[0], "####") {
+		t.Errorf("dominant bin has no bar:\n%s", h)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := Histogram(nil, 4, 10); !strings.Contains(h, "no data") {
+		t.Errorf("empty histogram = %q", h)
+	}
+	// Constant data must not divide by zero.
+	h := Histogram([]float64{5, 5, 5}, 2, 10)
+	if !strings.Contains(h, "3") {
+		t.Errorf("constant histogram lost counts:\n%s", h)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3}
+	r, _ = Correlation(xs, flat)
+	if r != 0 {
+		t.Errorf("flat correlation = %v", r)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if str := s.String(); !strings.Contains(str, "n=3") {
+		t.Errorf("String = %q", str)
+	}
+}

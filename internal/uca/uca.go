@@ -1,0 +1,97 @@
+// Package uca models the Unified Composition and ATW unit — the
+// dedicated SoC block the paper adds to take frame composition and
+// time warp off the mobile GPU (Section 4.2).
+//
+// The functional algorithm (reordered distortion -> remap -> single
+// trilinear/bilinear filter pass) lives in package atw, where it is
+// verified against the sequential baseline on real images. This
+// package models the *hardware* behaviour the evaluation depends on:
+//
+//   - throughput: each UCA processes one 32x32-pixel tile in 532
+//     cycles (the paper's measured figure on its cycle-level
+//     simulator); boundary tiles take the full trilinear path while
+//     interior tiles take a cheaper bilinear path;
+//   - parallelism: the default configuration instantiates 2 units at
+//     500 MHz, which the paper states is sufficient for realtime VR;
+//   - asynchrony: UCA runs as its own accelerator, so its latency
+//     overlaps GPU rendering instead of contending with it (the
+//     Fig. 4-3 problem the unit exists to remove).
+package uca
+
+// TilePixels is the hardware tile granularity (32x32).
+const TilePixels = 32
+
+// Config describes a UCA hardware instance.
+type Config struct {
+	// Units is the number of UCA blocks on the SoC (paper default: 2).
+	Units int
+	// FrequencyMHz is the block clock (paper default: 500 MHz).
+	FrequencyMHz float64
+	// CyclesTrilinear is the cost of a boundary tile needing the full
+	// unified trilinear filter (paper: 532 cycles per 32x32 block).
+	CyclesTrilinear int
+	// CyclesBilinear is the cost of an interior tile that only needs
+	// bilinear sampling of a single layer.
+	CyclesBilinear int
+}
+
+// Default returns the paper's UCA configuration.
+func Default() Config {
+	return Config{
+		Units:           2,
+		FrequencyMHz:    500,
+		CyclesTrilinear: 532,
+		CyclesBilinear:  398,
+	}
+}
+
+// Tiles returns the number of hardware tiles covering a w x h frame
+// for both eyes.
+func Tiles(w, h int) int {
+	tx := (w + TilePixels - 1) / TilePixels
+	ty := (h + TilePixels - 1) / TilePixels
+	return 2 * tx * ty
+}
+
+// FrameSeconds returns the UCA latency to compose-and-warp one stereo
+// frame of the given per-eye resolution, where boundaryFrac of tiles
+// straddle a layer boundary (see atw.BoundaryTileFraction).
+func (c Config) FrameSeconds(w, h int, boundaryFrac float64) float64 {
+	if boundaryFrac < 0 {
+		boundaryFrac = 0
+	}
+	if boundaryFrac > 1 {
+		boundaryFrac = 1
+	}
+	tiles := float64(Tiles(w, h))
+	cycles := tiles * (boundaryFrac*float64(c.CyclesTrilinear) + (1-boundaryFrac)*float64(c.CyclesBilinear))
+	units := c.Units
+	if units < 1 {
+		units = 1
+	}
+	return cycles / (float64(units) * c.FrequencyMHz * 1e6)
+}
+
+// GPUCompositionSeconds models the *baseline* software path the UCA
+// replaces: composition plus ATW running as shader work on the mobile
+// GPU. The cost is charged to the GPU resource in the pipeline model,
+// where it contends with rendering (Fig. 4-3). Costs are expressed as
+// shader ops per pixel: composition reads three layers and blends
+// (~45 ops), ATW does distortion math and a bilinear fetch (~30 ops).
+func GPUCompositionSeconds(w, h int, freqMHz float64, withComposition bool) float64 {
+	pixels := float64(2 * w * h)
+	ops := 30.0 // ATW alone
+	if withComposition {
+		ops += 45
+	}
+	// Ops execute across the baseline GPU's 256 ALU lanes.
+	const lanes = 256
+	return pixels * ops / (lanes * freqMHz * 1e6)
+}
+
+// RuntimePowerWatts is the McPAT-derived power of one active UCA
+// (Section 4.3: 94 mW at 500 MHz, 45 nm).
+const RuntimePowerWatts = 0.094
+
+// AreaMM2 is the McPAT-derived area of one UCA (Section 4.3: 1.6 mm2).
+const AreaMM2 = 1.6

@@ -1,0 +1,124 @@
+package uca
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTilesStereo(t *testing.T) {
+	// 1920x2160 per eye: 60 x 68 tiles x 2 eyes.
+	if got := Tiles(1920, 2160); got != 2*60*68 {
+		t.Errorf("Tiles(1920,2160) = %d, want %d", got, 2*60*68)
+	}
+	// Non-multiples round up.
+	if got := Tiles(33, 33); got != 2*2*2 {
+		t.Errorf("Tiles(33,33) = %d, want 8", got)
+	}
+}
+
+func TestPaperTileLatency(t *testing.T) {
+	// One boundary tile on one unit at 500 MHz must cost exactly
+	// 532 cycles = 1.064 us.
+	c := Default()
+	c.Units = 1
+	got := c.FrameSeconds(TilePixels, TilePixels, 1) / 2 // Tiles() counts both eyes
+	want := 532.0 / 500e6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("tile latency = %v, want %v", got, want)
+	}
+}
+
+func TestFullFrameUnderBudget(t *testing.T) {
+	// The paper: 2 UCAs at 500 MHz are "sufficient for realtime VR".
+	// A full 1920x2160 stereo frame must fit well inside the 11 ms
+	// frame budget.
+	c := Default()
+	sec := c.FrameSeconds(1920, 2160, 0.25)
+	if sec > 0.005 {
+		t.Errorf("stereo frame UCA latency = %.2fms, want < 5ms", sec*1000)
+	}
+	if sec <= 0 {
+		t.Error("non-positive UCA latency")
+	}
+}
+
+func TestBoundaryFractionIncreasesCost(t *testing.T) {
+	c := Default()
+	interior := c.FrameSeconds(1920, 2160, 0)
+	mixed := c.FrameSeconds(1920, 2160, 0.5)
+	full := c.FrameSeconds(1920, 2160, 1)
+	if !(interior < mixed && mixed < full) {
+		t.Errorf("cost not increasing with boundary fraction: %v %v %v", interior, mixed, full)
+	}
+	// Linear interpolation between the two tile costs.
+	want := (interior + full) / 2
+	if math.Abs(mixed-want) > 1e-12 {
+		t.Errorf("mixed cost %v, want midpoint %v", mixed, want)
+	}
+}
+
+func TestBoundaryFractionClamped(t *testing.T) {
+	c := Default()
+	if c.FrameSeconds(640, 640, -1) != c.FrameSeconds(640, 640, 0) {
+		t.Error("negative fraction not clamped")
+	}
+	if c.FrameSeconds(640, 640, 2) != c.FrameSeconds(640, 640, 1) {
+		t.Error("fraction > 1 not clamped")
+	}
+}
+
+func TestMoreUnitsFaster(t *testing.T) {
+	one := Default()
+	one.Units = 1
+	two := Default()
+	t1 := one.FrameSeconds(1920, 2160, 0.3)
+	t2 := two.FrameSeconds(1920, 2160, 0.3)
+	if math.Abs(t1/t2-2) > 1e-9 {
+		t.Errorf("2 units speedup = %v, want 2", t1/t2)
+	}
+	zero := Default()
+	zero.Units = 0
+	if zero.FrameSeconds(64, 64, 0) != one.FrameSeconds(64, 64, 0) {
+		t.Error("zero units not clamped to 1")
+	}
+}
+
+func TestGPUCompositionSlowerWithComposition(t *testing.T) {
+	atwOnly := GPUCompositionSeconds(1920, 2160, 500, false)
+	both := GPUCompositionSeconds(1920, 2160, 500, true)
+	if both <= atwOnly {
+		t.Errorf("composition did not add cost: %v vs %v", both, atwOnly)
+	}
+	// Baseline GPU ATW is small but material: ~1-4 ms at full res.
+	if atwOnly < 0.0005 || atwOnly > 0.01 {
+		t.Errorf("GPU ATW = %.2fms, want ~1-4ms", atwOnly*1000)
+	}
+}
+
+func TestGPUCompositionFrequencyScaling(t *testing.T) {
+	fast := GPUCompositionSeconds(1920, 2160, 500, true)
+	slow := GPUCompositionSeconds(1920, 2160, 250, true)
+	if math.Abs(slow/fast-2) > 1e-9 {
+		t.Errorf("frequency scaling = %v, want 2", slow/fast)
+	}
+}
+
+func TestUCABeatsGPUPath(t *testing.T) {
+	// The dedicated unit must outperform the GPU software path it
+	// replaces (otherwise the architecture makes no sense).
+	c := Default()
+	ucaT := c.FrameSeconds(1920, 2160, 0.3)
+	gpuT := GPUCompositionSeconds(1920, 2160, 500, true)
+	if ucaT >= gpuT {
+		t.Errorf("UCA (%.2fms) not faster than GPU path (%.2fms)", ucaT*1000, gpuT*1000)
+	}
+}
+
+func TestOverheadConstants(t *testing.T) {
+	if RuntimePowerWatts != 0.094 {
+		t.Errorf("UCA power = %v, want 94mW", RuntimePowerWatts)
+	}
+	if AreaMM2 != 1.6 {
+		t.Errorf("UCA area = %v, want 1.6mm2", AreaMM2)
+	}
+}

@@ -1,0 +1,98 @@
+package vec
+
+import "math"
+
+// Mat4 is a 4x4 row-major matrix used for model/view/projection
+// transforms in the rasterizer and for ATW coordinate remapping.
+type Mat4 [16]float64
+
+// Identity returns the 4x4 identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Mul returns the matrix product m * o.
+func (m Mat4) Mul(o Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += m[i*4+k] * o[k*4+j]
+			}
+			r[i*4+j] = s
+		}
+	}
+	return r
+}
+
+// TransformPoint applies m to the point v (w = 1) and performs the
+// perspective divide. The returned w is the clip-space w before the
+// divide; callers use it for near-plane rejection.
+func (m Mat4) TransformPoint(v Vec3) (Vec3, float64) {
+	x := m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]
+	y := m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]
+	z := m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]
+	w := m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]
+	if w != 0 && w != 1 {
+		inv := 1 / w
+		return Vec3{x * inv, y * inv, z * inv}, w
+	}
+	return Vec3{x, y, z}, w
+}
+
+// TransformDir applies only the rotational part of m to v (w = 0).
+func (m Mat4) TransformDir(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z,
+	}
+}
+
+// Translate returns a translation matrix.
+func Translate(t Vec3) Mat4 {
+	m := Identity()
+	m[3], m[7], m[11] = t.X, t.Y, t.Z
+	return m
+}
+
+// ScaleUniform returns a uniform scaling matrix.
+func ScaleUniform(s float64) Mat4 {
+	m := Identity()
+	m[0], m[5], m[10] = s, s, s
+	return m
+}
+
+// Perspective returns a right-handed perspective projection matrix with
+// the given vertical field of view (radians), aspect ratio, and near and
+// far clip distances. Depth maps to [0,1].
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovY/2)
+	nf := 1 / (near - far)
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, far * nf, far * near * nf,
+		0, 0, -1, 0,
+	}
+}
+
+// LookAt returns a right-handed view matrix for an eye at position eye
+// looking at center with the given up vector.
+func LookAt(eye, center, up Vec3) Mat4 {
+	f := center.Sub(eye).Normalize()
+	s := f.Cross(up.Normalize()).Normalize()
+	u := s.Cross(f)
+	return Mat4{
+		s.X, s.Y, s.Z, -s.Dot(eye),
+		u.X, u.Y, u.Z, -u.Dot(eye),
+		-f.X, -f.Y, -f.Z, f.Dot(eye),
+		0, 0, 0, 1,
+	}
+}

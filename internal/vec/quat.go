@@ -1,0 +1,113 @@
+package vec
+
+import "math"
+
+// Quat is a unit quaternion (w + xi + yj + zk) representing a 3D
+// rotation. Head orientation in the motion model is a Quat; the ATW
+// reprojection stage converts pose deltas to rotation matrices.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// IdentityQuat returns the identity rotation.
+func IdentityQuat() Quat { return Quat{W: 1} }
+
+// FromAxisAngle builds a quaternion rotating angle radians about axis.
+func FromAxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Normalize()
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// FromEuler builds a quaternion from yaw (about Y), pitch (about X) and
+// roll (about Z) in radians, applied in yaw-pitch-roll order. This is
+// the convention the 6-DoF head tracker uses.
+func FromEuler(yaw, pitch, roll float64) Quat {
+	qy := FromAxisAngle(Vec3{Y: 1}, yaw)
+	qp := FromAxisAngle(Vec3{X: 1}, pitch)
+	qr := FromAxisAngle(Vec3{Z: 1}, roll)
+	return qy.Mul(qp).Mul(qr)
+}
+
+// Mul returns the Hamilton product q * o (apply o first, then q).
+func (q Quat) Mul(o Quat) Quat {
+	return Quat{
+		W: q.W*o.W - q.X*o.X - q.Y*o.Y - q.Z*o.Z,
+		X: q.W*o.X + q.X*o.W + q.Y*o.Z - q.Z*o.Y,
+		Y: q.W*o.Y - q.X*o.Z + q.Y*o.W + q.Z*o.X,
+		Z: q.W*o.Z + q.X*o.Y - q.Y*o.X + q.Z*o.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Normalize rescales q to unit length; the zero quaternion becomes the
+// identity so downstream rotation math never sees NaNs.
+func (q Quat) Normalize() Quat {
+	l := math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+	if l == 0 {
+		return IdentityQuat()
+	}
+	inv := 1 / l
+	return Quat{q.W * inv, q.X * inv, q.Y * inv, q.Z * inv}
+}
+
+// Rotate applies the rotation q to vector v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q^-1, expanded to avoid allocations.
+	u := Vec3{q.X, q.Y, q.Z}
+	s := q.W
+	return u.Scale(2 * u.Dot(v)).
+		Add(v.Scale(s*s - u.Dot(u))).
+		Add(u.Cross(v).Scale(2 * s))
+}
+
+// Mat4 converts the rotation into a 4x4 matrix.
+func (q Quat) Mat4() Mat4 {
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat4{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y), 0,
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x), 0,
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y), 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Slerp spherically interpolates between q and o by t in [0,1].
+func (q Quat) Slerp(o Quat, t float64) Quat {
+	d := q.W*o.W + q.X*o.X + q.Y*o.Y + q.Z*o.Z
+	if d < 0 {
+		o = Quat{-o.W, -o.X, -o.Y, -o.Z}
+		d = -d
+	}
+	if d > 0.9995 {
+		// Nearly parallel: fall back to normalized lerp.
+		return Quat{
+			q.W + (o.W-q.W)*t,
+			q.X + (o.X-q.X)*t,
+			q.Y + (o.Y-q.Y)*t,
+			q.Z + (o.Z-q.Z)*t,
+		}.Normalize()
+	}
+	theta := math.Acos(clamp(d, -1, 1))
+	sTheta := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sTheta
+	b := math.Sin(t*theta) / sTheta
+	return Quat{
+		a*q.W + b*o.W,
+		a*q.X + b*o.X,
+		a*q.Y + b*o.Y,
+		a*q.Z + b*o.Z,
+	}.Normalize()
+}
+
+// AngleTo returns the rotation angle in radians needed to go from q to o.
+// This is what the LIWC motion codec quantizes per degree of freedom.
+func (q Quat) AngleTo(o Quat) float64 {
+	d := q.Conj().Mul(o).Normalize()
+	return 2 * math.Acos(clamp(math.Abs(d.W), -1, 1))
+}
+
+// Forward returns the view direction (-Z in HMD convention) rotated by q.
+func (q Quat) Forward() Vec3 { return q.Rotate(Vec3{Z: -1}) }

@@ -1,0 +1,229 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func approxVec3(a, b Vec3) bool {
+	return approx(a.X, b.X) && approx(a.Y, b.Y) && approx(a.Z, b.Z)
+}
+
+func TestVec2Basics(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -4}
+	if got := a.Add(b); got != (Vec2{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := b.Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := (Vec2{0, 0}).Dist(Vec2{3, 4}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec2{2, -1}) {
+		t.Errorf("Lerp = %v", got)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); !approxVec3(got, Vec3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.AngleTo(b); !approx(got, math.Pi/2) {
+		t.Errorf("AngleTo = %v", got)
+	}
+	if got := (Vec3{2, 0, 0}).Normalize(); !approxVec3(got, a) {
+		t.Errorf("Normalize = %v", got)
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize zero = %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{wrap(ax), wrap(ay), wrap(az)}
+		b := Vec3{wrap(bx), wrap(by), wrap(bz)}
+		c := a.Cross(b)
+		return math.Abs(c.Dot(a)) < 1e-6 && math.Abs(c.Dot(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// wrap maps arbitrary float64s (including inf/NaN from quick) into a
+// well-conditioned range for geometric property tests.
+func wrap(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Mod(x, 100)
+}
+
+func TestMat4Identity(t *testing.T) {
+	p := Vec3{1, 2, 3}
+	got, w := Identity().TransformPoint(p)
+	if !approxVec3(got, p) || w != 1 {
+		t.Errorf("identity transform = %v, w=%v", got, w)
+	}
+}
+
+func TestMat4MulAssociativity(t *testing.T) {
+	a := Translate(Vec3{1, 2, 3})
+	b := ScaleUniform(2)
+	c := FromAxisAngle(Vec3{Y: 1}, 0.3).Mat4()
+	l := a.Mul(b).Mul(c)
+	r := a.Mul(b.Mul(c))
+	for i := range l {
+		if !approx(l[i], r[i]) {
+			t.Fatalf("associativity broken at %d: %v vs %v", i, l[i], r[i])
+		}
+	}
+}
+
+func TestTranslateThenScale(t *testing.T) {
+	m := Translate(Vec3{1, 0, 0}).Mul(ScaleUniform(2))
+	got, _ := m.TransformPoint(Vec3{1, 1, 1})
+	if !approxVec3(got, Vec3{3, 2, 2}) {
+		t.Errorf("TransformPoint = %v", got)
+	}
+}
+
+func TestPerspectiveDepthOrdering(t *testing.T) {
+	m := Perspective(math.Pi/2, 1, 0.1, 100)
+	near, _ := m.TransformPoint(Vec3{0, 0, -1})
+	far, _ := m.TransformPoint(Vec3{0, 0, -50})
+	if near.Z >= far.Z {
+		t.Errorf("depth ordering broken: near %v far %v", near.Z, far.Z)
+	}
+}
+
+func TestLookAtEyeMapsToOrigin(t *testing.T) {
+	eye := Vec3{3, 4, 5}
+	m := LookAt(eye, Vec3{}, Vec3{Y: 1})
+	got, _ := m.TransformPoint(eye)
+	if got.Len() > 1e-6 {
+		t.Errorf("eye maps to %v, want origin", got)
+	}
+}
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := IdentityQuat().Rotate(v); !approxVec3(got, v) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	q := FromAxisAngle(Vec3{Z: 1}, math.Pi/2)
+	got := q.Rotate(Vec3{1, 0, 0})
+	if !approxVec3(got, Vec3{0, 1, 0}) {
+		t.Errorf("90deg Z rotate = %v", got)
+	}
+}
+
+func TestQuatMat4AgreesWithRotate(t *testing.T) {
+	f := func(ax, ay, az, angle float64) bool {
+		axis := Vec3{wrap(ax), wrap(ay), wrap(az)}
+		if axis.Len() < 1e-9 {
+			axis = Vec3{Y: 1}
+		}
+		q := FromAxisAngle(axis, wrap(angle))
+		v := Vec3{1, -2, 0.5}
+		a := q.Rotate(v)
+		b := q.Mat4().TransformDir(v)
+		return approxVec3(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	f := func(yaw, pitch, roll, vx, vy, vz float64) bool {
+		q := FromEuler(wrap(yaw), wrap(pitch), wrap(roll))
+		v := Vec3{wrap(vx), wrap(vy), wrap(vz)}
+		return math.Abs(q.Rotate(v).Len()-v.Len()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := FromEuler(0.3, -0.2, 0.1)
+	v := Vec3{1, 2, 3}
+	back := q.Conj().Rotate(q.Rotate(v))
+	if !approxVec3(back, v) {
+		t.Errorf("conj inverse: %v", back)
+	}
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	a := IdentityQuat()
+	b := FromAxisAngle(Vec3{Y: 1}, 0.5)
+	if got := a.AngleTo(b); !approx(got, 0.5) {
+		t.Errorf("AngleTo = %v, want 0.5", got)
+	}
+	if got := a.AngleTo(a); got > eps {
+		t.Errorf("AngleTo self = %v", got)
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	a := FromAxisAngle(Vec3{Y: 1}, 0.2)
+	b := FromAxisAngle(Vec3{Y: 1}, 1.4)
+	if got := a.Slerp(b, 0); got.AngleTo(a) > 1e-6 {
+		t.Errorf("Slerp(0) = %v", got)
+	}
+	if got := a.Slerp(b, 1); got.AngleTo(b) > 1e-6 {
+		t.Errorf("Slerp(1) = %v", got)
+	}
+	mid := a.Slerp(b, 0.5)
+	want := FromAxisAngle(Vec3{Y: 1}, 0.8)
+	if mid.AngleTo(want) > 1e-6 {
+		t.Errorf("Slerp(0.5) angle = %v", mid.AngleTo(want))
+	}
+}
+
+func TestQuatSlerpNearlyParallel(t *testing.T) {
+	a := FromAxisAngle(Vec3{Y: 1}, 0.1)
+	b := FromAxisAngle(Vec3{Y: 1}, 0.100001)
+	got := a.Slerp(b, 0.5)
+	if got.AngleTo(a) > 1e-3 {
+		t.Errorf("nearly-parallel slerp diverged: %v", got.AngleTo(a))
+	}
+}
+
+func TestQuatNormalizeZero(t *testing.T) {
+	if got := (Quat{}).Normalize(); got != IdentityQuat() {
+		t.Errorf("Normalize zero = %v", got)
+	}
+}
+
+func TestForward(t *testing.T) {
+	// Yaw of +90 degrees should turn -Z toward -X.
+	q := FromEuler(math.Pi/2, 0, 0)
+	got := q.Forward()
+	if !approxVec3(got, Vec3{-1, 0, 0}) {
+		t.Errorf("Forward = %v", got)
+	}
+}
