@@ -1,0 +1,32 @@
+# Local targets mirror .github/workflows/ci.yml exactly, so `make ci`
+# reproduces what the PR gate runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet fmt-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark, enough to catch
+# harness breakage without caring about timing noise.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build race bench

@@ -7,9 +7,11 @@
 package qvr_test
 
 import (
+	"fmt"
 	"testing"
 
 	"qvr/internal/experiments"
+	"qvr/internal/fleet"
 	"qvr/internal/liwc"
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
@@ -363,6 +365,54 @@ func BenchmarkTailLatency(b *testing.B) {
 				p99 = pipeline.Run(cfg).PercentileMTP(0.99) * 1000
 			}
 			b.ReportMetric(p99, "p99-mtp-ms")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet benches: wall-clock throughput of the concurrent multi-session
+// engine. Sessions are independent deterministic simulations, so the
+// workers-N sub-benchmarks run identical inputs to identical results;
+// comparing their ns/op measures the engine's parallel scaling across
+// however many cores the host exposes (on a single-core host the
+// worker counts tie, by construction).
+// ---------------------------------------------------------------------------
+
+// benchFleet runs one fleet shape and reports the science alongside
+// the speed, so both kinds of regression show up in benchmark diffs.
+func benchFleet(b *testing.B, sessions, workers int) {
+	b.Helper()
+	mix, ok := fleet.MixByName("mixed")
+	if !ok {
+		b.Fatal("mixed mix missing")
+	}
+	specs, err := mix.Specs(sessions, pipeline.QVR, 40, 20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s fleet.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = fleet.Run(fleet.Config{Specs: specs, Workers: workers}).Summarize()
+	}
+	b.ReportMetric(s.AggregateFPS, "agg-fps")
+	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+}
+
+func BenchmarkFleet8Sessions(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchFleet(b, 8, w)
+		})
+	}
+}
+
+func BenchmarkFleet64Sessions(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchFleet(b, 64, w)
 		})
 	}
 }

@@ -1,0 +1,183 @@
+// Command qvr-fleet runs a concurrent multi-session fleet simulation:
+// N heterogeneous Q-VR client sessions sharing one remote render
+// cluster and their access networks, executed across a bounded worker
+// pool.
+//
+// Usage:
+//
+//	qvr-fleet -sessions 64 -workers 8 -mix mixed -frames 120
+//	qvr-fleet -sessions 32 -gpus 2 -format json
+//	qvr-fleet -sessions 16 -net lte -format csv > fleet.csv
+//
+// Mixes: mixed, flagship, congested. Designs: local, remote, static,
+// ffr, dfr, qvr-sw, qvr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qvr/internal/fleet"
+	"qvr/internal/gpu"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+)
+
+var designs = map[string]pipeline.Design{
+	"local":  pipeline.LocalOnly,
+	"remote": pipeline.RemoteOnly,
+	"static": pipeline.StaticCollab,
+	"ffr":    pipeline.FFR,
+	"dfr":    pipeline.DFR,
+	"qvr-sw": pipeline.QVRSoftware,
+	"qvr":    pipeline.QVR,
+}
+
+// netAliases accepts the short spellings alongside the Table 2 names.
+var netAliases = map[string]string{
+	"wifi": "Wi-Fi", "lte": "4G LTE", "4g": "4G LTE", "5g": "Early 5G",
+}
+
+func main() {
+	sessions := flag.Int("sessions", 16, "number of client sessions")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores)")
+	mixName := flag.String("mix", "mixed", "fleet population: "+strings.Join(fleet.MixNames(), " "))
+	netName := flag.String("net", "", "force every session onto one network (wifi lte 5g, or a Table 2 name)")
+	frames := flag.Int("frames", 120, "measured frames per session")
+	warmup := flag.Int("warmup", 40, "warmup frames per session")
+	designName := flag.String("design", "qvr", "rendering design: local remote static ffr dfr qvr-sw qvr")
+	seed := flag.Int64("seed", 1, "fleet base seed")
+	gpus := flag.Int("gpus", 0, "shared remote cluster size; 0 disables admission (uncontended per-session clusters)")
+	cell := flag.Int("cell", 0, "sessions per network cell before bandwidth sharing; 0 = uncontended")
+	format := flag.String("format", "table", "output format: table json csv")
+	flag.Parse()
+
+	printers := map[string]func(fleet.Result){
+		"table": printTable, "json": printJSON, "csv": printCSV,
+	}
+	printer, ok := printers[*format]
+	if !ok {
+		fail("unknown format %q", *format)
+	}
+	design, ok := designs[*designName]
+	if !ok {
+		fail("unknown design %q", *designName)
+	}
+	mix, ok := fleet.MixByName(*mixName)
+	if !ok {
+		fail("unknown mix %q (have: %s)", *mixName, strings.Join(fleet.MixNames(), " "))
+	}
+	specs, err := mix.Specs(*sessions, design, *frames, *warmup, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *netName != "" {
+		name := *netName
+		if full, ok := netAliases[strings.ToLower(name)]; ok {
+			name = full
+		}
+		cond, ok := netsim.ConditionByName(name)
+		if !ok {
+			fail("unknown network %q", *netName)
+		}
+		for i := range specs {
+			specs[i].Config.Network = cond
+		}
+	}
+
+	cfg := fleet.Config{Specs: specs, Workers: *workers, CellCapacity: *cell}
+	if *gpus > 0 {
+		cluster := gpu.DefaultRemote()
+		cluster.GPUs = *gpus
+		cfg.Admission = fleet.Admission{Cluster: cluster}
+	}
+
+	printer(fleet.Run(cfg))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "qvr-fleet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printTable(r fleet.Result) {
+	fmt.Printf("%-20s %-8s %7s %-9s %8s %8s %6s %8s %10s\n",
+		"session", "app", "GPU", "network", "MTP(ms)", "p99(ms)", "FPS", "e1(deg)", "KB/frame")
+	for _, sr := range r.Sessions {
+		res := sr.Result
+		cfg := res.Config
+		fmt.Printf("%-20s %-8s %5.0fMHz %-9s %8.1f %8.1f %6.0f %8.1f %10.1f\n",
+			sr.Spec.Name, cfg.App.Name, cfg.GPU.FrequencyMHz, cfg.Network.Name,
+			res.AvgMTPSeconds()*1000, res.PercentileMTP(0.99)*1000,
+			res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+	}
+	for _, sp := range r.Dropped {
+		fmt.Printf("%-20s %-8s %s\n", sp.Name, sp.Config.App.Name, "DROPPED (cluster full)")
+	}
+	fmt.Println()
+	fmt.Println(r)
+}
+
+// jsonSessionRow is the per-session slice of the JSON report.
+type jsonSessionRow struct {
+	Name       string  `json:"name"`
+	App        string  `json:"app"`
+	GPUMHz     float64 `json:"gpu_mhz"`
+	Network    string  `json:"network"`
+	AvgMTPMs   float64 `json:"avg_mtp_ms"`
+	P99MTPMs   float64 `json:"p99_mtp_ms"`
+	FPS        float64 `json:"fps"`
+	AvgE1Deg   float64 `json:"avg_e1_deg"`
+	KBPerFrame float64 `json:"kb_per_frame"`
+}
+
+func printJSON(r fleet.Result) {
+	report := struct {
+		Summary  fleet.Summary    `json:"summary"`
+		Sessions []jsonSessionRow `json:"sessions"`
+		Dropped  []string         `json:"dropped"`
+	}{
+		Summary: r.Summarize(),
+		Dropped: []string{},
+	}
+	for _, sr := range r.Sessions {
+		res := sr.Result
+		report.Sessions = append(report.Sessions, jsonSessionRow{
+			Name:       sr.Spec.Name,
+			App:        res.Config.App.Name,
+			GPUMHz:     res.Config.GPU.FrequencyMHz,
+			Network:    res.Config.Network.Name,
+			AvgMTPMs:   res.AvgMTPSeconds() * 1000,
+			P99MTPMs:   res.PercentileMTP(0.99) * 1000,
+			FPS:        res.FPS(),
+			AvgE1Deg:   res.AvgE1(),
+			KBPerFrame: res.AvgBytesSent() / 1024,
+		})
+	}
+	for _, sp := range r.Dropped {
+		report.Dropped = append(report.Dropped, sp.Name)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fail("%v", err)
+	}
+}
+
+func printCSV(r fleet.Result) {
+	fmt.Println("session,app,gpu_mhz,network,avg_mtp_ms,p99_mtp_ms,fps,avg_e1_deg,kb_per_frame,status")
+	for _, sr := range r.Sessions {
+		res := sr.Result
+		fmt.Printf("%s,%s,%.0f,%q,%.3f,%.3f,%.2f,%.2f,%.2f,ok\n",
+			sr.Spec.Name, res.Config.App.Name, res.Config.GPU.FrequencyMHz, res.Config.Network.Name,
+			res.AvgMTPSeconds()*1000, res.PercentileMTP(0.99)*1000,
+			res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+	}
+	for _, sp := range r.Dropped {
+		fmt.Printf("%s,%s,%.0f,%q,,,,,,dropped\n",
+			sp.Name, sp.Config.App.Name, sp.Config.GPU.FrequencyMHz, sp.Config.Network.Name)
+	}
+}

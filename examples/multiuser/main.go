@@ -1,8 +1,13 @@
 // Multiuser: the planet-scale story of the paper's title — users with
 // wildly different devices and networks all running the same content.
-// Each client gets its own simulated Q-VR session; the LIWC controller
-// lands each one on its own operating point, so every user meets the
-// latency target that their hardware can support.
+//
+// The first act replays the original five named clients, each now a
+// fleet.SessionSpec, so the per-user picture stays visible: the LIWC
+// controller lands every client on its own operating point. The second
+// act scales the same population to a 24-session fleet sharing one
+// 2-GPU remote cluster and capacity-limited cells, which is where the
+// fleet-level admission, queueing and tail-latency machinery earns its
+// keep.
 //
 // Run with:
 //
@@ -11,62 +16,80 @@ package main
 
 import (
 	"fmt"
-	"sync"
 
+	"qvr/internal/fleet"
+	"qvr/internal/gpu"
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
 	"qvr/internal/pipeline"
 	"qvr/internal/scene"
 )
 
-type client struct {
-	name    string
-	app     string
-	freqMHz float64
-	network netsim.Condition
-	profile motion.Profile
-	seed    int64
+// namedSpec builds one hand-picked client session.
+func namedSpec(name, appName string, freqMHz float64, cond netsim.Condition, p motion.Profile, seed int64) fleet.SessionSpec {
+	app, ok := scene.AppByName(appName)
+	if !ok {
+		panic("unknown app " + appName)
+	}
+	cfg := pipeline.DefaultConfig(pipeline.QVR, app)
+	cfg.GPU = cfg.GPU.WithFrequency(freqMHz)
+	cfg.Network = cond
+	cfg.Profile = p
+	cfg.Seed = seed
+	return fleet.SessionSpec{Name: name, Config: cfg}
+}
 
-	result pipeline.Result
+func printSessions(r fleet.Result) {
+	fmt.Printf("%-22s %-8s %7s %-9s %8s %6s %8s %10s\n",
+		"client", "app", "GPU", "network", "MTP(ms)", "FPS", "e1(deg)", "KB/frame")
+	for _, sr := range r.Sessions {
+		res := sr.Result
+		cfg := res.Config
+		fmt.Printf("%-22s %-8s %5.0fMHz %-9s %8.1f %6.0f %8.1f %10.1f\n",
+			sr.Spec.Name, cfg.App.Name, cfg.GPU.FrequencyMHz, cfg.Network.Name,
+			res.AvgMTPSeconds()*1000, res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+	}
+	for _, sp := range r.Dropped {
+		fmt.Printf("%-22s %-8s %s\n", sp.Name, sp.Config.App.Name, "DROPPED (cluster full)")
+	}
 }
 
 func main() {
-	clients := []*client{
-		{name: "flagship/home-wifi", app: "GRID", freqMHz: 500, network: netsim.WiFi, profile: motion.Intense, seed: 1},
-		{name: "flagship/commute-lte", app: "GRID", freqMHz: 500, network: netsim.LTE4G, profile: motion.Calm, seed: 2},
-		{name: "midrange/home-wifi", app: "HL2-H", freqMHz: 400, network: netsim.WiFi, profile: motion.Normal, seed: 3},
-		{name: "budget/5g", app: "UT3", freqMHz: 300, network: netsim.Early5G, profile: motion.Normal, seed: 4},
-		{name: "budget/lte", app: "Doom3-L", freqMHz: 300, network: netsim.LTE4G, profile: motion.Calm, seed: 5},
+	// Act 1: five named clients, uncontended — every controller finds
+	// its own fovea size: big where the GPU is strong or the network
+	// weak, small where streaming is cheap.
+	named := fleet.Config{
+		Specs: []fleet.SessionSpec{
+			namedSpec("flagship/home-wifi", "GRID", 500, netsim.WiFi, motion.Intense, 1),
+			namedSpec("flagship/commute-lte", "GRID", 500, netsim.LTE4G, motion.Calm, 2),
+			namedSpec("midrange/home-wifi", "HL2-H", 400, netsim.WiFi, motion.Normal, 3),
+			namedSpec("budget/5g", "UT3", 300, netsim.Early5G, motion.Normal, 4),
+			namedSpec("budget/lte", "Doom3-L", 300, netsim.LTE4G, motion.Calm, 5),
+		},
 	}
+	fmt.Println("=== five named clients, uncontended cluster ===")
+	printSessions(fleet.Run(named))
 
-	var wg sync.WaitGroup
-	for _, c := range clients {
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			app, ok := scene.AppByName(c.app)
-			if !ok {
-				panic("unknown app " + c.app)
-			}
-			cfg := pipeline.DefaultConfig(pipeline.QVR, app)
-			cfg.GPU = cfg.GPU.WithFrequency(c.freqMHz)
-			cfg.Network = c.network
-			cfg.Profile = c.profile
-			cfg.Seed = c.seed
-			c.result = pipeline.Run(cfg)
-		}()
+	// Act 2: the same population as a 24-session fleet sharing a 2-GPU
+	// remote cluster (8 full-speed slots, 16-deep with queueing) and
+	// cells that hold 6 sessions before bandwidth splits.
+	mix, _ := fleet.MixByName("mixed")
+	specs, err := mix.Specs(24, pipeline.QVR, 120, 40, 7)
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
-
-	fmt.Printf("%-22s %-8s %7s %-9s %8s %6s %8s %10s\n",
-		"client", "app", "GPU", "network", "MTP(ms)", "FPS", "e1(deg)", "KB/frame")
-	for _, c := range clients {
-		r := c.result
-		fmt.Printf("%-22s %-8s %5.0fMHz %-9s %8.1f %6.0f %8.1f %10.1f\n",
-			c.name, c.app, c.freqMHz, c.network.Name,
-			r.AvgMTPSeconds()*1000, r.FPS(), r.AvgE1(), r.AvgBytesSent()/1024)
-	}
-	fmt.Println("\nEach controller found its own fovea size: big where the GPU is")
-	fmt.Println("strong or the network weak, small where streaming is cheap.")
+	cluster := gpu.DefaultRemote()
+	cluster.GPUs = 2
+	loaded := fleet.Run(fleet.Config{
+		Specs:        specs,
+		Admission:    fleet.Admission{Cluster: cluster},
+		CellCapacity: 6,
+	})
+	fmt.Println("\n=== 24-session fleet on a shared 2-GPU cluster ===")
+	printSessions(loaded)
+	s := loaded.Summarize()
+	fmt.Println()
+	fmt.Println(loaded)
+	fmt.Printf("cluster load %.2fx capacity, %.2f ms queue per request; %.0f%% of sessions hold 90 FPS\n",
+		s.Load, s.QueueMs, s.TargetShare*100)
 }

@@ -1,0 +1,3 @@
+module qvr
+
+go 1.24

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"qvr/internal/gpu"
+)
+
+// Admission models the shared remote render cluster's front door.
+//
+// Capacity is SessionsPerGPU sessions per chiplet GPU at full
+// per-session speed. Load past capacity is still served — the
+// scheduler time-slices the GPUs, splitting per-session throughput
+// and queueing each request behind the overload — up to
+// MaxQueueFactor times capacity; arrivals past that are refused
+// outright (dropped), because an infinitely deep queue would only
+// convert every admitted session into a judder machine.
+type Admission struct {
+	// Cluster is the shared remote rendering cluster. GPUs == 0
+	// disables admission entirely.
+	Cluster gpu.RemoteCluster
+	// SessionsPerGPU is how many concurrent sessions one remote GPU
+	// sustains at full PerGPUSpeedup (the paper's periphery render is
+	// a fraction of a GPU frame). Default 4.
+	SessionsPerGPU int
+	// MaxQueueFactor caps admitted load at capacity*factor; the rest
+	// is dropped. Default 2.
+	MaxQueueFactor float64
+	// ServiceSeconds is the nominal per-request remote service time
+	// used to price the queueing delay. Default 2ms, a typical
+	// periphery render+encode on the shared cluster.
+	ServiceSeconds float64
+}
+
+// Defaults for Admission's zero-valued tunables.
+const (
+	DefaultSessionsPerGPU = 4
+	DefaultMaxQueueFactor = 2.0
+	DefaultServiceSeconds = 0.002
+)
+
+// Contention reports what the admission layer decided for one run.
+type Contention struct {
+	// Capacity is the full-speed session capacity of the cluster
+	// (0 when admission is disabled).
+	Capacity int
+	// Load is admitted sessions over capacity (1.0 = exactly full).
+	Load float64
+	// QueueSeconds is the per-request queueing delay charged to every
+	// admitted session.
+	QueueSeconds float64
+	// SharedCells maps condition names to the bandwidth split factor
+	// applied when a cell is oversubscribed (absent = uncontended).
+	SharedCells map[string]float64
+}
+
+// withDefaults fills the zero tunables.
+func (a Admission) withDefaults() Admission {
+	if a.SessionsPerGPU <= 0 {
+		a.SessionsPerGPU = DefaultSessionsPerGPU
+	}
+	if a.MaxQueueFactor <= 0 {
+		a.MaxQueueFactor = DefaultMaxQueueFactor
+	}
+	if a.ServiceSeconds <= 0 {
+		a.ServiceSeconds = DefaultServiceSeconds
+	}
+	return a
+}
+
+// admit applies the admission and cell-sharing layers to cfg.Specs,
+// returning the admitted specs (with adjusted Configs), the dropped
+// specs, and the contention report. Specs are never mutated in place;
+// admitted entries carry copies.
+func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
+	specs := cfg.Specs
+	a := cfg.Admission
+	if a.Cluster.GPUs > 0 {
+		a = a.withDefaults()
+		capacity := a.Cluster.GPUs * a.SessionsPerGPU
+		maxAdmit := int(float64(capacity) * a.MaxQueueFactor)
+		if len(specs) > maxAdmit {
+			dropped = append(dropped, specs[maxAdmit:]...)
+			specs = specs[:maxAdmit]
+		}
+		load := float64(len(specs)) / float64(capacity)
+		report.Capacity = capacity
+		report.Load = load
+
+		shared := a.Cluster.Share(load)
+		if queued := len(specs) - capacity; queued > 0 {
+			// Each request waits behind its share of the overload: the
+			// queue drains at cluster rate, so the expected wait is the
+			// queued depth over capacity, in service times.
+			report.QueueSeconds = a.ServiceSeconds * float64(queued) / float64(capacity)
+		}
+		adjusted := make([]SessionSpec, len(specs))
+		for i, sp := range specs {
+			sp.Config.Remote = shared
+			sp.Config.RemoteQueueSeconds = report.QueueSeconds
+			adjusted[i] = sp
+		}
+		specs = adjusted
+	} else {
+		admittedCopy := make([]SessionSpec, len(specs))
+		copy(admittedCopy, specs)
+		specs = admittedCopy
+	}
+
+	if cfg.CellCapacity > 0 {
+		specs, report.SharedCells = shareCells(specs, cfg.CellCapacity)
+	}
+	return specs, dropped, report
+}
+
+// shareCells splits each oversubscribed network condition's bandwidth
+// evenly across the sessions camped on it.
+func shareCells(specs []SessionSpec, capacity int) ([]SessionSpec, map[string]float64) {
+	count := map[string]int{}
+	for _, sp := range specs {
+		count[sp.Config.Network.Name]++
+	}
+	var cells map[string]float64
+	for i, sp := range specs {
+		n := count[sp.Config.Network.Name]
+		if n <= capacity {
+			continue
+		}
+		factor := float64(capacity) / float64(n)
+		if cells == nil {
+			cells = map[string]float64{}
+		}
+		cells[sp.Config.Network.Name] = factor
+		sp.Config.Network = sp.Config.Network.Scaled(factor)
+		specs[i] = sp
+	}
+	return specs, cells
+}

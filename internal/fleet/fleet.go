@@ -1,0 +1,140 @@
+// Package fleet scales the single-session simulator in
+// internal/pipeline to a concurrent multi-session engine: N
+// heterogeneous client sessions (different apps, device tiers,
+// networks, motion profiles and seeds) run across a bounded worker
+// pool, contending for one shared remote render cluster through a
+// simple admission/queueing layer.
+//
+// The paper evaluates one client against one remote server; a
+// production deployment serves many clients from a pool of render
+// GPUs behind shared access networks. The fleet engine models that
+// with three pieces on top of the existing substrates:
+//
+//   - Admission: the shared cluster sustains a bounded number of
+//     concurrent sessions at full speed (gpu.RemoteCluster.Share);
+//     load beyond capacity splits per-GPU throughput and adds a
+//     queueing delay (pipeline.Config.RemoteQueueSeconds) to every
+//     remote request; load beyond the queue limit is dropped.
+//   - Cell sharing: sessions on the same network condition split the
+//     access medium once a cell's capacity is exceeded
+//     (netsim.Condition.Scaled).
+//   - Aggregation: per-session pipeline.Results roll up into
+//     fleet-level tail latency (p50/p95/p99 MTP), aggregate FPS and
+//     downlink bytes/s, and the dropped-session count.
+//
+// Each session remains a fully deterministic single-threaded
+// simulation; concurrency lives only between sessions, so a fleet
+// result is identical for any worker count and any goroutine
+// schedule.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"qvr/internal/pipeline"
+)
+
+// SessionSpec names one client session and its simulator
+// configuration.
+type SessionSpec struct {
+	Name   string
+	Config pipeline.Config
+}
+
+// Config describes one fleet run.
+type Config struct {
+	// Specs are the requested sessions, in arrival order. When the
+	// admission layer has to drop, it drops from the tail.
+	Specs []SessionSpec
+	// Workers bounds the simulation worker pool; 0 means GOMAXPROCS.
+	// Workers only affects wall-clock speed, never results.
+	Workers int
+	// Admission models the shared remote render cluster. A zero value
+	// (Cluster.GPUs == 0) disables admission: every session keeps its
+	// own per-spec remote cluster, and nothing is dropped.
+	Admission Admission
+	// CellCapacity is the number of sessions one network cell (one
+	// condition name) carries before the sessions start splitting its
+	// bandwidth. 0 means uncontended access networks.
+	CellCapacity int
+}
+
+// SessionResult pairs a spec with its completed simulation. The
+// Config inside Result reflects the admission layer's adjustments
+// (shared cluster, queue delay, scaled bandwidth).
+type SessionResult struct {
+	Spec   SessionSpec
+	Result pipeline.Result
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	// Sessions holds the admitted sessions in spec order.
+	Sessions []SessionResult
+	// Dropped lists the sessions the admission layer rejected.
+	Dropped []SessionSpec
+	// Workers is the pool size actually used.
+	Workers int
+	// Contention reports the admission layer's load computation.
+	Contention Contention
+	// WallSeconds is the host wall-clock time the run took. It is the
+	// only non-deterministic field.
+	WallSeconds float64
+}
+
+// Run simulates every admitted session across the worker pool and
+// aggregates the results. The outcome is deterministic for fixed
+// Specs regardless of Workers.
+func Run(cfg Config) Result {
+	start := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	admitted, dropped, contention := admit(cfg)
+	if workers > len(admitted) && len(admitted) > 0 {
+		workers = len(admitted)
+	}
+
+	results := make([]SessionResult, len(admitted))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = SessionResult{
+					Spec:   admitted[i],
+					Result: pipeline.NewSession(admitted[i].Config).Run(),
+				}
+			}
+		}()
+	}
+	for i := range admitted {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return Result{
+		Sessions:    results,
+		Dropped:     dropped,
+		Workers:     workers,
+		Contention:  contention,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+}
+
+// String implements fmt.Stringer with a one-line fleet summary.
+func (r Result) String() string {
+	s := r.Summarize()
+	return fmt.Sprintf(
+		"fleet: %d sessions (%d dropped) on %d workers: p50/p95/p99 MTP %.1f/%.1f/%.1f ms, agg %.0f fps, %.1f MB/s",
+		s.Sessions, s.Dropped, s.Workers,
+		s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.AggregateFPS, s.AggregateMBps)
+}

@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"sort"
+
+	"qvr/internal/pipeline"
+)
+
+// Summary is the fleet-level metric roll-up: what an operator's
+// dashboard would show for this slice of the user population.
+type Summary struct {
+	// Sessions/Dropped/Workers describe the run shape.
+	Sessions int `json:"sessions"`
+	Dropped  int `json:"dropped"`
+	Workers  int `json:"workers"`
+
+	// P50/P95/P99MTPMs are motion-to-photon percentiles in
+	// milliseconds over every measured frame of every session — the
+	// fleet's judder tail.
+	P50MTPMs float64 `json:"p50_mtp_ms"`
+	P95MTPMs float64 `json:"p95_mtp_ms"`
+	P99MTPMs float64 `json:"p99_mtp_ms"`
+
+	// MeanFPS is the mean per-session sustainable frame rate;
+	// AggregateFPS the fleet-wide frames per second delivered.
+	MeanFPS      float64 `json:"mean_fps"`
+	AggregateFPS float64 `json:"aggregate_fps"`
+
+	// AggregateMBps is the fleet's total downlink demand in
+	// megabytes per second (per-session bytes/frame x FPS, summed).
+	AggregateMBps float64 `json:"aggregate_mbps"`
+
+	// TargetShare is the fraction of requested sessions sustaining at
+	// least 95% of the 90 FPS display rate. Dropped sessions count
+	// against it: a user the cluster refused gets 0 FPS.
+	TargetShare float64 `json:"target_share"`
+
+	// QueueMs and Load echo the admission layer's contention report.
+	QueueMs float64 `json:"queue_ms"`
+	Load    float64 `json:"load"`
+
+	// WallSeconds is the host time the simulation took.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Summarize rolls the per-session results up into fleet metrics.
+func (r Result) Summarize() Summary {
+	s := Summary{
+		Sessions:    len(r.Sessions),
+		Dropped:     len(r.Dropped),
+		Workers:     r.Workers,
+		QueueMs:     r.Contention.QueueSeconds * 1000,
+		Load:        r.Contention.Load,
+		WallSeconds: r.WallSeconds,
+	}
+	if len(r.Sessions) == 0 {
+		return s
+	}
+	var mtps []float64
+	meeting := 0
+	for _, sr := range r.Sessions {
+		for _, f := range sr.Result.Frames {
+			mtps = append(mtps, f.MTPSeconds)
+		}
+		fps := sr.Result.FPS()
+		s.MeanFPS += fps
+		s.AggregateFPS += fps
+		s.AggregateMBps += fps * sr.Result.AvgBytesSent() / 1e6
+		if fps >= 0.95*pipeline.TargetFPS {
+			meeting++
+		}
+	}
+	s.MeanFPS /= float64(len(r.Sessions))
+	s.TargetShare = float64(meeting) / float64(len(r.Sessions)+len(r.Dropped))
+
+	sort.Float64s(mtps)
+	s.P50MTPMs = percentile(mtps, 0.50) * 1000
+	s.P95MTPMs = percentile(mtps, 0.95) * 1000
+	s.P99MTPMs = percentile(mtps, 0.99) * 1000
+	return s
+}
+
+// PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
+// latency across every measured frame in the fleet, in seconds.
+func (r Result) PercentileMTP(p float64) float64 {
+	var mtps []float64
+	for _, sr := range r.Sessions {
+		for _, f := range sr.Result.Frames {
+			mtps = append(mtps, f.MTPSeconds)
+		}
+	}
+	sort.Float64s(mtps)
+	return percentile(mtps, p)
+}
+
+// percentile reads the p-quantile from sorted xs (nearest-rank, the
+// same convention as pipeline.Result.PercentileMTP).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(xs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qvr/internal/motion"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+	"qvr/internal/scene"
+)
+
+// Tier is one device/network population slice of a fleet mix.
+type Tier struct {
+	// Name labels the tier in session names ("flagship", "budget").
+	Name string
+	// Weight is the tier's relative share of the population.
+	Weight int
+	// App is the benchmark the tier's users run (scene.AppByName).
+	App string
+	// FreqMHz is the tier's mobile GPU clock (Table 4 sweeps 300-500).
+	FreqMHz float64
+	// Network is the tier's access network.
+	Network netsim.Condition
+	// Profile is the tier's user motion intensity.
+	Profile motion.Profile
+}
+
+// Mix is a named fleet population: a weighted set of tiers that a
+// session count is spread across deterministically.
+type Mix struct {
+	Name  string
+	Tiers []Tier
+}
+
+// The built-in fleet populations. "mixed" is the default: the
+// multiuser story of the paper's title, with flagship, midrange and
+// budget devices on home Wi-Fi, LTE commutes and early-5G cells.
+var Mixes = []Mix{
+	{
+		Name: "mixed",
+		Tiers: []Tier{
+			{Name: "flagship-wifi", Weight: 3, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense},
+			{Name: "flagship-lte", Weight: 2, App: "GRID", FreqMHz: 500, Network: netsim.LTE4G, Profile: motion.Calm},
+			{Name: "midrange-wifi", Weight: 3, App: "HL2-H", FreqMHz: 400, Network: netsim.WiFi, Profile: motion.Normal},
+			{Name: "budget-5g", Weight: 2, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal},
+			{Name: "budget-lte", Weight: 2, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Calm},
+		},
+	},
+	{
+		Name: "flagship",
+		Tiers: []Tier{
+			{Name: "flagship", Weight: 1, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense},
+		},
+	},
+	{
+		Name: "congested",
+		Tiers: []Tier{
+			{Name: "budget-lte", Weight: 3, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Normal},
+			{Name: "midrange-lte", Weight: 2, App: "HL2-L", FreqMHz: 400, Network: netsim.LTE4G, Profile: motion.Intense},
+			{Name: "budget-5g", Weight: 1, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal},
+		},
+	},
+}
+
+// MixByName looks up a built-in mix.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// MixNames lists the built-in mix names.
+func MixNames() []string {
+	names := make([]string, len(Mixes))
+	for i, m := range Mixes {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Specs expands the mix into n session specs for the given design and
+// frame budget. Tier assignment is a deterministic weighted shuffle of
+// baseSeed, and each session gets its own derived motion/channel seed,
+// so the same (mix, n, baseSeed) always produces the same fleet while
+// no two sessions replay the same trace.
+func (m Mix) Specs(n int, design pipeline.Design, frames, warmup int, baseSeed int64) ([]SessionSpec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: session count %d must be positive", n)
+	}
+	if len(m.Tiers) == 0 {
+		return nil, fmt.Errorf("fleet: mix %q has no tiers", m.Name)
+	}
+	var cycle []Tier
+	for _, t := range m.Tiers {
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for i := 0; i < w; i++ {
+			cycle = append(cycle, t)
+		}
+	}
+	// Shuffle the weighted cycle so oversubscription tests don't drop
+	// whole tiers just because they expanded last.
+	rng := rand.New(rand.NewSource(baseSeed*2654435761 + 97))
+	rng.Shuffle(len(cycle), func(i, j int) { cycle[i], cycle[j] = cycle[j], cycle[i] })
+
+	specs := make([]SessionSpec, n)
+	for i := 0; i < n; i++ {
+		t := cycle[i%len(cycle)]
+		app, ok := scene.AppByName(t.App)
+		if !ok {
+			return nil, fmt.Errorf("fleet: mix %q tier %q: unknown app %q", m.Name, t.Name, t.App)
+		}
+		cfg := pipeline.DefaultConfig(design, app)
+		cfg.GPU = cfg.GPU.WithFrequency(t.FreqMHz)
+		cfg.Network = t.Network
+		cfg.Profile = t.Profile
+		cfg.Seed = baseSeed + int64(i)*1009 + 7
+		if frames > 0 {
+			cfg.Frames = frames
+		}
+		if warmup >= 0 {
+			cfg.Warmup = warmup
+		}
+		specs[i] = SessionSpec{
+			Name:   fmt.Sprintf("%s-%03d", t.Name, i),
+			Config: cfg,
+		}
+	}
+	return specs, nil
+}

@@ -185,6 +185,18 @@ func DefaultRemote() RemoteCluster {
 	}
 }
 
+// Share returns the cluster as one session sees it when `load`
+// sessions' worth of work contend for capacity sized for 1.0: below
+// full load a session still gets a whole slot, beyond it the per-GPU
+// throughput is split evenly across the competing sessions. This is
+// the fleet scheduler's view of a multi-tenant render cluster.
+func (r RemoteCluster) Share(load float64) RemoteCluster {
+	if load > 1 {
+		r.PerGPUSpeedup /= load
+	}
+	return r
+}
+
 // effectiveSpeedup returns cluster throughput relative to the mobile
 // baseline.
 func (r RemoteCluster) effectiveSpeedup() float64 {

@@ -237,3 +237,27 @@ func TestHigherResCostsMore(t *testing.T) {
 }
 
 var _ = vec.Vec2{} // keep import structure parallel with sibling tests
+
+func TestRemoteClusterShare(t *testing.T) {
+	r := DefaultRemote()
+	// Under full load a session keeps its whole slot.
+	if got := r.Share(0.5); got != r {
+		t.Errorf("Share(0.5) derated an underloaded cluster: %+v", got)
+	}
+	if got := r.Share(1); got != r {
+		t.Errorf("Share(1) derated an exactly-full cluster: %+v", got)
+	}
+	// Overload splits per-GPU throughput evenly.
+	got := r.Share(2)
+	if got.PerGPUSpeedup != r.PerGPUSpeedup/2 {
+		t.Errorf("Share(2) speedup = %v, want %v", got.PerGPUSpeedup, r.PerGPUSpeedup/2)
+	}
+	if got.GPUs != r.GPUs || got.ScalingEfficiency != r.ScalingEfficiency {
+		t.Errorf("Share must only touch per-GPU speedup: %+v", got)
+	}
+	// Render time scales up accordingly.
+	w := Workload{Triangles: 5e5, Fragments: 4e6, ShadingCost: 1, BytesTouched: 4e7}
+	if full, half := r.RenderSeconds(w), got.RenderSeconds(w); half <= full {
+		t.Errorf("shared cluster (%v) not slower than dedicated (%v)", half, full)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"qvr/internal/foveation"
 	"qvr/internal/motion"
+	"qvr/internal/netsim"
 	"qvr/internal/raster"
 )
 
@@ -139,5 +140,69 @@ func TestClientDefaults(t *testing.T) {
 func TestClampSize(t *testing.T) {
 	if clampSize(2) != 16 || clampSize(100) != 100 {
 		t.Error("clampSize broken")
+	}
+}
+
+func TestUntagFrameErrorPaths(t *testing.T) {
+	cases := [][]byte{nil, {}, {1}, {1, 2, 3}}
+	for _, c := range cases {
+		if _, _, err := untagFrame(c); err == nil {
+			t.Errorf("untagFrame(%v) accepted a short payload", c)
+		}
+	}
+	// Exactly the 4-byte tag is a legal empty payload.
+	f, data, err := untagFrame([]byte{9, 0, 0, 0})
+	if err != nil || f != 9 || len(data) != 0 {
+		t.Errorf("untagFrame(tag-only) = %d, %v, %v", f, data, err)
+	}
+}
+
+func TestMalformedFrameTagsAreSkipped(t *testing.T) {
+	// Garbage on the wire — a truncated tag and a stale frame id —
+	// must be skipped, not kill the session: the real layers that
+	// follow still compose the frame.
+	tr := netsim.NewTransport(1e9, time.Millisecond)
+	defer tr.Close()
+	if err := tr.Send("mid", []byte{7}); err != nil { // short: untagFrame fails
+		t.Fatal(err)
+	}
+	if err := tr.Send("out", tagFrame(999, []byte{1, 2, 3})); err != nil { // stale id
+		t.Fatal(err)
+	}
+
+	reqs := make(chan Request, 1)
+	server := NewServer(testScene(), tr, 0.85, 8)
+	done := make(chan int, 1)
+	go func() { done <- server.Serve(reqs) }()
+
+	client := NewClient(fastCfg(), testScene(), tr, reqs)
+	r, err := client.RunFrame(0)
+	close(reqs)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Composed == nil {
+		t.Fatal("frame produced no image")
+	}
+	if r.PeripheryTimedOut {
+		t.Error("garbage packets pushed the client into timeout fallback")
+	}
+	if r.PayloadBytes == 0 {
+		t.Error("no real periphery payload received")
+	}
+}
+
+func TestRunFrameTransportClosed(t *testing.T) {
+	// The transport dying mid-frame is the session's hard error path.
+	tr := netsim.NewTransport(1e9, time.Millisecond)
+	reqs := make(chan Request, 4)
+	client := NewClient(fastCfg(), testScene(), tr, reqs)
+	go func() {
+		<-reqs
+		tr.Close()
+	}()
+	if _, err := client.RunFrame(0); err == nil {
+		t.Fatal("RunFrame on a closed transport should error")
 	}
 }

@@ -75,6 +75,17 @@ func ConditionByName(name string) (Condition, bool) {
 	return Condition{}, false
 }
 
+// Scaled returns the condition with its bandwidth derated by factor
+// (0 < factor <= 1): the per-session view of an access medium shared
+// with other active sessions on the same cell or AP. Propagation and
+// noise characteristics are unchanged.
+func (c Condition) Scaled(factor float64) Condition {
+	if factor > 0 && factor < 1 {
+		c.BandwidthBps *= factor
+	}
+	return c
+}
+
 // AirtimeSeconds returns the time the radio actively occupies the
 // link to move a payload: serialization at efficiency-derated nominal
 // bandwidth, excluding propagation. Energy accounting and pipelined

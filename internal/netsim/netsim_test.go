@@ -243,3 +243,43 @@ func TestTransportClosed(t *testing.T) {
 	}
 	tr.Close() // double close must not panic
 }
+
+func TestOutageStallsParallelTransfer(t *testing.T) {
+	// A parallel per-layer transfer issued mid-outage pays the
+	// remaining stall, then costs exactly what the aggregate
+	// single-stream transfer costs once service resumes (identical
+	// seeds draw identical jitter).
+	l := NewLink(WiFi, 3)
+	l.InjectOutage(0, 0.5)
+	par := l.ParallelTransferSeconds([]int{60_000, 40_000}, 0.2)
+
+	ref := NewLink(WiFi, 3)
+	single := ref.TransferSeconds(100_240, 0.5) // same payload + framing
+	if want := 0.3 + single; math.Abs(par-want) > 1e-9 {
+		t.Errorf("mid-outage parallel transfer = %v, want stall+transfer = %v", par, want)
+	}
+
+	// Once the outage has passed, parallel transfers are back to the
+	// aggregate-payload cost with no residual stall.
+	after := l.ParallelTransferSeconds([]int{60_000, 40_000}, 1.0)
+	if after > single*3 || after < single*0.2 {
+		t.Errorf("post-outage parallel transfer %v far from nominal %v", after, single)
+	}
+}
+
+func TestScaledSharesBandwidth(t *testing.T) {
+	half := WiFi.Scaled(0.5)
+	if half.BandwidthBps != WiFi.BandwidthBps/2 {
+		t.Errorf("Scaled(0.5) bandwidth = %v, want %v", half.BandwidthBps, WiFi.BandwidthBps/2)
+	}
+	if half.RTTSeconds != WiFi.RTTSeconds || half.Name != WiFi.Name {
+		t.Errorf("Scaled must only touch bandwidth: %+v", half)
+	}
+	// Out-of-range factors leave the condition unchanged.
+	if got := WiFi.Scaled(0); got != WiFi {
+		t.Errorf("Scaled(0) mutated the condition: %+v", got)
+	}
+	if got := WiFi.Scaled(1.5); got != WiFi {
+		t.Errorf("Scaled(1.5) mutated the condition: %+v", got)
+	}
+}

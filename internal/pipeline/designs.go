@@ -28,7 +28,7 @@ func (s *session) frameRemoteOnly(f *frameState) {
 	app := s.cfg.App
 	chainStart := s.eng.Now().Seconds()
 
-	req := s.link.RequestSeconds()
+	req := s.requestSeconds()
 	f.rec.RequestSeconds = req
 	s.eng.Schedule(sim.Time(req), func() {
 		render := s.cfg.Remote.RenderSeconds(gpu.FrameWorkload(app, f.stats, 1, 1))
@@ -118,7 +118,7 @@ func (s *session) frameStatic(f *frameState) {
 	}
 
 	fetch := func(done func()) {
-		req := s.link.RequestSeconds()
+		req := s.requestSeconds()
 		f.rec.RequestSeconds = req
 		s.eng.Schedule(sim.Time(req), func() {
 			render := s.cfg.Remote.RenderSeconds(gpu.FrameWorkload(app, f.stats, 1, 1))
@@ -304,7 +304,7 @@ func (s *session) frameCollaborative(f *frameState) {
 		return
 	}
 	chainStart := s.eng.Now().Seconds()
-	req := s.link.RequestSeconds()
+	req := s.requestSeconds()
 	f.rec.RequestSeconds = req
 	s.eng.Schedule(sim.Time(req), func() {
 		midFrac := s.disp.AreaFraction(part.E2, f.sample.Gaze.X, f.sample.Gaze.Y) - part.FoveaAreaFraction

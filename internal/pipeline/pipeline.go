@@ -119,6 +119,11 @@ type Config struct {
 	// the paper rejects DNN accelerators because an edge-TPU inference
 	// costs 10-20 ms per decision — set this to quantify that argument.
 	ControllerLatencySeconds float64
+	// RemoteQueueSeconds is an admission/queueing delay charged on
+	// every remote request before it reaches a render GPU. A fleet
+	// scheduler sharing one remote cluster across many sessions sets
+	// this to model contention; zero means an uncontended cluster.
+	RemoteQueueSeconds float64
 }
 
 // DefaultConfig returns the evaluation defaults for a design and app:

@@ -52,8 +52,26 @@ type session struct {
 	records []FrameRecord
 }
 
-// Run simulates cfg and returns the measured result.
+// Run simulates cfg and returns the measured result. It is shorthand
+// for NewSession(cfg).Run().
 func Run(cfg Config) Result {
+	return NewSession(cfg).Run()
+}
+
+// Session is one fully-constructed simulation run, ready to execute.
+// Sessions are cheap to build and independent of each other: every
+// piece of mutable state (event engine, resources, RNGs, controllers)
+// is owned by the session, and all package-level state in the
+// simulator's dependency tree is immutable catalog data — so distinct
+// Sessions may Run concurrently from different goroutines. A single
+// Session is NOT safe for concurrent use, and Run must be called at
+// most once.
+type Session struct {
+	s *session
+}
+
+// normalize fills zero-valued Config fields with evaluation defaults.
+func normalize(cfg Config) Config {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 300
 	}
@@ -78,6 +96,13 @@ func Run(cfg Config) Result {
 	if cfg.Profile.Name == "" {
 		cfg.Profile = motion.Normal
 	}
+	return cfg
+}
+
+// NewSession builds a runnable session from cfg, applying the
+// evaluation defaults to zero-valued fields.
+func NewSession(cfg Config) *Session {
+	cfg = normalize(cfg)
 
 	s := &session{
 		cfg: cfg,
@@ -115,12 +140,18 @@ func Run(cfg Config) Result {
 	case QVRSoftware:
 		s.sw = liwc.NewSoftware(cfg.LIWC.BudgetSeconds, cfg.LIWC.TargetFloor, cfg.LIWC.InitialE1)
 	}
+	return &Session{s: s}
+}
 
+// Run executes the simulation to completion and returns the measured
+// result.
+func (p *Session) Run() Result {
+	s := p.s
 	s.tryIssue()
 	s.eng.Run()
 
 	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Index < s.records[j].Index })
-	return Result{Config: cfg, Frames: s.records, Display: s.disp}
+	return Result{Config: s.cfg, Frames: s.records, Display: s.disp}
 }
 
 // tryIssue starts the next frame if none is in flight. Frames are
@@ -304,6 +335,13 @@ func (s *session) stageFPS(rec *FrameRecord) float64 {
 		return 0
 	}
 	return 1 / busiest
+}
+
+// requestSeconds is the cost of issuing a remote render request: the
+// uplink control packet plus any fleet-level admission queueing at the
+// shared remote cluster.
+func (s *session) requestSeconds() float64 {
+	return s.link.RequestSeconds() + s.cfg.RemoteQueueSeconds
 }
 
 // motionDelta returns the frame-to-frame motion delta (zero for the
