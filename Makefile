@@ -3,10 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet fmt-check ci
+.PHONY: build test race bench scenario-smoke fmt vet fmt-check ci
 
+# build compiles every package and drops the command binaries
+# (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario)
+# into ./bin.
 build:
 	$(GO) build ./...
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -19,6 +23,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
+# Scenario smoke: one built-in timeline in miniature, then the
+# determinism contract — the outage-failover scenario must produce
+# byte-identical JSON for different worker pool sizes.
+scenario-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/qvr-scenario -builtin flash-crowd -frames 8 -warmup 4
+	@$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4 -workers 1 -format json > bin/scn-w1.json
+	@$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4 -workers 7 -format json > bin/scn-w7.json
+	@diff bin/scn-w1.json bin/scn-w7.json && echo "scenario determinism OK (workers 1 == workers 7)"
+
 fmt:
 	gofmt -w .
 
@@ -29,4 +43,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build race bench scenario-smoke

@@ -26,16 +26,6 @@ import (
 	"qvr/internal/pipeline"
 )
 
-var designs = map[string]pipeline.Design{
-	"local":  pipeline.LocalOnly,
-	"remote": pipeline.RemoteOnly,
-	"static": pipeline.StaticCollab,
-	"ffr":    pipeline.FFR,
-	"dfr":    pipeline.DFR,
-	"qvr-sw": pipeline.QVRSoftware,
-	"qvr":    pipeline.QVR,
-}
-
 // netAliases accepts the short spellings alongside the Table 2 names.
 var netAliases = map[string]string{
 	"wifi": "Wi-Fi", "lte": "4G LTE", "4g": "4G LTE", "5g": "Early 5G",
@@ -62,7 +52,7 @@ func main() {
 	if !ok {
 		fail("unknown format %q", *format)
 	}
-	design, ok := designs[*designName]
+	design, ok := pipeline.DesignByName(*designName)
 	if !ok {
 		fail("unknown design %q", *designName)
 	}
@@ -90,9 +80,7 @@ func main() {
 
 	cfg := fleet.Config{Specs: specs, Workers: *workers, CellCapacity: *cell}
 	if *gpus > 0 {
-		cluster := gpu.DefaultRemote()
-		cluster.GPUs = *gpus
-		cfg.Admission = fleet.Admission{Cluster: cluster}
+		cfg.Admission = fleet.Admission{Cluster: gpu.DefaultRemote().WithGPUs(*gpus)}
 	}
 
 	printer(fleet.Run(cfg))

@@ -21,16 +21,6 @@ import (
 	"qvr/internal/stats"
 )
 
-var designs = map[string]pipeline.Design{
-	"local":  pipeline.LocalOnly,
-	"remote": pipeline.RemoteOnly,
-	"static": pipeline.StaticCollab,
-	"ffr":    pipeline.FFR,
-	"dfr":    pipeline.DFR,
-	"qvr-sw": pipeline.QVRSoftware,
-	"qvr":    pipeline.QVR,
-}
-
 var profiles = map[string]motion.Profile{
 	"calm":    motion.Calm,
 	"normal":  motion.Normal,
@@ -67,7 +57,7 @@ func main() {
 	if !ok {
 		fail("unknown app %q (use -list)", *appName)
 	}
-	design, ok := designs[strings.ToLower(*designName)]
+	design, ok := pipeline.DesignByName(*designName)
 	if !ok {
 		fail("unknown design %q", *designName)
 	}

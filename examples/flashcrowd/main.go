@@ -1,0 +1,76 @@
+// Flashcrowd: a launch-day traffic spike, phase by phase.
+//
+// The built-in flash-crowd scenario is a four-act story: a quiet
+// baseline of 8 users on a 2-GPU shared cluster, a 6x population
+// spike that blows straight past the cluster's 16 admit slots, a
+// drain phase where the crowd leaves and the previously-refused users
+// finally get served, and a settled epilogue that should look like
+// the baseline again.
+//
+// The walkthrough runs the scenario and narrates what the admission
+// layer, the queue and the tail percentiles do in each act — the
+// things a single static fleet snapshot can never show.
+//
+// Run with:
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+
+	"qvr/internal/scenario"
+)
+
+func main() {
+	sc, err := scenario.Builtin("flash-crowd")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scenario %q: %d phases, mix %s, %d-GPU shared cluster\n\n",
+		sc.Name, len(sc.Phases), sc.Mix, sc.GPUs)
+
+	r, err := scenario.Run(sc, scenario.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-10s %7s %7s %5s %5s %8s %8s %7s %7s\n",
+		"phase", "active", "admit", "drop", "fail", "p50(ms)", "p99(ms)", "load", "queue")
+	for _, p := range r.Phases {
+		s := p.Summary.Summary
+		fmt.Printf("%-10s %7d %7d %5d %5d %8.1f %8.1f %6.1fx %5.1fms\n",
+			p.Phase.Name, p.Active, s.Sessions, s.Dropped, s.FailedOver,
+			s.P50MTPMs, s.P99MTPMs, s.Load, s.QueueMs)
+	}
+
+	fmt.Println()
+	for _, p := range r.Phases {
+		s := p.Summary.Summary
+		switch p.Phase.Name {
+		case "baseline":
+			fmt.Printf("baseline: %d users, load %.1fx capacity — the cluster is comfortable.\n",
+				p.Active, s.Load)
+		case "spike":
+			fmt.Printf("spike:    %d users arrive at once; the cluster admits %d (queueing %.1f ms per\n"+
+				"          request at %.1fx load) and refuses %d outright rather than queue forever.\n",
+				p.Arrived, s.Sessions, s.QueueMs, s.Load, s.Dropped)
+		case "drain":
+			fmt.Printf("drain:    %d users log off; everyone still here — including users the spike\n"+
+				"          refused — now gets a slot (dropped: %d).\n", p.Departed, s.Dropped)
+		case "settled":
+			fmt.Printf("settled:  back to %d users; p99 %.1f ms vs baseline %.1f ms.\n",
+				p.Active, s.P99MTPMs, r.Phases[0].Summary.Summary.P99MTPMs)
+		}
+	}
+
+	roll := r.Rollup
+	fmt.Println()
+	fmt.Printf("roll-up: worst p99 %.1f ms in %q (%.1fx baseline); worst 90-FPS share %.0f%%;\n"+
+		"         max dropped in one phase: %d\n",
+		roll.WorstP99Ms, roll.WorstPhase, roll.DegradationFactor,
+		roll.WorstTargetShare*100, roll.MaxDropped)
+	if roll.Disrupted && roll.Recovered {
+		fmt.Printf("         the fleet recovered %.0f s after the spike ended\n", roll.RecoverySeconds)
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"qvr/internal/gpu"
+	"qvr/internal/pipeline"
 )
 
 // Admission models the shared remote render cluster's front door.
@@ -15,8 +16,14 @@ import (
 // convert every admitted session into a judder machine.
 type Admission struct {
 	// Cluster is the shared remote rendering cluster. GPUs == 0
-	// disables admission entirely.
+	// disables admission entirely unless Enabled is set.
 	Cluster gpu.RemoteCluster
+	// Enabled forces the admission layer on even when Cluster.GPUs is
+	// zero. A zero-GPU enabled cluster models a total remote outage:
+	// there is no capacity to share or queue for, so every session
+	// fails over to local-only rendering for the duration (scenario
+	// timelines flip GPU counts between phases to stage exactly this).
+	Enabled bool
 	// SessionsPerGPU is how many concurrent sessions one remote GPU
 	// sustains at full PerGPUSpeedup (the paper's periphery render is
 	// a fraction of a GPU frame). Default 4.
@@ -50,6 +57,9 @@ type Contention struct {
 	// SharedCells maps condition names to the bandwidth split factor
 	// applied when a cell is oversubscribed (absent = uncontended).
 	SharedCells map[string]float64
+	// FailedOver counts sessions forced onto local-only rendering
+	// because the enabled cluster had zero capacity (a remote outage).
+	FailedOver int
 }
 
 // withDefaults fills the zero tunables.
@@ -73,7 +83,21 @@ func (a Admission) withDefaults() Admission {
 func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 	specs := cfg.Specs
 	a := cfg.Admission
-	if a.Cluster.GPUs > 0 {
+	switch {
+	case a.Enabled && a.Cluster.GPUs <= 0:
+		// Total remote outage: the cluster has no capacity at all.
+		// Dropping everyone would model a service refusing logins; what
+		// production systems do instead is fail over, and the client
+		// has a working (if slower) fallback renderer on board — so
+		// every session degrades to local-only rendering.
+		report.FailedOver = len(specs)
+		adjusted := make([]SessionSpec, len(specs))
+		for i, sp := range specs {
+			sp.Config.Design = pipeline.LocalOnly
+			adjusted[i] = sp
+		}
+		specs = adjusted
+	case a.Cluster.GPUs > 0:
 		a = a.withDefaults()
 		capacity := a.Cluster.GPUs * a.SessionsPerGPU
 		maxAdmit := int(float64(capacity) * a.MaxQueueFactor)
@@ -99,7 +123,7 @@ func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 			adjusted[i] = sp
 		}
 		specs = adjusted
-	} else {
+	default:
 		admittedCopy := make([]SessionSpec, len(specs))
 		copy(admittedCopy, specs)
 		specs = admittedCopy

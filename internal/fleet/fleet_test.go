@@ -225,3 +225,125 @@ func TestEmptyFleet(t *testing.T) {
 		t.Errorf("empty summary should be zero: %+v", s)
 	}
 }
+
+// finite fails the test if any summary metric is NaN or infinite.
+func finite(t *testing.T, label string, s Summary) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"p50": s.P50MTPMs, "p95": s.P95MTPMs, "p99": s.P99MTPMs,
+		"mean_fps": s.MeanFPS, "agg_fps": s.AggregateFPS,
+		"agg_mbps": s.AggregateMBps, "target_share": s.TargetShare,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: %s = %v, want finite", label, name, v)
+		}
+	}
+}
+
+// TestSummarizeSingleSession: percentiles over one session's frames
+// must be sane (p50 <= p95 <= p99, everything finite).
+func TestSummarizeSingleSession(t *testing.T) {
+	r := Run(Config{Specs: testSpecs(t, 1)})
+	s := r.Summarize()
+	finite(t, "single", s)
+	if s.Sessions != 1 || s.Dropped != 0 {
+		t.Fatalf("single-session shape wrong: %+v", s)
+	}
+	if !(s.P50MTPMs > 0 && s.P50MTPMs <= s.P95MTPMs && s.P95MTPMs <= s.P99MTPMs) {
+		t.Errorf("single-session percentiles not monotone: %+v", s)
+	}
+	if s.MeanFPS != s.AggregateFPS {
+		t.Errorf("one session: mean fps %v != aggregate %v", s.MeanFPS, s.AggregateFPS)
+	}
+	if s.TargetShare != 0 && s.TargetShare != 1 {
+		t.Errorf("one session: target share must be 0 or 1, got %v", s.TargetShare)
+	}
+}
+
+// TestSummarizeAllDropped: a fleet whose every session was refused
+// must report zero percentiles and zero target share, never NaN.
+func TestSummarizeAllDropped(t *testing.T) {
+	r := Result{Dropped: testSpecs(t, 5)}
+	s := r.Summarize()
+	finite(t, "all-dropped", s)
+	if s.Sessions != 0 || s.Dropped != 5 {
+		t.Fatalf("all-dropped shape wrong: %+v", s)
+	}
+	if s.P99MTPMs != 0 || s.AggregateFPS != 0 {
+		t.Errorf("all-dropped metrics should be zero: %+v", s)
+	}
+	if s.TargetShare != 0 {
+		t.Errorf("all-dropped target share = %v, want 0", s.TargetShare)
+	}
+}
+
+// TestSummarizeZeroWithDropped: zero admitted sessions with a non-zero
+// drop list exercises the len(Sessions)+len(Dropped) denominator.
+func TestSummarizeZeroWithDropped(t *testing.T) {
+	finite(t, "zero+dropped", Result{Dropped: testSpecs(t, 1)}.Summarize())
+	finite(t, "zero", Result{}.Summarize())
+}
+
+// TestOutageFailsOverToLocal: an enabled zero-GPU cluster (a total
+// remote outage) must push every session onto local-only rendering
+// instead of dropping it, and the degradation must show up in the
+// latency tail.
+func TestOutageFailsOverToLocal(t *testing.T) {
+	specs := testSpecs(t, 6)
+	healthy := Run(Config{Specs: specs, Workers: 4,
+		Admission: Admission{Cluster: gpu.DefaultRemote()}})
+	outage := Run(Config{Specs: specs, Workers: 4,
+		Admission: Admission{Cluster: gpu.DefaultRemote().WithGPUs(0), Enabled: true}})
+
+	if len(outage.Dropped) != 0 {
+		t.Fatalf("outage dropped %d sessions, want failover instead", len(outage.Dropped))
+	}
+	if got := outage.Contention.FailedOver; got != len(specs) {
+		t.Fatalf("failed over %d sessions, want %d", got, len(specs))
+	}
+	for _, sr := range outage.Sessions {
+		if sr.Result.Config.Design != pipeline.LocalOnly {
+			t.Errorf("session %q still on design %v during outage", sr.Spec.Name, sr.Result.Config.Design)
+		}
+	}
+	if s := outage.Summarize(); s.FailedOver != len(specs) {
+		t.Errorf("summary failed_over = %d, want %d", s.FailedOver, len(specs))
+	}
+	hp, op := healthy.PercentileMTP(0.99), outage.PercentileMTP(0.99)
+	if op <= hp {
+		t.Errorf("outage p99 (%v) should exceed healthy p99 (%v)", op, hp)
+	}
+	// A disabled zero cluster (Enabled unset) still means "no
+	// admission", not an outage.
+	free := Run(Config{Specs: specs, Workers: 4})
+	if free.Contention.FailedOver != 0 {
+		t.Errorf("disabled admission must not fail anyone over: %+v", free.Contention)
+	}
+}
+
+// TestSpecsRangeMatchesSpecs: phase-by-phase arrivals must reproduce
+// the exact sessions a single up-front expansion would have made.
+func TestSpecsRangeMatchesSpecs(t *testing.T) {
+	mix, _ := MixByName("mixed")
+	all, err := mix.Specs(12, pipeline.QVR, 20, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := mix.SpecsRange(0, 5, pipeline.QVR, 20, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := mix.SpecsRange(5, 7, pipeline.QVR, 20, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(head, tail...); !reflect.DeepEqual(got, all) {
+		t.Fatal("SpecsRange(0,5)+SpecsRange(5,7) != Specs(12)")
+	}
+	if _, err := mix.SpecsRange(-1, 3, pipeline.QVR, 20, 10, 1); err == nil {
+		t.Error("negative start should error")
+	}
+	if _, err := mix.SpecsRange(0, 0, pipeline.QVR, 20, 10, 1); err == nil {
+		t.Error("zero count should error")
+	}
+}

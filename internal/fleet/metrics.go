@@ -9,10 +9,13 @@ import (
 // Summary is the fleet-level metric roll-up: what an operator's
 // dashboard would show for this slice of the user population.
 type Summary struct {
-	// Sessions/Dropped/Workers describe the run shape.
-	Sessions int `json:"sessions"`
-	Dropped  int `json:"dropped"`
-	Workers  int `json:"workers"`
+	// Sessions/Dropped/Workers describe the run shape. FailedOver is
+	// the subset of Sessions forced onto local-only rendering by a
+	// remote-cluster outage.
+	Sessions   int `json:"sessions"`
+	Dropped    int `json:"dropped"`
+	FailedOver int `json:"failed_over"`
+	Workers    int `json:"workers"`
 
 	// P50/P95/P99MTPMs are motion-to-photon percentiles in
 	// milliseconds over every measured frame of every session — the
@@ -48,6 +51,7 @@ func (r Result) Summarize() Summary {
 	s := Summary{
 		Sessions:    len(r.Sessions),
 		Dropped:     len(r.Dropped),
+		FailedOver:  r.Contention.FailedOver,
 		Workers:     r.Workers,
 		QueueMs:     r.Contention.QueueSeconds * 1000,
 		Load:        r.Contention.Load,

@@ -88,6 +88,19 @@ func MixNames() []string {
 // so the same (mix, n, baseSeed) always produces the same fleet while
 // no two sessions replay the same trace.
 func (m Mix) Specs(n int, design pipeline.Design, frames, warmup int, baseSeed int64) ([]SessionSpec, error) {
+	return m.SpecsRange(0, n, design, frames, warmup, baseSeed)
+}
+
+// SpecsRange expands the mix into the n session specs with global
+// indices [start, start+n): session start+i here is identical to
+// session start+i of any other call with the same (mix, baseSeed), so
+// a scenario timeline can mint later arrivals phase by phase and still
+// get the exact population a single up-front Specs call would have
+// produced.
+func (m Mix) SpecsRange(start, n int, design pipeline.Design, frames, warmup int, baseSeed int64) ([]SessionSpec, error) {
+	if start < 0 {
+		return nil, fmt.Errorf("fleet: session start index %d must not be negative", start)
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("fleet: session count %d must be positive", n)
 	}
@@ -111,7 +124,8 @@ func (m Mix) Specs(n int, design pipeline.Design, frames, warmup int, baseSeed i
 
 	specs := make([]SessionSpec, n)
 	for i := 0; i < n; i++ {
-		t := cycle[i%len(cycle)]
+		g := start + i // global session index
+		t := cycle[g%len(cycle)]
 		app, ok := scene.AppByName(t.App)
 		if !ok {
 			return nil, fmt.Errorf("fleet: mix %q tier %q: unknown app %q", m.Name, t.Name, t.App)
@@ -120,7 +134,7 @@ func (m Mix) Specs(n int, design pipeline.Design, frames, warmup int, baseSeed i
 		cfg.GPU = cfg.GPU.WithFrequency(t.FreqMHz)
 		cfg.Network = t.Network
 		cfg.Profile = t.Profile
-		cfg.Seed = baseSeed + int64(i)*1009 + 7
+		cfg.Seed = baseSeed + int64(g)*1009 + 7
 		if frames > 0 {
 			cfg.Frames = frames
 		}
@@ -128,7 +142,7 @@ func (m Mix) Specs(n int, design pipeline.Design, frames, warmup int, baseSeed i
 			cfg.Warmup = warmup
 		}
 		specs[i] = SessionSpec{
-			Name:   fmt.Sprintf("%s-%03d", t.Name, i),
+			Name:   fmt.Sprintf("%s-%03d", t.Name, g),
 			Config: cfg,
 		}
 	}

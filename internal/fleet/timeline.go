@@ -1,0 +1,123 @@
+package fleet
+
+// Windowed per-phase metrics: a scenario timeline runs the fleet
+// engine once per phase and records one Summary per window; RollUp
+// condenses the windows into the operator's incident-report numbers —
+// how bad did the worst phase get, and how long after the disruption
+// did the fleet take to look healthy again.
+
+// PhaseSummary is one windowed slice of a longer run: the fleet
+// Summary measured during one named phase of a timeline, positioned
+// on the scenario clock.
+type PhaseSummary struct {
+	// Name labels the phase ("outage", "flash-crowd peak").
+	Name string `json:"name"`
+	// StartSeconds/DurationSeconds place the window on the scenario's
+	// production clock (not host wall time).
+	StartSeconds    float64 `json:"start_s"`
+	DurationSeconds float64 `json:"duration_s"`
+	// Summary is the fleet metric roll-up measured in this window.
+	Summary Summary `json:"summary"`
+}
+
+// EndSeconds is the scenario time at which the phase ends.
+func (p PhaseSummary) EndSeconds() float64 { return p.StartSeconds + p.DurationSeconds }
+
+// Thresholds for the disruption/recovery classification, as multiples
+// of the baseline P99 MTP.
+const (
+	// DisruptionFactor: a phase whose P99 reaches this multiple of
+	// baseline counts as a disruption worth timing recovery for.
+	DisruptionFactor = 1.5
+	// RecoveredFactor: after a disruption, the first phase back within
+	// this multiple of baseline counts as recovered.
+	RecoveredFactor = 1.2
+)
+
+// Rollup condenses a timeline of phase summaries into headline
+// incident metrics.
+type Rollup struct {
+	// Phases is the number of windows rolled up.
+	Phases int `json:"phases"`
+	// BaselineP99Ms is the healthy reference: the first phase with
+	// measurable traffic.
+	BaselinePhase string  `json:"baseline_phase"`
+	BaselineP99Ms float64 `json:"baseline_p99_ms"`
+	// WorstPhase/WorstP99Ms locate the timeline's latency peak;
+	// DegradationFactor is worst over baseline.
+	WorstPhase        string  `json:"worst_phase"`
+	WorstP99Ms        float64 `json:"worst_p99_ms"`
+	DegradationFactor float64 `json:"degradation_factor"`
+	// WorstTargetShare is the lowest share of sessions holding 90 FPS
+	// across all phases.
+	WorstTargetShare float64 `json:"worst_target_share"`
+	// MaxDropped/MaxFailedOver are the worst single-phase admission
+	// outcomes.
+	MaxDropped    int `json:"max_dropped"`
+	MaxFailedOver int `json:"max_failed_over"`
+	// Disrupted reports whether any phase crossed DisruptionFactor.
+	Disrupted bool `json:"disrupted"`
+	// Recovered reports whether, after the worst phase, some later
+	// phase came back within RecoveredFactor of baseline.
+	// RecoverySeconds is the scenario time from the end of the worst
+	// phase to the start of that first healthy phase (0 = the very
+	// next phase was already healthy); -1 when the timeline never
+	// recovers. Undisrupted timelines report Recovered=true with zero
+	// recovery time.
+	Recovered       bool    `json:"recovered"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+}
+
+// RollUp computes the timeline roll-up over the phases in order.
+func RollUp(phases []PhaseSummary) Rollup {
+	r := Rollup{Phases: len(phases), Recovered: true, WorstTargetShare: 1}
+	if len(phases) == 0 {
+		return r
+	}
+
+	baseIdx := -1
+	worstIdx := -1
+	for i, p := range phases {
+		s := p.Summary
+		if baseIdx < 0 && s.P99MTPMs > 0 {
+			baseIdx = i
+			r.BaselinePhase, r.BaselineP99Ms = p.Name, s.P99MTPMs
+		}
+		if worstIdx < 0 || s.P99MTPMs > r.WorstP99Ms {
+			worstIdx = i
+			r.WorstPhase, r.WorstP99Ms = p.Name, s.P99MTPMs
+		}
+		// An empty phase (no sessions requested, nothing dropped) has
+		// no users to miss target; only phases with traffic count.
+		if s.Sessions+s.Dropped > 0 && s.TargetShare < r.WorstTargetShare {
+			r.WorstTargetShare = s.TargetShare
+		}
+		if s.Dropped > r.MaxDropped {
+			r.MaxDropped = s.Dropped
+		}
+		if s.FailedOver > r.MaxFailedOver {
+			r.MaxFailedOver = s.FailedOver
+		}
+	}
+	if baseIdx < 0 {
+		// No phase carried traffic: nothing to disrupt.
+		return r
+	}
+
+	r.DegradationFactor = r.WorstP99Ms / r.BaselineP99Ms
+	if r.DegradationFactor < DisruptionFactor {
+		return r
+	}
+	r.Disrupted = true
+	r.Recovered = false
+	r.RecoverySeconds = -1
+	disruptEnd := phases[worstIdx].EndSeconds()
+	for _, p := range phases[worstIdx+1:] {
+		if s := p.Summary; s.P99MTPMs > 0 && s.P99MTPMs <= RecoveredFactor*r.BaselineP99Ms {
+			r.Recovered = true
+			r.RecoverySeconds = p.StartSeconds - disruptEnd
+			break
+		}
+	}
+	return r
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import "testing"
+
+// ps builds a phase summary window for roll-up tests.
+func ps(name string, start, dur, p99 float64, share float64, dropped, failed int) PhaseSummary {
+	return PhaseSummary{
+		Name: name, StartSeconds: start, DurationSeconds: dur,
+		Summary: Summary{
+			Sessions: 8, Dropped: dropped, FailedOver: failed,
+			P99MTPMs: p99, TargetShare: share,
+		},
+	}
+}
+
+func TestRollUpHealthyTimeline(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("a", 0, 60, 20, 1, 0, 0),
+		ps("b", 60, 60, 22, 0.9, 0, 0),
+		ps("c", 120, 60, 21, 1, 0, 0),
+	})
+	if r.Disrupted {
+		t.Errorf("healthy timeline flagged disrupted: %+v", r)
+	}
+	if !r.Recovered || r.RecoverySeconds != 0 {
+		t.Errorf("healthy timeline should report recovered with zero recovery: %+v", r)
+	}
+	if r.BaselinePhase != "a" || r.WorstPhase != "b" {
+		t.Errorf("baseline/worst = %q/%q, want a/b", r.BaselinePhase, r.WorstPhase)
+	}
+	if r.WorstTargetShare != 0.9 {
+		t.Errorf("worst target share = %v, want 0.9", r.WorstTargetShare)
+	}
+}
+
+func TestRollUpDisruptionAndRecovery(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("steady", 0, 60, 20, 1, 0, 0),
+		ps("outage", 60, 30, 80, 0.2, 0, 8),
+		ps("draining", 90, 30, 30, 0.6, 2, 0), // still above 1.2x baseline
+		ps("healthy", 120, 60, 21, 1, 0, 0),
+	})
+	if !r.Disrupted {
+		t.Fatalf("4x P99 spike not flagged as disruption: %+v", r)
+	}
+	if r.WorstPhase != "outage" || r.WorstP99Ms != 80 {
+		t.Errorf("worst phase = %q (%v ms), want outage (80)", r.WorstPhase, r.WorstP99Ms)
+	}
+	if r.DegradationFactor != 4 {
+		t.Errorf("degradation = %v, want 4", r.DegradationFactor)
+	}
+	// Recovery: outage ends at t=90; "draining" is still unhealthy;
+	// "healthy" starts at t=120 -> 30 s to recover.
+	if !r.Recovered || r.RecoverySeconds != 30 {
+		t.Errorf("recovery = %v s (recovered=%v), want 30 s", r.RecoverySeconds, r.Recovered)
+	}
+	if r.MaxFailedOver != 8 || r.MaxDropped != 2 {
+		t.Errorf("max failed-over/dropped = %d/%d, want 8/2", r.MaxFailedOver, r.MaxDropped)
+	}
+}
+
+func TestRollUpNeverRecovers(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("steady", 0, 60, 20, 1, 0, 0),
+		ps("brownout", 60, 60, 90, 0.1, 0, 0),
+		ps("still-bad", 120, 60, 70, 0.2, 0, 0),
+	})
+	if !r.Disrupted || r.Recovered || r.RecoverySeconds != -1 {
+		t.Errorf("unrecovered timeline misreported: %+v", r)
+	}
+}
+
+func TestRollUpImmediateRecovery(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("steady", 0, 60, 20, 1, 0, 0),
+		ps("spike", 60, 30, 100, 0.3, 4, 0),
+		ps("calm", 90, 60, 20, 1, 0, 0),
+	})
+	if !r.Recovered || r.RecoverySeconds != 0 {
+		t.Errorf("next-phase recovery should cost 0 s, got %v (recovered=%v)",
+			r.RecoverySeconds, r.Recovered)
+	}
+}
+
+func TestRollUpEmptyAndTrafficlessTimelines(t *testing.T) {
+	if r := RollUp(nil); r.Disrupted || !r.Recovered || r.Phases != 0 {
+		t.Errorf("empty roll-up misreported: %+v", r)
+	}
+	// Phases with zero traffic have P99 == 0 and must not become a
+	// zero-baseline division.
+	quiet := []PhaseSummary{
+		{Name: "empty-a", DurationSeconds: 60},
+		{Name: "empty-b", StartSeconds: 60, DurationSeconds: 60},
+	}
+	if r := RollUp(quiet); r.Disrupted || r.DegradationFactor != 0 {
+		t.Errorf("trafficless roll-up misreported: %+v", r)
+	}
+	// A leading empty phase must not be picked as the baseline.
+	r := RollUp([]PhaseSummary{
+		{Name: "empty", DurationSeconds: 60},
+		ps("first-traffic", 60, 60, 20, 1, 0, 0),
+	})
+	if r.BaselinePhase != "first-traffic" {
+		t.Errorf("baseline = %q, want first phase with traffic", r.BaselinePhase)
+	}
+}

@@ -185,6 +185,18 @@ func DefaultRemote() RemoteCluster {
 	}
 }
 
+// WithGPUs returns a copy of r resized to n chiplets. n may be zero:
+// a cluster with no GPUs has no remote capacity at all, which the
+// fleet admission layer treats as a total outage. Negative counts
+// clamp to zero.
+func (r RemoteCluster) WithGPUs(n int) RemoteCluster {
+	if n < 0 {
+		n = 0
+	}
+	r.GPUs = n
+	return r
+}
+
 // Share returns the cluster as one session sees it when `load`
 // sessions' worth of work contend for capacity sized for 1.0: below
 // full load a session still gets a whole slot, beyond it the per-GPU

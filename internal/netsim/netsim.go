@@ -75,14 +75,28 @@ func ConditionByName(name string) (Condition, bool) {
 	return Condition{}, false
 }
 
-// Scaled returns the condition with its bandwidth derated by factor
-// (0 < factor <= 1): the per-session view of an access medium shared
-// with other active sessions on the same cell or AP. Propagation and
-// noise characteristics are unchanged.
+// MinShareFactor is the floor Scaled clamps to: a session's share of
+// an access medium never drops below 0.01% of nominal, so a cell
+// driven to zero (a scenario blackout phase, or a degenerate share
+// computation) stalls transfers enormously instead of producing
+// zero/negative bandwidth and infinite or negative airtimes.
+const MinShareFactor = 1e-4
+
+// Scaled returns the condition with its bandwidth derated by factor:
+// the per-session view of an access medium shared with other active
+// sessions on the same cell or AP. Propagation and noise
+// characteristics are unchanged. Factors >= 1 leave the condition
+// untouched; zero and negative factors clamp to MinShareFactor.
 func (c Condition) Scaled(factor float64) Condition {
-	if factor > 0 && factor < 1 {
-		c.BandwidthBps *= factor
+	if factor >= 1 {
+		return c
 	}
+	// Fail closed: NaN compares false against everything, so the
+	// clamp must test for the valid range, not the invalid one.
+	if !(factor >= MinShareFactor) {
+		factor = MinShareFactor
+	}
+	c.BandwidthBps *= factor
 	return c
 }
 

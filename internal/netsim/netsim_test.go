@@ -275,11 +275,31 @@ func TestScaledSharesBandwidth(t *testing.T) {
 	if half.RTTSeconds != WiFi.RTTSeconds || half.Name != WiFi.Name {
 		t.Errorf("Scaled must only touch bandwidth: %+v", half)
 	}
-	// Out-of-range factors leave the condition unchanged.
-	if got := WiFi.Scaled(0); got != WiFi {
-		t.Errorf("Scaled(0) mutated the condition: %+v", got)
-	}
+	// Factors >= 1 leave the condition unchanged (a share can only
+	// derate).
 	if got := WiFi.Scaled(1.5); got != WiFi {
 		t.Errorf("Scaled(1.5) mutated the condition: %+v", got)
+	}
+}
+
+// TestScaledClampsDegenerateShares: scenario phases drive share
+// factors programmatically, so zero and negative shares are reachable;
+// they must clamp to MinShareFactor instead of restoring full
+// bandwidth (the pre-clamp behaviour) or going non-positive.
+func TestScaledClampsDegenerateShares(t *testing.T) {
+	floor := WiFi.BandwidthBps * MinShareFactor
+	for _, factor := range []float64{0, -1, -0.25, MinShareFactor / 10, math.NaN(), math.Inf(-1)} {
+		got := WiFi.Scaled(factor)
+		if got.BandwidthBps != floor {
+			t.Errorf("Scaled(%v) bandwidth = %v, want clamped floor %v",
+				factor, got.BandwidthBps, floor)
+		}
+		if air := got.AirtimeSeconds(100_000); math.IsInf(air, 0) || math.IsNaN(air) || air <= 0 {
+			t.Errorf("Scaled(%v) airtime = %v, want finite positive", factor, air)
+		}
+	}
+	// The floor applies to tiny-but-positive shares too.
+	if got := WiFi.Scaled(MinShareFactor * 2); got.BandwidthBps != WiFi.BandwidthBps*MinShareFactor*2 {
+		t.Errorf("small positive share should scale normally, got %v", got.BandwidthBps)
 	}
 }

@@ -30,6 +30,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"qvr/internal/codec"
 	"qvr/internal/energy"
@@ -80,6 +81,26 @@ func (d Design) String() string {
 
 // Designs lists all designs in evaluation order.
 var Designs = []Design{LocalOnly, RemoteOnly, StaticCollab, FFR, DFR, QVRSoftware, QVR}
+
+// designNames maps the CLI/scenario-file spellings to designs: the
+// short forms the commands have always accepted plus the String()
+// spellings.
+var designNames = map[string]Design{
+	"local": LocalOnly, "local-only": LocalOnly,
+	"remote": RemoteOnly, "remote-only": RemoteOnly,
+	"static": StaticCollab,
+	"ffr":    FFR,
+	"dfr":    DFR,
+	"qvr-sw": QVRSoftware,
+	"qvr":    QVR,
+}
+
+// DesignByName resolves a design spelling (case-insensitive), the
+// single registry every CLI and the scenario parser share.
+func DesignByName(name string) (Design, bool) {
+	d, ok := designNames[strings.ToLower(strings.TrimSpace(name))]
+	return d, ok
+}
 
 // Latency constants shared by every design (Section 5: "we count 2ms
 // to transmit the sensored data ... and 5 ms to display the frame").

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The built-in scenario library. Each entry is written in the scenario
+// file format itself — the library doubles as format documentation,
+// and every built-in runs through the same parser a user file does.
+var builtins = map[string]string{
+	// steady: the control. Constant population, constant conditions;
+	// every phase should look like every other phase.
+	"steady": `
+[scenario]
+name = steady
+mix  = mixed
+gpus = 2
+
+[phase early]
+duration = 120
+sessions = 12
+
+[phase middle]
+duration = 120
+sessions = 12
+
+[phase late]
+duration = 120
+sessions = 12
+`,
+
+	// diurnal: a day compressed into five phases. Load climbs from the
+	// overnight trough to a midday peak that oversubscribes the
+	// 2-GPU cluster and the cells, then falls off again.
+	"diurnal": `
+[scenario]
+name = diurnal
+mix  = mixed
+gpus = 2
+cell-capacity = 6
+
+[phase night]
+duration = 240
+sessions = 6
+
+[phase morning]
+duration = 120
+sessions = 12
+
+[phase midday-peak]
+duration = 240
+sessions = 24
+
+[phase evening]
+duration = 120
+sessions = 16
+
+[phase late-night]
+duration = 240
+sessions = 6
+`,
+
+	// flash-crowd: a launch-day spike. The population jumps 6x in one
+	// phase; the admission layer queues what it can and drops the
+	// rest, then the crowd drains and the dropped users get served.
+	"flash-crowd": `
+[scenario]
+name = flash-crowd
+mix  = mixed
+gpus = 2
+cell-capacity = 8
+
+[phase baseline]
+duration = 120
+sessions = 8
+
+[phase spike]
+duration = 60
+sessions = 48
+
+[phase drain]
+duration = 120
+sessions = 12
+
+[phase settled]
+duration = 120
+sessions = 8
+`,
+
+	// net-brownout: the cluster is fine but the access networks are
+	// not — Wi-Fi and LTE cells drop to 15% of nominal bandwidth for
+	// one phase (backhaul failure, interference), then recover.
+	"net-brownout": `
+[scenario]
+name = net-brownout
+mix  = mixed
+gpus = 2
+
+[phase clear]
+duration = 120
+sessions = 10
+
+[phase brownout]
+duration = 60
+sessions = 10
+net-scale.Wi-Fi  = 0.15
+net-scale.4G LTE = 0.15
+
+[phase recovered]
+duration = 120
+sessions = 10
+`,
+
+	// cluster-outage-failover: the remote render cluster goes down
+	// entirely for one phase. Nobody is dropped — every session fails
+	// over to local-only rendering and pays for it in latency — then
+	// the cluster comes back and the fleet recovers. The congested mix
+	// (budget-heavy devices) makes the failover cost visible: weak
+	// GPUs depend on the remote periphery the most.
+	"cluster-outage-failover": `
+[scenario]
+name = cluster-outage-failover
+mix  = congested
+gpus = 2
+
+[phase steady]
+duration = 120
+sessions = 12
+
+[phase outage]
+duration = 60
+sessions = 12
+gpus = 0
+
+[phase failback]
+duration = 120
+sessions = 12
+gpus = 2
+`,
+
+	// churn: the population size holds but its members do not — half
+	// of the users are replaced every phase, so per-session state
+	// (controller warm-up, channel estimates) keeps restarting.
+	"churn": `
+[scenario]
+name = churn
+mix  = mixed
+gpus = 2
+
+[phase cohort-1]
+duration = 120
+sessions = 16
+
+[phase cohort-2]
+duration = 120
+churn = 0.5
+
+[phase cohort-3]
+duration = 120
+churn = 0.5
+
+[phase cohort-4]
+duration = 120
+churn = 0.5
+`,
+}
+
+// Builtin parses the named built-in scenario.
+func Builtin(name string) (Scenario, error) {
+	text, ok := builtins[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown built-in %q (have: %v)", name, BuiltinNames())
+	}
+	sc, err := ParseString(text)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: built-in %q: %w", name, err)
+	}
+	return sc, nil
+}
+
+// BuiltinNames lists the built-in scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"qvr/internal/pipeline"
+)
+
+// The scenario file format is sectioned key=value text:
+//
+//	# comments run to end of line
+//	[scenario]
+//	name   = flash-crowd
+//	mix    = mixed          # fleet.MixByName population
+//	design = qvr            # local remote static ffr dfr qvr-sw qvr
+//	seed   = 7
+//	gpus   = 2              # shared cluster; omit for uncontended
+//	cell-capacity = 6
+//	frames = 60             # measured frames per session per phase
+//	warmup = 20
+//
+//	[phase baseline]
+//	duration = 120          # seconds of production time
+//	sessions = 8            # target active sessions
+//
+//	[phase crowd]
+//	duration     = 60
+//	arrival-rate = 0.5      # extra sessions per second
+//	gpus         = 0        # remote outage: fail over to local
+//	churn        = 0.25     # replace a quarter of carried users
+//	net-scale.4G LTE = 0.3  # brownout: derate one cell's bandwidth
+//
+// Phases execute in file order. Unknown keys are errors: a typo in a
+// scenario file should fail loudly, not silently simulate something
+// else.
+
+// defaults returns the zero scenario the file's keys overlay.
+func defaults() Scenario {
+	return Scenario{
+		Mix:    "mixed",
+		Design: pipeline.QVR,
+		Seed:   1,
+		GPUs:   -1,
+		Frames: 60,
+		Warmup: 20,
+	}
+}
+
+// newPhase returns a phase carrying the "inherit" sentinels.
+func newPhase(name string) Phase {
+	return Phase{Name: name, Sessions: -1, GPUs: -1}
+}
+
+// ParseFile parses the scenario file at path.
+func ParseFile(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	sc, err := Parse(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// ParseString parses scenario text (the built-ins use this).
+func ParseString(text string) (Scenario, error) {
+	return Parse(strings.NewReader(text))
+}
+
+// Parse reads a sectioned key=value scenario description and returns
+// the validated Scenario.
+func Parse(r io.Reader) (Scenario, error) {
+	sc := defaults()
+	var cur *Phase     // phase section being filled, nil in [scenario]
+	inScenario := true // until the first [phase ...] header
+	sawScenario := false
+
+	flush := func() {
+		if cur != nil {
+			sc.Phases = append(sc.Phases, *cur)
+			cur = nil
+		}
+	}
+
+	scan := bufio.NewScanner(r)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return Scenario{}, fmt.Errorf("line %d: malformed section header %q", lineNo, line)
+			}
+			header := strings.TrimSpace(line[1 : len(line)-1])
+			switch {
+			case header == "scenario":
+				if sawScenario {
+					return Scenario{}, fmt.Errorf("line %d: duplicate [scenario] section", lineNo)
+				}
+				sawScenario = true
+				inScenario = true
+			case strings.HasPrefix(header, "phase"):
+				name := strings.TrimSpace(strings.TrimPrefix(header, "phase"))
+				if name == "" {
+					return Scenario{}, fmt.Errorf("line %d: phase section needs a name: [phase NAME]", lineNo)
+				}
+				flush()
+				inScenario = false
+				p := newPhase(name)
+				cur = &p
+			default:
+				return Scenario{}, fmt.Errorf("line %d: unknown section [%s]", lineNo, header)
+			}
+			continue
+		}
+
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return Scenario{}, fmt.Errorf("line %d: expected key = value, got %q", lineNo, line)
+		}
+		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
+		var err error
+		if inScenario {
+			err = setScenarioKey(&sc, key, value)
+		} else {
+			err = setPhaseKey(cur, key, value)
+		}
+		if err != nil {
+			return Scenario{}, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return Scenario{}, err
+	}
+	flush()
+
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+func setScenarioKey(sc *Scenario, key, value string) error {
+	switch key {
+	case "name":
+		sc.Name = value
+	case "mix":
+		sc.Mix = value
+	case "design":
+		d, ok := pipeline.DesignByName(value)
+		if !ok {
+			return fmt.Errorf("unknown design %q", value)
+		}
+		sc.Design = d
+	case "seed":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+		sc.Seed = v
+	case "gpus":
+		return parseNonNegInt(value, "gpus", &sc.GPUs)
+	case "sessions-per-gpu":
+		return parseNonNegInt(value, "sessions-per-gpu", &sc.SessionsPerGPU)
+	case "cell-capacity":
+		return parseNonNegInt(value, "cell-capacity", &sc.CellCapacity)
+	case "frames":
+		return parseNonNegInt(value, "frames", &sc.Frames)
+	case "warmup":
+		return parseNonNegInt(value, "warmup", &sc.Warmup)
+	default:
+		return fmt.Errorf("unknown [scenario] key %q", key)
+	}
+	return nil
+}
+
+func setPhaseKey(p *Phase, key, value string) error {
+	if scale, ok := strings.CutPrefix(key, "net-scale."); ok {
+		f, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		if p.NetScale == nil {
+			p.NetScale = map[string]float64{}
+		}
+		p.NetScale[strings.TrimSpace(scale)] = f
+		return nil
+	}
+	switch key {
+	case "duration":
+		f, err := parseFiniteFloat(value, "duration")
+		if err != nil {
+			return err
+		}
+		p.DurationSeconds = f
+	case "sessions":
+		return parseNonNegInt(value, "sessions", &p.Sessions)
+	case "arrive":
+		return parseNonNegInt(value, "arrive", &p.Arrive)
+	case "depart":
+		return parseNonNegInt(value, "depart", &p.Depart)
+	case "arrival-rate":
+		f, err := parseFiniteFloat(value, "arrival-rate")
+		if err != nil {
+			return err
+		}
+		p.ArrivalRate = f
+	case "churn":
+		f, err := parseFiniteFloat(value, "churn")
+		if err != nil {
+			return err
+		}
+		p.Churn = f
+	case "mix":
+		p.Mix = value
+	case "gpus":
+		return parseNonNegInt(value, "gpus", &p.GPUs)
+	case "frames":
+		return parseNonNegInt(value, "frames", &p.Frames)
+	default:
+		return fmt.Errorf("unknown [phase] key %q", key)
+	}
+	return nil
+}
+
+// parseFiniteFloat parses a float key, rejecting the NaN/Inf
+// spellings strconv accepts — a NaN that slips in here would poison
+// every comparison downstream.
+func parseFiniteFloat(value, key string) (float64, error) {
+	f, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("%s: must be finite, got %v", key, f)
+	}
+	return f, nil
+}
+
+// parseNonNegInt parses a non-negative integer key into dst.
+func parseNonNegInt(value, key string, dst *int) error {
+	v, err := strconv.Atoi(value)
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	if v < 0 {
+		return fmt.Errorf("%s: must not be negative, got %d", key, v)
+	}
+	*dst = v
+	return nil
+}

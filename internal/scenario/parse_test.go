@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"qvr/internal/pipeline"
+)
+
+const sampleFile = `
+# A hand-written scenario exercising every key.
+[scenario]
+name   = sample
+mix    = congested
+design = dfr
+seed   = 99
+gpus   = 3
+sessions-per-gpu = 2
+cell-capacity    = 5
+frames = 40
+warmup = 10
+
+[phase warmup]          ; alternate comment style
+duration = 30
+sessions = 6
+
+[phase trouble]
+duration     = 45.5
+arrive       = 2
+depart       = 1
+arrival-rate = 0.1
+churn        = 0.25
+mix          = flagship
+gpus         = 0
+frames       = 25
+net-scale.4G LTE = 0.3
+net-scale.Wi-Fi  = 0.8
+`
+
+func TestParseSample(t *testing.T) {
+	sc, err := ParseString(sampleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "sample" || sc.Mix != "congested" || sc.Design != pipeline.DFR {
+		t.Errorf("scenario header wrong: %+v", sc)
+	}
+	if sc.Seed != 99 || sc.GPUs != 3 || sc.SessionsPerGPU != 2 || sc.CellCapacity != 5 {
+		t.Errorf("scenario numbers wrong: %+v", sc)
+	}
+	if sc.Frames != 40 || sc.Warmup != 10 {
+		t.Errorf("frame budget wrong: %+v", sc)
+	}
+	if len(sc.Phases) != 2 {
+		t.Fatalf("want 2 phases, got %d", len(sc.Phases))
+	}
+	p0 := sc.Phases[0]
+	if p0.Name != "warmup" || p0.DurationSeconds != 30 || p0.Sessions != 6 {
+		t.Errorf("phase 0 wrong: %+v", p0)
+	}
+	// Unset phase keys keep the inherit sentinels.
+	if p0.GPUs != -1 || p0.Frames != 0 || p0.Mix != "" {
+		t.Errorf("phase 0 should inherit: %+v", p0)
+	}
+	p1 := sc.Phases[1]
+	if p1.DurationSeconds != 45.5 || p1.Arrive != 2 || p1.Depart != 1 || p1.ArrivalRate != 0.1 {
+		t.Errorf("phase 1 population edits wrong: %+v", p1)
+	}
+	if p1.Churn != 0.25 || p1.Mix != "flagship" || p1.GPUs != 0 || p1.Frames != 25 {
+		t.Errorf("phase 1 overrides wrong: %+v", p1)
+	}
+	if p1.Sessions != -1 {
+		t.Errorf("phase 1 sessions should carry (-1), got %d", p1.Sessions)
+	}
+	if p1.NetScale["4G LTE"] != 0.3 || p1.NetScale["Wi-Fi"] != 0.8 {
+		t.Errorf("net-scale wrong: %+v", p1.NetScale)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := ParseString("[scenario]\nname = d\n[phase only]\nduration = 10\nsessions = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mix != "mixed" || sc.Design != pipeline.QVR || sc.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", sc)
+	}
+	if sc.GPUs != -1 {
+		t.Errorf("default gpus should be -1 (no admission), got %d", sc.GPUs)
+	}
+	if sc.Frames != 60 || sc.Warmup != 20 {
+		t.Errorf("default frame budget wrong: %+v", sc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown scenario key": "[scenario]\nname=x\nbogus = 1\n[phase a]\nduration=1\n",
+		"unknown phase key":    "[scenario]\nname=x\n[phase a]\nduration=1\nbogus = 1\n",
+		"unknown section":      "[scenario]\nname=x\n[network]\n",
+		"missing phase name":   "[scenario]\nname=x\n[phase]\nduration=1\n",
+		"malformed header":     "[scenario\nname=x\n",
+		"missing equals":       "[scenario]\nname\n",
+		"bad int":              "[scenario]\nname=x\ngpus = two\n[phase a]\nduration=1\n",
+		"negative int":         "[scenario]\nname=x\ngpus = -2\n[phase a]\nduration=1\n",
+		"unknown design":       "[scenario]\nname=x\ndesign = magic\n[phase a]\nduration=1\n",
+		"unknown mix":          "[scenario]\nname=x\nmix = nope\n[phase a]\nduration=1\n",
+		"unknown condition":    "[scenario]\nname=x\n[phase a]\nduration=1\nnet-scale.Dialup = 0.5\n",
+		"negative net-scale":   "[scenario]\nname=x\n[phase a]\nduration=1\nnet-scale.Wi-Fi = -1\n",
+		"zero duration":        "[scenario]\nname=x\n[phase a]\nduration=0\n",
+		"no phases":            "[scenario]\nname=x\n",
+		"no name":              "[scenario]\n[phase a]\nduration=1\n",
+		"duplicate phase":      "[scenario]\nname=x\n[phase a]\nduration=1\n[phase a]\nduration=1\n",
+		"duplicate scenario":   "[scenario]\nname=x\n[scenario]\n",
+		"churn out of range":   "[scenario]\nname=x\n[phase a]\nduration=1\nchurn = 1.5\n",
+		"NaN net-scale":        "[scenario]\nname=x\n[phase a]\nduration=1\nnet-scale.Wi-Fi = NaN\n",
+		"NaN duration":         "[scenario]\nname=x\n[phase a]\nduration = NaN\n",
+		"Inf duration":         "[scenario]\nname=x\n[phase a]\nduration = +Inf\n",
+		"NaN churn":            "[scenario]\nname=x\n[phase a]\nduration=1\nchurn = nan\n",
+		"comma in phase name":  "[scenario]\nname=x\n[phase a, hour 2]\nduration=1\n",
+	}
+	for label, text := range cases {
+		if _, err := ParseString(text); err == nil {
+			t.Errorf("%s: expected a parse error, got none", label)
+		}
+	}
+}
+
+func TestBuiltinsParseAndValidate(t *testing.T) {
+	names := BuiltinNames()
+	want := []string{"churn", "cluster-outage-failover", "diurnal", "flash-crowd", "net-brownout", "steady"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("built-ins = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		sc, err := Builtin(name)
+		if err != nil {
+			t.Errorf("built-in %q: %v", name, err)
+			continue
+		}
+		if sc.Name != name {
+			t.Errorf("built-in %q declares name %q", name, sc.Name)
+		}
+		if len(sc.Phases) < 3 {
+			t.Errorf("built-in %q has only %d phases", name, len(sc.Phases))
+		}
+	}
+	if _, err := Builtin("no-such"); err == nil {
+		t.Error("unknown built-in should error")
+	}
+}

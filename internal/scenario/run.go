@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"qvr/internal/fleet"
+	"qvr/internal/gpu"
+)
+
+// Options tunes how a timeline executes without changing what it
+// simulates.
+type Options struct {
+	// Workers bounds each phase's fleet worker pool; 0 = all cores.
+	// Worker count never affects results.
+	Workers int
+	// FramesOverride (> 0) replaces every phase's measured frame
+	// count, and WarmupOverride (when non-nil) the warmup count — the
+	// smoke path's way to run a scenario in miniature. A zero
+	// FramesOverride / nil WarmupOverride keeps the scenario's own
+	// settings, so the Options zero value changes nothing.
+	FramesOverride int
+	WarmupOverride *int
+}
+
+// Warmup wraps a warmup frame count for Options.WarmupOverride.
+func Warmup(n int) *int { return &n }
+
+// PhaseResult is one executed phase window.
+type PhaseResult struct {
+	// Phase echoes the timeline entry that produced this window.
+	Phase Phase
+	// Arrived/Departed count the population edits applied at phase
+	// start; Active is the session count the phase then ran (admitted
+	// plus dropped).
+	Arrived, Departed int
+	Active            int
+	// Fleet is the full fleet result for the window (per-session
+	// records included).
+	Fleet fleet.Result
+	// Summary is the windowed metric roll-up, positioned on the
+	// scenario clock. Host artifacts (wall time, worker count) are
+	// zeroed so reports are byte-identical across runs and pool sizes.
+	Summary fleet.PhaseSummary
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Scenario Scenario
+	Phases   []PhaseResult
+	// Rollup is the timeline's incident report: worst-phase P99,
+	// degradation over baseline, recovery time after the disruption.
+	Rollup fleet.Rollup
+}
+
+// phaseSeedStride separates the per-phase derived seeds: a session
+// carried across phases replays a fresh motion/channel trace each
+// phase, deterministically.
+const phaseSeedStride = 1_000_003
+
+// Run executes the timeline: phase by phase, carrying the session
+// population across boundaries, applying each phase's arrivals,
+// departures, churn, network derates and cluster resizing, and
+// running the fleet engine once per phase window. The result is
+// deterministic for a given scenario regardless of Options.Workers.
+func Run(sc Scenario, opt Options) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	frames, warmup := sc.Frames, sc.Warmup
+	if opt.FramesOverride > 0 {
+		frames = opt.FramesOverride
+	}
+	if opt.WarmupOverride != nil && *opt.WarmupOverride >= 0 {
+		warmup = *opt.WarmupOverride
+	}
+
+	out := Result{Scenario: sc}
+	var (
+		active    []fleet.SessionSpec // carried population, oldest first
+		next      int                 // global arrival counter
+		now       float64             // scenario clock
+		summaries []fleet.PhaseSummary
+	)
+	for pi, ph := range sc.Phases {
+		departed := 0
+
+		// Population edits, in a fixed order so the timeline is
+		// deterministic: explicit departures, churn, arrivals, then
+		// the absolute target. Departing sessions are always the
+		// oldest — the morning cohort logs off first.
+		if d := min(ph.Depart, len(active)); d > 0 {
+			active = active[d:]
+			departed += d
+		}
+		churned := int(math.Floor(ph.Churn * float64(len(active))))
+		if churned > 0 {
+			active = active[churned:]
+			departed += churned
+		}
+		arrive := ph.Arrive + int(math.Round(ph.ArrivalRate*ph.DurationSeconds)) + churned
+		if t := ph.Sessions; t >= 0 {
+			switch have := len(active) + arrive; {
+			case have > t:
+				shed := have - t
+				if fromActive := min(shed, len(active)); fromActive > 0 {
+					active = active[fromActive:]
+					departed += fromActive
+					shed -= fromActive
+				}
+				arrive -= shed
+			case have < t:
+				arrive += t - have
+			}
+		}
+		if arrive > 0 {
+			mixName := sc.Mix
+			if ph.Mix != "" {
+				mixName = ph.Mix
+			}
+			mix, _ := fleet.MixByName(mixName) // Validate checked it
+			specs, err := mix.SpecsRange(next, arrive, sc.Design, frames, warmup, sc.Seed)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
+			}
+			next += arrive
+			active = append(active, specs...)
+		}
+
+		// Phase view of the carried population: same identities, a
+		// phase-derived seed, this phase's frame budget, and any
+		// cell derates. The carried specs themselves stay pristine —
+		// a brownout ends when its phase does.
+		phFrames := frames
+		if ph.Frames > 0 && opt.FramesOverride <= 0 {
+			phFrames = ph.Frames
+		}
+		runSpecs := make([]fleet.SessionSpec, len(active))
+		for i, sp := range active {
+			cfg := sp.Config
+			cfg.Seed += int64(pi+1) * phaseSeedStride
+			cfg.Frames = phFrames
+			cfg.Warmup = warmup
+			if f, ok := ph.NetScale[cfg.Network.Name]; ok {
+				cfg.Network = cfg.Network.Scaled(f)
+			}
+			runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Config: cfg}
+		}
+
+		fc := fleet.Config{Specs: runSpecs, Workers: opt.Workers, CellCapacity: sc.CellCapacity}
+		if g := phaseGPUs(sc, ph); g >= 0 {
+			fc.Admission = fleet.Admission{
+				Cluster:        gpu.DefaultRemote().WithGPUs(g),
+				Enabled:        true,
+				SessionsPerGPU: sc.SessionsPerGPU,
+			}
+		}
+		r := fleet.Run(fc)
+
+		sum := r.Summarize()
+		// Wall time and pool size are host artifacts, not science;
+		// zeroed so scenario reports are identical across runs and
+		// worker counts.
+		sum.WallSeconds, sum.Workers = 0, 0
+		psum := fleet.PhaseSummary{
+			Name:            ph.Name,
+			StartSeconds:    now,
+			DurationSeconds: ph.DurationSeconds,
+			Summary:         sum,
+		}
+		out.Phases = append(out.Phases, PhaseResult{
+			Phase:    ph,
+			Arrived:  arrive,
+			Departed: departed,
+			Active:   len(active),
+			Fleet:    r,
+			Summary:  psum,
+		})
+		summaries = append(summaries, psum)
+		now += ph.DurationSeconds
+	}
+	out.Rollup = fleet.RollUp(summaries)
+	return out, nil
+}
+
+// phaseGPUs resolves the effective cluster size for a phase: the
+// phase override when set, else the scenario default; -1 means the
+// admission layer stays off.
+func phaseGPUs(sc Scenario, ph Phase) int {
+	if ph.GPUs >= 0 {
+		return ph.GPUs
+	}
+	return sc.GPUs
+}

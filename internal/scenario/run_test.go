@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qvr/internal/fleet"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+)
+
+// tiny keeps race-enabled scenario runs fast: every phase simulates a
+// miniature window.
+var tiny = Options{FramesOverride: 12, WarmupOverride: Warmup(4)}
+
+func mustBuiltin(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := Builtin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func mustRun(t *testing.T, sc Scenario, opt Options) Result {
+	t.Helper()
+	r, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// phaseDigest reduces a run to its science: phase summaries and the
+// roll-up, which is exactly what the CLI reports.
+func phaseDigest(r Result) ([]fleet.PhaseSummary, fleet.Rollup) {
+	sums := make([]fleet.PhaseSummary, len(r.Phases))
+	for i, p := range r.Phases {
+		sums[i] = p.Summary
+	}
+	return sums, r.Rollup
+}
+
+// TestScenarioDeterministicAcrossWorkers is the engine's headline
+// contract (and the PR's acceptance criterion): the same scenario
+// must produce byte-identical reports for any worker pool size, run
+// after run.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	sc := mustBuiltin(t, "cluster-outage-failover")
+	var prevJSON []byte
+	for _, workers := range []int{1, 3, 7} {
+		r := mustRun(t, sc, Options{Workers: workers, FramesOverride: tiny.FramesOverride, WarmupOverride: tiny.WarmupOverride})
+		sums, roll := phaseDigest(r)
+		blob, err := json.Marshal(struct {
+			Sums []fleet.PhaseSummary
+			Roll fleet.Rollup
+		}{sums, roll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevJSON != nil && string(prevJSON) != string(blob) {
+			t.Fatalf("workers=%d changed the report:\n%s\nvs\n%s", workers, prevJSON, blob)
+		}
+		prevJSON = blob
+	}
+}
+
+// TestClusterOutageFailover walks the acceptance scenario: P99
+// degrades during the outage phase (every session failed over to
+// local-only) and recovers when the cluster comes back.
+func TestClusterOutageFailover(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "cluster-outage-failover"), tiny)
+	if len(r.Phases) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(r.Phases))
+	}
+	steady, outage, failback := r.Phases[0], r.Phases[1], r.Phases[2]
+
+	if outage.Summary.Summary.FailedOver != outage.Active {
+		t.Errorf("outage failed over %d of %d sessions, want all",
+			outage.Summary.Summary.FailedOver, outage.Active)
+	}
+	if n := len(outage.Fleet.Dropped); n != 0 {
+		t.Errorf("outage dropped %d sessions; failover must not drop", n)
+	}
+	for _, sr := range outage.Fleet.Sessions {
+		if sr.Result.Config.Design != pipeline.LocalOnly {
+			t.Errorf("session %q not failed over during outage", sr.Spec.Name)
+		}
+	}
+	sp99, op99, fp99 := steady.Summary.Summary.P99MTPMs, outage.Summary.Summary.P99MTPMs, failback.Summary.Summary.P99MTPMs
+	if !(op99 > sp99 && op99 > fp99) {
+		t.Errorf("outage p99 %.1f ms should exceed steady %.1f and failback %.1f", op99, sp99, fp99)
+	}
+	if !r.Rollup.Disrupted {
+		t.Errorf("roll-up missed the disruption: %+v", r.Rollup)
+	}
+	if r.Rollup.WorstPhase != "outage" {
+		t.Errorf("worst phase = %q, want outage", r.Rollup.WorstPhase)
+	}
+	if !r.Rollup.Recovered || r.Rollup.RecoverySeconds != 0 {
+		t.Errorf("failback should recover immediately: %+v", r.Rollup)
+	}
+	if r.Rollup.MaxFailedOver != outage.Active {
+		t.Errorf("roll-up max failed-over = %d, want %d", r.Rollup.MaxFailedOver, outage.Active)
+	}
+}
+
+// TestFlashCrowdPopulation checks the population arithmetic: the
+// spike sextuples the fleet, the 2-GPU cluster (16 admit slots) drops
+// the overflow, and the drain lets the crowd go.
+func TestFlashCrowdPopulation(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "flash-crowd"), tiny)
+	if len(r.Phases) != 4 {
+		t.Fatalf("want 4 phases, got %d", len(r.Phases))
+	}
+	base, spike, drain, settled := r.Phases[0], r.Phases[1], r.Phases[2], r.Phases[3]
+
+	for _, c := range []struct {
+		name string
+		p    PhaseResult
+		want int
+	}{
+		{"baseline", base, 8}, {"spike", spike, 48}, {"drain", drain, 12}, {"settled", settled, 8},
+	} {
+		if c.p.Active != c.want {
+			t.Errorf("%s active = %d, want %d", c.name, c.p.Active, c.want)
+		}
+	}
+	if base.Arrived != 8 || spike.Arrived != 40 {
+		t.Errorf("arrivals wrong: baseline %d (want 8), spike %d (want 40)", base.Arrived, spike.Arrived)
+	}
+	if drain.Departed != 36 {
+		t.Errorf("drain departed = %d, want 36", drain.Departed)
+	}
+	// 2 GPUs x 4 sessions/GPU x 2.0 queue factor = 16 admit slots.
+	if got := len(spike.Fleet.Dropped); got != 48-16 {
+		t.Errorf("spike dropped %d sessions, want %d", got, 48-16)
+	}
+	if len(drain.Fleet.Dropped) != 0 || len(settled.Fleet.Dropped) != 0 {
+		t.Errorf("post-spike phases should drop nobody: drain %d, settled %d",
+			len(drain.Fleet.Dropped), len(settled.Fleet.Dropped))
+	}
+	// Carried identity: every baseline user is still there mid-spike.
+	inSpike := map[string]bool{}
+	for _, sr := range spike.Fleet.Sessions {
+		inSpike[sr.Spec.Name] = true
+	}
+	for _, sp := range spike.Fleet.Dropped {
+		inSpike[sp.Name] = true
+	}
+	for _, sr := range base.Fleet.Sessions {
+		if !inSpike[sr.Spec.Name] {
+			t.Errorf("baseline session %q vanished during the spike", sr.Spec.Name)
+		}
+	}
+}
+
+// TestPhaseSeedsDiffer: a carried session re-simulates each phase
+// from a fresh derived seed, not a replay of the previous window.
+func TestPhaseSeedsDiffer(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "steady"), tiny)
+	seeds := map[string]map[int64]bool{}
+	for _, p := range r.Phases {
+		for _, sr := range p.Fleet.Sessions {
+			if seeds[sr.Spec.Name] == nil {
+				seeds[sr.Spec.Name] = map[int64]bool{}
+			}
+			seeds[sr.Spec.Name][sr.Result.Config.Seed] = true
+		}
+	}
+	for name, set := range seeds {
+		if len(set) != len(r.Phases) {
+			t.Errorf("session %q has %d distinct phase seeds, want %d", name, len(set), len(r.Phases))
+		}
+	}
+}
+
+// TestChurnReplacesOldest: each churn phase keeps the population size
+// but swaps the oldest half for brand-new arrivals.
+func TestChurnReplacesOldest(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "churn"), tiny)
+	names := func(p PhaseResult) map[string]bool {
+		set := map[string]bool{}
+		for _, sr := range p.Fleet.Sessions {
+			set[sr.Spec.Name] = true
+		}
+		for _, sp := range p.Fleet.Dropped {
+			set[sp.Name] = true
+		}
+		return set
+	}
+	prev := names(r.Phases[0])
+	for _, p := range r.Phases[1:] {
+		if p.Active != 16 || p.Arrived != 8 || p.Departed != 8 {
+			t.Errorf("phase %q population edits wrong: active=%d arrived=%d departed=%d",
+				p.Phase.Name, p.Active, p.Arrived, p.Departed)
+		}
+		cur := names(p)
+		carried := 0
+		for n := range cur {
+			if prev[n] {
+				carried++
+			}
+		}
+		if carried != 8 {
+			t.Errorf("phase %q carried %d sessions, want 8", p.Phase.Name, carried)
+		}
+		prev = cur
+	}
+}
+
+// TestNetBrownoutDeratesAndRecovers: during the brownout the derated
+// cells' sessions see scaled bandwidth; afterwards the nominal
+// conditions are restored (derates must not leak across phases).
+func TestNetBrownoutDeratesAndRecovers(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "net-brownout"), tiny)
+	brown, recovered := r.Phases[1], r.Phases[2]
+	scaled := 0
+	for _, sr := range brown.Fleet.Sessions {
+		cond := sr.Result.Config.Network
+		nominal, ok := netsim.ConditionByName(cond.Name)
+		if !ok {
+			t.Fatalf("session %q on unknown condition %q", sr.Spec.Name, cond.Name)
+		}
+		want := nominal.BandwidthBps
+		if cond.Name == "Wi-Fi" || cond.Name == "4G LTE" {
+			want *= 0.15
+			scaled++
+		}
+		if cond.BandwidthBps != want {
+			t.Errorf("brownout session %q bandwidth %v, want %v", sr.Spec.Name, cond.BandwidthBps, want)
+		}
+	}
+	if scaled == 0 {
+		t.Fatal("brownout touched no sessions; mix should include Wi-Fi/LTE users")
+	}
+	for _, sr := range recovered.Fleet.Sessions {
+		nominal, _ := netsim.ConditionByName(sr.Result.Config.Network.Name)
+		if sr.Result.Config.Network.BandwidthBps != nominal.BandwidthBps {
+			t.Errorf("derate leaked into recovery for %q: %v", sr.Spec.Name, sr.Result.Config.Network.BandwidthBps)
+		}
+	}
+	if brown.Summary.Summary.P99MTPMs <= r.Phases[0].Summary.Summary.P99MTPMs {
+		t.Errorf("brownout p99 %.1f ms should exceed clear-sky %.1f ms",
+			brown.Summary.Summary.P99MTPMs, r.Phases[0].Summary.Summary.P99MTPMs)
+	}
+}
+
+// TestRunRejectsInvalidScenario: the executor re-validates, so a
+// hand-built bad Scenario cannot reach the fleet engine.
+func TestRunRejectsInvalidScenario(t *testing.T) {
+	if _, err := Run(Scenario{Name: "x"}, tiny); err == nil {
+		t.Error("scenario with no phases should be rejected")
+	}
+	bad := mustBuiltin(t, "steady")
+	bad.Phases[0].NetScale = map[string]float64{"Dialup": 0.5}
+	if _, err := Run(bad, tiny); err == nil {
+		t.Error("unknown net-scale condition should be rejected")
+	}
+}
+
+// TestArrivalRateAndExplicitEdits covers the rate-based and explicit
+// population edits the built-ins don't use together.
+func TestArrivalRateAndExplicitEdits(t *testing.T) {
+	sc, err := ParseString(`
+[scenario]
+name = edits
+frames = 12
+warmup = 4
+
+[phase seedphase]
+duration = 10
+sessions = 6
+
+[phase growth]
+duration = 20
+arrival-rate = 0.2
+
+[phase exodus]
+duration = 10
+depart = 3
+arrive = 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Options zero value must keep the scenario's own frame
+	// budget (frames=12, warmup=4 from the file).
+	r := mustRun(t, sc, Options{})
+	if got := r.Phases[1].Active; got != 10 {
+		t.Errorf("growth: 6 + round(0.2*20) = 10 active, got %d", got)
+	}
+	if got := r.Phases[2].Active; got != 8 {
+		t.Errorf("exodus: 10 - 3 + 1 = 8 active, got %d", got)
+	}
+	if r.Phases[2].Departed != 3 || r.Phases[2].Arrived != 1 {
+		t.Errorf("exodus edits wrong: %+v", r.Phases[2])
+	}
+	// No admission configured (gpus unset): nothing dropped, nothing
+	// failed over.
+	for _, p := range r.Phases {
+		if p.Summary.Summary.Dropped != 0 || p.Summary.Summary.FailedOver != 0 {
+			t.Errorf("phase %q: unexpected admission effects: %+v", p.Phase.Name, p.Summary.Summary)
+		}
+	}
+}

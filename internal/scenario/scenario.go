@@ -1,0 +1,172 @@
+// Package scenario turns the static fleet engine into a day in
+// production: a declarative, time-phased workload description — a
+// sectioned key=value file in the tradition of simulator configs
+// (SESC's .conf sections, HPL's HPL.dat) — parsed into a timeline of
+// phases and executed phase by phase on internal/fleet.
+//
+// Each phase is a window on the scenario's production clock. It can
+// change the active session population (absolute targets, arrival
+// rates, explicit arrivals/departures, churn), derate access-network
+// cells (a brownout), and resize or kill the shared remote render
+// cluster (a zero-GPU phase is a total outage; the admission layer
+// fails the fleet over to local-only rendering). Sessions are carried
+// across phase boundaries: a user who arrived in the morning phase is
+// still there — same device, same network, same identity — during the
+// evening flash crowd, re-simulated each phase with a seed derived
+// deterministically from (base seed, session index, phase index), so
+// the whole timeline is reproducible bit-for-bit for any worker
+// count.
+//
+// Six built-in scenarios ship with the package: steady, diurnal,
+// flash-crowd, net-brownout, cluster-outage-failover and churn. They
+// are written in the same file format the parser accepts, so they
+// double as format documentation and parser test vectors.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qvr/internal/fleet"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+)
+
+// Scenario is a parsed, validated timeline description.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Mix names the fleet population new sessions are drawn from
+	// (fleet.MixByName); phases may override it for their arrivals.
+	Mix string
+	// Design is the rendering system every session runs.
+	Design pipeline.Design
+	// Seed is the base seed every derived seed flows from.
+	Seed int64
+	// GPUs sizes the shared remote cluster; -1 disables the admission
+	// layer entirely (every session keeps a private cluster), 0 means
+	// the cluster is down from the start. Phases may override.
+	GPUs int
+	// SessionsPerGPU is the admission layer's per-GPU session
+	// capacity; 0 uses the fleet default.
+	SessionsPerGPU int
+	// CellCapacity is sessions per network cell before bandwidth
+	// sharing; 0 means uncontended cells.
+	CellCapacity int
+	// Frames/Warmup are the per-session measured and warmup frame
+	// counts simulated in each phase window.
+	Frames, Warmup int
+	// Phases is the timeline, in order.
+	Phases []Phase
+}
+
+// Phase is one window of the timeline.
+type Phase struct {
+	// Name labels the phase in reports.
+	Name string
+	// DurationSeconds is the phase's length on the production clock.
+	// It scales rate-based arrivals and is the unit recovery time is
+	// measured in; the simulated frames are a sampled window within
+	// the phase.
+	DurationSeconds float64
+	// Sessions is the target active session count at the start of the
+	// phase (-1 = carry the previous phase's population). When the
+	// carried population is over target, the oldest sessions log off;
+	// under target, fresh sessions arrive.
+	Sessions int
+	// Arrive adds this many fresh sessions; ArrivalRate adds
+	// round(rate * duration) more. Both apply before the Sessions
+	// target is enforced.
+	Arrive      int
+	ArrivalRate float64
+	// Depart logs off this many of the oldest carried sessions at
+	// phase start.
+	Depart int
+	// Churn replaces this fraction (0..1) of the carried population
+	// with fresh arrivals: the departing users are the oldest, the
+	// replacements are brand-new sessions with new seeds.
+	Churn float64
+	// Mix overrides the scenario mix for this phase's arrivals ("" =
+	// scenario default).
+	Mix string
+	// GPUs overrides the shared cluster size for this phase (-1 =
+	// scenario default). 0 models a cluster outage: the admission
+	// layer fails every session over to local-only rendering.
+	GPUs int
+	// Frames overrides the per-session measured frames for this phase
+	// (0 = scenario default).
+	Frames int
+	// NetScale derates named network conditions for the duration of
+	// the phase: condition name -> bandwidth share factor. Factors are
+	// clamped by netsim.Condition.Scaled, so 0 is a blackout-grade
+	// derate, not a divide-by-zero.
+	NetScale map[string]float64
+}
+
+// Validate checks the scenario against the fleet/netsim catalogs so a
+// hand-built or hand-edited scenario fails fast with a message naming
+// the offending section, not deep inside a phase run.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("scenario %q: no phases", sc.Name)
+	}
+	if sc.Frames <= 0 {
+		return fmt.Errorf("scenario %q: frames must be positive, got %d", sc.Name, sc.Frames)
+	}
+	if sc.Warmup < 0 {
+		return fmt.Errorf("scenario %q: warmup must not be negative, got %d", sc.Name, sc.Warmup)
+	}
+	if _, ok := fleet.MixByName(sc.Mix); !ok {
+		return fmt.Errorf("scenario %q: unknown mix %q", sc.Name, sc.Mix)
+	}
+	seen := map[string]bool{}
+	for i, ph := range sc.Phases {
+		where := fmt.Sprintf("scenario %q phase %d (%q)", sc.Name, i, ph.Name)
+		if ph.Name == "" {
+			return fmt.Errorf("scenario %q phase %d: missing name", sc.Name, i)
+		}
+		if seen[ph.Name] {
+			return fmt.Errorf("%s: duplicate phase name", where)
+		}
+		seen[ph.Name] = true
+		// Report fields are emitted unescaped (CSV rows, table
+		// columns); keep phase names free of delimiters.
+		if strings.ContainsAny(ph.Name, ",\"\n") {
+			return fmt.Errorf("%s: name must not contain commas, quotes or newlines", where)
+		}
+		// Numeric checks are written fail-closed: NaN compares false
+		// against everything, so we test for the valid range instead
+		// of the invalid one (the parser rejects non-finite values,
+		// but hand-built Scenarios reach here too).
+		if !(ph.DurationSeconds > 0 && !math.IsInf(ph.DurationSeconds, 0)) {
+			return fmt.Errorf("%s: duration must be positive and finite, got %v", where, ph.DurationSeconds)
+		}
+		if ph.Sessions < -1 {
+			return fmt.Errorf("%s: sessions must be >= 0 (or unset), got %d", where, ph.Sessions)
+		}
+		if ph.Arrive < 0 || ph.Depart < 0 || !(ph.ArrivalRate >= 0 && !math.IsInf(ph.ArrivalRate, 0)) {
+			return fmt.Errorf("%s: arrivals/departures must be non-negative and finite", where)
+		}
+		if !(ph.Churn >= 0 && ph.Churn <= 1) {
+			return fmt.Errorf("%s: churn %v out of [0,1]", where, ph.Churn)
+		}
+		if ph.Mix != "" {
+			if _, ok := fleet.MixByName(ph.Mix); !ok {
+				return fmt.Errorf("%s: unknown mix %q", where, ph.Mix)
+			}
+		}
+		for name, f := range ph.NetScale {
+			if _, ok := netsim.ConditionByName(name); !ok {
+				return fmt.Errorf("%s: net-scale names unknown condition %q", where, name)
+			}
+			if !(f >= 0 && !math.IsInf(f, 0)) {
+				return fmt.Errorf("%s: net-scale.%s = %v must be non-negative and finite", where, name, f)
+			}
+		}
+	}
+	return nil
+}
