@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench scenario-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke fmt vet fmt-check ci
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario)
@@ -22,6 +22,24 @@ race:
 # harness breakage without caring about timing noise.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Benchmark trajectory: the fleet + edge benchmarks as a machine-
+# readable JSON event stream (go test -json), one file CI archives
+# every run so the perf history accumulates across PRs.
+bench-json:
+	@mkdir -p bin
+	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge' -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
+	@echo "wrote bin/BENCH_edge.json ($$(wc -c < bin/BENCH_edge.json) bytes)"
+
+# Edge-grid smoke: the regional-outage built-in in miniature, then the
+# grid determinism contract — byte-identical JSON across worker pool
+# sizes, with sessions migrating (not dropping) through the outage.
+edge-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
+	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 1 -format json > bin/edge-w1.json
+	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 7 -format json > bin/edge-w7.json
+	@diff bin/edge-w1.json bin/edge-w7.json && echo "edge determinism OK (workers 1 == workers 7)"
 
 # Scenario smoke: one built-in timeline in miniature, then the
 # determinism contract — the outage-failover scenario must produce
@@ -43,4 +61,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke
+ci: fmt-check vet build race bench scenario-smoke edge-smoke bench-json

@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"testing"
 
+	"qvr/internal/edge"
 	"qvr/internal/experiments"
 	"qvr/internal/fleet"
 	"qvr/internal/liwc"
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
 	"qvr/internal/pipeline"
+	"qvr/internal/scenario"
 	"qvr/internal/scene"
 	"qvr/internal/uca"
 )
@@ -415,6 +417,75 @@ func BenchmarkFleet64Sessions(b *testing.B) {
 			benchFleet(b, 64, w)
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Edge-grid benches: the geo-distributed placement scheduler and the
+// regional-outage timeline, with the grid's science (migrations, tail
+// latency) reported alongside the speed.
+// ---------------------------------------------------------------------------
+
+// benchTopo is the edge-regional-outage topology, rebuilt inline so
+// the placement micro-benchmark needs no scenario machinery.
+func benchTopo() edge.Topology {
+	return edge.Topology{Clusters: []edge.ClusterSpec{
+		{Name: "us-west", GPUs: 3, RTTSeconds: 0.040,
+			RegionRTT: map[string]float64{"us": 0.008, "eu": 0.070, "ap": 0.090}},
+		{Name: "eu-central", GPUs: 3, RTTSeconds: 0.040,
+			RegionRTT: map[string]float64{"us": 0.070, "eu": 0.010, "ap": 0.110}},
+		{Name: "ap-south", GPUs: 2, RTTSeconds: 0.060,
+			RegionRTT: map[string]float64{"us": 0.090, "eu": 0.110, "ap": 0.012}},
+	}}
+}
+
+// BenchmarkEdgePlacement measures the scheduler alone: one placement
+// round plus one outage round over a 40-session fleet (exactly the
+// surviving sites' queue-bounded capacity, so the outage migrates
+// everyone instead of failing anyone over), no frame simulation.
+// This is the fleet-admission hot path a production control plane
+// would run every rebalance tick.
+func BenchmarkEdgePlacement(b *testing.B) {
+	mix, _ := fleet.MixByName("mixed")
+	specs, err := mix.Specs(40, pipeline.QVR, 1, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report fleet.GridReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := edge.NewGrid(benchTopo(), edge.Score)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Place(specs)
+		if err := g.BeginPhase(map[string]int{"eu-central": 0}, nil); err != nil {
+			b.Fatal(err)
+		}
+		_, report = g.Place(specs)
+	}
+	b.ReportMetric(float64(report.Migrated), "migrations")
+	b.ReportMetric(float64(report.FailedOver), "failed-over")
+}
+
+// BenchmarkEdgeRegionalOutage runs the built-in grid timeline in
+// miniature and reports the headline science: total migrations and
+// the worst-phase P99 degradation over baseline.
+func BenchmarkEdgeRegionalOutage(b *testing.B) {
+	sc, err := scenario.Builtin("edge-regional-outage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var roll fleet.Rollup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.Run(sc, scenario.Options{FramesOverride: 12, WarmupOverride: scenario.Warmup(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roll = r.Rollup
+	}
+	b.ReportMetric(float64(roll.TotalMigrated), "migrations")
+	b.ReportMetric(roll.DegradationFactor, "outage-p99-x")
 }
 
 // BenchmarkSurveyProxy runs the Section 3.1 perception study proxy and

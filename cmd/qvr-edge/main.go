@@ -1,0 +1,296 @@
+// Command qvr-edge runs a geo-distributed edge render grid scenario:
+// multiple named clusters with per-region WAN paths, a placement
+// scheduler binding every session to a site, and session migration
+// when sites saturate or go down mid-timeline.
+//
+// Usage:
+//
+//	qvr-edge -builtin edge-regional-outage
+//	qvr-edge -builtin edge-imbalance -policy score -format json
+//	qvr-edge -file continental.scn -workers 8 -format csv > grid.csv
+//	qvr-edge -list
+//
+// The report covers what the single-cluster commands cannot show:
+// per-cluster utilization phase by phase, the placement decisions
+// (who moved where, and why nobody was dropped), migration counts,
+// and the fleet's MTP percentiles. Reports are deterministic: the
+// same scenario produces byte-identical JSON for any -workers value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qvr/internal/cliout"
+	"qvr/internal/edge"
+	"qvr/internal/fleet"
+	"qvr/internal/scenario"
+)
+
+func main() {
+	file := flag.String("file", "", "grid scenario file to run (needs [cluster] sections)")
+	builtin := flag.String("builtin", "", "built-in grid scenario: "+strings.Join(gridBuiltins(), " "))
+	list := flag.Bool("list", false, "list built-in grid scenarios and exit")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores; never affects results)")
+	frames := flag.Int("frames", 0, "override measured frames per session per phase (0 = scenario setting)")
+	warmup := flag.Int("warmup", -1, "override warmup frames per session per phase (-1 = scenario setting)")
+	seed := flag.Int64("seed", -1, "override the scenario base seed (-1 = scenario setting)")
+	policy := flag.String("policy", "", "override the placement policy: "+strings.Join(edge.PolicyNames(), " "))
+	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
+	flag.Parse()
+
+	if *list {
+		for _, name := range gridBuiltins() {
+			sc, err := scenario.Builtin(name)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("%-24s %d clusters, %d phases, policy %s, mix %s\n",
+				name, len(sc.Topology.Clusters), len(sc.Phases), placementOf(sc), sc.Mix)
+		}
+		return
+	}
+
+	form, err := cliout.ParseFormat(*format)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var sc scenario.Scenario
+	switch {
+	case *file != "" && *builtin != "":
+		fail("-file and -builtin are mutually exclusive")
+	case *file != "":
+		sc, err = scenario.ParseFile(*file)
+	case *builtin != "":
+		sc, err = scenario.Builtin(*builtin)
+	default:
+		fail("need -file, -builtin or -list (built-ins: %s)", strings.Join(gridBuiltins(), " "))
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(sc.Topology.Clusters) == 0 {
+		fail("scenario %q has no [cluster] sections; use qvr-scenario for single-cluster timelines", sc.Name)
+	}
+	if *seed >= 0 {
+		sc.Seed = *seed
+	}
+	if *policy != "" {
+		if _, ok := edge.PolicyByName(*policy); !ok {
+			fail("unknown policy %q (have: %s)", *policy, strings.Join(edge.PolicyNames(), " "))
+		}
+		sc.Placement = *policy
+	}
+
+	opt := scenario.Options{Workers: *workers, FramesOverride: *frames}
+	if *warmup >= 0 {
+		opt.WarmupOverride = scenario.Warmup(*warmup)
+	}
+	r, err := scenario.Run(sc, opt)
+	if err != nil {
+		fail("%v", err)
+	}
+	switch form {
+	case cliout.Table:
+		printTable(r)
+	case cliout.JSON:
+		printJSON(r)
+	case cliout.CSV:
+		printCSV(r)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	cliout.Fail("qvr-edge", format, args...)
+}
+
+// gridBuiltins filters the scenario library down to grid-mode entries.
+func gridBuiltins() []string {
+	var names []string
+	for _, name := range scenario.BuiltinNames() {
+		if sc, err := scenario.Builtin(name); err == nil && len(sc.Topology.Clusters) > 0 {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// placementOf spells the effective policy (the default when unset).
+func placementOf(sc scenario.Scenario) string {
+	if sc.Placement != "" {
+		return sc.Placement
+	}
+	return edge.Score.String()
+}
+
+// gridOf returns a phase's placement report (never nil in grid mode).
+func gridOf(p scenario.PhaseResult) *fleet.GridReport {
+	if g := p.Fleet.Contention.Grid; g != nil {
+		return g
+	}
+	return &fleet.GridReport{}
+}
+
+func printTable(r scenario.Result) {
+	sc := r.Scenario
+	fmt.Printf("edge grid %s: policy %s, mix %s, design %s, seed %d\n",
+		sc.Name, placementOf(sc), sc.Mix, sc.Design, sc.Seed)
+	for _, c := range sc.Topology.Clusters {
+		fmt.Printf("  cluster %-12s %d GPUs, base rtt %.0f ms", c.Name, c.GPUs, c.RTTSeconds*1000)
+		if c.BandwidthBps > 0 {
+			fmt.Printf(", %.0f Mbit/s per session", c.BandwidthBps/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Printf("%-14s %7s %6s %6s %5s %5s %5s %8s %8s %8s %6s %6s\n",
+		"phase", "start", "dur", "active", "migr", "fail", "drop",
+		"p50(ms)", "p95(ms)", "p99(ms)", "mFPS", "share")
+	for _, p := range r.Phases {
+		s := p.Summary.Summary
+		fmt.Printf("%-14s %6.0fs %5.0fs %6d %5d %5d %5d %8.1f %8.1f %8.1f %6.0f %5.0f%%\n",
+			p.Phase.Name, p.Summary.StartSeconds, p.Summary.DurationSeconds,
+			p.Active, s.Migrated, s.FailedOver, s.Dropped,
+			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.TargetShare*100)
+	}
+
+	fmt.Println()
+	fmt.Println("per-cluster utilization (assigned/capacity):")
+	for _, p := range r.Phases {
+		fmt.Printf("  %-14s", p.Phase.Name)
+		for _, c := range gridOf(p).Clusters {
+			state := fmt.Sprintf("%d/%d", c.Assigned, c.Capacity)
+			if c.Capacity == 0 {
+				state = "DOWN"
+			} else if c.QueueMs > 0 {
+				state += fmt.Sprintf(" +%.1fms q", c.QueueMs)
+			}
+			fmt.Printf("  %s %-14s", c.Name, state)
+		}
+		fmt.Println()
+	}
+
+	moved := false
+	for _, p := range r.Phases {
+		for _, mv := range gridOf(p).Moves {
+			if !moved {
+				fmt.Println()
+				fmt.Println("placement moves:")
+				moved = true
+			}
+			fmt.Printf("  %-14s %-20s %s -> %s\n", p.Phase.Name, mv.Session, mv.From, mv.To)
+		}
+	}
+
+	fmt.Println()
+	roll := r.Rollup
+	fmt.Printf("roll-up: %d migrations, max failed-over %d, max dropped %d\n",
+		roll.TotalMigrated, roll.MaxFailedOver, roll.MaxDropped)
+	fmt.Printf("baseline p99 %.1f ms (%s); worst p99 %.1f ms (%s), %.1fx baseline\n",
+		roll.BaselineP99Ms, roll.BaselinePhase, roll.WorstP99Ms, roll.WorstPhase, roll.DegradationFactor)
+	switch {
+	case !roll.Disrupted:
+		fmt.Println("no disruption: every phase stayed within 1.5x of baseline")
+	case roll.Recovered:
+		fmt.Printf("disruption in %q; recovered %.0f s after it ended\n", roll.WorstPhase, roll.RecoverySeconds)
+	default:
+		fmt.Printf("disruption in %q; NOT recovered by end of timeline\n", roll.WorstPhase)
+	}
+}
+
+// jsonPhaseRow flattens one phase for the JSON report.
+type jsonPhaseRow struct {
+	Name     string            `json:"name"`
+	StartS   float64           `json:"start_s"`
+	DurS     float64           `json:"duration_s"`
+	Active   int               `json:"active"`
+	Arrived  int               `json:"arrived"`
+	Departed int               `json:"departed"`
+	Summary  fleet.Summary     `json:"summary"`
+	Grid     *fleet.GridReport `json:"grid"`
+}
+
+// printJSON emits the deterministic report: phase summaries carry no
+// wall-clock or worker-pool fields, and placement is a pure function
+// of the scenario, so identical scenarios produce identical bytes.
+func printJSON(r scenario.Result) {
+	type jsonCluster struct {
+		Name      string             `json:"name"`
+		GPUs      int                `json:"gpus"`
+		RTTMs     float64            `json:"rtt_ms"`
+		BWMbitps  float64            `json:"bandwidth_mbitps,omitempty"`
+		PerGPU    int                `json:"sessions_per_gpu,omitempty"`
+		RegionRTT map[string]float64 `json:"region_rtt_ms,omitempty"`
+	}
+	report := struct {
+		Scenario string         `json:"scenario"`
+		Policy   string         `json:"policy"`
+		Mix      string         `json:"mix"`
+		Design   string         `json:"design"`
+		Seed     int64          `json:"seed"`
+		Clusters []jsonCluster  `json:"clusters"`
+		Phases   []jsonPhaseRow `json:"phases"`
+		Rollup   fleet.Rollup   `json:"rollup"`
+	}{
+		Scenario: r.Scenario.Name,
+		Policy:   placementOf(r.Scenario),
+		Mix:      r.Scenario.Mix,
+		Design:   r.Scenario.Design.String(),
+		Seed:     r.Scenario.Seed,
+		Rollup:   r.Rollup,
+	}
+	for _, c := range r.Scenario.Topology.Clusters {
+		rtts := map[string]float64{}
+		for region, rtt := range c.RegionRTT {
+			rtts[region] = rtt * 1000
+		}
+		report.Clusters = append(report.Clusters, jsonCluster{
+			Name: c.Name, GPUs: c.GPUs, RTTMs: c.RTTSeconds * 1000,
+			BWMbitps: c.BandwidthBps / 1e6, PerGPU: c.SessionsPerGPU, RegionRTT: rtts,
+		})
+	}
+	for _, p := range r.Phases {
+		report.Phases = append(report.Phases, jsonPhaseRow{
+			Name:     p.Phase.Name,
+			StartS:   p.Summary.StartSeconds,
+			DurS:     p.Summary.DurationSeconds,
+			Active:   p.Active,
+			Arrived:  p.Arrived,
+			Departed: p.Departed,
+			Summary:  p.Summary.Summary,
+			Grid:     gridOf(p),
+		})
+	}
+	if err := cliout.WriteJSON(os.Stdout, report); err != nil {
+		fail("%v", err)
+	}
+}
+
+// printCSV emits one row per (phase, cluster): the utilization
+// time-series a spreadsheet plots directly, with the phase-level
+// fleet metrics repeated on each row.
+func printCSV(r scenario.Result) {
+	w := cliout.NewCSV(os.Stdout,
+		"phase", "start_s", "cluster", "gpus", "capacity", "assigned", "load", "queue_ms",
+		"migrated", "failed_over", "p50_mtp_ms", "p95_mtp_ms", "p99_mtp_ms",
+		"mean_fps", "target_share")
+	for _, p := range r.Phases {
+		s := p.Summary.Summary
+		for _, c := range gridOf(p).Clusters {
+			w.Row(p.Phase.Name,
+				fmt.Sprintf("%.0f", p.Summary.StartSeconds),
+				c.Name,
+				fmt.Sprintf("%d", c.GPUs), fmt.Sprintf("%d", c.Capacity),
+				fmt.Sprintf("%d", c.Assigned), fmt.Sprintf("%.3f", c.Load),
+				fmt.Sprintf("%.3f", c.QueueMs),
+				fmt.Sprintf("%d", s.Migrated), fmt.Sprintf("%d", s.FailedOver),
+				fmt.Sprintf("%.3f", s.P50MTPMs), fmt.Sprintf("%.3f", s.P95MTPMs),
+				fmt.Sprintf("%.3f", s.P99MTPMs), fmt.Sprintf("%.2f", s.MeanFPS),
+				fmt.Sprintf("%.4f", s.TargetShare))
+		}
+	}
+}

@@ -14,12 +14,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"qvr/internal/cliout"
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
 	"qvr/internal/netsim"
@@ -42,15 +42,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet base seed")
 	gpus := flag.Int("gpus", 0, "shared remote cluster size; 0 disables admission (uncontended per-session clusters)")
 	cell := flag.Int("cell", 0, "sessions per network cell before bandwidth sharing; 0 = uncontended")
-	format := flag.String("format", "table", "output format: table json csv")
+	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
 	flag.Parse()
 
-	printers := map[string]func(fleet.Result){
-		"table": printTable, "json": printJSON, "csv": printCSV,
-	}
-	printer, ok := printers[*format]
-	if !ok {
-		fail("unknown format %q", *format)
+	form, err := cliout.ParseFormat(*format)
+	if err != nil {
+		fail("%v", err)
 	}
 	design, ok := pipeline.DesignByName(*designName)
 	if !ok {
@@ -83,12 +80,19 @@ func main() {
 		cfg.Admission = fleet.Admission{Cluster: gpu.DefaultRemote().WithGPUs(*gpus)}
 	}
 
-	printer(fleet.Run(cfg))
+	r := fleet.Run(cfg)
+	switch form {
+	case cliout.Table:
+		printTable(r)
+	case cliout.JSON:
+		printJSON(r)
+	case cliout.CSV:
+		printCSV(r)
+	}
 }
 
 func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "qvr-fleet: "+format+"\n", args...)
-	os.Exit(1)
+	cliout.Fail("qvr-fleet", format, args...)
 }
 
 func printTable(r fleet.Result) {
@@ -148,24 +152,28 @@ func printJSON(r fleet.Result) {
 	for _, sp := range r.Dropped {
 		report.Dropped = append(report.Dropped, sp.Name)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := cliout.WriteJSON(os.Stdout, report); err != nil {
 		fail("%v", err)
 	}
 }
 
 func printCSV(r fleet.Result) {
-	fmt.Println("session,app,gpu_mhz,network,avg_mtp_ms,p99_mtp_ms,fps,avg_e1_deg,kb_per_frame,status")
+	w := cliout.NewCSV(os.Stdout,
+		"session", "app", "gpu_mhz", "network", "avg_mtp_ms", "p99_mtp_ms",
+		"fps", "avg_e1_deg", "kb_per_frame", "status")
 	for _, sr := range r.Sessions {
 		res := sr.Result
-		fmt.Printf("%s,%s,%.0f,%q,%.3f,%.3f,%.2f,%.2f,%.2f,ok\n",
-			sr.Spec.Name, res.Config.App.Name, res.Config.GPU.FrequencyMHz, res.Config.Network.Name,
-			res.AvgMTPSeconds()*1000, res.PercentileMTP(0.99)*1000,
-			res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+		w.Row(sr.Spec.Name, res.Config.App.Name,
+			fmt.Sprintf("%.0f", res.Config.GPU.FrequencyMHz), res.Config.Network.Name,
+			fmt.Sprintf("%.3f", res.AvgMTPSeconds()*1000),
+			fmt.Sprintf("%.3f", res.PercentileMTP(0.99)*1000),
+			fmt.Sprintf("%.2f", res.FPS()),
+			fmt.Sprintf("%.2f", res.AvgE1()),
+			fmt.Sprintf("%.2f", res.AvgBytesSent()/1024), "ok")
 	}
 	for _, sp := range r.Dropped {
-		fmt.Printf("%s,%s,%.0f,%q,,,,,,dropped\n",
-			sp.Name, sp.Config.App.Name, sp.Config.GPU.FrequencyMHz, sp.Config.Network.Name)
+		w.Row(sp.Name, sp.Config.App.Name,
+			fmt.Sprintf("%.0f", sp.Config.GPU.FrequencyMHz), sp.Config.Network.Name,
+			"", "", "", "", "", "dropped")
 	}
 }

@@ -17,12 +17,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"qvr/internal/cliout"
 	"qvr/internal/fleet"
 	"qvr/internal/scenario"
 )
@@ -35,7 +35,7 @@ func main() {
 	frames := flag.Int("frames", 0, "override measured frames per session per phase (0 = scenario setting)")
 	warmup := flag.Int("warmup", -1, "override warmup frames per session per phase (-1 = scenario setting)")
 	seed := flag.Int64("seed", -1, "override the scenario base seed (-1 = scenario setting)")
-	format := flag.String("format", "table", "output format: table json csv")
+	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
 	flag.Parse()
 
 	if *list {
@@ -49,18 +49,12 @@ func main() {
 		return
 	}
 
-	printers := map[string]func(scenario.Result){
-		"table": printTable, "json": printJSON, "csv": printCSV,
-	}
-	printer, ok := printers[*format]
-	if !ok {
-		fail("unknown format %q", *format)
+	form, err := cliout.ParseFormat(*format)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	var (
-		sc  scenario.Scenario
-		err error
-	)
+	var sc scenario.Scenario
 	switch {
 	case *file != "" && *builtin != "":
 		fail("-file and -builtin are mutually exclusive")
@@ -86,12 +80,18 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	printer(r)
+	switch form {
+	case cliout.Table:
+		printTable(r)
+	case cliout.JSON:
+		printJSON(r)
+	case cliout.CSV:
+		printCSV(r)
+	}
 }
 
 func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "qvr-scenario: "+format+"\n", args...)
-	os.Exit(1)
+	cliout.Fail("qvr-scenario", format, args...)
 }
 
 func printTable(r scenario.Result) {
@@ -167,22 +167,28 @@ func printJSON(r scenario.Result) {
 			Summary:  p.Summary.Summary,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := cliout.WriteJSON(os.Stdout, report); err != nil {
 		fail("%v", err)
 	}
 }
 
 func printCSV(r scenario.Result) {
-	fmt.Println("phase,start_s,duration_s,active,arrived,departed,dropped,failed_over," +
-		"p50_mtp_ms,p95_mtp_ms,p99_mtp_ms,mean_fps,aggregate_fps,aggregate_mbps,target_share,load,queue_ms")
+	w := cliout.NewCSV(os.Stdout,
+		"phase", "start_s", "duration_s", "active", "arrived", "departed", "dropped", "failed_over",
+		"p50_mtp_ms", "p95_mtp_ms", "p99_mtp_ms", "mean_fps", "aggregate_fps",
+		"aggregate_mbps", "target_share", "load", "queue_ms")
 	for _, p := range r.Phases {
 		s := p.Summary.Summary
-		fmt.Printf("%s,%.0f,%.0f,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.2f,%.2f,%.3f,%.4f,%.3f,%.3f\n",
-			p.Phase.Name, p.Summary.StartSeconds, p.Summary.DurationSeconds,
-			p.Active, p.Arrived, p.Departed, s.Dropped, s.FailedOver,
-			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.AggregateFPS,
-			s.AggregateMBps, s.TargetShare, s.Load, s.QueueMs)
+		w.Row(p.Phase.Name,
+			fmt.Sprintf("%.0f", p.Summary.StartSeconds),
+			fmt.Sprintf("%.0f", p.Summary.DurationSeconds),
+			fmt.Sprintf("%d", p.Active), fmt.Sprintf("%d", p.Arrived),
+			fmt.Sprintf("%d", p.Departed), fmt.Sprintf("%d", s.Dropped),
+			fmt.Sprintf("%d", s.FailedOver),
+			fmt.Sprintf("%.3f", s.P50MTPMs), fmt.Sprintf("%.3f", s.P95MTPMs),
+			fmt.Sprintf("%.3f", s.P99MTPMs), fmt.Sprintf("%.2f", s.MeanFPS),
+			fmt.Sprintf("%.2f", s.AggregateFPS), fmt.Sprintf("%.3f", s.AggregateMBps),
+			fmt.Sprintf("%.4f", s.TargetShare), fmt.Sprintf("%.3f", s.Load),
+			fmt.Sprintf("%.3f", s.QueueMs))
 	}
 }

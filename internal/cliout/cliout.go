@@ -1,0 +1,84 @@
+// Package cliout holds the report-writing plumbing every qvr command
+// shares: the table/json/csv format registry, the indented JSON
+// encoder, a minimal CSV writer with standard quoting, and the
+// uniform fatal-error exit. The science stays in the commands; the
+// formatting conventions live here once, so qvr-fleet, qvr-scenario
+// and qvr-edge cannot drift apart.
+package cliout
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format is an output format selection.
+type Format string
+
+// The supported output formats.
+const (
+	Table Format = "table"
+	JSON  Format = "json"
+	CSV   Format = "csv"
+)
+
+// Formats lists the supported formats in help-text order.
+var Formats = []Format{Table, JSON, CSV}
+
+// FormatNames is the help-text spelling of the format list.
+func FormatNames() string {
+	names := make([]string, len(Formats))
+	for i, f := range Formats {
+		names[i] = string(f)
+	}
+	return strings.Join(names, " ")
+}
+
+// ParseFormat resolves a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	for _, f := range Formats {
+		if string(f) == strings.ToLower(strings.TrimSpace(s)) {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("unknown format %q (have: %s)", s, FormatNames())
+}
+
+// Fail prints "tool: message" to stderr and exits 1 — the uniform
+// command-line error path.
+func Fail(tool, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// WriteJSON writes v as two-space-indented JSON. Reports that must be
+// byte-identical across runs use this single encoder configuration.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// CSVWriter is a thin wrapper over encoding/csv that writes each row
+// as it arrives (reports stream to stdout). Callers format numbers
+// themselves, so a report controls its own precision.
+type CSVWriter struct {
+	w *csv.Writer
+}
+
+// NewCSV starts a CSV document on w with a header row.
+func NewCSV(w io.Writer, columns ...string) *CSVWriter {
+	c := &CSVWriter{w: csv.NewWriter(w)}
+	c.Row(columns...)
+	return c
+}
+
+// Row writes one record. Write errors are ignored, as they were when
+// the rows went straight to stdout via fmt.
+func (c *CSVWriter) Row(fields ...string) {
+	_ = c.w.Write(fields)
+	c.w.Flush()
+}

@@ -1,0 +1,51 @@
+package cliout
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	for _, f := range Formats {
+		got, err := ParseFormat(string(f))
+		if err != nil || got != f {
+			t.Errorf("ParseFormat(%q) = %v, %v", f, got, err)
+		}
+	}
+	if got, err := ParseFormat(" JSON "); err != nil || got != JSON {
+		t.Errorf("ParseFormat should normalize case/space, got %v, %v", got, err)
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	v := map[string]interface{}{"b": 2, "a": []string{"x"}}
+	var s1, s2 strings.Builder
+	if err := WriteJSON(&s1, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&s2, v); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Error("JSON output not byte-identical across calls")
+	}
+	if !strings.Contains(s1.String(), "  \"a\"") {
+		t.Errorf("expected two-space indent with sorted keys, got %q", s1.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	c := NewCSV(&sb, "name", "network")
+	c.Row("plain", "4G LTE")
+	c.Row("comma,field", `has "quotes"`)
+	want := "name,network\n" +
+		"plain,4G LTE\n" +
+		"\"comma,field\",\"has \"\"quotes\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("csv output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

@@ -1,0 +1,365 @@
+package edge
+
+import (
+	"fmt"
+	"math"
+
+	"qvr/internal/fleet"
+	"qvr/internal/gpu"
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+)
+
+// DefaultHandoffSeconds is the one-time migration stall a session pays
+// when the grid moves it to a different site mid-timeline: state
+// transfer, stream re-establishment, a codec keyframe. 50 ms is a
+// conservative figure for a warm handoff between provisioned sites.
+const DefaultHandoffSeconds = 0.050
+
+// FailoverName is the Move.To spelling for a session degraded to
+// local-only rendering because no site could take it.
+const FailoverName = "local-only"
+
+// RebalanceFactor is the drain-back hysteresis: a placed session
+// voluntarily migrates only when some other site's policy figure is
+// better than this fraction of its current one. Without drain-back,
+// the imbalance an outage leaves behind ossifies (the migrants stay
+// camped on their refuge site forever); without hysteresis, sessions
+// ping-pong between near-equal sites every phase and pay the handoff
+// each time. 0.7 means "move only for a ≥30% improvement".
+const RebalanceFactor = 0.7
+
+// site is one cluster's phase-effective scheduling state.
+type site struct {
+	spec ClusterSpec
+	// gpus/derate are the phase-effective size and throughput factor
+	// (scenario outage and derate keys land here).
+	gpus   int
+	derate float64
+	// capacity is full-speed sessions; maxAdmit the queue-bounded
+	// admission ceiling beyond which sessions spill to other sites.
+	capacity int
+	maxAdmit int
+	// assigned counts sessions bound to the site this round.
+	assigned int
+}
+
+// up reports whether the site can serve anyone at all.
+func (s *site) up() bool { return s.capacity > 0 }
+
+// load is assigned sessions over full-speed capacity.
+func (s *site) load() float64 {
+	if s.capacity == 0 {
+		return 0
+	}
+	return float64(s.assigned) / float64(s.capacity)
+}
+
+// queueSeconds prices the admission queue at the site for the given
+// assignment count (the fleet admission layer's drain-rate formula).
+func (s *site) queueSeconds(assigned int) float64 {
+	if queued := assigned - s.capacity; queued > 0 && s.capacity > 0 {
+		return fleet.DefaultServiceSeconds * float64(queued) / float64(s.capacity)
+	}
+	return 0
+}
+
+// Grid is the geo-distributed placement scheduler. It implements
+// fleet.Placer: fleet.Run hands it the phase's session specs and gets
+// back per-session remote bindings plus the placement report.
+//
+// A Grid carries placement state across calls — that is the point:
+// scenario timelines call Place once per phase, and the sticky
+// assignment map is what makes a site outage produce *migrations*
+// (sessions moving between sites) rather than a fresh global
+// reshuffle. All state is touched only from Place/BeginPhase on the
+// caller's goroutine; the Grid is not safe for concurrent use.
+type Grid struct {
+	topo   Topology
+	policy Policy
+
+	// HandoffSeconds is the one-time stall charged to each migrated
+	// session (DefaultHandoffSeconds unless overridden).
+	HandoffSeconds float64
+
+	// sites is the phase-effective scheduling state, topology order.
+	sites []*site
+	// assigned is the sticky session -> site binding from the previous
+	// placement round.
+	assigned map[string]string
+}
+
+// NewGrid builds a scheduler over the topology. The topology is
+// validated here so every later phase can trust it.
+func NewGrid(t Topology, p Policy) (*Grid, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		topo:           t,
+		policy:         p,
+		HandoffSeconds: DefaultHandoffSeconds,
+		assigned:       map[string]string{},
+	}
+	g.resetSites()
+	return g, nil
+}
+
+// Policy returns the grid's placement policy.
+func (g *Grid) Policy() Policy { return g.policy }
+
+// Topology returns the grid's declared layout.
+func (g *Grid) Topology() Topology { return g.topo }
+
+// resetSites rebuilds the phase-effective site state from the
+// topology defaults.
+func (g *Grid) resetSites() {
+	g.sites = make([]*site, len(g.topo.Clusters))
+	for i, c := range g.topo.Clusters {
+		g.sites[i] = &site{spec: c, gpus: c.GPUs, derate: 1}
+		g.sizeSite(g.sites[i])
+	}
+}
+
+// sizeSite derives capacity and the admission ceiling from the
+// phase-effective gpus/derate.
+func (s *site) sessionsPerGPU() int {
+	if s.spec.SessionsPerGPU > 0 {
+		return s.spec.SessionsPerGPU
+	}
+	return fleet.DefaultSessionsPerGPU
+}
+
+func (g *Grid) sizeSite(s *site) {
+	s.capacity = int(math.Floor(float64(s.gpus*s.sessionsPerGPU()) * s.derate))
+	s.maxAdmit = int(float64(s.capacity) * fleet.DefaultMaxQueueFactor)
+	s.assigned = 0
+}
+
+// BeginPhase applies a scenario phase's site overrides: gpus resizes
+// (or kills, at 0) named sites, derate scales their capacity and
+// per-GPU throughput. Overrides are absolute against the topology
+// defaults — a phase without an entry restores the declared size, so
+// an outage ends when its phase does. Unknown site names error.
+func (g *Grid) BeginPhase(gpus map[string]int, derate map[string]float64) error {
+	g.resetSites()
+	for name, n := range gpus {
+		s := g.siteByName(name)
+		if s == nil {
+			return fmt.Errorf("edge: phase resizes unknown cluster %q", name)
+		}
+		if n < 0 {
+			n = 0
+		}
+		s.gpus = n
+		g.sizeSite(s)
+	}
+	for name, f := range derate {
+		s := g.siteByName(name)
+		if s == nil {
+			return fmt.Errorf("edge: phase derates unknown cluster %q", name)
+		}
+		// Fail closed on NaN.
+		if !(f >= 0) {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		s.derate = f
+		g.sizeSite(s)
+	}
+	return nil
+}
+
+// Place binds every session to a site (or to local-only rendering as
+// the last resort) and returns the adjusted specs with the placement
+// report. It implements fleet.Placer.
+//
+// Placement runs in two deterministic passes over the spec list:
+// sticky first — a session already bound to a live, unsaturated site
+// stays there, because moving users is what the migration penalty
+// exists to discourage — then policy placement for everyone else (new
+// arrivals, and sessions evicted by an outage, derate or saturation).
+// A session placed onto a different site than its previous one is a
+// migration: it is recorded in the report and pays the handoff stall.
+func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.GridReport) {
+	report := fleet.GridReport{Policy: g.policy.String()}
+
+	// Each round re-counts occupancy from scratch: only sessions in
+	// this spec list occupy slots.
+	for _, s := range g.sites {
+		s.assigned = 0
+	}
+
+	// The sticky map is pruned to the live population: a departed
+	// session's slot must not haunt the capacity accounting.
+	placement := make([]*site, len(specs))
+	present := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		present[sp.Name] = true
+	}
+	for name := range g.assigned {
+		if !present[name] {
+			delete(g.assigned, name)
+		}
+	}
+
+	// Pass 1 — sticky: keep sessions where they are while the site
+	// stays feasible.
+	sticky := make([]bool, len(specs))
+	for i, sp := range specs {
+		prev, ok := g.assigned[sp.Name]
+		if !ok {
+			continue
+		}
+		if s := g.siteByName(prev); s != nil && s.up() && s.assigned < s.maxAdmit {
+			s.assigned++
+			placement[i] = s
+			sticky[i] = true
+		}
+	}
+
+	// Pass 2 — policy placement for the unbound, in spec order (the
+	// arrival order: earlier sessions get first pick, so results are
+	// independent of goroutine schedule and worker count).
+	moved := make([]bool, len(specs))
+	for i, sp := range specs {
+		if placement[i] != nil {
+			continue
+		}
+		best := g.pickSite(sp.Region)
+		prev := g.assigned[sp.Name]
+		if best == nil {
+			// Every site is down or saturated past its queue limit:
+			// degrade to local-only rendering rather than drop.
+			report.FailedOver++
+			if prev != "" {
+				report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: prev, To: FailoverName})
+				delete(g.assigned, sp.Name)
+			}
+			continue
+		}
+		best.assigned++
+		placement[i] = best
+		if prev != "" && prev != best.spec.Name {
+			report.Migrated++
+			moved[i] = true
+			report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: prev, To: best.spec.Name})
+		}
+		g.assigned[sp.Name] = best.spec.Name
+	}
+
+	// Pass 3 — drain-back: a sticky session migrates anyway when some
+	// other site beats its current one by the hysteresis margin. This
+	// is what lets a recovered site refill after an outage (its old
+	// population returns, paying the handoff once more) while
+	// near-equal sites never thrash. Only sticky sessions are
+	// eligible: a session placed fresh this round has no state to
+	// hand off and its spot is already the policy's choice. One sweep
+	// per phase: partial drain-back this phase finishes in the next,
+	// which is how real schedulers pace rebalancing too.
+	for i, sp := range specs {
+		s := placement[i]
+		if s == nil || !sticky[i] {
+			continue
+		}
+		cur := candidate{
+			rttSeconds:   s.spec.RTTFor(sp.Region),
+			load:         s.load(),
+			queueSeconds: s.queueSeconds(s.assigned),
+		}
+		var alt *site
+		var altCand candidate
+		for _, o := range g.sites {
+			if o == s || !o.up() || o.assigned >= o.maxAdmit {
+				continue
+			}
+			cand := candidate{
+				rttSeconds:   o.spec.RTTFor(sp.Region),
+				load:         float64(o.assigned+1) / float64(o.capacity),
+				queueSeconds: o.queueSeconds(o.assigned + 1),
+			}
+			if alt == nil || g.policy.better(cand, altCand) {
+				alt, altCand = o, cand
+			}
+		}
+		if alt == nil || g.policy.figure(altCand) >= RebalanceFactor*g.policy.figure(cur) {
+			continue
+		}
+		s.assigned--
+		alt.assigned++
+		placement[i] = alt
+		moved[i] = true
+		report.Migrated++
+		report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: s.spec.Name, To: alt.spec.Name})
+		g.assigned[sp.Name] = alt.spec.Name
+	}
+
+	// Bind the placements into the session configs. Each site is
+	// shared like the fleet's single cluster: beyond capacity the
+	// per-GPU throughput splits and a queue delay is charged.
+	adjusted := make([]fleet.SessionSpec, len(specs))
+	for i, sp := range specs {
+		s := placement[i]
+		if s == nil {
+			sp.Config.Design = pipeline.LocalOnly
+			sp.Config.RemoteClusterName = ""
+			adjusted[i] = sp
+			continue
+		}
+		queue := s.queueSeconds(s.assigned)
+		remote := gpu.DefaultRemote().WithGPUs(s.gpus).Derate(s.derate).Share(s.load())
+		sp.Config.Remote = remote
+		sp.Config.RemoteQueueSeconds = queue
+		sp.Config.RemoteClusterName = s.spec.Name
+		sp.Config.RemotePath = netsim.WANPath(
+			"wan:"+s.spec.Name, s.spec.RTTFor(sp.Region), s.spec.BandwidthBps)
+		if moved[i] {
+			sp.Config.RemoteHandoffSeconds = g.HandoffSeconds
+		}
+		adjusted[i] = sp
+	}
+
+	for _, s := range g.sites {
+		report.Clusters = append(report.Clusters, fleet.ClusterLoad{
+			Name:     s.spec.Name,
+			GPUs:     s.gpus,
+			Capacity: s.capacity,
+			Assigned: s.assigned,
+			Load:     s.load(),
+			QueueMs:  s.queueSeconds(s.assigned) * 1000,
+		})
+	}
+	return adjusted, report
+}
+
+// pickSite returns the policy's best feasible site for a session in
+// the given region, or nil when none can take another session.
+func (g *Grid) pickSite(region string) *site {
+	var best *site
+	var bestCand candidate
+	for _, s := range g.sites {
+		if !s.up() || s.assigned >= s.maxAdmit {
+			continue
+		}
+		cand := candidate{
+			rttSeconds:   s.spec.RTTFor(region),
+			load:         float64(s.assigned+1) / float64(s.capacity),
+			queueSeconds: s.queueSeconds(s.assigned + 1),
+		}
+		if best == nil || g.policy.better(cand, bestCand) {
+			best, bestCand = s, cand
+		}
+	}
+	return best
+}
+
+func (g *Grid) siteByName(name string) *site {
+	for _, s := range g.sites {
+		if s.spec.Name == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package edge
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects which feasible site a session is placed on. Policies
+// are pure scoring rules over (per-region RTT, projected site load):
+// the grid evaluates sites in topology order and strict improvement
+// wins, so ties resolve deterministically to the earliest site.
+type Policy int
+
+// The placement policies.
+const (
+	// Score balances latency against load: the site minimizing
+	// RTT + projected queue delay + LoadPenaltySeconds x load wins.
+	// The default.
+	Score Policy = iota
+	// NearestRTT greedily picks the lowest-RTT site for the session's
+	// region, spilling only when it saturates — the policy that
+	// produces regional hot spots under skewed populations.
+	NearestRTT
+	// LeastLoaded picks the emptiest site regardless of distance —
+	// perfect utilization, worst-case WAN latency.
+	LeastLoaded
+)
+
+// String implements fmt.Stringer with the scenario-file spelling.
+func (p Policy) String() string {
+	switch p {
+	case NearestRTT:
+		return "nearest-rtt"
+	case LeastLoaded:
+		return "least-loaded"
+	case Score:
+		return "score"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Policies lists the placement policies.
+var Policies = []Policy{Score, NearestRTT, LeastLoaded}
+
+// PolicyByName resolves a policy spelling (case-insensitive).
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range Policies {
+		if p.String() == strings.ToLower(strings.TrimSpace(name)) {
+			return p, true
+		}
+	}
+	return Score, false
+}
+
+// PolicyNames lists the accepted spellings.
+func PolicyNames() []string {
+	names := make([]string, len(Policies))
+	for i, p := range Policies {
+		names[i] = p.String()
+	}
+	return names
+}
+
+// candidate is one feasible site as the policy sees it for one
+// session: the session's WAN RTT to the site, the site's load if the
+// session lands there, and the queue delay it would pay.
+type candidate struct {
+	rttSeconds   float64
+	load         float64
+	queueSeconds float64
+}
+
+// better reports whether a strictly beats b under p. Equal candidates
+// return false, so the earliest site in topology order keeps ties.
+func (p Policy) better(a, b candidate) bool {
+	switch p {
+	case NearestRTT:
+		if a.rttSeconds != b.rttSeconds {
+			return a.rttSeconds < b.rttSeconds
+		}
+		return a.load < b.load
+	case LeastLoaded:
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		return a.rttSeconds < b.rttSeconds
+	default: // Score
+		sa := a.score()
+		sb := b.score()
+		if sa != sb {
+			return sa < sb
+		}
+		return a.rttSeconds < b.rttSeconds
+	}
+}
+
+// LoadPenaltySeconds converts projected site load into the latency
+// currency the score policy trades in: one full unit of load costs as
+// much as 100 ms of WAN RTT. Queue delays alone are milliseconds —
+// far too small to outweigh intercontinental RTT gaps — but an
+// oversubscribed site also time-slices its GPUs across its sessions,
+// so the score charges load itself, steeply enough that a nearby site
+// nearing saturation loses to an idle site an ocean away.
+const LoadPenaltySeconds = 0.100
+
+// score is the latency-load figure of merit the Score policy
+// minimizes.
+func (c candidate) score() float64 {
+	return c.rttSeconds + c.queueSeconds + LoadPenaltySeconds*c.load
+}
+
+// figure collapses a candidate to the scalar the policy minimizes —
+// the quantity the grid's drain-back hysteresis compares. A boolean
+// better() cannot express "better by a wide margin"; this can.
+func (p Policy) figure(c candidate) float64 {
+	switch p {
+	case NearestRTT:
+		return c.rttSeconds
+	case LeastLoaded:
+		return c.load
+	default:
+		return c.score()
+	}
+}

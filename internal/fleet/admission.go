@@ -44,6 +44,58 @@ const (
 	DefaultServiceSeconds = 0.002
 )
 
+// Placer binds each session to one of several remote render sites: a
+// geo-distributed scheduler's front door, consulted by Run in place of
+// the single-cluster admission layer. Place returns the specs with
+// their remote bindings adjusted (cluster, WAN path, queue delay,
+// local-only failover) plus the grid's load report. Implementations
+// must be deterministic in the spec list: the fleet's worker-count
+// invariance contract extends to placement. internal/edge provides
+// the production implementation.
+type Placer interface {
+	Place(specs []SessionSpec) ([]SessionSpec, GridReport)
+}
+
+// ClusterLoad is one edge cluster's slice of a grid placement report.
+type ClusterLoad struct {
+	// Name is the cluster's topology name.
+	Name string `json:"name"`
+	// GPUs is the phase-effective chiplet count (0 = the site is down).
+	GPUs int `json:"gpus"`
+	// Capacity is the full-speed session capacity after any derate.
+	Capacity int `json:"capacity"`
+	// Assigned is how many sessions the scheduler bound to this site.
+	Assigned int `json:"assigned"`
+	// Load is Assigned over Capacity (0 when the site is down).
+	Load float64 `json:"load"`
+	// QueueMs is the per-request queueing delay the site charges.
+	QueueMs float64 `json:"queue_ms"`
+}
+
+// Move records one session migration: a placement decision that moved
+// an existing session between sites (or onto local-only rendering).
+type Move struct {
+	Session string `json:"session"`
+	From    string `json:"from"`
+	// To is the receiving cluster, or "local-only" on failover.
+	To string `json:"to"`
+}
+
+// GridReport is a Placer's account of one placement round.
+type GridReport struct {
+	// Policy names the placement policy that made the decisions.
+	Policy string `json:"policy"`
+	// Clusters lists per-site utilization in topology order.
+	Clusters []ClusterLoad `json:"clusters"`
+	// Migrated counts sessions moved between sites this round; Moves
+	// lists them (including moves onto local-only rendering).
+	Migrated int    `json:"migrated"`
+	Moves    []Move `json:"moves,omitempty"`
+	// FailedOver counts sessions no site could serve, degraded to
+	// local-only rendering instead of being dropped.
+	FailedOver int `json:"failed_over"`
+}
+
 // Contention reports what the admission layer decided for one run.
 type Contention struct {
 	// Capacity is the full-speed session capacity of the cluster
@@ -58,8 +110,12 @@ type Contention struct {
 	// applied when a cell is oversubscribed (absent = uncontended).
 	SharedCells map[string]float64
 	// FailedOver counts sessions forced onto local-only rendering
-	// because the enabled cluster had zero capacity (a remote outage).
+	// because the enabled cluster had zero capacity (a remote outage)
+	// or, in grid mode, because no edge site could take them.
 	FailedOver int
+	// Grid carries the edge grid's placement report when Config.Placer
+	// was set (nil in single-cluster and admission-free runs).
+	Grid *GridReport
 }
 
 // withDefaults fills the zero tunables.
@@ -84,6 +140,13 @@ func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 	specs := cfg.Specs
 	a := cfg.Admission
 	switch {
+	case cfg.Placer != nil:
+		// Grid mode: the geo-distributed scheduler owns every remote
+		// binding. It never drops — overflow degrades to local-only.
+		adjusted, gr := cfg.Placer.Place(specs)
+		specs = adjusted
+		report.FailedOver = gr.FailedOver
+		report.Grid = &gr
 	case a.Enabled && a.Cluster.GPUs <= 0:
 		// Total remote outage: the cluster has no capacity at all.
 		// Dropping everyone would model a service refusing logins; what

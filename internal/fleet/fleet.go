@@ -40,7 +40,11 @@ import (
 // SessionSpec names one client session and its simulator
 // configuration.
 type SessionSpec struct {
-	Name   string
+	Name string
+	// Region is the user's geographic home ("" = unspecified). The
+	// edge grid's nearest-RTT scoring resolves per-cluster RTT against
+	// it; everything else ignores it.
+	Region string
 	Config pipeline.Config
 }
 
@@ -56,6 +60,12 @@ type Config struct {
 	// (Cluster.GPUs == 0) disables admission: every session keeps its
 	// own per-spec remote cluster, and nothing is dropped.
 	Admission Admission
+	// Placer, when set, replaces the single shared cluster with a
+	// geo-distributed render grid (internal/edge implements it): each
+	// session is bound to one of several edge clusters, and Admission
+	// is ignored. Nothing is ever dropped in grid mode — sessions the
+	// grid cannot place fail over to local-only rendering.
+	Placer Placer
 	// CellCapacity is the number of sessions one network cell (one
 	// condition name) carries before the sessions start splitting its
 	// bandwidth. 0 means uncontended access networks.

@@ -17,6 +17,10 @@ type Summary struct {
 	FailedOver int `json:"failed_over"`
 	Workers    int `json:"workers"`
 
+	// Migrated counts sessions the edge grid moved between clusters
+	// this window (0 outside grid mode).
+	Migrated int `json:"migrated"`
+
 	// P50/P95/P99MTPMs are motion-to-photon percentiles in
 	// milliseconds over every measured frame of every session — the
 	// fleet's judder tail.
@@ -56,6 +60,19 @@ func (r Result) Summarize() Summary {
 		QueueMs:     r.Contention.QueueSeconds * 1000,
 		Load:        r.Contention.Load,
 		WallSeconds: r.WallSeconds,
+	}
+	if g := r.Contention.Grid; g != nil {
+		s.Migrated = g.Migrated
+		// In grid mode the headline load is the busiest site's: the
+		// grid's hot spot is what an operator pages on.
+		for _, c := range g.Clusters {
+			if c.Load > s.Load {
+				s.Load = c.Load
+			}
+			if c.QueueMs > s.QueueMs {
+				s.QueueMs = c.QueueMs
+			}
+		}
 	}
 	if len(r.Sessions) == 0 {
 		return s

@@ -24,6 +24,9 @@ type Tier struct {
 	Network netsim.Condition
 	// Profile is the tier's user motion intensity.
 	Profile motion.Profile
+	// Region is the tier's geographic home, matched against the edge
+	// grid's per-region cluster RTTs ("" = unspecified).
+	Region string
 }
 
 // Mix is a named fleet population: a weighted set of tiers that a
@@ -40,25 +43,25 @@ var Mixes = []Mix{
 	{
 		Name: "mixed",
 		Tiers: []Tier{
-			{Name: "flagship-wifi", Weight: 3, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense},
-			{Name: "flagship-lte", Weight: 2, App: "GRID", FreqMHz: 500, Network: netsim.LTE4G, Profile: motion.Calm},
-			{Name: "midrange-wifi", Weight: 3, App: "HL2-H", FreqMHz: 400, Network: netsim.WiFi, Profile: motion.Normal},
-			{Name: "budget-5g", Weight: 2, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal},
-			{Name: "budget-lte", Weight: 2, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Calm},
+			{Name: "flagship-wifi", Weight: 3, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense, Region: "us"},
+			{Name: "flagship-lte", Weight: 2, App: "GRID", FreqMHz: 500, Network: netsim.LTE4G, Profile: motion.Calm, Region: "eu"},
+			{Name: "midrange-wifi", Weight: 3, App: "HL2-H", FreqMHz: 400, Network: netsim.WiFi, Profile: motion.Normal, Region: "eu"},
+			{Name: "budget-5g", Weight: 2, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal, Region: "ap"},
+			{Name: "budget-lte", Weight: 2, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Calm, Region: "us"},
 		},
 	},
 	{
 		Name: "flagship",
 		Tiers: []Tier{
-			{Name: "flagship", Weight: 1, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense},
+			{Name: "flagship", Weight: 1, App: "GRID", FreqMHz: 500, Network: netsim.WiFi, Profile: motion.Intense, Region: "us"},
 		},
 	},
 	{
 		Name: "congested",
 		Tiers: []Tier{
-			{Name: "budget-lte", Weight: 3, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Normal},
-			{Name: "midrange-lte", Weight: 2, App: "HL2-L", FreqMHz: 400, Network: netsim.LTE4G, Profile: motion.Intense},
-			{Name: "budget-5g", Weight: 1, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal},
+			{Name: "budget-lte", Weight: 3, App: "Doom3-L", FreqMHz: 300, Network: netsim.LTE4G, Profile: motion.Normal, Region: "ap"},
+			{Name: "midrange-lte", Weight: 2, App: "HL2-L", FreqMHz: 400, Network: netsim.LTE4G, Profile: motion.Intense, Region: "us"},
+			{Name: "budget-5g", Weight: 1, App: "UT3", FreqMHz: 300, Network: netsim.Early5G, Profile: motion.Normal, Region: "ap"},
 		},
 	},
 }
@@ -143,6 +146,7 @@ func (m Mix) SpecsRange(start, n int, design pipeline.Design, frames, warmup int
 		}
 		specs[i] = SessionSpec{
 			Name:   fmt.Sprintf("%s-%03d", t.Name, g),
+			Region: t.Region,
 			Config: cfg,
 		}
 	}

@@ -55,6 +55,9 @@ type Rollup struct {
 	// outcomes.
 	MaxDropped    int `json:"max_dropped"`
 	MaxFailedOver int `json:"max_failed_over"`
+	// TotalMigrated sums the edge grid's session migrations across the
+	// timeline (0 outside grid mode).
+	TotalMigrated int `json:"total_migrated"`
 	// Disrupted reports whether any phase crossed DisruptionFactor.
 	Disrupted bool `json:"disrupted"`
 	// Recovered reports whether, after the worst phase, some later
@@ -98,6 +101,7 @@ func RollUp(phases []PhaseSummary) Rollup {
 		if s.FailedOver > r.MaxFailedOver {
 			r.MaxFailedOver = s.FailedOver
 		}
+		r.TotalMigrated += s.Migrated
 	}
 	if baseIdx < 0 {
 		// No phase carried traffic: nothing to disrupt.

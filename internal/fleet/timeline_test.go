@@ -82,6 +82,56 @@ func TestRollUpImmediateRecovery(t *testing.T) {
 	}
 }
 
+// TestRollUpDisruptionInFinalPhase: when the worst phase is the last
+// one there is no recovery window at all — the roll-up must report
+// not-recovered with the -1 sentinel, not scan past the end of the
+// timeline or claim a zero-cost recovery.
+func TestRollUpDisruptionInFinalPhase(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("steady", 0, 60, 20, 1, 0, 0),
+		ps("busy", 60, 60, 22, 0.9, 0, 0),
+		ps("final-outage", 120, 60, 120, 0.1, 0, 8),
+	})
+	if !r.Disrupted {
+		t.Fatalf("6x final-phase spike not flagged as disruption: %+v", r)
+	}
+	if r.WorstPhase != "final-outage" {
+		t.Fatalf("worst phase = %q, want final-outage", r.WorstPhase)
+	}
+	if r.Recovered || r.RecoverySeconds != -1 {
+		t.Errorf("final-phase disruption has no recovery window, got recovered=%v recovery=%v",
+			r.Recovered, r.RecoverySeconds)
+	}
+}
+
+// TestRollUpPerfectlyFlatTimeline: identical phases end to end. The
+// degradation factor must be exactly 1 with no disruption, and the
+// baseline and worst phases must both resolve to the first phase
+// (ties keep the earliest).
+func TestRollUpPerfectlyFlatTimeline(t *testing.T) {
+	r := RollUp([]PhaseSummary{
+		ps("a", 0, 60, 25, 1, 0, 0),
+		ps("b", 60, 60, 25, 1, 0, 0),
+		ps("c", 120, 60, 25, 1, 0, 0),
+	})
+	if r.Disrupted {
+		t.Errorf("flat timeline flagged disrupted: %+v", r)
+	}
+	if r.DegradationFactor != 1 {
+		t.Errorf("flat degradation = %v, want exactly 1", r.DegradationFactor)
+	}
+	if !r.Recovered || r.RecoverySeconds != 0 {
+		t.Errorf("flat timeline should be trivially recovered: %+v", r)
+	}
+	if r.BaselinePhase != "a" || r.WorstPhase != "a" {
+		t.Errorf("flat baseline/worst = %q/%q, want a/a (first wins ties)",
+			r.BaselinePhase, r.WorstPhase)
+	}
+	if r.WorstTargetShare != 1 || r.MaxDropped != 0 || r.MaxFailedOver != 0 || r.TotalMigrated != 0 {
+		t.Errorf("flat timeline counters should be clean: %+v", r)
+	}
+}
+
 func TestRollUpEmptyAndTrafficlessTimelines(t *testing.T) {
 	if r := RollUp(nil); r.Disrupted || !r.Recovered || r.Phases != 0 {
 		t.Errorf("empty roll-up misreported: %+v", r)

@@ -160,6 +160,19 @@ const (
 	MaxE1 = 90.0
 )
 
+// ClampE1 bounds an eccentricity to the tunable [MinE1, MaxE1] range.
+// Controllers and geometry adapters share this so the clamp semantics
+// cannot drift between call sites.
+func ClampE1(e1 float64) float64 {
+	if e1 < MinE1 {
+		return MinE1
+	}
+	if e1 > MaxE1 {
+		return MaxE1
+	}
+	return e1
+}
+
 // Partitioner computes per-frame foveated partitions for a display and
 // MAR model.
 type Partitioner struct {

@@ -197,6 +197,23 @@ func (r RemoteCluster) WithGPUs(n int) RemoteCluster {
 	return r
 }
 
+// Derate returns a copy of r with its per-GPU throughput scaled by
+// factor, modeling a partially degraded site (thermal capping, a bad
+// NUMA link, maintenance draining) without changing the chiplet count.
+// Factors >= 1 leave the cluster untouched; zero and negative factors
+// clamp to a tiny positive share so timing stays finite.
+func (r RemoteCluster) Derate(factor float64) RemoteCluster {
+	if factor >= 1 {
+		return r
+	}
+	// Fail closed on NaN: test for the valid range, not the invalid.
+	if !(factor > 1e-3) {
+		factor = 1e-3
+	}
+	r.PerGPUSpeedup *= factor
+	return r
+}
+
 // Share returns the cluster as one session sees it when `load`
 // sessions' worth of work contend for capacity sized for 1.0: below
 // full load a session still gets a whole slot, beyond it the per-GPU

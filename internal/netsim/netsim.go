@@ -75,6 +75,31 @@ func ConditionByName(name string) (Condition, bool) {
 	return Condition{}, false
 }
 
+// WANPath builds the Condition for a metro/backbone leg between an
+// edge site and a client's access network: the per-session slice of a
+// provisioned wide-area path. Backbone links are engineered, so the
+// path carries high protocol efficiency, a clean 30 dB SNR and
+// negligible loss; what distinguishes edge sites is the RTT and the
+// per-session bandwidth slice, which is exactly what the edge grid's
+// topology declares. bandwidthBps == 0 means the path never bottlenecks
+// serialization (only propagation counts).
+func WANPath(name string, rttSeconds, bandwidthBps float64) Condition {
+	if rttSeconds < 0 {
+		rttSeconds = 0
+	}
+	if bandwidthBps < 0 {
+		bandwidthBps = 0
+	}
+	return Condition{
+		Name:         name,
+		BandwidthBps: bandwidthBps,
+		RTTSeconds:   rttSeconds,
+		Efficiency:   0.9,
+		SNRdB:        30,
+		LossRate:     1e-5,
+	}
+}
+
 // MinShareFactor is the floor Scaled clamps to: a session's share of
 // an access medium never drops below 0.01% of nominal, so a cell
 // driven to zero (a scenario blackout phase, or a degenerate share

@@ -28,7 +28,7 @@ func (s *session) frameRemoteOnly(f *frameState) {
 	app := s.cfg.App
 	chainStart := s.eng.Now().Seconds()
 
-	req := s.requestSeconds()
+	req := s.requestSeconds(f)
 	f.rec.RequestSeconds = req
 	s.eng.Schedule(sim.Time(req), func() {
 		render := s.cfg.Remote.RenderSeconds(gpu.FrameWorkload(app, f.stats, 1, 1))
@@ -41,7 +41,7 @@ func (s *session) frameRemoteOnly(f *frameState) {
 				bytes := s.cfg.Codec.FrameBytes(pixels, f.stats.Entropy, 1, motionNorm(s.motionDelta(f)))
 				f.rec.BytesSent = bytes
 				f.rec.AirtimeSeconds = s.cfg.Network.AirtimeSeconds(bytes)
-				tx := s.link.TransferSeconds(bytes, s.eng.Now().Seconds())
+				tx := s.transferSeconds(bytes, s.eng.Now().Seconds())
 				f.rec.TransferSeconds = tx
 				s.netRes.Request(sim.Time(tx), func() {
 					dec := s.cfg.Codec.DecodeSeconds(pixels)
@@ -118,7 +118,7 @@ func (s *session) frameStatic(f *frameState) {
 	}
 
 	fetch := func(done func()) {
-		req := s.requestSeconds()
+		req := s.requestSeconds(f)
 		f.rec.RequestSeconds = req
 		s.eng.Schedule(sim.Time(req), func() {
 			render := s.cfg.Remote.RenderSeconds(gpu.FrameWorkload(app, f.stats, 1, 1))
@@ -127,7 +127,7 @@ func (s *session) frameStatic(f *frameState) {
 				enc := s.cfg.Codec.EncodeSeconds(pixels)
 				f.rec.EncodeSeconds = enc
 				s.eng.Schedule(sim.Time(enc), func() {
-					tx := s.link.TransferSeconds(bytes, s.eng.Now().Seconds())
+					tx := s.transferSeconds(bytes, s.eng.Now().Seconds())
 					f.rec.TransferSeconds = tx
 					s.netRes.Request(sim.Time(tx), func() {
 						dec := s.cfg.Codec.DecodeSeconds(pixels)
@@ -181,12 +181,7 @@ type liwcGeom struct {
 }
 
 func (g liwcGeom) FoveaShare(e1 float64) float64 {
-	if e1 < foveation.MinE1 {
-		e1 = foveation.MinE1
-	}
-	if e1 > foveation.MaxE1 {
-		e1 = foveation.MaxE1
-	}
+	e1 = foveation.ClampE1(e1)
 	share := g.part.Display.AreaFraction(e1, g.gx, g.gy) * g.density
 	if share > 1 {
 		share = 1
@@ -195,13 +190,7 @@ func (g liwcGeom) FoveaShare(e1 float64) float64 {
 }
 
 func (g liwcGeom) PeripheryPixels(e1 float64) int {
-	if e1 < foveation.MinE1 {
-		e1 = foveation.MinE1
-	}
-	if e1 > foveation.MaxE1 {
-		e1 = foveation.MaxE1
-	}
-	p, err := g.part.Partition(e1, g.gx, g.gy)
+	p, err := g.part.Partition(foveation.ClampE1(e1), g.gx, g.gy)
 	if err != nil {
 		return 0
 	}
@@ -304,7 +293,7 @@ func (s *session) frameCollaborative(f *frameState) {
 		return
 	}
 	chainStart := s.eng.Now().Seconds()
-	req := s.requestSeconds()
+	req := s.requestSeconds(f)
 	f.rec.RequestSeconds = req
 	s.eng.Schedule(sim.Time(req), func() {
 		midFrac := s.disp.AreaFraction(part.E2, f.sample.Gaze.X, f.sample.Gaze.Y) - part.FoveaAreaFraction
@@ -331,7 +320,7 @@ func (s *session) frameCollaborative(f *frameState) {
 		f.rec.EncodeSeconds = enc
 		dec := s.cfg.Codec.DecodeSeconds(periphery)
 		f.rec.DecodeSeconds = dec
-		tx := s.link.ParallelTransferSeconds([]int{midBytes, outBytes}, s.eng.Now().Seconds())
+		tx := s.parallelTransferSeconds([]int{midBytes, outBytes}, s.eng.Now().Seconds())
 		f.rec.TransferSeconds = tx
 
 		const tail = 0.25 // unpipelined fraction of encode/decode

@@ -145,6 +145,24 @@ type Config struct {
 	// scheduler sharing one remote cluster across many sessions sets
 	// this to model contention; zero means an uncontended cluster.
 	RemoteQueueSeconds float64
+	// RemoteClusterName labels the edge cluster serving this session's
+	// remote work ("" = the paper's co-located cluster). Reporting
+	// only; the timing consequences arrive through Remote, RemotePath
+	// and RemoteQueueSeconds.
+	RemoteClusterName string
+	// RemotePath is the wide-area leg between the client's access
+	// network and the remote cluster. The paper co-locates client and
+	// server, so the zero value disables the leg; a geo-distributed
+	// placement sets an RTT (and optionally a per-session bandwidth
+	// slice) that every remote request and transfer additionally pays.
+	RemotePath netsim.Condition
+	// RemoteHandoffSeconds is a one-time session-migration stall — the
+	// state transfer and stream re-establishment paid when the edge
+	// grid moves this session to a different cluster. It is charged on
+	// the first measured frame's remote request, so the migration cost
+	// lands in the latency tail exactly once instead of inflating
+	// every frame.
+	RemoteHandoffSeconds float64
 }
 
 // DefaultConfig returns the evaluation defaults for a design and app:

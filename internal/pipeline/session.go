@@ -48,6 +48,7 @@ type session struct {
 	havePrev      bool
 	prevLocalMeas float64
 	prevComplete  float64
+	handoffPaid   bool
 
 	records []FrameRecord
 }
@@ -337,11 +338,63 @@ func (s *session) stageFPS(rec *FrameRecord) float64 {
 	return 1 / busiest
 }
 
-// requestSeconds is the cost of issuing a remote render request: the
-// uplink control packet plus any fleet-level admission queueing at the
-// shared remote cluster.
-func (s *session) requestSeconds() float64 {
-	return s.link.RequestSeconds() + s.cfg.RemoteQueueSeconds
+// requestSeconds is the cost of issuing frame f's remote render
+// request: the uplink control packet, any fleet-level admission
+// queueing at the shared remote cluster, half a round trip on the
+// wide-area leg to the serving edge cluster (zero when co-located),
+// and — exactly once, on the first measured frame that actually goes
+// remote — the session migration handoff stall the edge grid charged
+// this session. (Not every measured frame issues a request: a fully
+// local collaborative frame skips the remote chain, so the charge
+// waits for the first frame that does.)
+func (s *session) requestSeconds(f *frameState) float64 {
+	t := s.link.RequestSeconds() + s.cfg.RemoteQueueSeconds + s.cfg.RemotePath.RTTSeconds/2
+	if s.cfg.RemoteHandoffSeconds > 0 && !s.handoffPaid && f.idx >= s.cfg.Warmup {
+		t += s.cfg.RemoteHandoffSeconds
+		s.handoffPaid = true
+	}
+	return t
+}
+
+// transferSeconds is the downlink time for one payload across the
+// access link plus the wide-area leg from the serving edge cluster.
+// The two hops pipeline, so serialization is the slower of the two
+// and the WAN contributes its propagation on top: completion =
+// max(access transfer, WAN serialization) + WAN RTT/2. A zero-valued
+// RemotePath reduces to the access link alone.
+func (s *session) transferSeconds(bytes int, now float64) float64 {
+	return s.wanLeg(s.link.TransferSeconds(bytes, now), bytes)
+}
+
+// parallelTransferSeconds is transferSeconds for the per-layer
+// parallel streams of Fig. 7.
+func (s *session) parallelTransferSeconds(layerBytes []int, now float64) float64 {
+	total := 0
+	for _, b := range layerBytes {
+		if b > 0 {
+			total += b
+		}
+	}
+	return s.wanLeg(s.link.ParallelTransferSeconds(layerBytes, now), total)
+}
+
+// wanLeg folds the wide-area path into an access-link transfer time.
+func (s *session) wanLeg(access float64, bytes int) float64 {
+	p := s.cfg.RemotePath
+	if p.RTTSeconds <= 0 && p.BandwidthBps <= 0 {
+		return access
+	}
+	t := access
+	if p.BandwidthBps > 0 && bytes > 0 {
+		eff := p.Efficiency
+		if eff <= 0 {
+			eff = 1
+		}
+		if serial := float64(bytes*8) / (p.BandwidthBps * eff); serial > t {
+			t = serial
+		}
+	}
+	return t + p.RTTSeconds/2
 }
 
 // motionDelta returns the frame-to-frame motion delta (zero for the

@@ -139,6 +139,100 @@ sessions = 12
 gpus = 2
 `,
 
+	// edge-regional-outage: the geo-distributed flagship story. Three
+	// edge clusters serve three user regions; the EU site dies for one
+	// phase. Its sessions migrate to the surviving sites — paying the
+	// handoff once and the longer WAN path for the duration — instead
+	// of failing over to local-only, and nobody is dropped. When the
+	// site returns, sticky placement keeps the migrants put rather
+	// than thrashing them straight back.
+	"edge-regional-outage": `
+[scenario]
+name      = edge-regional-outage
+mix       = mixed
+placement = score
+
+[cluster us-west]
+gpus   = 3
+rtt    = 40
+rtt.us = 8
+rtt.eu = 70
+rtt.ap = 90
+
+[cluster eu-central]
+gpus   = 3
+rtt    = 40
+rtt.us = 70
+rtt.eu = 10
+rtt.ap = 110
+
+[cluster ap-south]
+gpus   = 2
+rtt    = 60
+rtt.us = 90
+rtt.eu = 110
+rtt.ap = 12
+
+[phase steady]
+duration = 120
+sessions = 18
+
+[phase outage]
+duration = 60
+cluster-gpus.eu-central = 0
+
+[phase failback]
+duration = 120
+`,
+
+	// edge-imbalance: geography versus capacity. The congested mix
+	// lives mostly in the AP region, whose site is the smallest;
+	// nearest-RTT packs it to its queue ceiling and spills the rest
+	// across an ocean, and a mid-timeline derate of the big US site
+	// squeezes the overflow further. The same file with
+	// placement = score is the fix — which is the point of pluggable
+	// policies.
+	"edge-imbalance": `
+[scenario]
+name      = edge-imbalance
+mix       = congested
+placement = nearest-rtt
+
+[cluster us-west]
+gpus   = 4
+rtt    = 40
+rtt.us = 8
+rtt.ap = 90
+
+[cluster eu-central]
+gpus   = 2
+rtt    = 40
+rtt.us = 70
+rtt.ap = 110
+
+[cluster ap-south]
+gpus   = 1
+rtt    = 60
+rtt.us = 90
+rtt.ap = 12
+
+[phase baseline]
+duration = 120
+sessions = 10
+
+[phase regional-rush]
+duration = 60
+sessions = 24
+
+[phase us-derate]
+duration = 60
+cluster-derate.us-west = 0.5
+
+[phase drain]
+duration = 120
+sessions = 10
+`,
+
 	// churn: the population size holds but its members do not — half
 	// of the users are replaced every phase, so per-session state
 	// (controller warm-up, channel estimates) keeps restarting.

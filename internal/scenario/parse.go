@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"qvr/internal/edge"
 	"qvr/internal/pipeline"
 )
 
@@ -36,6 +37,29 @@ import (
 //	churn        = 0.25     # replace a quarter of carried users
 //	net-scale.4G LTE = 0.3  # brownout: derate one cell's bandwidth
 //
+// A geo-distributed scenario replaces the single shared cluster with
+// [cluster NAME] sections — an edge render grid. Declaring any
+// cluster switches the timeline to grid mode: the placement scheduler
+// owns every remote binding, and phases resize or derate named sites
+// instead of flipping the shared `gpus` knob:
+//
+//	[scenario]
+//	name      = continental
+//	placement = score       # or nearest-rtt, least-loaded
+//	migration-penalty-ms = 50
+//
+//	[cluster us-west]
+//	gpus      = 3           # site size; 0 = starts down
+//	rtt       = 40          # base WAN round trip, milliseconds
+//	rtt.us    = 8           # per-region overrides
+//	rtt.eu    = 70
+//	bandwidth = 400         # per-session WAN slice, Mbit/s (0 = uncapped)
+//
+//	[phase regional-outage]
+//	duration = 60
+//	cluster-gpus.us-west   = 0    # site outage: sessions migrate
+//	cluster-derate.ap-south = 0.5 # half capacity/throughput
+//
 // Phases execute in file order. Unknown keys are errors: a typo in a
 // scenario file should fail loudly, not silently simulate something
 // else.
@@ -43,12 +67,13 @@ import (
 // defaults returns the zero scenario the file's keys overlay.
 func defaults() Scenario {
 	return Scenario{
-		Mix:    "mixed",
-		Design: pipeline.QVR,
-		Seed:   1,
-		GPUs:   -1,
-		Frames: 60,
-		Warmup: 20,
+		Mix:                "mixed",
+		Design:             pipeline.QVR,
+		Seed:               1,
+		GPUs:               -1,
+		MigrationPenaltyMs: -1,
+		Frames:             60,
+		Warmup:             20,
 	}
 }
 
@@ -80,14 +105,20 @@ func ParseString(text string) (Scenario, error) {
 // the validated Scenario.
 func Parse(r io.Reader) (Scenario, error) {
 	sc := defaults()
-	var cur *Phase     // phase section being filled, nil in [scenario]
-	inScenario := true // until the first [phase ...] header
+	var cur *Phase                   // phase section being filled
+	var curCluster *edge.ClusterSpec // cluster section being filled
+	inScenario := true               // until the first non-[scenario] header
 	sawScenario := false
+	sawPenalty := false
 
 	flush := func() {
 		if cur != nil {
 			sc.Phases = append(sc.Phases, *cur)
 			cur = nil
+		}
+		if curCluster != nil {
+			sc.Topology.Clusters = append(sc.Topology.Clusters, *curCluster)
+			curCluster = nil
 		}
 	}
 
@@ -125,6 +156,14 @@ func Parse(r io.Reader) (Scenario, error) {
 				inScenario = false
 				p := newPhase(name)
 				cur = &p
+			case strings.HasPrefix(header, "cluster"):
+				name := strings.TrimSpace(strings.TrimPrefix(header, "cluster"))
+				if name == "" {
+					return Scenario{}, fmt.Errorf("line %d: cluster section needs a name: [cluster NAME]", lineNo)
+				}
+				flush()
+				inScenario = false
+				curCluster = &edge.ClusterSpec{Name: name}
 			default:
 				return Scenario{}, fmt.Errorf("line %d: unknown section [%s]", lineNo, header)
 			}
@@ -137,9 +176,13 @@ func Parse(r io.Reader) (Scenario, error) {
 		}
 		key, value = strings.TrimSpace(key), strings.TrimSpace(value)
 		var err error
-		if inScenario {
+		switch {
+		case inScenario:
+			sawPenalty = sawPenalty || key == "migration-penalty-ms"
 			err = setScenarioKey(&sc, key, value)
-		} else {
+		case curCluster != nil:
+			err = setClusterKey(curCluster, key, value)
+		default:
 			err = setPhaseKey(cur, key, value)
 		}
 		if err != nil {
@@ -151,6 +194,12 @@ func Parse(r io.Reader) (Scenario, error) {
 	}
 	flush()
 
+	// Validate cannot tell an explicit `migration-penalty-ms = 0` from
+	// a hand-built Scenario's zero value; the parser can, and the
+	// fail-loudly contract covers every key it accepts.
+	if sawPenalty && len(sc.Topology.Clusters) == 0 {
+		return Scenario{}, fmt.Errorf("migration-penalty-ms needs [cluster] sections")
+	}
 	if err := sc.Validate(); err != nil {
 		return Scenario{}, err
 	}
@@ -177,6 +226,14 @@ func setScenarioKey(sc *Scenario, key, value string) error {
 		sc.Seed = v
 	case "gpus":
 		return parseNonNegInt(value, "gpus", &sc.GPUs)
+	case "placement":
+		sc.Placement = value
+	case "migration-penalty-ms":
+		f, err := parseFiniteFloat(value, "migration-penalty-ms")
+		if err != nil {
+			return err
+		}
+		sc.MigrationPenaltyMs = f
 	case "sessions-per-gpu":
 		return parseNonNegInt(value, "sessions-per-gpu", &sc.SessionsPerGPU)
 	case "cell-capacity":
@@ -191,6 +248,44 @@ func setScenarioKey(sc *Scenario, key, value string) error {
 	return nil
 }
 
+// setClusterKey fills one [cluster NAME] section key. RTTs are given
+// in milliseconds and bandwidth in Mbit/s — the units humans write —
+// and stored in the SI units the simulator computes in.
+func setClusterKey(c *edge.ClusterSpec, key, value string) error {
+	if region, ok := strings.CutPrefix(key, "rtt."); ok {
+		f, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		if c.RegionRTT == nil {
+			c.RegionRTT = map[string]float64{}
+		}
+		c.RegionRTT[strings.TrimSpace(region)] = f / 1000
+		return nil
+	}
+	switch key {
+	case "gpus":
+		return parseNonNegInt(value, "gpus", &c.GPUs)
+	case "sessions-per-gpu":
+		return parseNonNegInt(value, "sessions-per-gpu", &c.SessionsPerGPU)
+	case "rtt":
+		f, err := parseFiniteFloat(value, "rtt")
+		if err != nil {
+			return err
+		}
+		c.RTTSeconds = f / 1000
+	case "bandwidth":
+		f, err := parseFiniteFloat(value, "bandwidth")
+		if err != nil {
+			return err
+		}
+		c.BandwidthBps = f * 1e6
+	default:
+		return fmt.Errorf("unknown [cluster] key %q", key)
+	}
+	return nil
+}
+
 func setPhaseKey(p *Phase, key, value string) error {
 	if scale, ok := strings.CutPrefix(key, "net-scale."); ok {
 		f, err := parseFiniteFloat(value, key)
@@ -201,6 +296,28 @@ func setPhaseKey(p *Phase, key, value string) error {
 			p.NetScale = map[string]float64{}
 		}
 		p.NetScale[strings.TrimSpace(scale)] = f
+		return nil
+	}
+	if name, ok := strings.CutPrefix(key, "cluster-gpus."); ok {
+		if p.ClusterGPUs == nil {
+			p.ClusterGPUs = map[string]int{}
+		}
+		var n int
+		if err := parseNonNegInt(value, key, &n); err != nil {
+			return err
+		}
+		p.ClusterGPUs[strings.TrimSpace(name)] = n
+		return nil
+	}
+	if name, ok := strings.CutPrefix(key, "cluster-derate."); ok {
+		f, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		if p.ClusterDerate == nil {
+			p.ClusterDerate = map[string]float64{}
+		}
+		p.ClusterDerate[strings.TrimSpace(name)] = f
 		return nil
 	}
 	switch key {

@@ -118,6 +118,22 @@ func TestParseErrors(t *testing.T) {
 		"Inf duration":         "[scenario]\nname=x\n[phase a]\nduration = +Inf\n",
 		"NaN churn":            "[scenario]\nname=x\n[phase a]\nduration=1\nchurn = nan\n",
 		"comma in phase name":  "[scenario]\nname=x\n[phase a, hour 2]\nduration=1\n",
+
+		"missing cluster name":    "[scenario]\nname=x\n[cluster]\ngpus=1\n[phase a]\nduration=1\n",
+		"unknown cluster key":     "[scenario]\nname=x\n[cluster c]\nbogus=1\n[phase a]\nduration=1\n",
+		"duplicate cluster":       "[scenario]\nname=x\n[cluster c]\ngpus=1\n[cluster c]\ngpus=2\n[phase a]\nduration=1\n",
+		"negative cluster rtt":    "[scenario]\nname=x\n[cluster c]\ngpus=1\nrtt=-5\n[phase a]\nduration=1\n",
+		"gpus with clusters":      "[scenario]\nname=x\ngpus=2\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
+		"phase gpus in grid mode": "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ngpus=0\n",
+		"unknown placement":       "[scenario]\nname=x\nplacement=round-robin\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
+		"placement sans clusters": "[scenario]\nname=x\nplacement=score\n[phase a]\nduration=1\n",
+		"penalty sans clusters":   "[scenario]\nname=x\nmigration-penalty-ms = 0\n[phase a]\nduration=1\n",
+		"spg in grid mode":        "[scenario]\nname=x\nsessions-per-gpu = 2\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
+		"cluster-gpus sans grid":  "[scenario]\nname=x\n[phase a]\nduration=1\ncluster-gpus.c = 0\n",
+		"unknown cluster-gpus":    "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ncluster-gpus.d = 0\n",
+		"unknown cluster-derate":  "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ncluster-derate.d = 0.5\n",
+		"derate out of range":     "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ncluster-derate.c = 1.5\n",
+		"bad migration penalty":   "[scenario]\nname=x\nmigration-penalty-ms = -7\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
 	}
 	for label, text := range cases {
 		if _, err := ParseString(text); err == nil {
@@ -126,9 +142,66 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+const gridFile = `
+[scenario]
+name      = grid-sample
+placement = least-loaded
+migration-penalty-ms = 80
+
+[cluster near]
+gpus      = 2
+rtt       = 12
+rtt.us    = 6
+bandwidth = 400
+
+[cluster far]
+gpus             = 4
+sessions-per-gpu = 6
+rtt              = 95
+
+[phase calm]
+duration = 60
+sessions = 8
+
+[phase near-down]
+duration = 30
+cluster-gpus.near   = 0
+cluster-derate.far  = 0.5
+`
+
+func TestParseGridScenario(t *testing.T) {
+	sc, err := ParseString(gridFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Placement != "least-loaded" || sc.MigrationPenaltyMs != 80 {
+		t.Errorf("grid header wrong: %+v", sc)
+	}
+	if len(sc.Topology.Clusters) != 2 {
+		t.Fatalf("want 2 clusters, got %d", len(sc.Topology.Clusters))
+	}
+	near := sc.Topology.Clusters[0]
+	if near.Name != "near" || near.GPUs != 2 {
+		t.Errorf("cluster near wrong: %+v", near)
+	}
+	// File units (ms, Mbit/s) convert to SI on parse.
+	if near.RTTSeconds != 0.012 || near.RegionRTT["us"] != 0.006 || near.BandwidthBps != 400e6 {
+		t.Errorf("cluster near units wrong: %+v", near)
+	}
+	far := sc.Topology.Clusters[1]
+	if far.SessionsPerGPU != 6 || far.RTTSeconds != 0.095 || far.BandwidthBps != 0 {
+		t.Errorf("cluster far wrong: %+v", far)
+	}
+	down := sc.Phases[1]
+	if down.ClusterGPUs["near"] != 0 || down.ClusterDerate["far"] != 0.5 {
+		t.Errorf("phase cluster overrides wrong: %+v", down)
+	}
+}
+
 func TestBuiltinsParseAndValidate(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"churn", "cluster-outage-failover", "diurnal", "flash-crowd", "net-brownout", "steady"}
+	want := []string{"churn", "cluster-outage-failover", "diurnal", "edge-imbalance",
+		"edge-regional-outage", "flash-crowd", "net-brownout", "steady"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("built-ins = %v, want %v", names, want)
 	}

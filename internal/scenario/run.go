@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
 )
@@ -76,6 +77,22 @@ func Run(sc Scenario, opt Options) (Result, error) {
 	}
 
 	out := Result{Scenario: sc}
+
+	// Grid mode: one scheduler for the whole timeline, so placements
+	// are sticky across phases and site outages surface as migrations.
+	var grid *edge.Grid
+	if len(sc.Topology.Clusters) > 0 {
+		policy, _ := edge.PolicyByName(sc.Placement) // "" -> default (Validate vetted the rest)
+		var err error
+		grid, err = edge.NewGrid(sc.Topology, policy)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if sc.MigrationPenaltyMs >= 0 {
+			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
+		}
+	}
+
 	var (
 		active    []fleet.SessionSpec // carried population, oldest first
 		next      int                 // global arrival counter
@@ -144,15 +161,23 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			if f, ok := ph.NetScale[cfg.Network.Name]; ok {
 				cfg.Network = cfg.Network.Scaled(f)
 			}
-			runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Config: cfg}
+			runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Region: sp.Region, Config: cfg}
 		}
 
 		fc := fleet.Config{Specs: runSpecs, Workers: opt.Workers, CellCapacity: sc.CellCapacity}
-		if g := phaseGPUs(sc, ph); g >= 0 {
-			fc.Admission = fleet.Admission{
-				Cluster:        gpu.DefaultRemote().WithGPUs(g),
-				Enabled:        true,
-				SessionsPerGPU: sc.SessionsPerGPU,
+		switch {
+		case grid != nil:
+			if err := grid.BeginPhase(ph.ClusterGPUs, ph.ClusterDerate); err != nil {
+				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
+			}
+			fc.Placer = grid
+		default:
+			if g := phaseGPUs(sc, ph); g >= 0 {
+				fc.Admission = fleet.Admission{
+					Cluster:        gpu.DefaultRemote().WithGPUs(g),
+					Enabled:        true,
+					SessionsPerGPU: sc.SessionsPerGPU,
+				}
 			}
 		}
 		r := fleet.Run(fc)

@@ -246,6 +246,143 @@ func TestNetBrownoutDeratesAndRecovers(t *testing.T) {
 	}
 }
 
+// TestEdgeRegionalOutage walks the grid acceptance scenario: the EU
+// site's sessions migrate to surviving clusters (migrations > 0, zero
+// dropped, zero failed over), pay the handoff in the outage window,
+// and sticky placement holds them after failback.
+func TestEdgeRegionalOutage(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "edge-regional-outage"), tiny)
+	if len(r.Phases) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(r.Phases))
+	}
+	steady, outage, failback := r.Phases[0], r.Phases[1], r.Phases[2]
+
+	for _, p := range r.Phases {
+		if p.Fleet.Contention.Grid == nil {
+			t.Fatalf("phase %q has no grid report", p.Phase.Name)
+		}
+		if n := len(p.Fleet.Dropped); n != 0 {
+			t.Errorf("phase %q dropped %d sessions; the grid must never drop", p.Phase.Name, n)
+		}
+		if n := p.Summary.Summary.FailedOver; n != 0 {
+			t.Errorf("phase %q failed %d over; survivors had capacity for everyone", p.Phase.Name, n)
+		}
+	}
+
+	// The steady phase must use the EU site, or the outage is vacuous.
+	euUsers := 0
+	for _, sr := range steady.Fleet.Sessions {
+		if sr.Result.Config.RemoteClusterName == "eu-central" {
+			euUsers++
+		}
+	}
+	if euUsers == 0 {
+		t.Fatal("steady phase placed nobody on eu-central")
+	}
+
+	if got := outage.Summary.Summary.Migrated; got != euUsers {
+		t.Errorf("outage migrated %d sessions, want the eu-central population %d", got, euUsers)
+	}
+	handoffs := 0
+	for _, sr := range outage.Fleet.Sessions {
+		if sr.Result.Config.RemoteClusterName == "eu-central" {
+			t.Errorf("session %q still bound to the dead site", sr.Spec.Name)
+		}
+		if sr.Result.Config.RemoteHandoffSeconds > 0 {
+			handoffs++
+		}
+	}
+	if handoffs != euUsers {
+		t.Errorf("%d sessions paid the handoff, want %d", handoffs, euUsers)
+	}
+	for _, c := range outage.Fleet.Contention.Grid.Clusters {
+		if c.Name == "eu-central" && (c.GPUs != 0 || c.Assigned != 0) {
+			t.Errorf("dead site still reports capacity: %+v", c)
+		}
+	}
+
+	// Failback: the site is up again and drain-back returns refugees
+	// home (every failback move targets eu-central).
+	if got := failback.Summary.Summary.Migrated; got == 0 {
+		t.Errorf("failback should drain sessions back to the recovered site")
+	}
+	for _, mv := range failback.Fleet.Contention.Grid.Moves {
+		if mv.To != "eu-central" {
+			t.Errorf("failback move %+v should target the recovered site", mv)
+		}
+	}
+	if want := euUsers + failback.Summary.Summary.Migrated; r.Rollup.TotalMigrated != want {
+		t.Errorf("roll-up total migrations = %d, want %d", r.Rollup.TotalMigrated, want)
+	}
+}
+
+// TestEdgeImbalanceHotSpot: nearest-RTT packs the small AP site to its
+// queue ceiling during the rush while capacity idles elsewhere — the
+// behaviour the score policy exists to fix.
+func TestEdgeImbalanceHotSpot(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "edge-imbalance"), tiny)
+	rush := r.Phases[1]
+	var ap, us fleet.ClusterLoad
+	for _, c := range rush.Fleet.Contention.Grid.Clusters {
+		switch c.Name {
+		case "ap-south":
+			ap = c
+		case "us-west":
+			us = c
+		}
+	}
+	if ap.Load <= 1 {
+		t.Errorf("rush should oversubscribe ap-south, load %v", ap.Load)
+	}
+	if ap.QueueMs <= 0 {
+		t.Errorf("oversubscribed ap-south should charge a queue delay")
+	}
+	if us.Load >= ap.Load {
+		t.Errorf("imbalance missing: us-west load %v vs ap-south %v", us.Load, ap.Load)
+	}
+	// The score policy on the same file spreads the same rush.
+	sc := mustBuiltin(t, "edge-imbalance")
+	sc.Placement = "score"
+	balanced := mustRun(t, sc, tiny)
+	var apScore fleet.ClusterLoad
+	for _, c := range balanced.Phases[1].Fleet.Contention.Grid.Clusters {
+		if c.Name == "ap-south" {
+			apScore = c
+		}
+	}
+	if apScore.Load >= ap.Load {
+		t.Errorf("score policy should relieve the hot spot: %v vs nearest-rtt %v",
+			apScore.Load, ap.Load)
+	}
+}
+
+// TestEdgeScenarioDeterministicAcrossWorkers extends the determinism
+// contract to grid mode (the PR's acceptance criterion).
+func TestEdgeScenarioDeterministicAcrossWorkers(t *testing.T) {
+	sc := mustBuiltin(t, "edge-regional-outage")
+	var prevJSON []byte
+	for _, workers := range []int{1, 3, 7} {
+		r := mustRun(t, sc, Options{Workers: workers, FramesOverride: tiny.FramesOverride, WarmupOverride: tiny.WarmupOverride})
+		sums, roll := phaseDigest(r)
+		grids := make([]*fleet.GridReport, len(r.Phases))
+		for i, p := range r.Phases {
+			grids[i] = p.Fleet.Contention.Grid
+		}
+		blob, err := json.Marshal(struct {
+			Sums  []fleet.PhaseSummary
+			Roll  fleet.Rollup
+			Grids []*fleet.GridReport
+		}{sums, roll, grids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevJSON != nil && string(prevJSON) != string(blob) {
+			t.Fatalf("workers=%d changed the grid report:\n%s\nvs\n%s", workers, prevJSON, blob)
+		}
+		prevJSON = blob
+	}
+}
+
 // TestRunRejectsInvalidScenario: the executor re-validates, so a
 // hand-built bad Scenario cannot reach the fleet engine.
 func TestRunRejectsInvalidScenario(t *testing.T) {

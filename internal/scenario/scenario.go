@@ -28,6 +28,7 @@ import (
 	"math"
 	"strings"
 
+	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/netsim"
 	"qvr/internal/pipeline"
@@ -46,8 +47,22 @@ type Scenario struct {
 	Seed int64
 	// GPUs sizes the shared remote cluster; -1 disables the admission
 	// layer entirely (every session keeps a private cluster), 0 means
-	// the cluster is down from the start. Phases may override.
+	// the cluster is down from the start. Phases may override. Mutually
+	// exclusive with Topology: a scenario is either single-cluster or
+	// grid, not both.
 	GPUs int
+	// Topology declares the geo-distributed edge render grid, one
+	// [cluster NAME] section per site. A non-empty topology switches
+	// the timeline to grid mode: placement replaces the single-cluster
+	// admission layer, and phases resize/derate named sites instead of
+	// flipping the shared GPU count.
+	Topology edge.Topology
+	// Placement names the grid's placement policy
+	// (edge.PolicyByName); "" means the default score policy.
+	Placement string
+	// MigrationPenaltyMs is the one-time handoff stall charged to each
+	// migrated session, in milliseconds; -1 means the edge default.
+	MigrationPenaltyMs float64
 	// SessionsPerGPU is the admission layer's per-GPU session
 	// capacity; 0 uses the fleet default.
 	SessionsPerGPU int
@@ -102,6 +117,14 @@ type Phase struct {
 	// clamped by netsim.Condition.Scaled, so 0 is a blackout-grade
 	// derate, not a divide-by-zero.
 	NetScale map[string]float64
+	// ClusterGPUs resizes named edge clusters for this phase (grid
+	// mode): cluster name -> chiplet count, 0 = a site outage.
+	// Omitted sites keep their declared topology size.
+	ClusterGPUs map[string]int
+	// ClusterDerate scales named edge clusters' capacity and per-GPU
+	// throughput for this phase (grid mode): cluster name -> factor in
+	// [0, 1]. 0 is an outage-grade derate.
+	ClusterDerate map[string]float64
 }
 
 // Validate checks the scenario against the fleet/netsim catalogs so a
@@ -122,6 +145,35 @@ func (sc Scenario) Validate() error {
 	}
 	if _, ok := fleet.MixByName(sc.Mix); !ok {
 		return fmt.Errorf("scenario %q: unknown mix %q", sc.Name, sc.Mix)
+	}
+	gridMode := len(sc.Topology.Clusters) > 0
+	if gridMode {
+		if err := sc.Topology.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if sc.GPUs >= 0 {
+			return fmt.Errorf("scenario %q: gpus and [cluster] sections are mutually exclusive (the grid owns all remote capacity)", sc.Name)
+		}
+		if sc.SessionsPerGPU > 0 {
+			return fmt.Errorf("scenario %q: sessions-per-gpu is the single-cluster knob; set it per [cluster] section in grid mode", sc.Name)
+		}
+		if sc.Placement != "" {
+			if _, ok := edge.PolicyByName(sc.Placement); !ok {
+				return fmt.Errorf("scenario %q: unknown placement policy %q (have: %v)",
+					sc.Name, sc.Placement, edge.PolicyNames())
+			}
+		}
+		if ok := sc.MigrationPenaltyMs == -1 ||
+			(sc.MigrationPenaltyMs >= 0 && !math.IsInf(sc.MigrationPenaltyMs, 0)); !ok {
+			return fmt.Errorf("scenario %q: migration-penalty-ms %v must be non-negative and finite (or -1 for the default)",
+				sc.Name, sc.MigrationPenaltyMs)
+		}
+	} else if sc.Placement != "" || sc.MigrationPenaltyMs > 0 {
+		// A hand-built Scenario's zero-valued MigrationPenaltyMs must
+		// pass (0 is harmless outside grid mode); the parser separately
+		// rejects an explicit `migration-penalty-ms = 0` key in a
+		// cluster-less file, where it can tell set from unset.
+		return fmt.Errorf("scenario %q: placement/migration-penalty-ms need [cluster] sections", sc.Name)
 	}
 	seen := map[string]bool{}
 	for i, ph := range sc.Phases {
@@ -165,6 +217,28 @@ func (sc Scenario) Validate() error {
 			}
 			if !(f >= 0 && !math.IsInf(f, 0)) {
 				return fmt.Errorf("%s: net-scale.%s = %v must be non-negative and finite", where, name, f)
+			}
+		}
+		if !gridMode && (len(ph.ClusterGPUs) > 0 || len(ph.ClusterDerate) > 0) {
+			return fmt.Errorf("%s: cluster-gpus/cluster-derate need [cluster] sections", where)
+		}
+		if gridMode && ph.GPUs >= 0 {
+			return fmt.Errorf("%s: gpus is the single-cluster knob; use cluster-gpus.<name> in grid mode", where)
+		}
+		for name, n := range ph.ClusterGPUs {
+			if _, ok := sc.Topology.ClusterByName(name); !ok {
+				return fmt.Errorf("%s: cluster-gpus names unknown cluster %q", where, name)
+			}
+			if n < 0 {
+				return fmt.Errorf("%s: cluster-gpus.%s must not be negative, got %d", where, name, n)
+			}
+		}
+		for name, f := range ph.ClusterDerate {
+			if _, ok := sc.Topology.ClusterByName(name); !ok {
+				return fmt.Errorf("%s: cluster-derate names unknown cluster %q", where, name)
+			}
+			if !(f >= 0 && f <= 1) {
+				return fmt.Errorf("%s: cluster-derate.%s = %v out of [0,1]", where, name, f)
 			}
 		}
 	}
