@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json scenario-smoke edge-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke fmt vet fmt-check ci
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario)
@@ -28,7 +28,7 @@ bench:
 # every run so the perf history accumulates across PRs.
 bench-json:
 	@mkdir -p bin
-	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge' -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
+	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge|BenchmarkAutoscale' -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
 	@echo "wrote bin/BENCH_edge.json ($$(wc -c < bin/BENCH_edge.json) bytes)"
 
 # Edge-grid smoke: the regional-outage built-in in miniature, then the
@@ -40,6 +40,28 @@ edge-smoke:
 	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 1 -format json > bin/edge-w1.json
 	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 7 -format json > bin/edge-w7.json
 	@diff bin/edge-w1.json bin/edge-w7.json && echo "edge determinism OK (workers 1 == workers 7)"
+
+# Autoscale smoke: the flash-crowd autoscaling built-in in miniature,
+# then the closed loop's two contracts — byte-identical JSON across
+# worker pool sizes (the controller's decisions are pure functions of
+# windowed metrics), and elastic capacity beating static peak
+# provisioning on GPU-seconds. The awk gate scrapes the report totals
+# (the autoscale block follows the phase rows, so the last
+# "gpu_seconds" is the timeline total).
+autoscale-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4
+	@$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4 -workers 1 -format json > bin/autoscale-w1.json
+	@$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4 -workers 4 -format json > bin/autoscale-w4.json
+	@diff bin/autoscale-w1.json bin/autoscale-w4.json && echo "autoscale determinism OK (workers 1 == workers 4)"
+	@awk -F': *' '/"gpu_seconds"/ { gsub(/,/, "", $$2); used = $$2 } \
+		/"static_peak_gpu_seconds"/ { gsub(/,/, "", $$2); peak = $$2 } \
+		END { \
+			if (used + 0 <= 0 || peak + 0 <= 0 || used + 0 >= peak + 0) { \
+				printf "autoscale smoke FAIL: %s GPU-s consumed vs %s static peak\n", used, peak; exit 1 \
+			} \
+			printf "autoscale GPU-seconds OK: %s consumed < %s static peak\n", used, peak \
+		}' bin/autoscale-w1.json
 
 # Scenario smoke: one built-in timeline in miniature, then the
 # determinism contract — the outage-failover scenario must produce
@@ -61,4 +83,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke edge-smoke bench-json
+ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke bench-json

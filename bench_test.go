@@ -488,6 +488,29 @@ func BenchmarkEdgeRegionalOutage(b *testing.B) {
 	b.ReportMetric(roll.DegradationFactor, "outage-p99-x")
 }
 
+// BenchmarkAutoscaleFlashCrowd runs the closed-loop capacity story in
+// miniature and reports the controller's science: GPU-seconds saved
+// against static peak provisioning, SLO attainment, and how many
+// scale decisions the flash crowd cost.
+func BenchmarkAutoscaleFlashCrowd(b *testing.B) {
+	sc, err := scenario.Builtin("edge-autoscale-flashcrowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *fleet.AutoscaleReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.Run(sc, scenario.Options{FramesOverride: 12, WarmupOverride: scenario.Warmup(4)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r.Autoscale
+	}
+	b.ReportMetric(rep.SavedFraction*100, "gpu-s-saved-%")
+	b.ReportMetric(float64(rep.SLOMetPhases), "slo-met-phases")
+	b.ReportMetric(float64(len(rep.Events)), "scale-events")
+}
+
 // BenchmarkSurveyProxy runs the Section 3.1 perception study proxy and
 // reports the minimum foveal fidelity across eccentricities.
 func BenchmarkSurveyProxy(b *testing.B) {

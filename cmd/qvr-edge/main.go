@@ -6,6 +6,7 @@
 // Usage:
 //
 //	qvr-edge -builtin edge-regional-outage
+//	qvr-edge -builtin edge-autoscale-flashcrowd
 //	qvr-edge -builtin edge-imbalance -policy score -format json
 //	qvr-edge -file continental.scn -workers 8 -format csv > grid.csv
 //	qvr-edge -list
@@ -13,8 +14,11 @@
 // The report covers what the single-cluster commands cannot show:
 // per-cluster utilization phase by phase, the placement decisions
 // (who moved where, and why nobody was dropped), migration counts,
-// and the fleet's MTP percentiles. Reports are deterministic: the
-// same scenario produces byte-identical JSON for any -workers value.
+// and the fleet's MTP percentiles. Scenarios with an [slo] section
+// additionally report per-phase SLO attainment, and autoscaled ones
+// the controller's scale events plus GPU-seconds consumed against the
+// provision-for-peak baseline. Reports are deterministic: the same
+// scenario produces byte-identical JSON for any -workers value.
 package main
 
 import (
@@ -134,6 +138,18 @@ func gridOf(p scenario.PhaseResult) *fleet.GridReport {
 	return &fleet.GridReport{}
 }
 
+// sloCell spells a phase's SLO verdict for the table ("-" = no SLO).
+func sloCell(p scenario.PhaseResult) string {
+	switch {
+	case p.SLOMet == nil:
+		return "-"
+	case *p.SLOMet:
+		return "ok"
+	default:
+		return "MISS"
+	}
+}
+
 func printTable(r scenario.Result) {
 	sc := r.Scenario
 	fmt.Printf("edge grid %s: policy %s, mix %s, design %s, seed %d\n",
@@ -145,17 +161,27 @@ func printTable(r scenario.Result) {
 		}
 		fmt.Println()
 	}
+	if slo := sc.SLO; slo != nil {
+		fmt.Printf("  slo:")
+		if slo.P99MTPMs > 0 {
+			fmt.Printf(" p99 mtp <= %.0f ms", slo.P99MTPMs)
+		}
+		if slo.Min90FPSShare > 0 {
+			fmt.Printf(" 90fps share >= %.0f%%", slo.Min90FPSShare*100)
+		}
+		fmt.Println()
+	}
 	fmt.Println()
 
-	fmt.Printf("%-14s %7s %6s %6s %5s %5s %5s %8s %8s %8s %6s %6s\n",
+	fmt.Printf("%-14s %7s %6s %6s %5s %5s %5s %8s %8s %8s %6s %6s %5s\n",
 		"phase", "start", "dur", "active", "migr", "fail", "drop",
-		"p50(ms)", "p95(ms)", "p99(ms)", "mFPS", "share")
+		"p50(ms)", "p95(ms)", "p99(ms)", "mFPS", "share", "slo")
 	for _, p := range r.Phases {
 		s := p.Summary.Summary
-		fmt.Printf("%-14s %6.0fs %5.0fs %6d %5d %5d %5d %8.1f %8.1f %8.1f %6.0f %5.0f%%\n",
+		fmt.Printf("%-14s %6.0fs %5.0fs %6d %5d %5d %5d %8.1f %8.1f %8.1f %6.0f %5.0f%% %5s\n",
 			p.Phase.Name, p.Summary.StartSeconds, p.Summary.DurationSeconds,
 			p.Active, s.Migrated, s.FailedOver, s.Dropped,
-			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.TargetShare*100)
+			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.TargetShare*100, sloCell(p))
 	}
 
 	fmt.Println()
@@ -186,6 +212,21 @@ func printTable(r scenario.Result) {
 		}
 	}
 
+	if rep := r.Autoscale; rep != nil {
+		fmt.Println()
+		fmt.Printf("autoscale: %d scale events; %.0f GPU-s consumed vs %.0f static-peak (%.1f%% saved); SLO met %d/%d phases\n",
+			len(rep.Events), rep.GPUSeconds, rep.StaticPeakGPUSeconds,
+			rep.SavedFraction*100, rep.SLOMetPhases, rep.SLOEvalPhases)
+		for _, e := range rep.Events {
+			verb := "provision"
+			if e.ToGPUs < e.FromGPUs {
+				verb = "decommission"
+			}
+			fmt.Printf("  t=%5.0fs %-12s %d -> %d GPUs (%s, %s), ready t=%.0fs\n",
+				e.TimeSeconds, e.Cluster, e.FromGPUs, e.ToGPUs, verb, e.Reason, e.ReadySeconds)
+		}
+	}
+
 	fmt.Println()
 	roll := r.Rollup
 	fmt.Printf("roll-up: %d migrations, max failed-over %d, max dropped %d\n",
@@ -212,6 +253,14 @@ type jsonPhaseRow struct {
 	Departed int               `json:"departed"`
 	Summary  fleet.Summary     `json:"summary"`
 	Grid     *fleet.GridReport `json:"grid"`
+	// GPUSeconds is the phase's capacity consumption (every grid
+	// scenario reports it, 0 when all sites are down); SLOMet is the
+	// verdict against the [slo] targets and ScaleEvents the autoscaler
+	// decisions taken on this window — both omitted when their mode is
+	// off.
+	GPUSeconds  float64            `json:"gpu_seconds"`
+	SLOMet      *bool              `json:"slo_met,omitempty"`
+	ScaleEvents []fleet.ScaleEvent `json:"scale_events,omitempty"`
 }
 
 // printJSON emits the deterministic report: phase summaries carry no
@@ -232,16 +281,22 @@ func printJSON(r scenario.Result) {
 		Mix      string         `json:"mix"`
 		Design   string         `json:"design"`
 		Seed     int64          `json:"seed"`
+		SLO      *fleet.SLO     `json:"slo,omitempty"`
 		Clusters []jsonCluster  `json:"clusters"`
 		Phases   []jsonPhaseRow `json:"phases"`
-		Rollup   fleet.Rollup   `json:"rollup"`
+		// Autoscale follows the phases so its gpu_seconds totals read
+		// after the per-phase ones (the smoke gate scrapes the last).
+		Autoscale *fleet.AutoscaleReport `json:"autoscale,omitempty"`
+		Rollup    fleet.Rollup           `json:"rollup"`
 	}{
-		Scenario: r.Scenario.Name,
-		Policy:   placementOf(r.Scenario),
-		Mix:      r.Scenario.Mix,
-		Design:   r.Scenario.Design.String(),
-		Seed:     r.Scenario.Seed,
-		Rollup:   r.Rollup,
+		Scenario:  r.Scenario.Name,
+		Policy:    placementOf(r.Scenario),
+		Mix:       r.Scenario.Mix,
+		Design:    r.Scenario.Design.String(),
+		Seed:      r.Scenario.Seed,
+		SLO:       r.Scenario.SLO,
+		Autoscale: r.Autoscale,
+		Rollup:    r.Rollup,
 	}
 	for _, c := range r.Scenario.Topology.Clusters {
 		rtts := map[string]float64{}
@@ -255,14 +310,17 @@ func printJSON(r scenario.Result) {
 	}
 	for _, p := range r.Phases {
 		report.Phases = append(report.Phases, jsonPhaseRow{
-			Name:     p.Phase.Name,
-			StartS:   p.Summary.StartSeconds,
-			DurS:     p.Summary.DurationSeconds,
-			Active:   p.Active,
-			Arrived:  p.Arrived,
-			Departed: p.Departed,
-			Summary:  p.Summary.Summary,
-			Grid:     gridOf(p),
+			Name:        p.Phase.Name,
+			StartS:      p.Summary.StartSeconds,
+			DurS:        p.Summary.DurationSeconds,
+			Active:      p.Active,
+			Arrived:     p.Arrived,
+			Departed:    p.Departed,
+			Summary:     p.Summary.Summary,
+			Grid:        gridOf(p),
+			GPUSeconds:  p.GPUSeconds,
+			SLOMet:      p.SLOMet,
+			ScaleEvents: p.ScaleEvents,
 		})
 	}
 	if err := cliout.WriteJSON(os.Stdout, report); err != nil {
@@ -277,9 +335,13 @@ func printCSV(r scenario.Result) {
 	w := cliout.NewCSV(os.Stdout,
 		"phase", "start_s", "cluster", "gpus", "capacity", "assigned", "load", "queue_ms",
 		"migrated", "failed_over", "p50_mtp_ms", "p95_mtp_ms", "p99_mtp_ms",
-		"mean_fps", "target_share")
+		"mean_fps", "target_share", "slo_met")
 	for _, p := range r.Phases {
 		s := p.Summary.Summary
+		slo := ""
+		if p.SLOMet != nil {
+			slo = fmt.Sprintf("%v", *p.SLOMet)
+		}
 		for _, c := range gridOf(p).Clusters {
 			w.Row(p.Phase.Name,
 				fmt.Sprintf("%.0f", p.Summary.StartSeconds),
@@ -290,7 +352,7 @@ func printCSV(r scenario.Result) {
 				fmt.Sprintf("%d", s.Migrated), fmt.Sprintf("%d", s.FailedOver),
 				fmt.Sprintf("%.3f", s.P50MTPMs), fmt.Sprintf("%.3f", s.P95MTPMs),
 				fmt.Sprintf("%.3f", s.P99MTPMs), fmt.Sprintf("%.2f", s.MeanFPS),
-				fmt.Sprintf("%.4f", s.TargetShare))
+				fmt.Sprintf("%.4f", s.TargetShare), slo)
 		}
 	}
 }

@@ -1,0 +1,315 @@
+// Package autoscale closes the loop between the fleet's measured
+// quality of experience and the edge grid's provisioned capacity: a
+// per-cluster controller that watches windowed metrics (P99
+// motion-to-photon, the 90-FPS share, queue depth, utilization)
+// against a declared SLO and provisions or decommissions GPUs in
+// response.
+//
+// The paper's systems — and the grid PR before this one — run with
+// statically provisioned GPU counts, so an operator must buy for peak:
+// a flash crowd either blows through the MTP target or the fleet idles
+// most of the day on capacity it needs for one hour. The controller
+// converts the declared SLO into capacity decisions instead:
+//
+//   - Scale up when a cluster saturates (load past 1.0, queueing) or
+//     the fleet misses its SLO while the cluster runs hot. Sizing aims
+//     for TargetUtil so the new capacity lands with headroom, not at
+//     the redline.
+//   - New capacity is not instantly real: each provision matures after
+//     ProvisionDelaySeconds (machines boot, models load, the scheduler
+//     warms). Placement sees it only once the delay elapses.
+//   - Scale down when the SLO is met and a cluster idles below
+//     ScaleDownUtil — but never below the sessions currently placed on
+//     the site, so a crowd draining back after an outage is never
+//     evicted by its own autoscaler. Decommission is immediate.
+//   - Every decision honors per-cluster Min/MaxGPUs bounds, an
+//     optional per-decision StepGPUs rate limit, and a cooldown
+//     between consecutive actions on the same cluster.
+//
+// Decisions are a pure function of the windowed observations and the
+// controller's own prior decisions — no wall clock, no randomness —
+// so an autoscaled timeline inherits the fleet engine's byte-identical
+// reports for any worker count.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"qvr/internal/edge"
+	"qvr/internal/fleet"
+)
+
+// Defaults for Config's zero-valued tunables.
+const (
+	// DefaultTargetUtil is the load the controller sizes new capacity
+	// for: 80% leaves headroom for the next window's arrivals.
+	DefaultTargetUtil = 0.8
+	// DefaultScaleDownUtil is the idleness threshold below which a
+	// cluster sheds capacity.
+	DefaultScaleDownUtil = 0.5
+	// DefaultMinGPUs keeps every cluster warm enough to measure.
+	DefaultMinGPUs = 1
+)
+
+// Config tunes the controller. The zero value of every field selects
+// a sensible default; SLO may be empty (the controller then scales on
+// utilization alone).
+type Config struct {
+	// SLO is the quality target the controller provisions against.
+	SLO fleet.SLO
+	// MinGPUs/MaxGPUs bound every cluster's size. MinGPUs <= 0 means 1;
+	// MaxGPUs <= 0 means unbounded.
+	MinGPUs int
+	MaxGPUs int
+	// StepGPUs caps how many GPUs one decision may add or remove from
+	// one cluster; 0 = unbounded (jump straight to the sized target).
+	StepGPUs int
+	// ProvisionDelaySeconds is the warm-up: scale-ups become visible to
+	// placement only this long after the decision.
+	ProvisionDelaySeconds float64
+	// CooldownSeconds is the minimum scenario time between consecutive
+	// decisions on the same cluster.
+	CooldownSeconds float64
+	// TargetUtil is the load new capacity is sized for (0 -> 0.8).
+	TargetUtil float64
+	// ScaleDownUtil is the load below which capacity sheds (0 -> 0.5).
+	// Must stay below TargetUtil or the controller would thrash.
+	ScaleDownUtil float64
+}
+
+// withDefaults fills the zero tunables.
+func (c Config) withDefaults() Config {
+	if c.MinGPUs <= 0 {
+		c.MinGPUs = DefaultMinGPUs
+	}
+	if c.TargetUtil == 0 {
+		c.TargetUtil = DefaultTargetUtil
+	}
+	if c.ScaleDownUtil == 0 {
+		c.ScaleDownUtil = DefaultScaleDownUtil
+	}
+	return c
+}
+
+// Validate rejects configurations that could never run a stable loop.
+// It is called on the post-default values, so a zero Config passes.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.MaxGPUs > 0 && c.MinGPUs > c.MaxGPUs {
+		return fmt.Errorf("autoscale: min-gpus %d exceeds max-gpus %d", c.MinGPUs, c.MaxGPUs)
+	}
+	if c.StepGPUs < 0 {
+		return fmt.Errorf("autoscale: step-gpus must not be negative, got %d", c.StepGPUs)
+	}
+	// Fail closed on NaN: test for the valid range, not the invalid one.
+	if !(c.ProvisionDelaySeconds >= 0 && !math.IsInf(c.ProvisionDelaySeconds, 0)) {
+		return fmt.Errorf("autoscale: provision-delay-s %v must be non-negative and finite", c.ProvisionDelaySeconds)
+	}
+	if !(c.CooldownSeconds >= 0 && !math.IsInf(c.CooldownSeconds, 0)) {
+		return fmt.Errorf("autoscale: cooldown-s %v must be non-negative and finite", c.CooldownSeconds)
+	}
+	if !(c.TargetUtil > 0 && c.TargetUtil <= 1) {
+		return fmt.Errorf("autoscale: target-util %v out of (0,1]", c.TargetUtil)
+	}
+	if !(c.ScaleDownUtil >= 0 && c.ScaleDownUtil < c.TargetUtil) {
+		return fmt.Errorf("autoscale: scale-down-util %v must be in [0, target-util %v)", c.ScaleDownUtil, c.TargetUtil)
+	}
+	if !(c.SLO.P99MTPMs >= 0 && !math.IsInf(c.SLO.P99MTPMs, 0)) {
+		return fmt.Errorf("autoscale: slo p99-mtp-ms %v must be non-negative and finite", c.SLO.P99MTPMs)
+	}
+	if !(c.SLO.Min90FPSShare >= 0 && c.SLO.Min90FPSShare <= 1) {
+		return fmt.Errorf("autoscale: slo min-90fps-share %v out of [0,1]", c.SLO.Min90FPSShare)
+	}
+	return nil
+}
+
+// pendingProvision is ordered capacity still warming up.
+type pendingProvision struct {
+	gpus         int
+	readySeconds float64
+}
+
+// clusterState is one cluster's controller-side ledger.
+type clusterState struct {
+	name   string
+	perGPU int // full-speed sessions per GPU (sizing denominator)
+	base   int // committed, placement-visible GPUs
+	// pending holds scale-ups whose warm-up delay has not elapsed.
+	pending []pendingProvision
+	// lastActionSeconds is the scenario time of the cluster's last
+	// decision; -Inf before the first.
+	lastActionSeconds float64
+}
+
+// target is the commanded size: committed plus everything in flight.
+// Decisions compare against it so a provision in progress is never
+// double-ordered.
+func (st *clusterState) target() int {
+	t := st.base
+	for _, p := range st.pending {
+		t += p.gpus
+	}
+	return t
+}
+
+// Controller is the per-cluster closed-loop capacity controller. It
+// implements fleet.Autoscaler. All state is touched from BaseGPUs and
+// Observe on the caller's goroutine; it is not safe for concurrent
+// use (the fleet's worker pool never sees it).
+type Controller struct {
+	cfg      Config
+	clusters []*clusterState
+}
+
+// New builds a controller over the grid topology. Each cluster starts
+// at its topology-declared size clamped into the configured bounds.
+func New(cfg Config, topo edge.Topology) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg}
+	for _, spec := range topo.Clusters {
+		perGPU := spec.SessionsPerGPU
+		if perGPU <= 0 {
+			perGPU = fleet.DefaultSessionsPerGPU
+		}
+		base := clamp(spec.GPUs, cfg.MinGPUs, cfg.MaxGPUs)
+		c.clusters = append(c.clusters, &clusterState{
+			name:              spec.Name,
+			perGPU:            perGPU,
+			base:              base,
+			lastActionSeconds: math.Inf(-1),
+		})
+	}
+	return c, nil
+}
+
+// BaseGPUs returns the per-cluster GPU counts effective at scenario
+// time t, committing every pending provision whose warm-up has
+// elapsed. It implements fleet.Autoscaler.
+func (c *Controller) BaseGPUs(atSeconds float64) map[string]int {
+	out := make(map[string]int, len(c.clusters))
+	for _, st := range c.clusters {
+		kept := st.pending[:0]
+		for _, p := range st.pending {
+			if p.readySeconds <= atSeconds {
+				st.base += p.gpus
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		st.pending = kept
+		out[st.name] = st.base
+	}
+	return out
+}
+
+// Observe feeds one completed metric window and returns the scale
+// decisions it triggered, in topology order. It implements
+// fleet.Autoscaler.
+func (c *Controller) Observe(obs fleet.AutoscaleObservation) []fleet.ScaleEvent {
+	now := obs.StartSeconds + obs.DurationSeconds
+	// Provisions whose warm-up elapsed during the window are committed
+	// before deciding: capacity that is ready by decision time must not
+	// linger as "pending" and block a legitimate scale-down.
+	c.BaseGPUs(now)
+	violated := c.cfg.SLO.Enabled() && !c.cfg.SLO.Met(obs.Summary)
+
+	loads := make(map[string]fleet.ClusterLoad, len(obs.Clusters))
+	for _, cl := range obs.Clusters {
+		loads[cl.Name] = cl
+	}
+
+	var events []fleet.ScaleEvent
+	for _, st := range c.clusters {
+		cl, ok := loads[st.name]
+		if !ok || cl.Capacity == 0 {
+			// Unreported or down (a phase-forced outage): a dead site's
+			// window says nothing about demand; the survivors' windows
+			// drive their own scaling.
+			continue
+		}
+		if now-st.lastActionSeconds < c.cfg.CooldownSeconds {
+			continue
+		}
+		target := st.target()
+		// needed sizes the observed population at TargetUtil headroom.
+		needed := gpusFor(cl.Assigned, st.perGPU, c.cfg.TargetUtil)
+
+		switch {
+		case cl.Load > 1 || (violated && cl.Load > c.cfg.TargetUtil):
+			// The site is queueing, or the fleet is missing its SLO and
+			// this site runs past its sizing headroom: provision.
+			desired := needed
+			if c.cfg.StepGPUs > 0 && desired > target+c.cfg.StepGPUs {
+				desired = target + c.cfg.StepGPUs
+			}
+			desired = clamp(desired, c.cfg.MinGPUs, c.cfg.MaxGPUs)
+			if desired <= target {
+				continue // already commanded (or pinned at max)
+			}
+			reason := "overloaded"
+			if violated {
+				reason = "slo-violated"
+			}
+			ready := now + c.cfg.ProvisionDelaySeconds
+			st.pending = append(st.pending, pendingProvision{gpus: desired - target, readySeconds: ready})
+			st.lastActionSeconds = now
+			events = append(events, fleet.ScaleEvent{
+				TimeSeconds: now, Cluster: st.name,
+				FromGPUs: target, ToGPUs: desired,
+				Reason: reason, ReadySeconds: ready,
+			})
+
+		case !violated && cl.Load < c.cfg.ScaleDownUtil && len(st.pending) == 0:
+			// Idle and healthy: decommission down to the sized need —
+			// but never below the sessions currently placed here. A
+			// population draining back onto a recovered site must not be
+			// evicted by its own autoscaler.
+			desired := needed
+			if floor := gpusFor(cl.Assigned, st.perGPU, 1); desired < floor {
+				desired = floor
+			}
+			if c.cfg.StepGPUs > 0 && desired < target-c.cfg.StepGPUs {
+				desired = target - c.cfg.StepGPUs
+			}
+			desired = clamp(desired, c.cfg.MinGPUs, c.cfg.MaxGPUs)
+			if desired >= target {
+				continue
+			}
+			st.base = desired
+			st.lastActionSeconds = now
+			events = append(events, fleet.ScaleEvent{
+				TimeSeconds: now, Cluster: st.name,
+				FromGPUs: target, ToGPUs: desired,
+				Reason: "underused", ReadySeconds: now,
+			})
+		}
+	}
+	return events
+}
+
+// gpusFor is the sizing primitive: the GPUs needed to hold `sessions`
+// at `util` load with perGPU full-speed sessions per chiplet.
+func gpusFor(sessions, perGPU int, util float64) int {
+	if sessions <= 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(sessions) / (float64(perGPU) * util)))
+}
+
+// clamp bounds n to [lo, hi]; hi <= 0 means unbounded above.
+func clamp(n, lo, hi int) int {
+	if n < lo {
+		n = lo
+	}
+	if hi > 0 && n > hi {
+		n = hi
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+
+	"qvr/internal/edge"
+	"qvr/internal/fleet"
+)
+
+func twoSiteTopo() edge.Topology {
+	return edge.Topology{Clusters: []edge.ClusterSpec{
+		{Name: "us-west", GPUs: 2, RTTSeconds: 0.040},
+		{Name: "eu-central", GPUs: 2, RTTSeconds: 0.040},
+	}}
+}
+
+func newController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg, twoSiteTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loadObs builds a window where every reported site carries the given
+// assignment against the given capacity (perGPU 4).
+func loadObs(start, dur float64, sum fleet.Summary, clusters ...fleet.ClusterLoad) fleet.AutoscaleObservation {
+	return fleet.AutoscaleObservation{
+		StartSeconds: start, DurationSeconds: dur,
+		Summary: sum, Clusters: clusters,
+	}
+}
+
+func cluster(name string, gpus, assigned int) fleet.ClusterLoad {
+	capacity := gpus * fleet.DefaultSessionsPerGPU
+	load := 0.0
+	if capacity > 0 {
+		load = float64(assigned) / float64(capacity)
+	}
+	return fleet.ClusterLoad{Name: name, GPUs: gpus, Capacity: capacity, Assigned: assigned, Load: load}
+}
+
+func trafficSummary(sessions int, p99 float64, share float64) fleet.Summary {
+	return fleet.Summary{Sessions: sessions, P99MTPMs: p99, TargetShare: share}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MinGPUs: 5, MaxGPUs: 2},
+		{StepGPUs: -1},
+		{ProvisionDelaySeconds: math.Inf(1)},
+		{ProvisionDelaySeconds: -1},
+		{CooldownSeconds: -1},
+		{TargetUtil: 1.5},
+		{TargetUtil: -0.1},
+		{ScaleDownUtil: 0.9}, // >= default TargetUtil 0.8
+		{SLO: fleet.SLO{P99MTPMs: -1}},
+		{SLO: fleet.SLO{Min90FPSShare: 2}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// TestScaleUpOnOverload: a saturated site provisions to TargetUtil
+// headroom, and the new capacity is invisible until the warm-up delay
+// elapses.
+func TestScaleUpOnOverload(t *testing.T) {
+	c := newController(t, Config{ProvisionDelaySeconds: 30, MaxGPUs: 16})
+
+	// 20 sessions queued onto us-west's 8-session capacity.
+	ev := c.Observe(loadObs(0, 60, trafficSummary(20, 50, 0.4),
+		cluster("us-west", 2, 20), cluster("eu-central", 2, 4)))
+	if len(ev) != 1 {
+		t.Fatalf("events = %+v, want exactly the us-west scale-up", ev)
+	}
+	// ceil(20 / (4 * 0.8)) = 7.
+	if ev[0].Cluster != "us-west" || ev[0].FromGPUs != 2 || ev[0].ToGPUs != 7 {
+		t.Errorf("event = %+v, want us-west 2 -> 7", ev[0])
+	}
+	if ev[0].Reason != "overloaded" {
+		t.Errorf("reason = %q, want overloaded", ev[0].Reason)
+	}
+	if ev[0].ReadySeconds != 90 {
+		t.Errorf("effective at %v, want decision time 60 + delay 30", ev[0].ReadySeconds)
+	}
+
+	// Warm-up: before the delay elapses, placement still sees 2 GPUs.
+	if got := c.BaseGPUs(89)["us-west"]; got != 2 {
+		t.Errorf("BaseGPUs before maturity = %d, want 2", got)
+	}
+	if got := c.BaseGPUs(90)["us-west"]; got != 7 {
+		t.Errorf("BaseGPUs at maturity = %d, want 7", got)
+	}
+}
+
+// TestSLOViolationScalesHotClusters: when the fleet misses its SLO,
+// clusters running past TargetUtil provision even without queueing.
+func TestSLOViolationScalesHotClusters(t *testing.T) {
+	c := newController(t, Config{SLO: fleet.SLO{P99MTPMs: 30}})
+
+	// us-west at load 0.875 (7/8), eu-central at 0.625; P99 misses 30 ms.
+	ev := c.Observe(loadObs(0, 60, trafficSummary(12, 45, 0.9),
+		cluster("us-west", 2, 7), cluster("eu-central", 2, 5)))
+	if len(ev) != 1 || ev[0].Cluster != "us-west" || ev[0].Reason != "slo-violated" {
+		t.Fatalf("events = %+v, want one slo-violated us-west scale-up", ev)
+	}
+	// A met SLO with the same loads triggers nothing.
+	c2 := newController(t, Config{SLO: fleet.SLO{P99MTPMs: 30}})
+	if ev := c2.Observe(loadObs(0, 60, trafficSummary(12, 20, 0.9),
+		cluster("us-west", 2, 7), cluster("eu-central", 2, 5))); len(ev) != 0 {
+		t.Errorf("healthy window scaled anyway: %+v", ev)
+	}
+}
+
+// TestCooldownAndPendingGate: consecutive windows within the cooldown
+// (or with capacity still warming) must not double-order.
+func TestCooldownAndPendingGate(t *testing.T) {
+	c := newController(t, Config{ProvisionDelaySeconds: 100, CooldownSeconds: 90})
+
+	overload := func(start float64) []fleet.ScaleEvent {
+		return c.Observe(loadObs(start, 60, trafficSummary(20, 50, 0.4),
+			cluster("us-west", 2, 20), cluster("eu-central", 2, 4)))
+	}
+	if ev := overload(0); len(ev) != 1 {
+		t.Fatalf("first overload: %+v", ev)
+	}
+	// Second window ends inside the cooldown: silence.
+	if ev := overload(60); len(ev) != 0 {
+		t.Errorf("cooldown violated: %+v", ev)
+	}
+	// Third window ends past the cooldown but the provision (ready
+	// t=160) has matured by t=180; target is already 7, so the same
+	// demand orders nothing new.
+	if ev := overload(120); len(ev) != 0 {
+		t.Errorf("matured capacity re-ordered: %+v", ev)
+	}
+}
+
+// TestStepAndMaxBounds: one decision moves at most StepGPUs, and never
+// past MaxGPUs.
+func TestStepAndMaxBounds(t *testing.T) {
+	c := newController(t, Config{StepGPUs: 2, MaxGPUs: 3})
+	ev := c.Observe(loadObs(0, 60, trafficSummary(20, 50, 0.4),
+		cluster("us-west", 2, 20), cluster("eu-central", 2, 4)))
+	if len(ev) != 1 || ev[0].ToGPUs != 3 {
+		t.Fatalf("events = %+v, want 2 -> 3 (step 2 clamped by max 3)", ev)
+	}
+	// Pinned at max: further overload is silence, not churn.
+	c.BaseGPUs(1000)
+	if ev := c.Observe(loadObs(1000, 60, trafficSummary(20, 50, 0.4),
+		cluster("us-west", 3, 20), cluster("eu-central", 2, 4))); len(ev) != 0 {
+		t.Errorf("scaled past max: %+v", ev)
+	}
+}
+
+// TestScaleDownFloors: an idle cluster sheds capacity, but never below
+// the sessions still placed on it and never below MinGPUs.
+func TestScaleDownFloors(t *testing.T) {
+	c := newController(t, Config{MinGPUs: 1})
+	// Start both sites at 6 GPUs via an overload round, matured.
+	c.Observe(loadObs(0, 60, trafficSummary(34, 50, 0.4),
+		cluster("us-west", 2, 17), cluster("eu-central", 2, 17)))
+	c.BaseGPUs(1000)
+
+	// us-west idles at 2 of 24 capacity: shed to MinGPUs. eu-central
+	// still holds 9 sessions (load 0.375 < 0.5): shed only to the
+	// draining floor ceil(9/4) = 3, not to the sized 3... both bound.
+	ev := c.Observe(loadObs(1000, 60, trafficSummary(11, 10, 1),
+		cluster("us-west", 6, 2), cluster("eu-central", 6, 9)))
+	if len(ev) != 2 {
+		t.Fatalf("events = %+v, want both sites shedding", ev)
+	}
+	for _, e := range ev {
+		if e.Reason != "underused" {
+			t.Errorf("reason = %q, want underused", e.Reason)
+		}
+		if e.ReadySeconds != e.TimeSeconds {
+			t.Errorf("decommission should be immediate: %+v", e)
+		}
+	}
+	if ev[0].Cluster != "us-west" || ev[0].ToGPUs != 1 {
+		t.Errorf("us-west shed = %+v, want to 1 (MinGPUs)", ev[0])
+	}
+	// The draining-floor invariant: remaining capacity must still hold
+	// every session placed on the site at full speed.
+	if ev[1].Cluster != "eu-central" || ev[1].ToGPUs*fleet.DefaultSessionsPerGPU < 9 {
+		t.Errorf("eu-central shed = %+v, capacity fell below its 9 draining sessions", ev[1])
+	}
+}
+
+// TestDownSitesAreSkipped: a phase-forced outage (capacity 0) says
+// nothing about demand; the controller must not touch it.
+func TestDownSitesAreSkipped(t *testing.T) {
+	c := newController(t, Config{})
+	ev := c.Observe(loadObs(0, 60, trafficSummary(20, 50, 0.4),
+		fleet.ClusterLoad{Name: "us-west", GPUs: 0, Capacity: 0, Assigned: 0, Load: 0},
+		cluster("eu-central", 2, 16)))
+	for _, e := range ev {
+		if e.Cluster == "us-west" {
+			t.Errorf("scaled a dead site: %+v", e)
+		}
+	}
+	if len(ev) != 1 || ev[0].Cluster != "eu-central" {
+		t.Errorf("survivor did not scale: %+v", ev)
+	}
+}
+
+// TestDeterministicReplay: the controller is a pure function of its
+// observation sequence — two replicas fed the same windows emit
+// identical decisions.
+func TestDeterministicReplay(t *testing.T) {
+	windows := []fleet.AutoscaleObservation{
+		loadObs(0, 60, trafficSummary(8, 20, 1), cluster("us-west", 2, 4), cluster("eu-central", 2, 4)),
+		loadObs(60, 60, trafficSummary(30, 55, 0.5), cluster("us-west", 2, 15), cluster("eu-central", 2, 15)),
+		loadObs(120, 60, trafficSummary(30, 25, 0.9), cluster("us-west", 5, 15), cluster("eu-central", 5, 15)),
+		loadObs(180, 60, trafficSummary(6, 10, 1), cluster("us-west", 5, 3), cluster("eu-central", 5, 3)),
+	}
+	run := func() []fleet.ScaleEvent {
+		c := newController(t, Config{ProvisionDelaySeconds: 10, CooldownSeconds: 30})
+		var all []fleet.ScaleEvent
+		for _, w := range windows {
+			c.BaseGPUs(w.StartSeconds)
+			all = append(all, c.Observe(w)...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Error("expected the window sequence to trigger decisions")
+	}
+}
+
+// TestInitialBaseClampsToBounds: topology sizes outside [min, max]
+// start clamped.
+func TestInitialBaseClampsToBounds(t *testing.T) {
+	topo := edge.Topology{Clusters: []edge.ClusterSpec{
+		{Name: "big", GPUs: 10}, {Name: "tiny", GPUs: 0},
+	}}
+	c, err := New(Config{MinGPUs: 1, MaxGPUs: 4}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.BaseGPUs(0)
+	if base["big"] != 4 || base["tiny"] != 1 {
+		t.Errorf("initial base = %v, want big 4, tiny 1", base)
+	}
+}
+
+func TestSLOMet(t *testing.T) {
+	slo := fleet.SLO{P99MTPMs: 30, Min90FPSShare: 0.8}
+	if !slo.Met(fleet.Summary{}) {
+		t.Error("empty window should meet the SLO vacuously")
+	}
+	if !slo.Met(trafficSummary(5, 29, 0.9)) {
+		t.Error("healthy window should meet")
+	}
+	if slo.Met(trafficSummary(5, 31, 0.9)) {
+		t.Error("P99 miss should fail")
+	}
+	if slo.Met(trafficSummary(5, 29, 0.7)) {
+		t.Error("share miss should fail")
+	}
+	if (fleet.SLO{}).Enabled() {
+		t.Error("zero SLO should be disabled")
+	}
+}

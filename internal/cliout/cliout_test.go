@@ -1,6 +1,9 @@
 package cliout
 
 import (
+	"encoding/json"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -34,6 +37,228 @@ func TestWriteJSONDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(s1.String(), "  \"a\"") {
 		t.Errorf("expected two-space indent with sorted keys, got %q", s1.String())
+	}
+}
+
+// TestWriteJSONSanitizesNonFinite is the regression test for the
+// report-encoding bug: a roll-up carrying a +Inf degradation factor
+// (baseline P99 of 0) or a NaN made encoding/json error out and cost
+// the operator the whole report. Non-finite floats must encode as
+// null, with every other field intact.
+func TestWriteJSONSanitizesNonFinite(t *testing.T) {
+	type rollup struct {
+		Phases            int     `json:"phases"`
+		BaselineP99Ms     float64 `json:"baseline_p99_ms"`
+		WorstP99Ms        float64 `json:"worst_p99_ms"`
+		DegradationFactor float64 `json:"degradation_factor"`
+		MeanFPS           float64 `json:"mean_fps"`
+	}
+	v := rollup{
+		Phases:            3,
+		BaselineP99Ms:     0,
+		WorstP99Ms:        math.Inf(1),
+		DegradationFactor: math.Inf(1),
+		MeanFPS:           math.NaN(),
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, v); err != nil {
+		t.Fatalf("WriteJSON on non-finite values: %v", err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`"phases": 3`,
+		`"baseline_p99_ms": 0`,
+		`"worst_p99_ms": null`,
+		`"degradation_factor": null`,
+		`"mean_fps": null`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Inf") || strings.Contains(got, "NaN") {
+		t.Errorf("non-finite spelling leaked into JSON:\n%s", got)
+	}
+	// -Inf nested inside maps and slices sanitizes too.
+	sb.Reset()
+	nested := map[string]interface{}{"series": []float64{1, math.Inf(-1), 3}}
+	if err := WriteJSON(&sb, nested); err != nil {
+		t.Fatalf("WriteJSON on nested non-finite values: %v", err)
+	}
+	if !strings.Contains(sb.String(), "null") {
+		t.Errorf("nested -Inf not nulled:\n%s", sb.String())
+	}
+}
+
+// TestWriteJSONMatchesPlainEncoder pins the sanitizer to the plain
+// encoder's bytes for finite reports: field order, tag names,
+// omitempty, nesting, and pointers must all round-trip unchanged, or
+// the determinism contract (and every golden diff) silently shifts.
+func TestWriteJSONMatchesPlainEncoder(t *testing.T) {
+	type inner struct {
+		Name    string  `json:"name"`
+		Load    float64 `json:"load"`
+		QueueMs float64 `json:"queue_ms,omitempty"`
+	}
+	type embedded struct {
+		Worst float64 `json:"worst_p99_ms"`
+	}
+	type report struct {
+		Scenario string `json:"scenario"`
+		Seed     int64  `json:"seed"`
+		Skipped  string `json:"-"`
+		Dash     string `json:"-,"` // a field literally named "-"
+		embedded
+		ByPtr    *inner             `json:"by_ptr"`
+		Clusters []inner            `json:"clusters"`
+		Extra    map[string]float64 `json:"extra,omitempty"`
+		Note     *string            `json:"note,omitempty"`
+		Flag     bool               `json:"flag"`
+	}
+	v := report{
+		Scenario: "flash <crowd>", // exercises HTML escaping too
+		Seed:     7,
+		Skipped:  "never",
+		Dash:     "kept",
+		embedded: embedded{Worst: 80.5},
+		ByPtr:    &inner{Name: "ptr", Load: 0.25},
+		Clusters: []inner{{Name: "us-west", Load: 0.5, QueueMs: 1.25}, {Name: "eu", Load: 1}},
+		Extra:    map[string]float64{"b": 2, "a": 1},
+	}
+	var got strings.Builder
+	if err := WriteJSON(&got, v); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want)+"\n" {
+		t.Errorf("sanitized output diverged from encoding/json:\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+}
+
+// textID is a TextMarshaler with unexported fields, the shape that
+// would reduce to {} if the sanitizer walked it instead of deferring.
+type textID struct{ a, b string }
+
+func (id textID) MarshalText() ([]byte, error) { return []byte(id.a + "-" + id.b), nil }
+
+// ShadowInner/ShadowTwin set up the embedded-field conflicts
+// encoding/json resolves with its dominant-field rule. Exported so
+// reflect.StructOf can embed them below.
+type ShadowInner struct {
+	Name  string  `json:"name"`
+	Depth float64 `json:"depth"`
+}
+type ShadowTwin struct {
+	Depth float64 `json:"depth"`
+	Only  string  `json:"only"`
+}
+
+// TestWriteJSONEncoderCornerCases pins the sanitizer to encoding/json
+// on the tag and embedding corners the straightforward walk would get
+// wrong: TextMarshaler values, the `,string` option, and shadowed or
+// twice-promoted embedded fields.
+func TestWriteJSONEncoderCornerCases(t *testing.T) {
+	type report struct {
+		ShadowInner
+		Name string `json:"name"` // outer wins over ShadowInner's
+		ID   textID `json:"id"`
+		Seed int64  `json:"seed,string"`
+	}
+	v := report{
+		ShadowInner: ShadowInner{Name: "inner", Depth: 1},
+		Name:        "outer",
+		ID:          textID{a: "A", b: "B"},
+		Seed:        7,
+	}
+	var got strings.Builder
+	if err := WriteJSON(&got, v); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want)+"\n" {
+		t.Errorf("corner cases diverged from encoding/json:\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+	// The dominant-field rule, spelled out: the outer name wins, the
+	// uncontested promotion stays, tag options apply.
+	for _, substr := range []string{`"name": "outer"`, `"depth": 1`, `"id": "A-B"`, `"seed": "7"`} {
+		if !strings.Contains(got.String(), substr) {
+			t.Errorf("output missing %q:\n%s", substr, got.String())
+		}
+	}
+	if strings.Contains(got.String(), "inner") {
+		t.Errorf("shadowed promoted field survived:\n%s", got.String())
+	}
+
+	// Two embedded structs promoting the same name cancel each other
+	// out. The conflicting type is built with reflect.StructOf because
+	// declaring it statically trips go vet's structtag check — which
+	// is exactly the conflict being tested.
+	twinType := reflect.StructOf([]reflect.StructField{
+		{Name: "ShadowInner", Type: reflect.TypeOf(ShadowInner{}), Anonymous: true},
+		{Name: "ShadowTwin", Type: reflect.TypeOf(ShadowTwin{}), Anonymous: true},
+	})
+	tv := reflect.New(twinType).Elem()
+	tv.Field(0).Set(reflect.ValueOf(ShadowInner{Name: "inner", Depth: 1}))
+	tv.Field(1).Set(reflect.ValueOf(ShadowTwin{Depth: 2, Only: "twin"}))
+
+	got.Reset()
+	if err := WriteJSON(&got, tv.Interface()); err != nil {
+		t.Fatal(err)
+	}
+	want, err = json.MarshalIndent(tv.Interface(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want)+"\n" {
+		t.Errorf("twin conflict diverged from encoding/json:\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+	if strings.Contains(got.String(), `"depth"`) {
+		t.Errorf("twice-promoted field survived:\n%s", got.String())
+	}
+	for _, substr := range []string{`"name": "inner"`, `"only": "twin"`} {
+		if !strings.Contains(got.String(), substr) {
+			t.Errorf("output missing %q:\n%s", substr, got.String())
+		}
+	}
+}
+
+// nestedTwin embeds ShadowTwin one level deeper, so its promoted
+// "depth" sits at depth 2 while ShadowInner's sits at depth 1.
+type nestedTwin struct{ ShadowTwin }
+
+// TestWriteJSONDominantFieldDepth: a shallower promoted field beats a
+// deeper conflicting one (it must not be annihilated by a flat
+// conflict count), exactly as encoding/json resolves it.
+func TestWriteJSONDominantFieldDepth(t *testing.T) {
+	type report struct {
+		ShadowInner        // name, depth at depth 1
+		nestedTwin         // depth, only at depth 2
+		Extra       string `json:"extra"`
+	}
+	v := report{
+		ShadowInner: ShadowInner{Name: "inner", Depth: 1},
+		nestedTwin:  nestedTwin{ShadowTwin{Depth: 2, Only: "twin"}},
+		Extra:       "x",
+	}
+	var got strings.Builder
+	if err := WriteJSON(&got, v); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want)+"\n" {
+		t.Errorf("depth resolution diverged from encoding/json:\ngot:\n%s\nwant:\n%s", got.String(), want)
+	}
+	if !strings.Contains(got.String(), `"depth": 1`) {
+		t.Errorf("shallower promoted field lost:\n%s", got.String())
 	}
 }
 

@@ -386,3 +386,145 @@ func TestGridFleetIntegration(t *testing.T) {
 		t.Errorf("grid mode must never drop, got %d", a.Dropped)
 	}
 }
+
+// TestSetBaseGPUsValidation: the autoscaler's knob rejects unknown
+// sites and negative sizes, and a nil map restores the topology.
+func TestSetBaseGPUsValidation(t *testing.T) {
+	g := newGrid(t, Score)
+	if err := g.SetBaseGPUs(map[string]int{"atlantis": 3}); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if err := g.SetBaseGPUs(map[string]int{"us-west": -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := g.SetBaseGPUs(map[string]int{"us-west": 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetBaseGPUs(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, report := g.Place(testSpecs(t, 3))
+	for _, c := range report.Clusters {
+		want := map[string]int{"us-west": 3, "eu-central": 3, "ap-south": 2}[c.Name]
+		if c.GPUs != want {
+			t.Errorf("after nil reset, %s has %d GPUs, want topology %d", c.Name, c.GPUs, want)
+		}
+	}
+}
+
+// TestShrinkEvictsAndGrowDrainsBack: a dynamic capacity shrink makes
+// the site infeasible for its overflow — those sessions migrate, each
+// paying exactly one handoff — and the later grow refills it through
+// the drain-back hysteresis, reaching a fixpoint instead of
+// ping-ponging.
+func TestShrinkEvictsAndGrowDrainsBack(t *testing.T) {
+	// The RTT gap dwarfs the score policy's load term, so light load
+	// genuinely packs the near site.
+	topo := Topology{Clusters: []ClusterSpec{
+		{Name: "near", GPUs: 3, RTTSeconds: 0.010},
+		{Name: "far", GPUs: 3, RTTSeconds: 0.250},
+	}}
+	g, err := NewGrid(topo, Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs(t, 12) // all fit on near (capacity 12)
+	placed := mustPlace(t, g, specs)
+	for _, sp := range placed {
+		if sp.Config.RemoteClusterName != "near" {
+			t.Fatalf("light load should pack the near site, %q on %q", sp.Name, sp.Config.RemoteClusterName)
+		}
+	}
+
+	// The autoscaler shrinks near to 1 GPU: capacity 4, queue ceiling
+	// 8. Four sessions keep their sticky slots, four queue, the rest
+	// must migrate to far — paying one handoff each.
+	if err := g.SetBaseGPUs(map[string]int{"near": 1}); err != nil {
+		t.Fatal(err)
+	}
+	moved, report := g.Place(specs)
+	if report.Migrated != 4 {
+		t.Fatalf("shrink migrated %d sessions, want 4 (12 sticky minus queue ceiling 8): %+v", report.Migrated, report.Moves)
+	}
+	if report.FailedOver != 0 {
+		t.Fatalf("shrink with far capacity free failed %d over", report.FailedOver)
+	}
+	seen := map[string]int{}
+	for _, mv := range report.Moves {
+		seen[mv.Session]++
+		if mv.From != "near" || mv.To != "far" {
+			t.Errorf("unexpected move %+v", mv)
+		}
+	}
+	handoffs := 0
+	for _, sp := range moved {
+		if sp.Config.RemoteHandoffSeconds > 0 {
+			handoffs++
+			if n := seen[sp.Name]; n != 1 {
+				t.Errorf("session %q charged a handoff for %d moves", sp.Name, n)
+			}
+		}
+	}
+	if handoffs != report.Migrated {
+		t.Errorf("%d handoffs charged for %d migrations", handoffs, report.Migrated)
+	}
+
+	// The autoscaler grows near back: the refugees drain home under
+	// the hysteresis (a ≥30%% better figure), then placement settles.
+	if err := g.SetBaseGPUs(map[string]int{"near": 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, back := g.Place(specs)
+	if back.Migrated == 0 {
+		t.Error("grow should drain refugees back to the near site")
+	}
+	for _, mv := range back.Moves {
+		if mv.To != "near" {
+			t.Errorf("drain-back move %+v should target the regrown site", mv)
+		}
+	}
+	_, settled := g.Place(specs)
+	if settled.Migrated != 0 {
+		t.Errorf("capacity transitions left placement thrashing: %+v", settled.Moves)
+	}
+}
+
+// TestPhaseOverrideWinsOverBase: a scenario-staged outage kills a site
+// no matter what base capacity the autoscaler ordered, and the base
+// returns when the phase override lifts.
+func TestPhaseOverrideWinsOverBase(t *testing.T) {
+	g := newGrid(t, Score)
+	if err := g.SetBaseGPUs(map[string]int{"eu-central": 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BeginPhase(map[string]int{"eu-central": 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, report := g.Place(testSpecs(t, 6))
+	for _, c := range report.Clusters {
+		if c.Name == "eu-central" && (c.GPUs != 0 || c.Assigned != 0) {
+			t.Errorf("phase outage overridden by base capacity: %+v", c)
+		}
+	}
+	// A mid-phase base change must not revive the site the phase
+	// declared down.
+	if err := g.SetBaseGPUs(map[string]int{"eu-central": 9}); err != nil {
+		t.Fatal(err)
+	}
+	_, report = g.Place(testSpecs(t, 6))
+	for _, c := range report.Clusters {
+		if c.Name == "eu-central" && c.GPUs != 0 {
+			t.Errorf("mid-phase SetBaseGPUs revived the dead site: %+v", c)
+		}
+	}
+	// Override lifts: the autoscaled base (9), not the topology (3).
+	if err := g.BeginPhase(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, report = g.Place(testSpecs(t, 6))
+	for _, c := range report.Clusters {
+		if c.Name == "eu-central" && c.GPUs != 9 {
+			t.Errorf("autoscaled base lost after phase reset: %+v", c)
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Grid struct {
 	// assigned is the sticky session -> site binding from the previous
 	// placement round.
 	assigned map[string]string
+	// baseGPUs, when non-empty, overrides the topology-declared GPU
+	// counts for named sites — the autoscaler's knob. Phase overrides
+	// (BeginPhase) still win within their phase.
+	baseGPUs map[string]int
+	// phaseGPUs/phaseDerate are the current phase's overrides, kept so
+	// a mid-phase SetBaseGPUs cannot silently revive a site the phase
+	// declared down.
+	phaseGPUs   map[string]int
+	phaseDerate map[string]float64
 }
 
 // NewGrid builds a scheduler over the topology. The topology is
@@ -111,14 +120,55 @@ func (g *Grid) Policy() Policy { return g.policy }
 // Topology returns the grid's declared layout.
 func (g *Grid) Topology() Topology { return g.topo }
 
-// resetSites rebuilds the phase-effective site state from the
-// topology defaults.
+// resetSites rebuilds the phase-effective site state: topology
+// defaults, resized by any dynamic base capacity, with the current
+// phase's overrides on top.
 func (g *Grid) resetSites() {
 	g.sites = make([]*site, len(g.topo.Clusters))
 	for i, c := range g.topo.Clusters {
-		g.sites[i] = &site{spec: c, gpus: c.GPUs, derate: 1}
+		gpus := c.GPUs
+		if n, ok := g.baseGPUs[c.Name]; ok {
+			gpus = n
+		}
+		g.sites[i] = &site{spec: c, gpus: gpus, derate: 1}
 		g.sizeSite(g.sites[i])
 	}
+	g.applyPhase()
+}
+
+// SetBaseGPUs installs dynamic per-site base GPU counts — the
+// autoscaler acting back on the grid. The counts replace the
+// topology-declared sizes for every subsequent placement round until
+// changed again; sites absent from the map keep their declared size,
+// and a nil map restores the topology throughout. Phase overrides
+// (BeginPhase) still take precedence within their phase, so a
+// scenario-staged outage kills a site no matter how many GPUs the
+// controller ordered.
+//
+// Capacity transitions compose with the migration machinery the way
+// an operator would want: a shrink makes the site infeasible for its
+// tail of sticky sessions, which re-place (and pay the handoff)
+// elsewhere; a grow makes the site attractive again, and the
+// drain-back hysteresis paces the return instead of thrashing.
+func (g *Grid) SetBaseGPUs(gpus map[string]int) error {
+	for name, n := range gpus {
+		if _, ok := g.topo.ClusterByName(name); !ok {
+			return fmt.Errorf("edge: base capacity resizes unknown cluster %q", name)
+		}
+		if n < 0 {
+			return fmt.Errorf("edge: base capacity for %q must not be negative, got %d", name, n)
+		}
+	}
+	if gpus == nil {
+		g.baseGPUs = nil
+	} else {
+		g.baseGPUs = make(map[string]int, len(gpus))
+		for name, n := range gpus {
+			g.baseGPUs[name] = n
+		}
+	}
+	g.resetSites()
+	return nil
 }
 
 // sizeSite derives capacity and the admission ceiling from the
@@ -140,25 +190,45 @@ func (g *Grid) sizeSite(s *site) {
 // (or kills, at 0) named sites, derate scales their capacity and
 // per-GPU throughput. Overrides are absolute against the topology
 // defaults — a phase without an entry restores the declared size, so
-// an outage ends when its phase does. Unknown site names error.
+// an outage ends when its phase does. Unknown site names error, and
+// nothing changes on error.
 func (g *Grid) BeginPhase(gpus map[string]int, derate map[string]float64) error {
-	g.resetSites()
-	for name, n := range gpus {
-		s := g.siteByName(name)
-		if s == nil {
+	for name := range gpus {
+		if _, ok := g.topo.ClusterByName(name); !ok {
 			return fmt.Errorf("edge: phase resizes unknown cluster %q", name)
 		}
+	}
+	for name := range derate {
+		if _, ok := g.topo.ClusterByName(name); !ok {
+			return fmt.Errorf("edge: phase derates unknown cluster %q", name)
+		}
+	}
+	// Copies: the caller keeps its maps, the grid keeps the phase.
+	g.phaseGPUs = make(map[string]int, len(gpus))
+	for name, n := range gpus {
+		g.phaseGPUs[name] = n
+	}
+	g.phaseDerate = make(map[string]float64, len(derate))
+	for name, f := range derate {
+		g.phaseDerate[name] = f
+	}
+	g.resetSites()
+	return nil
+}
+
+// applyPhase lays the current phase's overrides over the base-sized
+// sites.
+func (g *Grid) applyPhase() {
+	for name, n := range g.phaseGPUs {
+		s := g.siteByName(name)
 		if n < 0 {
 			n = 0
 		}
 		s.gpus = n
 		g.sizeSite(s)
 	}
-	for name, f := range derate {
+	for name, f := range g.phaseDerate {
 		s := g.siteByName(name)
-		if s == nil {
-			return fmt.Errorf("edge: phase derates unknown cluster %q", name)
-		}
 		// Fail closed on NaN.
 		if !(f >= 0) {
 			f = 0
@@ -169,7 +239,6 @@ func (g *Grid) BeginPhase(gpus map[string]int, derate map[string]float64) error 
 		s.derate = f
 		g.sizeSite(s)
 	}
-	return nil
 }
 
 // Place binds every session to a site (or to local-only rendering as

@@ -1,0 +1,118 @@
+package fleet
+
+// The autoscaling seam: the types through which a capacity controller
+// (internal/autoscale implements one) closes the loop on the fleet.
+// The fleet engine measures; the controller watches the windowed
+// measurements against a declared SLO and resizes the edge grid's
+// clusters; the next window runs on the new capacity. Everything here
+// is deterministic — observations are windowed metrics on the scenario
+// clock, never wall time — so autoscaled reports keep the fleet's
+// byte-identical-across-workers contract.
+
+// SLO declares the fleet's quality-of-experience targets: the numbers
+// an operator promises, and the numbers the autoscaler provisions
+// against. The zero value of each field means "no target".
+type SLO struct {
+	// P99MTPMs is the ceiling on windowed P99 motion-to-photon latency
+	// in milliseconds (the judder tail; 90-FPS VR wants <= ~11 ms of
+	// display interval headroom on top of the photon budget).
+	P99MTPMs float64 `json:"p99_mtp_ms,omitempty"`
+	// Min90FPSShare is the floor on the share of sessions sustaining at
+	// least 95% of the 90 FPS display rate (Summary.TargetShare).
+	Min90FPSShare float64 `json:"min_90fps_share,omitempty"`
+}
+
+// Enabled reports whether the SLO declares any target at all.
+func (s SLO) Enabled() bool { return s.P99MTPMs > 0 || s.Min90FPSShare > 0 }
+
+// Met reports whether one windowed Summary satisfies the SLO. A
+// window with no traffic meets it vacuously: an empty fleet violates
+// nothing.
+func (s SLO) Met(sum Summary) bool {
+	if sum.Sessions+sum.Dropped == 0 {
+		return true
+	}
+	if s.P99MTPMs > 0 && sum.P99MTPMs > s.P99MTPMs {
+		return false
+	}
+	if s.Min90FPSShare > 0 && sum.TargetShare < s.Min90FPSShare {
+		return false
+	}
+	return true
+}
+
+// ScaleEvent records one autoscaler decision: a cluster resized, with
+// when it was ordered and when the capacity becomes real.
+type ScaleEvent struct {
+	// TimeSeconds is the scenario time the decision was taken (the end
+	// of the observed window).
+	TimeSeconds float64 `json:"time_s"`
+	// Cluster is the resized site.
+	Cluster string `json:"cluster"`
+	// FromGPUs/ToGPUs are the commanded transition (ToGPUs counts GPUs
+	// already ordered but still warming up, so consecutive events chain).
+	FromGPUs int `json:"from_gpus"`
+	ToGPUs   int `json:"to_gpus"`
+	// Reason names the trigger ("overloaded", "slo-violated",
+	// "underused").
+	Reason string `json:"reason"`
+	// ReadySeconds is when the commanded capacity finishes changing:
+	// a provision pays the warm-up delay (decision time plus
+	// provision-delay-s), a decommission is immediate. Placement picks
+	// ready capacity up at its next scheduling round — in a scenario
+	// timeline, the first phase starting at or after this time — so a
+	// provision maturing mid-phase serves from the following phase.
+	ReadySeconds float64 `json:"ready_s"`
+}
+
+// AutoscaleObservation is one completed metric window fed to an
+// Autoscaler: the fleet summary plus the grid's per-cluster loads,
+// positioned on the scenario clock.
+type AutoscaleObservation struct {
+	// StartSeconds/DurationSeconds place the window.
+	StartSeconds    float64
+	DurationSeconds float64
+	// Summary is the window's fleet roll-up.
+	Summary Summary
+	// Clusters is the grid's per-site placement report for the window.
+	Clusters []ClusterLoad
+}
+
+// Autoscaler is the capacity control seam: a scenario timeline asks it
+// for the effective cluster sizes before each phase and feeds it the
+// windowed metrics after. Implementations must be pure functions of
+// the observations (no wall clock, no randomness), preserving the
+// fleet's determinism contract. internal/autoscale provides the
+// production implementation.
+type Autoscaler interface {
+	// BaseGPUs returns the per-cluster GPU counts effective at scenario
+	// time t: ordered capacity whose warm-up delay has elapsed.
+	BaseGPUs(atSeconds float64) map[string]int
+	// Observe feeds one completed window and returns the scale
+	// decisions it triggered, in deterministic (topology) order.
+	Observe(obs AutoscaleObservation) []ScaleEvent
+}
+
+// AutoscaleReport is the controller's trip report over a whole
+// timeline: what it did, what it spent, and what holding peak capacity
+// statically would have cost instead.
+type AutoscaleReport struct {
+	// Events lists every scale decision in timeline order.
+	Events []ScaleEvent `json:"events"`
+	// GPUSeconds is the capacity actually consumed: phase-effective
+	// cluster GPUs integrated over the scenario clock. Capacity counts
+	// from the moment placement can use it (the phase boundary where
+	// it lands), not from when its warm-up finished.
+	GPUSeconds float64 `json:"gpu_seconds"`
+	// StaticPeakGPUSeconds is the provision-for-peak counterfactual:
+	// the timeline's highest total GPU count held for its whole
+	// duration — what an operator without an autoscaler must buy.
+	StaticPeakGPUSeconds float64 `json:"static_peak_gpu_seconds"`
+	// SavedFraction is 1 - GPUSeconds/StaticPeakGPUSeconds (0 when the
+	// baseline is empty).
+	SavedFraction float64 `json:"saved_fraction"`
+	// SLOMetPhases / SLOEvalPhases count SLO attainment: of the phases
+	// that carried traffic, how many met every declared target.
+	SLOMetPhases  int `json:"slo_met_phases"`
+	SLOEvalPhases int `json:"slo_eval_phases"`
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"qvr/internal/pipeline"
+	"qvr/internal/stats"
 )
 
 // Summary is the fleet-level metric roll-up: what an operator's
@@ -95,14 +96,15 @@ func (r Result) Summarize() Summary {
 	s.TargetShare = float64(meeting) / float64(len(r.Sessions)+len(r.Dropped))
 
 	sort.Float64s(mtps)
-	s.P50MTPMs = percentile(mtps, 0.50) * 1000
-	s.P95MTPMs = percentile(mtps, 0.95) * 1000
-	s.P99MTPMs = percentile(mtps, 0.99) * 1000
+	s.P50MTPMs = stats.NearestRankSorted(mtps, 0.50) * 1000
+	s.P95MTPMs = stats.NearestRankSorted(mtps, 0.95) * 1000
+	s.P99MTPMs = stats.NearestRankSorted(mtps, 0.99) * 1000
 	return s
 }
 
 // PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
-// latency across every measured frame in the fleet, in seconds.
+// latency across every measured frame in the fleet, in seconds
+// (nearest-rank, the same convention as pipeline.Result.PercentileMTP).
 func (r Result) PercentileMTP(p float64) float64 {
 	var mtps []float64
 	for _, sr := range r.Sessions {
@@ -111,21 +113,5 @@ func (r Result) PercentileMTP(p float64) float64 {
 		}
 	}
 	sort.Float64s(mtps)
-	return percentile(mtps, p)
-}
-
-// percentile reads the p-quantile from sorted xs (nearest-rank, the
-// same convention as pipeline.Result.PercentileMTP).
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(xs))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(xs) {
-		idx = len(xs) - 1
-	}
-	return xs[idx]
+	return stats.NearestRankSorted(mtps, p)
 }

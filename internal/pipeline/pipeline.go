@@ -40,6 +40,7 @@ import (
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
 	"qvr/internal/scene"
+	"qvr/internal/stats"
 	"qvr/internal/uca"
 )
 
@@ -316,24 +317,16 @@ func (r Result) AvgEnergyJoules() float64 {
 
 // PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
 // latency over the measured frames; tail latency is what produces the
-// motion anomalies (judder, sickness) the paper opens with.
+// motion anomalies (judder, sickness) the paper opens with. The
+// nearest-rank convention lives in internal/stats, shared with the
+// fleet roll-up.
 func (r Result) PercentileMTP(p float64) float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
 	xs := make([]float64, len(r.Frames))
 	for i, f := range r.Frames {
 		xs[i] = f.MTPSeconds
 	}
 	sort.Float64s(xs)
-	idx := int(p*float64(len(xs))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(xs) {
-		idx = len(xs) - 1
-	}
-	return xs[idx]
+	return stats.NearestRankSorted(xs, p)
 }
 
 // StageBreakdown sums the mean per-stage latencies, for the Fig. 3

@@ -233,6 +233,63 @@ duration = 120
 sessions = 10
 `,
 
+	// edge-autoscale-flashcrowd: the closed loop. A launch-day crowd
+	// hits a two-site grid provisioned for the quiet morning; the
+	// autoscaler watches the windowed P99-MTP/90-FPS SLO, rides out
+	// the surge while ordered GPUs warm up (the scramble phase is the
+	// reaction lag made visible), then serves the peak inside the SLO
+	// and decommissions as the crowd drains — consuming far fewer
+	// GPU-seconds than provisioning the peak statically all day.
+	"edge-autoscale-flashcrowd": `
+[scenario]
+name      = edge-autoscale-flashcrowd
+mix       = mixed
+placement = score
+autoscale.min-gpus          = 1
+autoscale.max-gpus          = 8
+autoscale.provision-delay-s = 20
+autoscale.cooldown-s        = 25
+
+[slo]
+p99-mtp-ms = 135   # the crowd's queueing pushes P99 past this; provisioned capacity brings it back
+
+[cluster us-west]
+gpus   = 2
+rtt    = 40
+rtt.us = 8
+rtt.eu = 70
+rtt.ap = 90
+
+[cluster eu-central]
+gpus   = 2
+rtt    = 40
+rtt.us = 70
+rtt.eu = 10
+rtt.ap = 60
+
+[phase calm]
+duration = 120
+sessions = 8
+
+[phase surge]
+duration = 40
+sessions = 40
+
+[phase scramble]     # ordered capacity still warming up
+duration = 20
+
+[phase peak]         # the provisions have landed
+duration = 120
+
+[phase drain]
+duration = 60
+sessions = 12
+
+[phase settled]
+duration = 180
+sessions = 8
+`,
+
 	// churn: the population size holds but its members do not — half
 	// of the users are replaced every phase, so per-session state
 	// (controller warm-up, channel estimates) keeps restarting.

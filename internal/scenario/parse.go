@@ -9,7 +9,9 @@ import (
 	"strconv"
 	"strings"
 
+	"qvr/internal/autoscale"
 	"qvr/internal/edge"
+	"qvr/internal/fleet"
 	"qvr/internal/pipeline"
 )
 
@@ -60,9 +62,28 @@ import (
 //	cluster-gpus.us-west   = 0    # site outage: sessions migrate
 //	cluster-derate.ap-south = 0.5 # half capacity/throughput
 //
+// A grid scenario can close the capacity loop: an [slo] section
+// declares the quality targets and autoscale.* keys (in [scenario])
+// switch on the controller that provisions and decommissions GPUs
+// against them:
+//
+//	[scenario]
+//	autoscale.min-gpus          = 1    # per-cluster bounds
+//	autoscale.max-gpus          = 8
+//	autoscale.step-gpus         = 4    # max GPUs per decision (0 = jump)
+//	autoscale.provision-delay-s = 20   # warm-up before new GPUs serve
+//	autoscale.cooldown-s        = 25   # min seconds between decisions
+//	autoscale.target-util       = 0.8  # sizing headroom
+//	autoscale.scale-down-util   = 0.5  # idle threshold to shed
+//
+//	[slo]
+//	p99-mtp-ms      = 40   # windowed P99 motion-to-photon ceiling
+//	min-90fps-share = 0.75 # floor on sessions holding 90 FPS
+//
 // Phases execute in file order. Unknown keys are errors: a typo in a
 // scenario file should fail loudly, not silently simulate something
-// else.
+// else. Phase durations must be positive and cluster names unique —
+// both are rejected with the offending line.
 
 // defaults returns the zero scenario the file's keys overlay.
 func defaults() Scenario {
@@ -108,11 +129,24 @@ func Parse(r io.Reader) (Scenario, error) {
 	var cur *Phase                   // phase section being filled
 	var curCluster *edge.ClusterSpec // cluster section being filled
 	inScenario := true               // until the first non-[scenario] header
+	inSLO := false                   // inside the [slo] section
 	sawScenario := false
+	sawSLO := false
 	sawPenalty := false
+	curLine := 0                     // header line of the section being filled
+	clusterLines := map[string]int{} // cluster name -> defining header line
 
-	flush := func() {
+	// flush closes the open phase/cluster section, rejecting a phase
+	// whose duration never became positive — a zero or negative
+	// duration would make the timeline clock stand still (or run
+	// backwards), and the error should name the offending section, not
+	// surface later from a validation pass with no line to point at.
+	flush := func() error {
 		if cur != nil {
+			if cur.DurationSeconds <= 0 {
+				return fmt.Errorf("line %d: [phase %s]: duration must be positive, got %v",
+					curLine, cur.Name, cur.DurationSeconds)
+			}
 			sc.Phases = append(sc.Phases, *cur)
 			cur = nil
 		}
@@ -120,6 +154,7 @@ func Parse(r io.Reader) (Scenario, error) {
 			sc.Topology.Clusters = append(sc.Topology.Clusters, *curCluster)
 			curCluster = nil
 		}
+		return nil
 	}
 
 	scan := bufio.NewScanner(r)
@@ -140,6 +175,10 @@ func Parse(r io.Reader) (Scenario, error) {
 				return Scenario{}, fmt.Errorf("line %d: malformed section header %q", lineNo, line)
 			}
 			header := strings.TrimSpace(line[1 : len(line)-1])
+			if err := flush(); err != nil {
+				return Scenario{}, err
+			}
+			inScenario, inSLO = false, false
 			switch {
 			case header == "scenario":
 				if sawScenario {
@@ -147,23 +186,35 @@ func Parse(r io.Reader) (Scenario, error) {
 				}
 				sawScenario = true
 				inScenario = true
+			case header == "slo":
+				if sawSLO {
+					return Scenario{}, fmt.Errorf("line %d: duplicate [slo] section", lineNo)
+				}
+				sawSLO = true
+				inSLO = true
+				if sc.SLO == nil {
+					sc.SLO = &fleet.SLO{}
+				}
 			case strings.HasPrefix(header, "phase"):
 				name := strings.TrimSpace(strings.TrimPrefix(header, "phase"))
 				if name == "" {
 					return Scenario{}, fmt.Errorf("line %d: phase section needs a name: [phase NAME]", lineNo)
 				}
-				flush()
-				inScenario = false
 				p := newPhase(name)
 				cur = &p
+				curLine = lineNo
 			case strings.HasPrefix(header, "cluster"):
 				name := strings.TrimSpace(strings.TrimPrefix(header, "cluster"))
 				if name == "" {
 					return Scenario{}, fmt.Errorf("line %d: cluster section needs a name: [cluster NAME]", lineNo)
 				}
-				flush()
-				inScenario = false
+				if prev, ok := clusterLines[name]; ok {
+					return Scenario{}, fmt.Errorf("line %d: duplicate [cluster %s] section (first declared on line %d)",
+						lineNo, name, prev)
+				}
+				clusterLines[name] = lineNo
 				curCluster = &edge.ClusterSpec{Name: name}
+				curLine = lineNo
 			default:
 				return Scenario{}, fmt.Errorf("line %d: unknown section [%s]", lineNo, header)
 			}
@@ -180,6 +231,8 @@ func Parse(r io.Reader) (Scenario, error) {
 		case inScenario:
 			sawPenalty = sawPenalty || key == "migration-penalty-ms"
 			err = setScenarioKey(&sc, key, value)
+		case inSLO:
+			err = setSLOKey(sc.SLO, key, value)
 		case curCluster != nil:
 			err = setClusterKey(curCluster, key, value)
 		default:
@@ -192,7 +245,9 @@ func Parse(r io.Reader) (Scenario, error) {
 	if err := scan.Err(); err != nil {
 		return Scenario{}, err
 	}
-	flush()
+	if err := flush(); err != nil {
+		return Scenario{}, err
+	}
 
 	// Validate cannot tell an explicit `migration-penalty-ms = 0` from
 	// a hand-built Scenario's zero value; the parser can, and the
@@ -207,6 +262,9 @@ func Parse(r io.Reader) (Scenario, error) {
 }
 
 func setScenarioKey(sc *Scenario, key, value string) error {
+	if sub, ok := strings.CutPrefix(key, "autoscale."); ok {
+		return setAutoscaleKey(sc, sub, key, value)
+	}
 	switch key {
 	case "name":
 		sc.Name = value
@@ -244,6 +302,76 @@ func setScenarioKey(sc *Scenario, key, value string) error {
 		return parseNonNegInt(value, "warmup", &sc.Warmup)
 	default:
 		return fmt.Errorf("unknown [scenario] key %q", key)
+	}
+	return nil
+}
+
+// setAutoscaleKey fills one autoscale.* key in [scenario]. The first
+// such key switches the closed-loop controller on; sub is the key with
+// the prefix cut, full the original spelling for error messages.
+func setAutoscaleKey(sc *Scenario, sub, full, value string) error {
+	if sc.Autoscale == nil {
+		sc.Autoscale = &autoscale.Config{}
+	}
+	a := sc.Autoscale
+	switch sub {
+	case "min-gpus":
+		return parseNonNegInt(value, full, &a.MinGPUs)
+	case "max-gpus":
+		return parseNonNegInt(value, full, &a.MaxGPUs)
+	case "step-gpus":
+		return parseNonNegInt(value, full, &a.StepGPUs)
+	case "provision-delay-s":
+		f, err := parseFiniteFloat(value, full)
+		if err != nil {
+			return err
+		}
+		a.ProvisionDelaySeconds = f
+	case "cooldown-s":
+		f, err := parseFiniteFloat(value, full)
+		if err != nil {
+			return err
+		}
+		a.CooldownSeconds = f
+	case "target-util", "scale-down-util":
+		f, err := parseFiniteFloat(value, full)
+		if err != nil {
+			return err
+		}
+		// 0 is the "use the default" zero value in the Config; a file
+		// writing it explicitly would be silently rewritten, so fail
+		// loudly instead.
+		if f <= 0 {
+			return fmt.Errorf("%s: must be positive, got %v (omit the key for the default)", full, f)
+		}
+		if sub == "target-util" {
+			a.TargetUtil = f
+		} else {
+			a.ScaleDownUtil = f
+		}
+	default:
+		return fmt.Errorf("unknown [scenario] key %q", full)
+	}
+	return nil
+}
+
+// setSLOKey fills one [slo] section key.
+func setSLOKey(slo *fleet.SLO, key, value string) error {
+	switch key {
+	case "p99-mtp-ms":
+		f, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		slo.P99MTPMs = f
+	case "min-90fps-share":
+		f, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		slo.Min90FPSShare = f
+	default:
+		return fmt.Errorf("unknown [slo] key %q", key)
 	}
 	return nil
 }
@@ -325,6 +453,9 @@ func setPhaseKey(p *Phase, key, value string) error {
 		f, err := parseFiniteFloat(value, "duration")
 		if err != nil {
 			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("duration must be positive, got %v", f)
 		}
 		p.DurationSeconds = f
 	case "sessions":

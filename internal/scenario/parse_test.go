@@ -134,11 +134,131 @@ func TestParseErrors(t *testing.T) {
 		"unknown cluster-derate":  "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ncluster-derate.d = 0.5\n",
 		"derate out of range":     "[scenario]\nname=x\n[cluster c]\ngpus=1\n[phase a]\nduration=1\ncluster-derate.c = 1.5\n",
 		"bad migration penalty":   "[scenario]\nname=x\nmigration-penalty-ms = -7\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
+
+		"negative duration":      "[scenario]\nname=x\n[phase a]\nduration = -5\n",
+		"missing duration":       "[scenario]\nname=x\n[phase a]\nsessions = 4\n",
+		"unknown slo key":        "[scenario]\nname=x\n[slo]\nbogus = 1\n[phase a]\nduration=1\n",
+		"empty slo section":      "[scenario]\nname=x\n[slo]\n[phase a]\nduration=1\n",
+		"targetless slo":         "[scenario]\nname=x\n[slo]\np99-mtp-ms = 0\n[phase a]\nduration=1\n",
+		"duplicate slo":          "[scenario]\nname=x\n[slo]\np99-mtp-ms=40\n[slo]\np99-mtp-ms=50\n[phase a]\nduration=1\n",
+		"negative slo p99":       "[scenario]\nname=x\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms = -1\n[phase a]\nduration=1\n",
+		"slo share out of range": "[scenario]\nname=x\n[cluster c]\ngpus=1\n[slo]\nmin-90fps-share = 1.5\n[phase a]\nduration=1\n",
+		"unknown autoscale key":  "[scenario]\nname=x\nautoscale.bogus = 1\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
+		"autoscale sans grid":    "[scenario]\nname=x\nautoscale.min-gpus = 1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
+		"autoscale sans slo":     "[scenario]\nname=x\nautoscale.min-gpus = 1\n[cluster c]\ngpus=1\n[phase a]\nduration=1\n",
+		"autoscale min over max": "[scenario]\nname=x\nautoscale.min-gpus = 5\nautoscale.max-gpus = 2\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
+		"autoscale bad util":     "[scenario]\nname=x\nautoscale.target-util = 1.5\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
+		"autoscale NaN delay":    "[scenario]\nname=x\nautoscale.provision-delay-s = NaN\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
+		"autoscale zero util":    "[scenario]\nname=x\nautoscale.scale-down-util = 0\n[cluster c]\ngpus=1\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n",
 	}
 	for label, text := range cases {
 		if _, err := ParseString(text); err == nil {
 			t.Errorf("%s: expected a parse error, got none", label)
 		}
+	}
+}
+
+// TestPositionedParseErrors: the silent-acceptance bugs — zero or
+// negative phase durations and duplicate [cluster NAME] sections —
+// must fail with the offending line in the message, not a late
+// validation error with no position.
+func TestPositionedParseErrors(t *testing.T) {
+	cases := []struct {
+		label, text, wantLine, wantSubstr string
+	}{
+		{
+			"explicit zero duration",
+			"[scenario]\nname=x\n[phase a]\nduration = 0\n",
+			"line 4", "duration must be positive",
+		},
+		{
+			"negative duration",
+			"[scenario]\nname=x\n[phase a]\nduration = -2.5\n",
+			"line 4", "duration must be positive",
+		},
+		{
+			"durationless phase, mid-file",
+			"[scenario]\nname=x\n[phase a]\nsessions = 4\n[phase b]\nduration = 1\n",
+			"line 3", "[phase a]",
+		},
+		{
+			"durationless final phase",
+			"[scenario]\nname=x\n[phase a]\nduration = 1\n[phase b]\nsessions = 2\n",
+			"line 5", "[phase b]",
+		},
+		{
+			"duplicate cluster section",
+			"[scenario]\nname=x\n[cluster c]\ngpus=1\n[cluster c]\ngpus=2\n[phase a]\nduration=1\n",
+			"line 5", "duplicate [cluster c] section (first declared on line 3)",
+		},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.text)
+		if err == nil {
+			t.Errorf("%s: expected a parse error, got none", c.label)
+			continue
+		}
+		for _, want := range []string{c.wantLine, c.wantSubstr} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", c.label, err, want)
+			}
+		}
+	}
+}
+
+// TestParseSLOAndAutoscale: the [slo] section and autoscale.* keys
+// land in the scenario, with the controller left nil when the keys
+// are absent.
+func TestParseSLOAndAutoscale(t *testing.T) {
+	sc, err := ParseString(`
+[scenario]
+name      = elastic
+autoscale.min-gpus          = 1
+autoscale.max-gpus          = 8
+autoscale.step-gpus         = 4
+autoscale.provision-delay-s = 20
+autoscale.cooldown-s        = 25
+autoscale.target-util       = 0.7
+autoscale.scale-down-util   = 0.4
+
+[slo]
+p99-mtp-ms      = 40
+min-90fps-share = 0.75
+
+[cluster c]
+gpus = 2
+
+[phase a]
+duration = 60
+sessions = 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SLO == nil || sc.SLO.P99MTPMs != 40 || sc.SLO.Min90FPSShare != 0.75 {
+		t.Errorf("SLO = %+v, want p99 40, share 0.75", sc.SLO)
+	}
+	a := sc.Autoscale
+	if a == nil {
+		t.Fatal("autoscale.* keys did not enable the controller config")
+	}
+	if a.MinGPUs != 1 || a.MaxGPUs != 8 || a.StepGPUs != 4 ||
+		a.ProvisionDelaySeconds != 20 || a.CooldownSeconds != 25 ||
+		a.TargetUtil != 0.7 || a.ScaleDownUtil != 0.4 {
+		t.Errorf("autoscale config = %+v", a)
+	}
+
+	// [slo] without autoscale.* is attainment-only reporting: legal,
+	// controller stays nil.
+	sc, err = ParseString("[scenario]\nname=x\n[slo]\np99-mtp-ms=40\n[phase a]\nduration=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Autoscale != nil {
+		t.Error("SLO alone should not enable autoscaling")
+	}
+	if sc.SLO == nil || !sc.SLO.Enabled() {
+		t.Error("SLO section lost")
 	}
 }
 
@@ -200,8 +320,8 @@ func TestParseGridScenario(t *testing.T) {
 
 func TestBuiltinsParseAndValidate(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"churn", "cluster-outage-failover", "diurnal", "edge-imbalance",
-		"edge-regional-outage", "flash-crowd", "net-brownout", "steady"}
+	want := []string{"churn", "cluster-outage-failover", "diurnal", "edge-autoscale-flashcrowd",
+		"edge-imbalance", "edge-regional-outage", "flash-crowd", "net-brownout", "steady"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("built-ins = %v, want %v", names, want)
 	}

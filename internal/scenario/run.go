@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"qvr/internal/autoscale"
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
@@ -43,6 +44,16 @@ type PhaseResult struct {
 	// scenario clock. Host artifacts (wall time, worker count) are
 	// zeroed so reports are byte-identical across runs and pool sizes.
 	Summary fleet.PhaseSummary
+	// GPUSeconds is the grid capacity consumed this window: the sum of
+	// phase-effective cluster GPUs times the phase duration (0 outside
+	// grid mode).
+	GPUSeconds float64
+	// SLOMet is this window's verdict against the scenario's [slo]
+	// targets; nil when the scenario declares none.
+	SLOMet *bool
+	// ScaleEvents are the autoscaler decisions taken at the END of this
+	// window, on this window's metrics (empty without autoscale.*).
+	ScaleEvents []fleet.ScaleEvent
 }
 
 // Result is a completed scenario run.
@@ -52,6 +63,10 @@ type Result struct {
 	// Rollup is the timeline's incident report: worst-phase P99,
 	// degradation over baseline, recovery time after the disruption.
 	Rollup fleet.Rollup
+	// Autoscale is the capacity controller's trip report: every scale
+	// event, GPU-seconds consumed versus the provision-for-peak
+	// baseline, and SLO attainment. Nil without autoscale.* keys.
+	Autoscale *fleet.AutoscaleReport
 }
 
 // phaseSeedStride separates the per-phase derived seeds: a session
@@ -91,6 +106,20 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		if sc.MigrationPenaltyMs >= 0 {
 			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
 		}
+	}
+
+	// The closed loop: one controller for the whole timeline, observing
+	// each phase window and resizing the grid's base capacity for the
+	// next. The scenario's [slo] is the target it provisions against.
+	var ctrl fleet.Autoscaler
+	if sc.Autoscale != nil {
+		cfg := *sc.Autoscale
+		cfg.SLO = *sc.SLO // Validate guarantees the SLO exists
+		c, err := autoscale.New(cfg, sc.Topology)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		ctrl = c
 	}
 
 	var (
@@ -167,6 +196,14 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		fc := fleet.Config{Specs: runSpecs, Workers: opt.Workers, CellCapacity: sc.CellCapacity}
 		switch {
 		case grid != nil:
+			// The autoscaler's capacity lands first (provisions whose
+			// warm-up elapsed by phase start), then the phase's own
+			// overrides — a staged outage wins over any ordered GPUs.
+			if ctrl != nil {
+				if err := grid.SetBaseGPUs(ctrl.BaseGPUs(now)); err != nil {
+					return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
+				}
+			}
 			if err := grid.BeginPhase(ph.ClusterGPUs, ph.ClusterDerate); err != nil {
 				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
 			}
@@ -193,19 +230,71 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			DurationSeconds: ph.DurationSeconds,
 			Summary:         sum,
 		}
-		out.Phases = append(out.Phases, PhaseResult{
+		pr := PhaseResult{
 			Phase:    ph,
 			Arrived:  arrive,
 			Departed: departed,
 			Active:   len(active),
 			Fleet:    r,
 			Summary:  psum,
-		})
+		}
+		var gridClusters []fleet.ClusterLoad
+		if g := r.Contention.Grid; g != nil {
+			gridClusters = g.Clusters
+			for _, c := range g.Clusters {
+				pr.GPUSeconds += float64(c.GPUs) * ph.DurationSeconds
+			}
+		}
+		if sc.SLO != nil {
+			met := sc.SLO.Met(sum)
+			pr.SLOMet = &met
+		}
+		if ctrl != nil {
+			pr.ScaleEvents = ctrl.Observe(fleet.AutoscaleObservation{
+				StartSeconds:    now,
+				DurationSeconds: ph.DurationSeconds,
+				Summary:         sum,
+				Clusters:        gridClusters,
+			})
+		}
+		out.Phases = append(out.Phases, pr)
 		summaries = append(summaries, psum)
 		now += ph.DurationSeconds
 	}
 	out.Rollup = fleet.RollUp(summaries)
+	if ctrl != nil {
+		out.Autoscale = autoscaleReport(out.Phases, now)
+	}
 	return out, nil
+}
+
+// autoscaleReport condenses the per-phase capacity accounting into
+// the controller's trip report. The static-peak baseline is the
+// provision-for-peak counterfactual: the timeline's highest total GPU
+// count held for its entire duration.
+func autoscaleReport(phases []PhaseResult, totalSeconds float64) *fleet.AutoscaleReport {
+	rep := &fleet.AutoscaleReport{Events: []fleet.ScaleEvent{}}
+	peakGPUs := 0.0
+	for _, pr := range phases {
+		rep.Events = append(rep.Events, pr.ScaleEvents...)
+		rep.GPUSeconds += pr.GPUSeconds
+		if pr.Phase.DurationSeconds > 0 {
+			if g := pr.GPUSeconds / pr.Phase.DurationSeconds; g > peakGPUs {
+				peakGPUs = g
+			}
+		}
+		if pr.SLOMet != nil && pr.Summary.Summary.Sessions+pr.Summary.Summary.Dropped > 0 {
+			rep.SLOEvalPhases++
+			if *pr.SLOMet {
+				rep.SLOMetPhases++
+			}
+		}
+	}
+	rep.StaticPeakGPUSeconds = peakGPUs * totalSeconds
+	if rep.StaticPeakGPUSeconds > 0 {
+		rep.SavedFraction = 1 - rep.GPUSeconds/rep.StaticPeakGPUSeconds
+	}
+	return rep
 }
 
 // phaseGPUs resolves the effective cluster size for a phase: the

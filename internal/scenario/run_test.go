@@ -441,3 +441,228 @@ arrive = 1
 		}
 	}
 }
+
+// TestAutoscaleFlashCrowd walks the closed loop's acceptance story:
+// the surge violates the SLO while ordered capacity warms up, every
+// post-warm-up phase meets it, and the elastic timeline consumes
+// measurably fewer GPU-seconds than provisioning the peak statically.
+func TestAutoscaleFlashCrowd(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "edge-autoscale-flashcrowd"), tiny)
+	if len(r.Phases) != 6 {
+		t.Fatalf("want 6 phases, got %d", len(r.Phases))
+	}
+	rep := r.Autoscale
+	if rep == nil {
+		t.Fatal("autoscale report missing")
+	}
+
+	// Phase verdicts: calm meets, surge and scramble (the reaction
+	// lag) violate, and everything after the provisions land meets.
+	wantMet := map[string]bool{
+		"calm": true, "surge": false, "scramble": false,
+		"peak": true, "drain": true, "settled": true,
+	}
+	for _, p := range r.Phases {
+		if p.SLOMet == nil {
+			t.Fatalf("phase %q has no SLO verdict", p.Phase.Name)
+		}
+		if *p.SLOMet != wantMet[p.Phase.Name] {
+			t.Errorf("phase %q SLO met = %v, want %v (p99 %.1f ms)",
+				p.Phase.Name, *p.SLOMet, wantMet[p.Phase.Name], p.Summary.Summary.P99MTPMs)
+		}
+	}
+	if rep.SLOEvalPhases != 6 || rep.SLOMetPhases != 4 {
+		t.Errorf("attainment = %d/%d, want 4/6", rep.SLOMetPhases, rep.SLOEvalPhases)
+	}
+
+	// The loop must actually act: scale-ups for the crowd, scale-downs
+	// after it leaves.
+	ups, downs := 0, 0
+	for _, e := range rep.Events {
+		if e.ToGPUs > e.FromGPUs {
+			ups++
+			if e.ReadySeconds != e.TimeSeconds+20 {
+				t.Errorf("scale-up %+v should pay the 20 s provision delay", e)
+			}
+		} else {
+			downs++
+			if e.ReadySeconds != e.TimeSeconds {
+				t.Errorf("scale-down %+v should be immediate", e)
+			}
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("events = %+v, want both provisions and decommissions", rep.Events)
+	}
+
+	// The surge runs on pre-crowd capacity (the warm-up delay is the
+	// point); the peak runs on the provisioned grid, nobody failed
+	// over, nobody queueing.
+	peak := r.Phases[3]
+	if peak.Summary.Summary.FailedOver != 0 {
+		t.Errorf("peak failed %d sessions over after provisioning", peak.Summary.Summary.FailedOver)
+	}
+	surgeGPUs := r.Phases[1].GPUSeconds / r.Phases[1].Phase.DurationSeconds
+	peakGPUs := peak.GPUSeconds / peak.Phase.DurationSeconds
+	if surgeGPUs != 4 || peakGPUs <= surgeGPUs {
+		t.Errorf("capacity trajectory wrong: surge %v GPUs, peak %v", surgeGPUs, peakGPUs)
+	}
+
+	// The headline: elastic < static peak.
+	if !(rep.GPUSeconds > 0 && rep.StaticPeakGPUSeconds > 0 && rep.GPUSeconds < rep.StaticPeakGPUSeconds) {
+		t.Errorf("GPU-seconds %v not below static peak %v", rep.GPUSeconds, rep.StaticPeakGPUSeconds)
+	}
+	if rep.SavedFraction < 0.2 {
+		t.Errorf("saved fraction %.3f, want a measurable saving", rep.SavedFraction)
+	}
+	// Nobody is ever dropped in grid mode, autoscaled or not.
+	for _, p := range r.Phases {
+		if len(p.Fleet.Dropped) != 0 {
+			t.Errorf("phase %q dropped %d sessions", p.Phase.Name, len(p.Fleet.Dropped))
+		}
+	}
+}
+
+// TestAutoscaleDeterministicAcrossWorkers extends the byte-identity
+// contract to the closed loop: scale decisions and the capacity
+// accounting must not move with the worker pool.
+func TestAutoscaleDeterministicAcrossWorkers(t *testing.T) {
+	sc := mustBuiltin(t, "edge-autoscale-flashcrowd")
+	digest := func(workers int) string {
+		r := mustRun(t, sc, Options{Workers: workers, FramesOverride: tiny.FramesOverride, WarmupOverride: tiny.WarmupOverride})
+		sums, roll := phaseDigest(r)
+		blob, err := json.Marshal(struct {
+			Sums   []fleet.PhaseSummary
+			Roll   fleet.Rollup
+			Events [][]fleet.ScaleEvent
+			Rep    *fleet.AutoscaleReport
+		}{sums, roll, scaleEventsOf(r), r.Autoscale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	a, b := digest(1), digest(5)
+	if a != b {
+		t.Fatalf("worker count changed the autoscaled report:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func scaleEventsOf(r Result) [][]fleet.ScaleEvent {
+	evs := make([][]fleet.ScaleEvent, len(r.Phases))
+	for i, p := range r.Phases {
+		evs[i] = p.ScaleEvents
+	}
+	return evs
+}
+
+// flapScenario stages the autoscaler/migration interaction: one site
+// dies, recovers, and dies again while the controller is live.
+const flapScenario = `
+[scenario]
+name      = flap
+mix       = mixed
+placement = score
+autoscale.min-gpus          = 1
+autoscale.max-gpus          = 6
+autoscale.provision-delay-s = 10
+autoscale.cooldown-s        = 10
+
+[slo]
+p99-mtp-ms = 135
+
+[cluster east]
+gpus = 3
+rtt  = 30
+
+[cluster west]
+gpus = 3
+rtt  = 35
+
+[phase steady]
+duration = 60
+sessions = 16
+
+[phase outage-1]
+duration = 60
+cluster-gpus.east = 0
+
+[phase recover-1]
+duration = 60
+
+[phase outage-2]
+duration = 60
+cluster-gpus.east = 0
+
+[phase recover-2]
+duration = 60
+`
+
+// TestAutoscaleFlapChargesOneHandoffPerMove: under a flapping site
+// with the controller live, every affected session pays at most one
+// handoff stall per move (handoffs match the move list exactly, phase
+// by phase), and no scale-down ever cuts a site below the sessions
+// currently draining back onto it.
+func TestAutoscaleFlapChargesOneHandoffPerMove(t *testing.T) {
+	sc, err := ParseString(flapScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRun(t, sc, tiny)
+
+	outageMigrations := 0
+	for _, p := range r.Phases {
+		g := p.Fleet.Contention.Grid
+		if g == nil {
+			t.Fatalf("phase %q missing grid report", p.Phase.Name)
+		}
+		// Each session moves at most once per phase...
+		moved := map[string]int{}
+		for _, mv := range g.Moves {
+			moved[mv.Session]++
+			if moved[mv.Session] > 1 {
+				t.Errorf("phase %q moved session %q %d times", p.Phase.Name, mv.Session, moved[mv.Session])
+			}
+		}
+		// ...and the handoff stall is charged to exactly the movers.
+		for _, sr := range p.Fleet.Sessions {
+			charged := sr.Result.Config.RemoteHandoffSeconds > 0
+			if charged && moved[sr.Spec.Name] == 0 {
+				t.Errorf("phase %q charged unmoved session %q a handoff", p.Phase.Name, sr.Spec.Name)
+			}
+			if !charged && moved[sr.Spec.Name] > 0 && sr.Result.Config.RemoteClusterName != "" {
+				t.Errorf("phase %q moved session %q without a handoff", p.Phase.Name, sr.Spec.Name)
+			}
+		}
+		if p.Phase.ClusterGPUs["east"] == 0 && len(p.Phase.ClusterGPUs) > 0 {
+			outageMigrations += g.Migrated
+			for _, c := range g.Clusters {
+				if c.Name == "east" && c.Assigned != 0 {
+					t.Errorf("phase %q assigned %d sessions to the dead site", p.Phase.Name, c.Assigned)
+				}
+			}
+		}
+		if len(p.Fleet.Dropped) != 0 {
+			t.Errorf("phase %q dropped %d sessions during the flap", p.Phase.Name, len(p.Fleet.Dropped))
+		}
+	}
+	if outageMigrations == 0 {
+		t.Error("flap produced no outage migrations; the test lost its subject")
+	}
+
+	// Scale-downs never cut below the observed population on the site:
+	// remaining full-speed capacity must hold every assigned session.
+	for i, p := range r.Phases {
+		for _, e := range p.ScaleEvents {
+			if e.ToGPUs >= e.FromGPUs {
+				continue
+			}
+			for _, c := range r.Phases[i].Fleet.Contention.Grid.Clusters {
+				if c.Name == e.Cluster && e.ToGPUs*fleet.DefaultSessionsPerGPU < c.Assigned {
+					t.Errorf("phase %q scale-down %+v cut below %d draining sessions",
+						p.Phase.Name, e, c.Assigned)
+				}
+			}
+		}
+	}
+}

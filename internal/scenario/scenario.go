@@ -17,10 +17,17 @@
 // the whole timeline is reproducible bit-for-bit for any worker
 // count.
 //
-// Six built-in scenarios ship with the package: steady, diurnal,
-// flash-crowd, net-brownout, cluster-outage-failover and churn. They
-// are written in the same file format the parser accepts, so they
-// double as format documentation and parser test vectors.
+// Nine built-in scenarios ship with the package: steady, diurnal,
+// flash-crowd, net-brownout, cluster-outage-failover, churn, and the
+// grid timelines edge-regional-outage, edge-imbalance and
+// edge-autoscale-flashcrowd. They are written in the same file format
+// the parser accepts, so they double as format documentation and
+// parser test vectors.
+//
+// A grid scenario may additionally declare an [slo] section (quality
+// targets reported per phase) and autoscale.* keys, which close the
+// loop: internal/autoscale watches each phase window's metrics against
+// the SLO and resizes the grid's clusters for the next window.
 package scenario
 
 import (
@@ -28,6 +35,7 @@ import (
 	"math"
 	"strings"
 
+	"qvr/internal/autoscale"
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/netsim"
@@ -60,6 +68,15 @@ type Scenario struct {
 	// Placement names the grid's placement policy
 	// (edge.PolicyByName); "" means the default score policy.
 	Placement string
+	// SLO declares the timeline's quality-of-experience targets (the
+	// [slo] section); nil means no targets, and phase reports carry no
+	// attainment verdicts.
+	SLO *fleet.SLO
+	// Autoscale enables the closed-loop capacity controller
+	// (autoscale.* keys). Grid mode only, and it needs an SLO to
+	// provision against; nil means capacity stays as declared. The
+	// controller's SLO field is ignored — the scenario's own SLO wins.
+	Autoscale *autoscale.Config
 	// MigrationPenaltyMs is the one-time handoff stall charged to each
 	// migrated session, in milliseconds; -1 means the edge default.
 	MigrationPenaltyMs float64
@@ -174,6 +191,29 @@ func (sc Scenario) Validate() error {
 		// rejects an explicit `migration-penalty-ms = 0` key in a
 		// cluster-less file, where it can tell set from unset.
 		return fmt.Errorf("scenario %q: placement/migration-penalty-ms need [cluster] sections", sc.Name)
+	}
+	if sc.SLO != nil {
+		s := *sc.SLO
+		if !s.Enabled() {
+			return fmt.Errorf("scenario %q: [slo] declares no target; set p99-mtp-ms and/or min-90fps-share (every phase would vacuously pass)", sc.Name)
+		}
+		if !(s.P99MTPMs >= 0 && !math.IsInf(s.P99MTPMs, 0)) {
+			return fmt.Errorf("scenario %q: slo p99-mtp-ms %v must be non-negative and finite", sc.Name, s.P99MTPMs)
+		}
+		if !(s.Min90FPSShare >= 0 && s.Min90FPSShare <= 1) {
+			return fmt.Errorf("scenario %q: slo min-90fps-share %v out of [0,1]", sc.Name, s.Min90FPSShare)
+		}
+	}
+	if sc.Autoscale != nil {
+		if !gridMode {
+			return fmt.Errorf("scenario %q: autoscale.* needs [cluster] sections (the controller scales the edge grid)", sc.Name)
+		}
+		if sc.SLO == nil || !sc.SLO.Enabled() {
+			return fmt.Errorf("scenario %q: autoscale.* needs an [slo] section with at least one target to provision against", sc.Name)
+		}
+		if err := sc.Autoscale.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
 	}
 	seen := map[string]bool{}
 	for i, ph := range sc.Phases {

@@ -78,6 +78,35 @@ func Quantile(xs []float64, p float64) float64 {
 	return quantile(sorted, p)
 }
 
+// NearestRankSorted returns the p-quantile of an already-sorted sample
+// under the nearest-rank convention the latency reports use: the
+// smallest element with at least ceil(p*n) of the sample at or below
+// it. This is the convention that never interpolates — a reported P99
+// is always a latency some frame actually exhibited. p <= 0 yields the
+// minimum, p >= 1 the maximum, and an empty sample 0.
+func NearestRankSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// NearestRank sorts a copy of xs and returns its nearest-rank
+// p-quantile. Callers reading several quantiles from one sample should
+// sort once and use NearestRankSorted.
+func NearestRank(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return NearestRankSorted(sorted, p)
+}
+
 // String formats the summary on one line.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3g std=%.3g min=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g",

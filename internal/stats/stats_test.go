@@ -44,6 +44,60 @@ func TestQuantileInterpolation(t *testing.T) {
 	}
 }
 
+func TestNearestRank(t *testing.T) {
+	// The cases the duplicated pre-hoist helpers got wrong or nearly
+	// wrong: empty, single-element, p=1.0, and small odd samples where
+	// floor-vs-ceil rank selection actually differs.
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single-low-p", []float64{7}, 0.001, 7},
+		{"single-p1", []float64{7}, 1.0, 7},
+		{"median-of-3", []float64{30, 10, 20}, 0.5, 20},
+		{"p1-is-max", []float64{3, 1, 2}, 1.0, 3},
+		{"p0-is-min", []float64{3, 1, 2}, 0, 1},
+		{"negative-p-is-min", []float64{3, 1, 2}, -0.5, 1},
+		{"over-one-is-max", []float64{3, 1, 2}, 1.5, 3},
+		{"p99-of-100", seq(1, 100), 0.99, 99},
+		{"p50-of-100", seq(1, 100), 0.50, 50},
+		{"p95-of-10", seq(1, 10), 0.95, 10},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.xs, c.p); got != c.want {
+			t.Errorf("%s: NearestRank(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	xs := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		xs = append(xs, float64(v))
+	}
+	return xs
+}
+
+func TestNearestRankLeavesInputUnsorted(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	NearestRank(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("NearestRank mutated its input: %v", xs)
+	}
+}
+
+func TestNearestRankSortedMatchesUnsorted(t *testing.T) {
+	sorted := seq(1, 17)
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a, b := NearestRankSorted(sorted, p), NearestRank(sorted, p); a != b {
+			t.Errorf("p=%v: sorted %v != unsorted %v", p, a, b)
+		}
+	}
+}
+
 func TestSummaryInvariants(t *testing.T) {
 	f := func(raw []float64) bool {
 		var xs []float64
