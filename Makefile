@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke profile fmt vet fmt-check ci
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario)
@@ -24,12 +24,25 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 # Benchmark trajectory: the fleet + edge benchmarks as a machine-
-# readable JSON event stream (go test -json), one file CI archives
-# every run so the perf history accumulates across PRs.
+# readable JSON event stream (go test -json -benchmem), one file CI
+# archives every run so the perf history accumulates across PRs. The
+# awk gate then scrapes BenchmarkFleetStreaming's allocs/op out of the
+# stream and fails the build if it regressed more than 20% over the
+# checked-in baseline — the streaming metrics core is the engine's
+# scaling story, and allocation creep is how it would quietly die.
 bench-json:
 	@mkdir -p bin
-	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge|BenchmarkAutoscale' -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
+	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge|BenchmarkAutoscale' -benchmem -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
 	@echo "wrote bin/BENCH_edge.json ($$(wc -c < bin/BENCH_edge.json) bytes)"
+	@baseline=$$(grep -v '^#' bench_baseline.txt | head -1); \
+	allocs=$$(grep 'BenchmarkFleetStreaming' bin/BENCH_edge.json | grep 'allocs/op' | \
+		sed -E 's/.*[^0-9]([0-9]+) allocs\/op.*/\1/' | head -1); \
+	if [ -z "$$allocs" ]; then echo "bench gate FAIL: no allocs/op for BenchmarkFleetStreaming"; exit 1; fi; \
+	limit=$$((baseline + baseline / 5)); \
+	if [ "$$allocs" -gt "$$limit" ]; then \
+		echo "bench gate FAIL: BenchmarkFleetStreaming $$allocs allocs/op > $$limit (baseline $$baseline +20%)"; exit 1; \
+	fi; \
+	echo "bench gate OK: BenchmarkFleetStreaming $$allocs allocs/op <= $$limit (baseline $$baseline +20%)"
 
 # Edge-grid smoke: the regional-outage built-in in miniature, then the
 # grid determinism contract — byte-identical JSON across worker pool
@@ -63,6 +76,32 @@ autoscale-smoke:
 			printf "autoscale GPU-seconds OK: %s consumed < %s static peak\n", used, peak \
 		}' bin/autoscale-w1.json
 
+# Scale smoke: the streaming metrics core at production scale — the
+# mega-steady built-in runs a 20,000-session steady state (42k session
+# simulations across three phases, trimmed to 3 frames each) twice,
+# and the reports must be byte-identical between a single worker and
+# four. This is the 100k-session contract in CI-sized form: sharded
+# worker-local sinks may never leak into the science, and the run must
+# fit the CI memory budget because per-session state is a compact
+# summary, not a FrameRecord slice.
+scale-smoke:
+	@mkdir -p bin
+	@echo "scale-smoke: mega-steady (20k sessions) on 1 worker..."
+	@$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1 -workers 1 -format json > bin/scale-w1.json
+	@echo "scale-smoke: mega-steady (20k sessions) on 4 workers..."
+	@$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1 -workers 4 -format json > bin/scale-w4.json
+	@diff bin/scale-w1.json bin/scale-w4.json && echo "scale determinism OK (20k sessions, workers 1 == workers 4)"
+
+# Profile the scale scenario: CPU + end-of-run heap profiles of the
+# real fleet workload (not a synthetic benchmark), for the
+# measure-then-tune loop. Inspect with `go tool pprof`.
+profile: build
+	@mkdir -p bin
+	./bin/qvr-scenario -builtin mega-steady -frames 2 -warmup 1 -workers 4 \
+		-cpuprofile bin/scenario-cpu.prof -memprofile bin/scenario-mem.prof > /dev/null
+	@echo "wrote bin/scenario-cpu.prof and bin/scenario-mem.prof"
+	@echo "inspect with: go tool pprof bin/scenario-cpu.prof"
+
 # Scenario smoke: one built-in timeline in miniature, then the
 # determinism contract — the outage-failover scenario must produce
 # byte-identical JSON for different worker pool sizes.
@@ -83,4 +122,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke bench-json
+ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke bench-json

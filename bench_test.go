@@ -8,6 +8,7 @@ package qvr_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"qvr/internal/edge"
@@ -19,6 +20,7 @@ import (
 	"qvr/internal/pipeline"
 	"qvr/internal/scenario"
 	"qvr/internal/scene"
+	"qvr/internal/stats"
 	"qvr/internal/uca"
 )
 
@@ -396,6 +398,85 @@ func benchFleet(b *testing.B, sessions, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s = fleet.Run(fleet.Config{Specs: specs, Workers: workers}).Summarize()
+	}
+	b.ReportMetric(s.AggregateFPS, "agg-fps")
+	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-metrics benches: the FrameSink pipeline against the
+// materialized-records baseline it replaced. Run with -benchmem: the
+// point is bytes/op and allocs/op at identical reported science. The
+// paper's evaluation length (300 measured frames after 60 warmup) is
+// used so the comparison reflects real sessions, where per-frame
+// record storage — not per-session setup — dominates the footprint.
+// ---------------------------------------------------------------------------
+
+// streamingBenchSpecs is the shared fleet shape for the pair.
+func streamingBenchSpecs(b *testing.B) []fleet.SessionSpec {
+	b.Helper()
+	mix, ok := fleet.MixByName("mixed")
+	if !ok {
+		b.Fatal("mixed mix missing")
+	}
+	specs, err := mix.Specs(32, pipeline.QVR, 300, 60, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+// BenchmarkFleetStreaming is the new path: fleet.Run streams every
+// session through worker-local StatsSinks; per-session state is the
+// compact summary plus one float64 per frame.
+func BenchmarkFleetStreaming(b *testing.B) {
+	specs := streamingBenchSpecs(b)
+	var s fleet.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = fleet.Run(fleet.Config{Specs: specs, Workers: 4}).Summarize()
+	}
+	b.ReportMetric(s.AggregateFPS, "agg-fps")
+	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+}
+
+// BenchmarkFleetMaterialized reproduces the pre-streaming engine:
+// every session materializes its full []FrameRecord and the roll-up
+// re-scans the records, exactly as fleet.Summarize used to. Its
+// reported science must match BenchmarkFleetStreaming's; its bytes/op
+// must not — that delta is what the FrameSink refactor bought.
+func BenchmarkFleetMaterialized(b *testing.B) {
+	specs := streamingBenchSpecs(b)
+	var s fleet.Summary
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make([]pipeline.Result, len(specs))
+		for j, sp := range specs {
+			results[j] = pipeline.NewSession(sp.Config).Run()
+		}
+		s = fleet.Summary{Sessions: len(specs)}
+		var mtps []float64
+		meeting := 0
+		for _, res := range results {
+			for _, f := range res.Frames {
+				mtps = append(mtps, f.MTPSeconds)
+			}
+			fps := res.FPS()
+			s.MeanFPS += fps
+			s.AggregateFPS += fps
+			s.AggregateMBps += fps * res.AvgBytesSent() / 1e6
+			if fps >= 0.95*pipeline.TargetFPS {
+				meeting++
+			}
+		}
+		s.MeanFPS /= float64(len(results))
+		s.TargetShare = float64(meeting) / float64(len(results))
+		sort.Float64s(mtps)
+		s.P50MTPMs = stats.NearestRankSorted(mtps, 0.50) * 1000
+		s.P95MTPMs = stats.NearestRankSorted(mtps, 0.95) * 1000
+		s.P99MTPMs = stats.NearestRankSorted(mtps, 0.99) * 1000
 	}
 	b.ReportMetric(s.AggregateFPS, "agg-fps")
 	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")

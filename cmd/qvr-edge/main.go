@@ -43,7 +43,15 @@ func main() {
 	seed := flag.Int64("seed", -1, "override the scenario base seed (-1 = scenario setting)")
 	policy := flag.String("policy", "", "override the placement policy: "+strings.Join(edge.PolicyNames(), " "))
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, name := range gridBuiltins() {

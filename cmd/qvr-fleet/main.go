@@ -43,7 +43,15 @@ func main() {
 	gpus := flag.Int("gpus", 0, "shared remote cluster size; 0 disables admission (uncontended per-session clusters)")
 	cell := flag.Int("cell", 0, "sessions per network cell before bandwidth sharing; 0 = uncontended")
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 
 	form, err := cliout.ParseFormat(*format)
 	if err != nil {
@@ -99,12 +107,11 @@ func printTable(r fleet.Result) {
 	fmt.Printf("%-20s %-8s %7s %-9s %8s %8s %6s %8s %10s\n",
 		"session", "app", "GPU", "network", "MTP(ms)", "p99(ms)", "FPS", "e1(deg)", "KB/frame")
 	for _, sr := range r.Sessions {
-		res := sr.Result
-		cfg := res.Config
+		cfg, st := sr.Config, sr.Stats
 		fmt.Printf("%-20s %-8s %5.0fMHz %-9s %8.1f %8.1f %6.0f %8.1f %10.1f\n",
 			sr.Spec.Name, cfg.App.Name, cfg.GPU.FrequencyMHz, cfg.Network.Name,
-			res.AvgMTPSeconds()*1000, res.PercentileMTP(0.99)*1000,
-			res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+			st.AvgMTPSeconds*1000, st.PercentileMTP(0.99)*1000,
+			st.FPS, st.AvgE1, st.AvgBytesSent/1024)
 	}
 	for _, sp := range r.Dropped {
 		fmt.Printf("%-20s %-8s %s\n", sp.Name, sp.Config.App.Name, "DROPPED (cluster full)")
@@ -136,17 +143,17 @@ func printJSON(r fleet.Result) {
 		Dropped: []string{},
 	}
 	for _, sr := range r.Sessions {
-		res := sr.Result
+		cfg, st := sr.Config, sr.Stats
 		report.Sessions = append(report.Sessions, jsonSessionRow{
 			Name:       sr.Spec.Name,
-			App:        res.Config.App.Name,
-			GPUMHz:     res.Config.GPU.FrequencyMHz,
-			Network:    res.Config.Network.Name,
-			AvgMTPMs:   res.AvgMTPSeconds() * 1000,
-			P99MTPMs:   res.PercentileMTP(0.99) * 1000,
-			FPS:        res.FPS(),
-			AvgE1Deg:   res.AvgE1(),
-			KBPerFrame: res.AvgBytesSent() / 1024,
+			App:        cfg.App.Name,
+			GPUMHz:     cfg.GPU.FrequencyMHz,
+			Network:    cfg.Network.Name,
+			AvgMTPMs:   st.AvgMTPSeconds * 1000,
+			P99MTPMs:   st.PercentileMTP(0.99) * 1000,
+			FPS:        st.FPS,
+			AvgE1Deg:   st.AvgE1,
+			KBPerFrame: st.AvgBytesSent / 1024,
 		})
 	}
 	for _, sp := range r.Dropped {
@@ -162,14 +169,14 @@ func printCSV(r fleet.Result) {
 		"session", "app", "gpu_mhz", "network", "avg_mtp_ms", "p99_mtp_ms",
 		"fps", "avg_e1_deg", "kb_per_frame", "status")
 	for _, sr := range r.Sessions {
-		res := sr.Result
-		w.Row(sr.Spec.Name, res.Config.App.Name,
-			fmt.Sprintf("%.0f", res.Config.GPU.FrequencyMHz), res.Config.Network.Name,
-			fmt.Sprintf("%.3f", res.AvgMTPSeconds()*1000),
-			fmt.Sprintf("%.3f", res.PercentileMTP(0.99)*1000),
-			fmt.Sprintf("%.2f", res.FPS()),
-			fmt.Sprintf("%.2f", res.AvgE1()),
-			fmt.Sprintf("%.2f", res.AvgBytesSent()/1024), "ok")
+		cfg, st := sr.Config, sr.Stats
+		w.Row(sr.Spec.Name, cfg.App.Name,
+			fmt.Sprintf("%.0f", cfg.GPU.FrequencyMHz), cfg.Network.Name,
+			fmt.Sprintf("%.3f", st.AvgMTPSeconds*1000),
+			fmt.Sprintf("%.3f", st.PercentileMTP(0.99)*1000),
+			fmt.Sprintf("%.2f", st.FPS),
+			fmt.Sprintf("%.2f", st.AvgE1),
+			fmt.Sprintf("%.2f", st.AvgBytesSent/1024), "ok")
 	}
 	for _, sp := range r.Dropped {
 		w.Row(sp.Name, sp.Config.App.Name,

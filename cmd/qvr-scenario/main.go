@@ -36,7 +36,15 @@ func main() {
 	warmup := flag.Int("warmup", -1, "override warmup frames per session per phase (-1 = scenario setting)")
 	seed := flag.Int64("seed", -1, "override the scenario base seed (-1 = scenario setting)")
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, name := range scenario.BuiltinNames() {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"qvr/internal/framesink"
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
 	"qvr/internal/pipeline"
@@ -78,7 +79,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Profile = profile
 
-	res := pipeline.Run(cfg)
+	// qvr-sim is the per-frame inspection tool (-trace, -hist), so it
+	// runs the streaming pipeline with the full-record sink — the one
+	// consumer that genuinely wants every FrameRecord.
+	var rec framesink.RecordSink
+	res := rec.Result(pipeline.NewSession(cfg).RunSink(&rec))
 
 	fmt.Printf("app=%s design=%s network=%s gpu=%.0fMHz frames=%d\n",
 		app.Name, design, net.Name, *freq, len(res.Frames))

@@ -43,11 +43,10 @@ func printSessions(r fleet.Result) {
 	fmt.Printf("%-22s %-8s %7s %-9s %8s %6s %8s %10s\n",
 		"client", "app", "GPU", "network", "MTP(ms)", "FPS", "e1(deg)", "KB/frame")
 	for _, sr := range r.Sessions {
-		res := sr.Result
-		cfg := res.Config
+		cfg, st := sr.Config, sr.Stats
 		fmt.Printf("%-22s %-8s %5.0fMHz %-9s %8.1f %6.0f %8.1f %10.1f\n",
 			sr.Spec.Name, cfg.App.Name, cfg.GPU.FrequencyMHz, cfg.Network.Name,
-			res.AvgMTPSeconds()*1000, res.FPS(), res.AvgE1(), res.AvgBytesSent()/1024)
+			st.AvgMTPSeconds*1000, st.FPS, st.AvgE1, st.AvgBytesSent/1024)
 	}
 	for _, sp := range r.Dropped {
 		fmt.Printf("%-22s %-8s %s\n", sp.Name, sp.Config.App.Name, "DROPPED (cluster full)")

@@ -18,14 +18,24 @@
 //   - Cell sharing: sessions on the same network condition split the
 //     access medium once a cell's capacity is exceeded
 //     (netsim.Condition.Scaled).
-//   - Aggregation: per-session pipeline.Results roll up into
+//   - Aggregation: per-session framesink.Summary values roll up into
 //     fleet-level tail latency (p50/p95/p99 MTP), aggregate FPS and
 //     downlink bytes/s, and the dropped-session count.
 //
+// The engine streams: each session emits its measured frames into a
+// worker-local framesink.StatsSink instead of materializing a
+// []FrameRecord, so fleet memory is O(sessions) summaries plus one
+// float64 per frame (the exact-percentile samples) rather than
+// sessions x frames full records. The worker pool is sharded — each
+// worker owns a contiguous range of the admitted specs and one
+// reusable sink plus one pre-sized sample buffer for its whole shard —
+// following the partition-over-share guidance that scales this to
+// 100k-session scenarios.
+//
 // Each session remains a fully deterministic single-threaded
-// simulation; concurrency lives only between sessions, so a fleet
-// result is identical for any worker count and any goroutine
-// schedule.
+// simulation; concurrency lives only between sessions, and every
+// number is a pure function of the spec list, so a fleet result is
+// identical for any worker count and any goroutine schedule.
 package fleet
 
 import (
@@ -34,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"qvr/internal/framesink"
 	"qvr/internal/pipeline"
 )
 
@@ -72,12 +83,16 @@ type Config struct {
 	CellCapacity int
 }
 
-// SessionResult pairs a spec with its completed simulation. The
-// Config inside Result reflects the admission layer's adjustments
-// (shared cluster, queue delay, scaled bandwidth).
+// SessionResult pairs a spec with its completed simulation: the
+// config the session actually ran (reflecting the admission layer's
+// adjustments — shared cluster, queue delay, scaled bandwidth) and
+// the compact streamed metrics. Full per-frame records are never
+// retained; a consumer that needs them runs the spec's Config through
+// pipeline directly with a framesink.RecordSink.
 type SessionResult struct {
 	Spec   SessionSpec
-	Result pipeline.Result
+	Config pipeline.Config
+	Stats  framesink.Summary
 }
 
 // Result is a completed fleet run.
@@ -111,24 +126,21 @@ func Run(cfg Config) Result {
 	}
 
 	results := make([]SessionResult, len(admitted))
-	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Contiguous shards: worker w owns admitted[lo:hi]. Results are
+		// indexed by spec position, so the partitioning (like the pool
+		// size) can never leak into the science.
+		lo, hi := len(admitted)*w/workers, len(admitted)*(w+1)/workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = SessionResult{
-					Spec:   admitted[i],
-					Result: pipeline.NewSession(admitted[i].Config).Run(),
-				}
-			}
-		}()
+			runShard(admitted, results, lo, hi)
+		}(lo, hi)
 	}
-	for i := range admitted {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
 	return Result{
@@ -137,6 +149,30 @@ func Run(cfg Config) Result {
 		Workers:     workers,
 		Contention:  contention,
 		WallSeconds: time.Since(start).Seconds(),
+	}
+}
+
+// runShard simulates admitted[lo:hi] with worker-local state: one
+// reusable StatsSink and one sample buffer pre-sized for the shard's
+// total measured frames, so an entire shard's exact-percentile
+// samples live in a single allocation and per-session garbage is
+// limited to the simulator itself.
+func runShard(admitted []SessionSpec, results []SessionResult, lo, hi int) {
+	frames := 0
+	for i := lo; i < hi; i++ {
+		frames += admitted[i].Config.MeasuredFrames()
+	}
+	buf := make([]float64, 0, frames)
+	var sink framesink.StatsSink
+	for i := lo; i < hi; i++ {
+		sink.Reset(buf)
+		res := pipeline.NewSession(admitted[i].Config).RunSink(&sink)
+		results[i] = SessionResult{
+			Spec:   admitted[i],
+			Config: res.Config,
+			Stats:  sink.Summary(),
+		}
+		buf = sink.Buffer()
 	}
 }
 

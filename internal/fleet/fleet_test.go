@@ -28,10 +28,10 @@ func testSpecs(t *testing.T, n int) []SessionSpec {
 // sessionDigest reduces one session to comparable numbers.
 func sessionDigest(sr SessionResult) [4]float64 {
 	return [4]float64{
-		sr.Result.AvgMTPSeconds(),
-		sr.Result.FPS(),
-		sr.Result.AvgBytesSent(),
-		sr.Result.AvgE1(),
+		sr.Stats.AvgMTPSeconds,
+		sr.Stats.FPS,
+		sr.Stats.AvgBytesSent,
+		sr.Stats.AvgE1,
 	}
 }
 
@@ -156,9 +156,9 @@ func TestContentionSlowsRemoteChain(t *testing.T) {
 		t.Fatalf("overloaded cluster should charge a queue delay, got %v", loaded.Contention.QueueSeconds)
 	}
 	for _, sr := range loaded.Sessions {
-		if sr.Result.Config.RemoteQueueSeconds != loaded.Contention.QueueSeconds {
+		if sr.Config.RemoteQueueSeconds != loaded.Contention.QueueSeconds {
 			t.Fatalf("session %q queue delay = %v, want %v",
-				sr.Spec.Name, sr.Result.Config.RemoteQueueSeconds, loaded.Contention.QueueSeconds)
+				sr.Spec.Name, sr.Config.RemoteQueueSeconds, loaded.Contention.QueueSeconds)
 		}
 	}
 	fp, lp := free.PercentileMTP(0.95), loaded.PercentileMTP(0.95)
@@ -184,13 +184,13 @@ func TestCellSharingDeratesBandwidth(t *testing.T) {
 			t.Fatalf("unknown shared cell %q", name)
 		}
 		for _, sr := range r.Sessions {
-			if sr.Result.Config.Network.Name != name {
+			if sr.Config.Network.Name != name {
 				continue
 			}
 			want := nominal.BandwidthBps * factor
-			if math.Abs(sr.Result.Config.Network.BandwidthBps-want) > 1 {
+			if math.Abs(sr.Config.Network.BandwidthBps-want) > 1 {
 				t.Errorf("session %q on %q: bandwidth %v, want %v",
-					sr.Spec.Name, name, sr.Result.Config.Network.BandwidthBps, want)
+					sr.Spec.Name, name, sr.Config.Network.BandwidthBps, want)
 			}
 		}
 	}
@@ -302,8 +302,8 @@ func TestOutageFailsOverToLocal(t *testing.T) {
 		t.Fatalf("failed over %d sessions, want %d", got, len(specs))
 	}
 	for _, sr := range outage.Sessions {
-		if sr.Result.Config.Design != pipeline.LocalOnly {
-			t.Errorf("session %q still on design %v during outage", sr.Spec.Name, sr.Result.Config.Design)
+		if sr.Config.Design != pipeline.LocalOnly {
+			t.Errorf("session %q still on design %v during outage", sr.Spec.Name, sr.Config.Design)
 		}
 	}
 	if s := outage.Summarize(); s.FailedOver != len(specs) {

@@ -78,16 +78,15 @@ func (r Result) Summarize() Summary {
 	if len(r.Sessions) == 0 {
 		return s
 	}
-	var mtps []float64
 	meeting := 0
 	for _, sr := range r.Sessions {
-		for _, f := range sr.Result.Frames {
-			mtps = append(mtps, f.MTPSeconds)
-		}
-		fps := sr.Result.FPS()
+		// A session with zero measured frames contributes nothing but
+		// still counts toward the population: its FPS is zero, so it
+		// misses target like a dropped session would.
+		fps := sr.Stats.FPS
 		s.MeanFPS += fps
 		s.AggregateFPS += fps
-		s.AggregateMBps += fps * sr.Result.AvgBytesSent() / 1e6
+		s.AggregateMBps += fps * sr.Stats.AvgBytesSent / 1e6
 		if fps >= 0.95*pipeline.TargetFPS {
 			meeting++
 		}
@@ -95,23 +94,33 @@ func (r Result) Summarize() Summary {
 	s.MeanFPS /= float64(len(r.Sessions))
 	s.TargetShare = float64(meeting) / float64(len(r.Sessions)+len(r.Dropped))
 
-	sort.Float64s(mtps)
+	mtps := r.mergedMTP()
 	s.P50MTPMs = stats.NearestRankSorted(mtps, 0.50) * 1000
 	s.P95MTPMs = stats.NearestRankSorted(mtps, 0.95) * 1000
 	s.P99MTPMs = stats.NearestRankSorted(mtps, 0.99) * 1000
 	return s
 }
 
+// mergedMTP concatenates every session's sorted motion-to-photon
+// samples and sorts once: the same multiset the old full-record scan
+// collected, so the nearest-rank percentiles are bit-identical. The
+// merge is sized up front — the only transient the roll-up allocates.
+func (r Result) mergedMTP() []float64 {
+	total := 0
+	for _, sr := range r.Sessions {
+		total += len(sr.Stats.MTPSorted)
+	}
+	mtps := make([]float64, 0, total)
+	for _, sr := range r.Sessions {
+		mtps = append(mtps, sr.Stats.MTPSorted...)
+	}
+	sort.Float64s(mtps)
+	return mtps
+}
+
 // PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
 // latency across every measured frame in the fleet, in seconds
 // (nearest-rank, the same convention as pipeline.Result.PercentileMTP).
 func (r Result) PercentileMTP(p float64) float64 {
-	var mtps []float64
-	for _, sr := range r.Sessions {
-		for _, f := range sr.Result.Frames {
-			mtps = append(mtps, f.MTPSeconds)
-		}
-	}
-	sort.Float64s(mtps)
-	return stats.NearestRankSorted(mtps, p)
+	return stats.NearestRankSorted(r.mergedMTP(), p)
 }

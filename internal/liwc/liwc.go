@@ -160,8 +160,15 @@ type Controller struct {
 	cfg Config
 
 	// The SRAM gradient table, stored as raw fp16 exactly as the
-	// hardware would (quantization effects included).
-	table [TableDepth]fp16.Bits
+	// hardware would (quantization effects included). The hardware
+	// powers on with every entry at the seed gradient and a session
+	// rewrites only the entries its motion patterns actually visit, so
+	// the model keeps a sparse overlay over the uniform seed value
+	// instead of materializing all 2^15 entries per session — the
+	// read/write values are bit-identical to the dense array, at
+	// kilobytes instead of 64 KB for each of a fleet's sessions.
+	table    map[int32]fp16.Bits
+	seedBits fp16.Bits
 
 	e1 float64
 
@@ -192,11 +199,27 @@ func New(cfg Config) *Controller {
 	if c.e1 < e1BucketLo {
 		c.e1 = e1BucketLo
 	}
-	init := fp16.FromFloat64(cfg.InitialGradient)
-	for i := range c.table {
-		c.table[i] = init
-	}
+	c.seedBits = fp16.FromFloat64(cfg.InitialGradient)
 	return c
+}
+
+// entry reads one SRAM table cell: the learned overlay value if the
+// cell was ever written, else the power-on seed gradient.
+func (c *Controller) entry(idx int) fp16.Bits {
+	if v, ok := c.table[int32(idx)]; ok {
+		return v
+	}
+	return c.seedBits
+}
+
+// setEntry writes one SRAM table cell, allocating the overlay lazily
+// so sessions that never learn (or never run the controller) cost
+// nothing.
+func (c *Controller) setEntry(idx int, v fp16.Bits) {
+	if c.table == nil {
+		c.table = make(map[int32]fp16.Bits, 64)
+	}
+	c.table[int32(idx)] = v
 }
 
 // E1 returns the current eccentricity.
@@ -270,7 +293,7 @@ func (c *Controller) Plan(d motion.Delta, triangles int, g Geometry, throughputB
 	// Gradient lookup: learned ms-per-degree slope for this motion
 	// pattern at this operating point.
 	idx := tableIndex(mIdx, c.e1)
-	slope := c.table[idx].Float64() // ms per degree
+	slope := c.entry(idx).Float64() // ms per degree
 	if slope < 0.02 {
 		slope = 0.02 // degenerate entries cannot stall the controller
 	}
@@ -375,9 +398,9 @@ func (c *Controller) Observe(m Measurement) {
 		if observed > 5 {
 			observed = 5 // saturate against measurement spikes
 		}
-		old := c.table[c.lastIndex].Float64()
+		old := c.entry(c.lastIndex).Float64()
 		next := (1-c.cfg.Alpha)*old + c.cfg.Alpha*observed
-		c.table[c.lastIndex] = fp16.FromFloat64(next)
+		c.setEntry(c.lastIndex, fp16.FromFloat64(next))
 	}
 }
 

@@ -286,14 +286,14 @@ func TestGradientTableLearns(t *testing.T) {
 	if d.DeltaApplied == 0 {
 		t.Skip("controller chose no step; gradient unobservable")
 	}
-	before := c.table[c.lastIndex].Float64()
+	before := c.entry(c.lastIndex).Float64()
 	c.Observe(Measurement{
 		LocalSeconds: 0.010, PrevLocalSeconds: 0.004,
 		Triangles: 3_000_000, FoveaShare: 0.3,
 		PeripheryPixels: 400_000, PeripheryBytes: 36_000,
 		RemoteChainSeconds: 0.006,
 	})
-	after := c.table[c.lastIndex].Float64()
+	after := c.entry(c.lastIndex).Float64()
 	if before == after {
 		t.Error("gradient entry unchanged after observation")
 	}
@@ -302,7 +302,7 @@ func TestGradientTableLearns(t *testing.T) {
 func TestFP16QuantizationInTable(t *testing.T) {
 	// Stored gradients must be representable fp16 values.
 	c := New(DefaultConfig())
-	v := c.table[0].Float64()
+	v := c.entry(0).Float64()
 	if v != DefaultConfig().InitialGradient && math.Abs(v-DefaultConfig().InitialGradient) > 0.001 {
 		t.Errorf("initial gradient %v not within fp16 tolerance of %v", v, DefaultConfig().InitialGradient)
 	}

@@ -203,18 +203,48 @@ func TestTrackerDefaults(t *testing.T) {
 	}
 }
 
-func TestTrackerTrim(t *testing.T) {
+func TestTrackerWindowBounded(t *testing.T) {
 	tr := NewTracker(NewGenerator(Normal, 4), 120, 0.002)
+	// A long simulated stretch generates hundreds of samples; the
+	// cache must stay a fixed-size window regardless.
 	tr.SampleAt(3.0)
-	before := len(tr.samples)
-	tr.Trim(2.5)
-	if len(tr.samples) >= before {
-		t.Errorf("trim did not shrink cache: %d -> %d", before, len(tr.samples))
+	if len(tr.samples) > sampleWindow {
+		t.Errorf("cache holds %d samples, want <= %d", len(tr.samples), sampleWindow)
 	}
-	// Must still answer requests after the trim point.
+	// The window must still answer later requests correctly.
 	s := tr.SampleAt(3.1)
-	if s.TimeSec < 2.4 {
-		t.Errorf("post-trim sample too old: %v", s.TimeSec)
+	if s.TimeSec < 2.4 || s.TimeSec > 3.1-0.002+1e-9 {
+		t.Errorf("post-window sample out of range: %v", s.TimeSec)
+	}
+}
+
+// TestTrackerWindowMatchesUnbounded replays a frame-like request
+// sequence and checks the bounded window returns exactly the sample
+// an unbounded cache would have: the newest sensed at or before the
+// request's availability horizon.
+func TestTrackerWindowMatchesUnbounded(t *testing.T) {
+	tr := NewTracker(NewGenerator(Normal, 9), 120, 0.002)
+	ref := NewGenerator(Normal, 9)
+	var all []Sample
+	generated := 0.0
+	dt := 1.0 / 120
+	for ft := 0.003; ft < 3.0; ft += 0.009 {
+		got := tr.SampleAt(ft)
+		avail := ft - 0.002
+		for generated <= avail {
+			all = append(all, ref.Advance(dt))
+			generated += dt
+		}
+		want := all[0]
+		for _, s := range all {
+			if s.TimeSec <= avail {
+				want = s
+			}
+		}
+		if got != want {
+			t.Fatalf("request at %v: window returned t=%v, unbounded cache has t=%v",
+				ft, got.TimeSec, want.TimeSec)
+		}
 	}
 }
 

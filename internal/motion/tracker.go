@@ -13,9 +13,15 @@ import "math/rand"
 // whose arrival time precedes the frame start*, so a frame started at
 // time t sees the pose sensed at or before t - TransmitLatency.
 type Tracker struct {
-	gen       *Generator
-	hz        float64
-	transmit  float64 // seconds from sensing to availability
+	gen      *Generator
+	hz       float64
+	transmit float64 // seconds from sensing to availability
+	// samples is a bounded window of the most recent observations.
+	// Requests only move forward and generation always overshoots the
+	// requested time by less than one period, so the answer is always
+	// among the newest few samples; keeping a fixed window makes the
+	// tracker O(1) memory (and allocation-free in steady state) no
+	// matter how long the session runs.
 	samples   []Sample
 	generated float64 // timestamp of the newest generated sample
 
@@ -63,15 +69,21 @@ func (tr *Tracker) perturb(s Sample) Sample {
 	return s
 }
 
+// sampleWindow bounds the cached samples. After generation the newest
+// sample is the only one past the requested time, so the answer is
+// the newest or second-newest entry; a few extra guard against the
+// cold-start fallback.
+const sampleWindow = 4
+
 // SampleAt returns the newest sample available to the renderer at
 // time t (seconds), i.e. sensed at or before t - transmitLatency,
 // generating trace data as needed. Requesting times may only move
-// forward; earlier samples remain cached.
+// forward; a bounded window of recent samples remains cached.
 func (tr *Tracker) SampleAt(t float64) Sample {
 	avail := t - tr.transmit
 	dt := 1 / tr.hz
 	for tr.generated <= avail {
-		tr.samples = append(tr.samples, tr.perturb(tr.gen.Advance(dt)))
+		tr.push(tr.perturb(tr.gen.Advance(dt)))
 		tr.generated += dt
 	}
 	// Binary search would be overkill: frames consume samples nearly
@@ -86,23 +98,25 @@ func (tr *Tracker) SampleAt(t float64) Sample {
 	}
 	// No sample is available yet (very start of the session): sense one.
 	s := tr.perturb(tr.gen.Advance(dt))
-	tr.samples = append(tr.samples, s)
+	tr.push(s)
 	tr.generated += dt
 	return s
+}
+
+// push appends a sample, sliding the bounded window in place so the
+// backing array is allocated once and reused for the whole session.
+func (tr *Tracker) push(s Sample) {
+	if len(tr.samples) == sampleWindow {
+		copy(tr.samples, tr.samples[1:])
+		tr.samples[sampleWindow-1] = s
+		return
+	}
+	if cap(tr.samples) == 0 {
+		tr.samples = make([]Sample, 0, sampleWindow)
+	}
+	tr.samples = append(tr.samples, s)
 }
 
 // TransmitLatency returns the modeled sensor transmission latency in
 // seconds; pipelines add it to the motion-to-photon accounting.
 func (tr *Tracker) TransmitLatency() float64 { return tr.transmit }
-
-// Trim drops cached samples older than t seconds to bound memory on
-// long simulations.
-func (tr *Tracker) Trim(t float64) {
-	cut := 0
-	for cut < len(tr.samples)-1 && tr.samples[cut+1].TimeSec < t {
-		cut++
-	}
-	if cut > 0 {
-		tr.samples = append([]Sample(nil), tr.samples[cut:]...)
-	}
-}

@@ -8,18 +8,24 @@ import (
 )
 
 // frameLocalOnly renders the whole frame on the mobile GPU, then runs
-// ATW on the GPU: the commercial mobile VR baseline.
+// ATW on the GPU: the commercial mobile VR baseline. The stages are
+// prebound session callbacks — local-only is also the fleet's
+// failover mode, so it runs at scale.
 func (s *session) frameLocalOnly(f *frameState) {
 	render := s.cfg.GPU.FullFrameSeconds(s.cfg.App, f.stats)
 	f.rec.LocalRenderSeconds = render
 	f.rec.FoveaShare = 1
-	s.gpuRes.Request(sim.Time(render), func() {
-		atw := uca.GPUCompositionSeconds(s.disp.Width, s.disp.Height, s.cfg.GPU.FrequencyMHz, false)
-		f.rec.ComposeSeconds = atw
-		s.gpuRes.Request(sim.Time(atw), func() {
-			s.finish(f, s.eng.Now().Seconds(), 0)
-		})
-	})
+	s.gpuRes.Request(sim.Time(render), s.cbLocalRendered)
+}
+
+func (s *session) localRendered() {
+	atw := uca.GPUCompositionSeconds(s.disp.Width, s.disp.Height, s.cfg.GPU.FrequencyMHz, false)
+	s.frame.rec.ComposeSeconds = atw
+	s.gpuRes.Request(sim.Time(atw), s.cbLocalComposed)
+}
+
+func (s *session) localComposed() {
+	s.finish(&s.frame, s.eng.Now().Seconds(), 0)
 }
 
 // frameRemoteOnly offloads the whole frame to the remote cluster and
@@ -173,14 +179,16 @@ func (s *session) frameStatic(f *frameState) {
 }
 
 // liwcGeom adapts the foveation partitioner to the LIWC's Geometry
-// interface for the current frame's gaze and content density.
+// interface for the current frame's gaze and content density. The
+// session owns one instance (refreshed per frame) and hands out its
+// pointer, so the interface conversion never allocates.
 type liwcGeom struct {
 	part    *foveation.Partitioner
 	gx, gy  float64
 	density float64
 }
 
-func (g liwcGeom) FoveaShare(e1 float64) float64 {
+func (g *liwcGeom) FoveaShare(e1 float64) float64 {
 	e1 = foveation.ClampE1(e1)
 	share := g.part.Display.AreaFraction(e1, g.gx, g.gy) * g.density
 	if share > 1 {
@@ -189,7 +197,7 @@ func (g liwcGeom) FoveaShare(e1 float64) float64 {
 	return share
 }
 
-func (g liwcGeom) PeripheryPixels(e1 float64) int {
+func (g *liwcGeom) PeripheryPixels(e1 float64) int {
 	p, err := g.part.Partition(foveation.ClampE1(e1), g.gx, g.gy)
 	if err != nil {
 		return 0
@@ -206,13 +214,21 @@ const peripheryQuality = 0.85
 // after its asynchronous tile processing overlaps the render.
 const ucaTailFraction = 0.3
 
+// stageTail is the unpipelined fraction of encode/decode left on the
+// collaborative chain's critical path under per-layer streaming.
+const stageTail = 0.25
+
 // frameCollaborative runs the foveated collaborative designs:
 // FFR (fixed e1), DFR (LIWC, GPU composition), QVRSoftware (software
-// controller, GPU composition), QVR (LIWC + UCA).
+// controller, GPU composition), QVR (LIWC + UCA). The stage chain is
+// expressed as prebound session callbacks reading the reused
+// frameState — this is the fleet's hot path, and it allocates nothing
+// per frame.
 func (s *session) frameCollaborative(f *frameState) {
 	app := s.cfg.App
 	delta := s.motionDelta(f)
-	geom := liwcGeom{part: s.part, gx: f.sample.Gaze.X, gy: f.sample.Gaze.Y, density: f.stats.GazeDensity}
+	f.motionN = motionNorm(delta)
+	s.geom.gx, s.geom.gy, s.geom.density = f.sample.Gaze.X, f.sample.Gaze.Y, f.stats.GazeDensity
 
 	// Eccentricity selection.
 	var e1 float64
@@ -220,7 +236,7 @@ func (s *session) frameCollaborative(f *frameState) {
 	case FFR:
 		e1 = 5
 	case DFR, QVR:
-		d := s.ctrl.Plan(delta, f.stats.VisibleTriangles, geom, s.link.ObservedThroughputBps())
+		d := s.ctrl.Plan(delta, f.stats.VisibleTriangles, &s.geom, s.link.ObservedThroughputBps())
 		e1 = d.E1
 	case QVRSoftware:
 		e1 = s.sw.Plan()
@@ -232,9 +248,10 @@ func (s *session) frameCollaborative(f *frameState) {
 		part, _ = s.part.Partition(5, f.sample.Gaze.X, f.sample.Gaze.Y)
 		e1 = 5
 	}
+	f.part = part
 	f.rec.E1 = e1
 
-	share := geom.FoveaShare(e1)
+	share := s.geom.FoveaShare(e1)
 	f.rec.FoveaShare = share
 
 	// Local fovea workload: share of the scene's triangles, fovea-area
@@ -259,86 +276,107 @@ func (s *session) frameCollaborative(f *frameState) {
 		f.join = 2
 	}
 
-	composeDone := func() {
-		var compose func(cb func())
-		if s.cfg.Design == QVR {
-			t := s.cfg.UCA.FrameSeconds(s.disp.Width, s.disp.Height, s.boundaryFraction(part.E1, part.E2))
-			f.rec.ComposeSeconds = t
-			// The UCA starts on tiles as soon as their layer data is
-			// resident, before rendering completes (Fig. 4-C), so only
-			// a tail of its work remains on the critical path.
-			tail := t * ucaTailFraction
-			compose = func(cb func()) { s.ucaRes.Request(sim.Time(tail), cb) }
-		} else {
-			t := uca.GPUCompositionSeconds(s.disp.Width, s.disp.Height, s.cfg.GPU.FrequencyMHz, periphery > 0)
-			f.rec.ComposeSeconds = t
-			compose = func(cb func()) { s.gpuRes.Request(sim.Time(t), cb) }
-		}
-		compose(func() {
-			s.finish(f, s.eng.Now().Seconds(), 0)
-		})
-	}
-	branchDone := func() {
-		f.join--
-		if f.join == 0 {
-			composeDone()
-		}
-	}
-
 	// Branch 1: local fovea render.
-	s.gpuRes.Request(sim.Time(local), branchDone)
+	s.gpuRes.Request(sim.Time(local), s.cbCollabBranchDone)
 
 	// Branch 2: remote periphery chain (skipped when fully local).
 	if periphery == 0 {
 		return
 	}
-	chainStart := s.eng.Now().Seconds()
+	f.chainStart = s.eng.Now().Seconds()
 	req := s.requestSeconds(f)
 	f.rec.RequestSeconds = req
-	s.eng.Schedule(sim.Time(req), func() {
-		midFrac := s.disp.AreaFraction(part.E2, f.sample.Gaze.X, f.sample.Gaze.Y) - part.FoveaAreaFraction
-		if midFrac < 0 {
-			midFrac = 0
-		}
-		outFrac := 1 - part.FoveaAreaFraction - midFrac
-		if outFrac < 0 {
-			outFrac = 0
-		}
-		render := s.cfg.Remote.PeripherySeconds(app, f.stats, midFrac, part.Middle.Scale, outFrac, part.Outer.Scale)
-		f.rec.RemoteRenderSeconds = render
-		// Per-layer streaming (Fig. 7) pipelines rendering, encoding,
-		// transfer and decode: encoded chunks hit the wire while later
-		// channels still render, and the decoder consumes chunks as
-		// they arrive. The chain's serialized span is the longest
-		// stage plus short entry/exit tails of the others.
-		mn := motionNorm(delta)
-		midBytes := s.cfg.Codec.FrameBytes(2*part.Middle.Pixels, f.stats.Entropy, peripheryQuality, mn)
-		outBytes := s.cfg.Codec.FrameBytes(2*part.Outer.Pixels, f.stats.Entropy, peripheryQuality, mn)
-		f.rec.BytesSent = midBytes + outBytes
-		f.rec.AirtimeSeconds = s.cfg.Network.AirtimeSeconds(midBytes + outBytes)
-		enc := s.cfg.Codec.EncodeSeconds(periphery)
-		f.rec.EncodeSeconds = enc
-		dec := s.cfg.Codec.DecodeSeconds(periphery)
-		f.rec.DecodeSeconds = dec
-		tx := s.parallelTransferSeconds([]int{midBytes, outBytes}, s.eng.Now().Seconds())
-		f.rec.TransferSeconds = tx
+	s.eng.Schedule(sim.Time(req), s.cbCollabPeriphery)
+}
 
-		const tail = 0.25 // unpipelined fraction of encode/decode
-		s.remRes.Request(sim.Time(render), func() {
-			s.eng.Schedule(sim.Time(enc*tail), func() {
-				streamed := tx
-				if render > streamed {
-					streamed = 0 // transfer fully hidden under render
-				}
-				s.netRes.Request(sim.Time(streamed), func() {
-					s.decRes.Request(sim.Time(dec*tail), func() {
-						f.rec.RemoteChainSeconds = s.eng.Now().Seconds() - chainStart
-						branchDone()
-					})
-				})
-			})
-		})
-	})
+// collabPeriphery runs when the periphery request reaches the remote
+// cluster: it sizes the remote render and the per-layer streams.
+func (s *session) collabPeriphery() {
+	f := &s.frame
+	app := s.cfg.App
+	part := f.part
+	midFrac := s.disp.AreaFraction(part.E2, f.sample.Gaze.X, f.sample.Gaze.Y) - part.FoveaAreaFraction
+	if midFrac < 0 {
+		midFrac = 0
+	}
+	outFrac := 1 - part.FoveaAreaFraction - midFrac
+	if outFrac < 0 {
+		outFrac = 0
+	}
+	render := s.cfg.Remote.PeripherySeconds(app, f.stats, midFrac, part.Middle.Scale, outFrac, part.Outer.Scale)
+	f.rec.RemoteRenderSeconds = render
+	// Per-layer streaming (Fig. 7) pipelines rendering, encoding,
+	// transfer and decode: encoded chunks hit the wire while later
+	// channels still render, and the decoder consumes chunks as
+	// they arrive. The chain's serialized span is the longest
+	// stage plus short entry/exit tails of the others.
+	periphery := 2 * part.PeripheryPixels
+	midBytes := s.cfg.Codec.FrameBytes(2*part.Middle.Pixels, f.stats.Entropy, peripheryQuality, f.motionN)
+	outBytes := s.cfg.Codec.FrameBytes(2*part.Outer.Pixels, f.stats.Entropy, peripheryQuality, f.motionN)
+	f.rec.BytesSent = midBytes + outBytes
+	f.rec.AirtimeSeconds = s.cfg.Network.AirtimeSeconds(midBytes + outBytes)
+	f.rec.EncodeSeconds = s.cfg.Codec.EncodeSeconds(periphery)
+	f.rec.DecodeSeconds = s.cfg.Codec.DecodeSeconds(periphery)
+	s.layers[0], s.layers[1] = midBytes, outBytes
+	f.rec.TransferSeconds = s.parallelTransferSeconds(s.layers[:], s.eng.Now().Seconds())
+
+	s.remRes.Request(sim.Time(render), s.cbCollabRendered)
+}
+
+// collabRendered: the remote render finished; the encode tail follows.
+func (s *session) collabRendered() {
+	s.eng.Schedule(sim.Time(s.frame.rec.EncodeSeconds*stageTail), s.cbCollabStreamed)
+}
+
+// collabStreamed: the encoded layers hit the wire. Transfer fully
+// hidden under the render costs nothing extra on the chain.
+func (s *session) collabStreamed() {
+	f := &s.frame
+	streamed := f.rec.TransferSeconds
+	if f.rec.RemoteRenderSeconds > streamed {
+		streamed = 0 // transfer fully hidden under render
+	}
+	s.netRes.Request(sim.Time(streamed), s.cbCollabNetDone)
+}
+
+// collabNetDone: the downlink drained; the decode tail follows.
+func (s *session) collabNetDone() {
+	s.decRes.Request(sim.Time(s.frame.rec.DecodeSeconds*stageTail), s.cbCollabDecoded)
+}
+
+// collabDecoded closes the remote branch.
+func (s *session) collabDecoded() {
+	f := &s.frame
+	f.rec.RemoteChainSeconds = s.eng.Now().Seconds() - f.chainStart
+	s.collabBranchDone()
+}
+
+// collabBranchDone joins the local and remote branches; composition
+// starts when both have landed.
+func (s *session) collabBranchDone() {
+	f := &s.frame
+	f.join--
+	if f.join != 0 {
+		return
+	}
+	periphery := 2 * f.part.PeripheryPixels
+	if s.cfg.Design == QVR {
+		t := s.cfg.UCA.FrameSeconds(s.disp.Width, s.disp.Height, s.boundaryFraction(f.part.E1, f.part.E2))
+		f.rec.ComposeSeconds = t
+		// The UCA starts on tiles as soon as their layer data is
+		// resident, before rendering completes (Fig. 4-C), so only
+		// a tail of its work remains on the critical path.
+		s.ucaRes.Request(sim.Time(t*ucaTailFraction), s.cbCollabFinish)
+	} else {
+		t := uca.GPUCompositionSeconds(s.disp.Width, s.disp.Height, s.cfg.GPU.FrequencyMHz, periphery > 0)
+		f.rec.ComposeSeconds = t
+		s.gpuRes.Request(sim.Time(t), s.cbCollabFinish)
+	}
+}
+
+// collabFinish retires the composed frame.
+func (s *session) collabFinish() {
+	s.finish(&s.frame, s.eng.Now().Seconds(), 0)
 }
 
 // resolutionReduction computes the Fig. 13 metric: the fraction of

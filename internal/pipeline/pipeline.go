@@ -231,89 +231,120 @@ func (r FrameRecord) LatencyRatio() float64 {
 	return r.RemoteChainSeconds / r.LocalRenderSeconds
 }
 
+// FrameSink consumes measured frames as the simulation produces them.
+// A session with a sink attached (Session.RunSink) emits each
+// post-warmup frame exactly once, in frame-index order, instead of
+// materializing Result.Frames — the seam that lets a fleet of many
+// thousands of sessions keep only O(1) state per frame instead of
+// sessions x frames full records. internal/framesink provides the
+// standard implementations (StatsSink for streaming metrics,
+// RecordSink for today's full-record behaviour).
+type FrameSink interface {
+	Observe(FrameRecord)
+}
+
+// FrameStats is the streaming per-frame metric accumulator: the single
+// implementation behind Result's convenience means and framesink's
+// StatsSink. Observing a frame costs O(1) time and no allocation;
+// every getter is an exact (bit-identical) replacement for the
+// corresponding scan over a materialized []FrameRecord, because it
+// accumulates the same sums in the same frame order.
+type FrameStats struct {
+	// Frames is the number of observed (measured) frames.
+	Frames int
+
+	sumMTP    float64
+	sumFPS    float64
+	sumBytes  float64
+	sumE1     float64
+	sumResRed float64
+	sumEnergy float64
+}
+
+// Observe folds one measured frame into the running sums.
+func (a *FrameStats) Observe(f FrameRecord) {
+	a.Frames++
+	a.sumMTP += f.MTPSeconds
+	a.sumFPS += f.StageFPS
+	a.sumBytes += float64(f.BytesSent)
+	a.sumE1 += f.E1
+	a.sumResRed += f.ResolutionReduction
+	a.sumEnergy += f.Energy.Total()
+}
+
+// Reset returns the accumulator to its zero state for reuse.
+func (a *FrameStats) Reset() { *a = FrameStats{} }
+
+// mean guards the empty-sample case: a session with zero measured
+// frames reports zero for every metric, never NaN.
+func (a FrameStats) mean(sum float64) float64 {
+	if a.Frames == 0 {
+		return 0
+	}
+	return sum / float64(a.Frames)
+}
+
+// AvgMTPSeconds is the mean motion-to-photon latency.
+func (a FrameStats) AvgMTPSeconds() float64 { return a.mean(a.sumMTP) }
+
+// FPS is the mean sustainable frame rate, using the paper's
+// stage-throughput formula (Section 6.1): with the stages pipelined
+// across frames, throughput is set by the busiest resource,
+// FPS = min(1/T_GPU, 1/T_network, ...).
+func (a FrameStats) FPS() float64 { return a.mean(a.sumFPS) }
+
+// AvgBytesSent is the mean downlink payload per frame.
+func (a FrameStats) AvgBytesSent() float64 { return a.mean(a.sumBytes) }
+
+// AvgE1 is the mean fovea radius over measured frames.
+func (a FrameStats) AvgE1() float64 { return a.mean(a.sumE1) }
+
+// AvgResolutionReduction is the mean Fig. 13 reduction metric.
+func (a FrameStats) AvgResolutionReduction() float64 { return a.mean(a.sumResRed) }
+
+// AvgEnergyJoules is the mean per-frame system energy.
+func (a FrameStats) AvgEnergyJoules() float64 { return a.mean(a.sumEnergy) }
+
 // Result is a completed run.
 type Result struct {
 	Config Config
-	// Frames holds the measured (post-warmup) frames.
+	// Frames holds the measured (post-warmup) frames. It is populated
+	// by Session.Run; Session.RunSink leaves it nil and streams the
+	// frames to the caller's sink instead.
 	Frames []FrameRecord
 	// Partitioner geometry used (for experiment reporting).
 	Display foveation.Display
 }
 
-// AvgMTPSeconds is the mean motion-to-photon latency.
-func (r Result) AvgMTPSeconds() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
+// stats folds the materialized frames through the shared accumulator.
+func (r Result) stats() FrameStats {
+	var a FrameStats
 	for _, f := range r.Frames {
-		s += f.MTPSeconds
+		a.Observe(f)
 	}
-	return s / float64(len(r.Frames))
+	return a
 }
+
+// AvgMTPSeconds is the mean motion-to-photon latency.
+func (r Result) AvgMTPSeconds() float64 { return r.stats().AvgMTPSeconds() }
 
 // FPS is the mean sustainable frame rate over measured frames, using
 // the paper's stage-throughput formula (Section 6.1): with the stages
 // pipelined across frames, throughput is set by the busiest resource,
 // FPS = min(1/T_GPU, 1/T_network, ...).
-func (r Result) FPS() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
-	for _, f := range r.Frames {
-		s += f.StageFPS
-	}
-	return s / float64(len(r.Frames))
-}
+func (r Result) FPS() float64 { return r.stats().FPS() }
 
 // AvgBytesSent is the mean downlink payload per frame.
-func (r Result) AvgBytesSent() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
-	for _, f := range r.Frames {
-		s += float64(f.BytesSent)
-	}
-	return s / float64(len(r.Frames))
-}
+func (r Result) AvgBytesSent() float64 { return r.stats().AvgBytesSent() }
 
 // AvgE1 is the mean fovea radius over measured frames.
-func (r Result) AvgE1() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
-	for _, f := range r.Frames {
-		s += f.E1
-	}
-	return s / float64(len(r.Frames))
-}
+func (r Result) AvgE1() float64 { return r.stats().AvgE1() }
 
 // AvgResolutionReduction is the mean Fig. 13 reduction metric.
-func (r Result) AvgResolutionReduction() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
-	for _, f := range r.Frames {
-		s += f.ResolutionReduction
-	}
-	return s / float64(len(r.Frames))
-}
+func (r Result) AvgResolutionReduction() float64 { return r.stats().AvgResolutionReduction() }
 
 // AvgEnergyJoules is the mean per-frame system energy.
-func (r Result) AvgEnergyJoules() float64 {
-	if len(r.Frames) == 0 {
-		return 0
-	}
-	var s float64
-	for _, f := range r.Frames {
-		s += f.Energy.Total()
-	}
-	return s / float64(len(r.Frames))
-}
+func (r Result) AvgEnergyJoules() float64 { return r.stats().AvgEnergyJoules() }
 
 // PercentileMTP returns the p-quantile (0 < p <= 1) of motion-to-photon
 // latency over the measured frames; tail latency is what produces the

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"qvr/internal/codec"
 	"qvr/internal/energy"
@@ -50,8 +49,36 @@ type session struct {
 	prevComplete  float64
 	handoffPaid   bool
 
-	records []FrameRecord
+	// sink receives each measured frame as it completes. Run attaches
+	// a private recorder (materializing Result.Frames, the historical
+	// behaviour); RunSink attaches the caller's.
+	sink FrameSink
+
+	// Frames are fully serialized (one in flight), so one frameState
+	// is reused for the whole run and the per-frame pipeline callbacks
+	// are bound once here instead of allocating closures every frame.
+	// Only the static/remote-only design bodies still build per-frame
+	// closures (their join structure is irregular); the collaborative
+	// designs — what a fleet overwhelmingly runs — are allocation-free
+	// per frame.
+	frame   frameState
+	geom    liwcGeom
+	cpuTime float64 // per-frame CPU stage cost, fixed per config
+	layers  [2]int  // scratch for the per-layer parallel streams
+
+	cbFrameStart, cbDispatch            func()
+	cbLocalRendered, cbLocalComposed    func()
+	cbCollabBranchDone, cbCollabFinish  func()
+	cbCollabPeriphery, cbCollabRendered func()
+	cbCollabStreamed, cbCollabNetDone   func()
+	cbCollabDecoded                     func()
 }
+
+// recorder is the materializing FrameSink behind Session.Run: the
+// exported equivalent for external callers is framesink.RecordSink.
+type recorder struct{ frames []FrameRecord }
+
+func (r *recorder) Observe(f FrameRecord) { r.frames = append(r.frames, f) }
 
 // Run simulates cfg and returns the measured result. It is shorthand
 // for NewSession(cfg).Run().
@@ -71,11 +98,20 @@ type Session struct {
 	s *session
 }
 
+// MeasuredFrames is the number of frames a session built from this
+// config will measure, after zero-value normalization — the single
+// source of truth callers (the fleet's shard buffer sizing) use to
+// pre-size per-frame state.
+func (cfg Config) MeasuredFrames() int {
+	if cfg.Frames <= 0 {
+		return 300
+	}
+	return cfg.Frames
+}
+
 // normalize fills zero-valued Config fields with evaluation defaults.
 func normalize(cfg Config) Config {
-	if cfg.Frames <= 0 {
-		cfg.Frames = 300
-	}
+	cfg.Frames = cfg.MeasuredFrames()
 	if cfg.GPU.FrequencyMHz == 0 {
 		cfg.GPU = gpu.MobileDefault()
 	}
@@ -141,18 +177,55 @@ func NewSession(cfg Config) *Session {
 	case QVRSoftware:
 		s.sw = liwc.NewSoftware(cfg.LIWC.BudgetSeconds, cfg.LIWC.TargetFloor, cfg.LIWC.InitialE1)
 	}
+
+	// The CPU stage cost is a pure function of the config; hoisting it
+	// (and binding the frame callbacks once) keeps startFrame off the
+	// allocator.
+	s.cpuTime = AppLogicSeconds + LocalSetupSeconds
+	if cfg.Design == QVRSoftware {
+		s.cpuTime += liwc.SoftwareControlOverheadSeconds
+	}
+	if cfg.ControllerLatencySeconds > 0 && (cfg.Design == DFR || cfg.Design == QVR) {
+		s.cpuTime += cfg.ControllerLatencySeconds
+	}
+	s.geom.part = s.part
+	s.cbFrameStart = s.frameGranted
+	s.cbDispatch = func() { s.dispatch(&s.frame) }
+	s.cbLocalRendered = s.localRendered
+	s.cbLocalComposed = s.localComposed
+	s.cbCollabBranchDone = s.collabBranchDone
+	s.cbCollabFinish = s.collabFinish
+	s.cbCollabPeriphery = s.collabPeriphery
+	s.cbCollabRendered = s.collabRendered
+	s.cbCollabStreamed = s.collabStreamed
+	s.cbCollabNetDone = s.collabNetDone
+	s.cbCollabDecoded = s.collabDecoded
 	return &Session{s: s}
 }
 
 // Run executes the simulation to completion and returns the measured
-// result.
+// result with Result.Frames materialized — the full-record path that
+// qvr-sim and the experiment harness consume.
 func (p *Session) Run() Result {
+	var rec recorder
+	res := p.RunSink(&rec)
+	res.Frames = rec.frames
+	return res
+}
+
+// RunSink executes the simulation to completion, streaming each
+// measured frame to sink in frame-index order (frames are fully
+// serialized, so completion order is index order). The returned
+// Result carries the normalized Config and display geometry only;
+// Frames stays nil — whatever state the caller wants to keep is
+// whatever the sink retained, which is how a large fleet avoids
+// materializing sessions x frames records.
+func (p *Session) RunSink(sink FrameSink) Result {
 	s := p.s
+	s.sink = sink
 	s.tryIssue()
 	s.eng.Run()
-
-	sort.Slice(s.records, func(i, j int) bool { return s.records[i].Index < s.records[j].Index })
-	return Result{Config: s.cfg, Frames: s.records, Display: s.disp}
+	return Result{Config: s.cfg, Display: s.disp}
 }
 
 // tryIssue starts the next frame if none is in flight. Frames are
@@ -169,7 +242,8 @@ func (s *session) tryIssue() {
 	}
 }
 
-// frameState tracks one in-flight frame.
+// frameState tracks one in-flight frame. With frames fully
+// serialized, the session owns a single instance reset per frame.
 type frameState struct {
 	idx    int
 	rec    FrameRecord
@@ -180,30 +254,32 @@ type frameState struct {
 	// peripheryPixels is the transmitted periphery pixel count (both
 	// eyes), kept for controller feedback.
 	peripheryPixels float64
+	// part is the frame's foveation partition and chainStart the
+	// remote chain's start time, carried across the periphery stages.
+	part       foveation.Partition
+	chainStart float64
+	// motionN is the codec-normalized motion magnitude, fixed at
+	// dispatch.
+	motionN float64
 }
 
 // startFrame begins frame idx with the CPU stage, then dispatches to
 // the design-specific body.
 func (s *session) startFrame(idx int) {
-	f := &frameState{idx: idx}
-	f.rec.Index = idx
-	cpuTime := AppLogicSeconds + LocalSetupSeconds
-	if s.cfg.Design == QVRSoftware {
-		cpuTime += liwc.SoftwareControlOverheadSeconds
-	}
-	if s.cfg.ControllerLatencySeconds > 0 && (s.cfg.Design == DFR || s.cfg.Design == QVR) {
-		cpuTime += s.cfg.ControllerLatencySeconds
-	}
-	s.cpu.RequestWithStart(sim.Time(cpuTime), func() {
-		// CPU granted: this is the frame's start. Sample the tracker.
-		now := s.eng.Now().Seconds()
-		f.rec.StartSeconds = now
-		f.sample = s.tracker.SampleAt(now)
-		f.stats = s.st.Frame(f.sample)
-		f.rec.CPUSeconds = cpuTime
-	}, func() {
-		s.dispatch(f)
-	})
+	s.frame = frameState{idx: idx}
+	s.frame.rec.Index = idx
+	s.cpu.RequestWithStart(sim.Time(s.cpuTime), s.cbFrameStart, s.cbDispatch)
+}
+
+// frameGranted runs when the CPU grants the frame's setup stage: this
+// is the frame's start, so sample the tracker.
+func (s *session) frameGranted() {
+	now := s.eng.Now().Seconds()
+	f := &s.frame
+	f.rec.StartSeconds = now
+	f.sample = s.tracker.SampleAt(now)
+	f.stats = s.st.Frame(f.sample)
+	f.rec.CPUSeconds = s.cpuTime
 }
 
 // dispatch routes to the design body after the CPU stage.
@@ -270,7 +346,7 @@ func (s *session) finish(f *frameState, composeDone, extraMTP float64) {
 	f.rec.Energy = energy.Frame(p)
 
 	if f.idx >= s.cfg.Warmup {
-		s.records = append(s.records, f.rec)
+		s.sink.Observe(f.rec)
 	}
 
 	// Controller feedback.

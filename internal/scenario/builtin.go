@@ -290,6 +290,35 @@ duration = 180
 sessions = 8
 `,
 
+	// mega-steady: the scale proof for the streaming metrics core. A
+	// ramp seeds the grid, then a 20,000-session steady state holds
+	// for two phases. There is nothing adversarial here on purpose:
+	// the scenario exists so `make scale-smoke` (and anyone sizing a
+	// deployment) can watch a 20k-session fleet run in constant
+	// per-frame memory — per-session state is a compact summary plus
+	// one float64 per measured frame, never a FrameRecord slice.
+	// Short frame counts keep the default run affordable; the smoke
+	// trims them further.
+	"mega-steady": `
+[scenario]
+name   = mega-steady
+mix    = mixed
+frames = 20
+warmup = 8
+
+[phase ramp]
+duration = 60
+sessions = 2000
+
+[phase peak]
+duration = 120
+sessions = 20000
+
+[phase sustain]
+duration = 120
+sessions = 20000
+`,
+
 	// churn: the population size holds but its members do not — half
 	// of the users are replaced every phase, so per-session state
 	// (controller warm-up, channel estimates) keeps restarting.

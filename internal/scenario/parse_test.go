@@ -321,7 +321,7 @@ func TestParseGridScenario(t *testing.T) {
 func TestBuiltinsParseAndValidate(t *testing.T) {
 	names := BuiltinNames()
 	want := []string{"churn", "cluster-outage-failover", "diurnal", "edge-autoscale-flashcrowd",
-		"edge-imbalance", "edge-regional-outage", "flash-crowd", "net-brownout", "steady"}
+		"edge-imbalance", "edge-regional-outage", "flash-crowd", "mega-steady", "net-brownout", "steady"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("built-ins = %v, want %v", names, want)
 	}

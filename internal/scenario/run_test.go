@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"qvr/internal/fleet"
+	"qvr/internal/framesink"
 	"qvr/internal/netsim"
 	"qvr/internal/pipeline"
 )
@@ -83,7 +85,7 @@ func TestClusterOutageFailover(t *testing.T) {
 		t.Errorf("outage dropped %d sessions; failover must not drop", n)
 	}
 	for _, sr := range outage.Fleet.Sessions {
-		if sr.Result.Config.Design != pipeline.LocalOnly {
+		if sr.Config.Design != pipeline.LocalOnly {
 			t.Errorf("session %q not failed over during outage", sr.Spec.Name)
 		}
 	}
@@ -165,7 +167,7 @@ func TestPhaseSeedsDiffer(t *testing.T) {
 			if seeds[sr.Spec.Name] == nil {
 				seeds[sr.Spec.Name] = map[int64]bool{}
 			}
-			seeds[sr.Spec.Name][sr.Result.Config.Seed] = true
+			seeds[sr.Spec.Name][sr.Config.Seed] = true
 		}
 	}
 	for name, set := range seeds {
@@ -217,7 +219,7 @@ func TestNetBrownoutDeratesAndRecovers(t *testing.T) {
 	brown, recovered := r.Phases[1], r.Phases[2]
 	scaled := 0
 	for _, sr := range brown.Fleet.Sessions {
-		cond := sr.Result.Config.Network
+		cond := sr.Config.Network
 		nominal, ok := netsim.ConditionByName(cond.Name)
 		if !ok {
 			t.Fatalf("session %q on unknown condition %q", sr.Spec.Name, cond.Name)
@@ -235,9 +237,9 @@ func TestNetBrownoutDeratesAndRecovers(t *testing.T) {
 		t.Fatal("brownout touched no sessions; mix should include Wi-Fi/LTE users")
 	}
 	for _, sr := range recovered.Fleet.Sessions {
-		nominal, _ := netsim.ConditionByName(sr.Result.Config.Network.Name)
-		if sr.Result.Config.Network.BandwidthBps != nominal.BandwidthBps {
-			t.Errorf("derate leaked into recovery for %q: %v", sr.Spec.Name, sr.Result.Config.Network.BandwidthBps)
+		nominal, _ := netsim.ConditionByName(sr.Config.Network.Name)
+		if sr.Config.Network.BandwidthBps != nominal.BandwidthBps {
+			t.Errorf("derate leaked into recovery for %q: %v", sr.Spec.Name, sr.Config.Network.BandwidthBps)
 		}
 	}
 	if brown.Summary.Summary.P99MTPMs <= r.Phases[0].Summary.Summary.P99MTPMs {
@@ -272,7 +274,7 @@ func TestEdgeRegionalOutage(t *testing.T) {
 	// The steady phase must use the EU site, or the outage is vacuous.
 	euUsers := 0
 	for _, sr := range steady.Fleet.Sessions {
-		if sr.Result.Config.RemoteClusterName == "eu-central" {
+		if sr.Config.RemoteClusterName == "eu-central" {
 			euUsers++
 		}
 	}
@@ -285,10 +287,10 @@ func TestEdgeRegionalOutage(t *testing.T) {
 	}
 	handoffs := 0
 	for _, sr := range outage.Fleet.Sessions {
-		if sr.Result.Config.RemoteClusterName == "eu-central" {
+		if sr.Config.RemoteClusterName == "eu-central" {
 			t.Errorf("session %q still bound to the dead site", sr.Spec.Name)
 		}
-		if sr.Result.Config.RemoteHandoffSeconds > 0 {
+		if sr.Config.RemoteHandoffSeconds > 0 {
 			handoffs++
 		}
 	}
@@ -626,11 +628,11 @@ func TestAutoscaleFlapChargesOneHandoffPerMove(t *testing.T) {
 		}
 		// ...and the handoff stall is charged to exactly the movers.
 		for _, sr := range p.Fleet.Sessions {
-			charged := sr.Result.Config.RemoteHandoffSeconds > 0
+			charged := sr.Config.RemoteHandoffSeconds > 0
 			if charged && moved[sr.Spec.Name] == 0 {
 				t.Errorf("phase %q charged unmoved session %q a handoff", p.Phase.Name, sr.Spec.Name)
 			}
-			if !charged && moved[sr.Spec.Name] > 0 && sr.Result.Config.RemoteClusterName != "" {
+			if !charged && moved[sr.Spec.Name] > 0 && sr.Config.RemoteClusterName != "" {
 				t.Errorf("phase %q moved session %q without a handoff", p.Phase.Name, sr.Spec.Name)
 			}
 		}
@@ -664,5 +666,107 @@ func TestAutoscaleFlapChargesOneHandoffPerMove(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestStreamingEquivalenceAcrossTimeline is the timeline-level
+// sink-equivalence property over migrations and autoscaling: for the
+// autoscaled flash-crowd grid, every per-session streamed summary must
+// match a materialized full-record re-run of the admitted config bit
+// for bit — including sessions carrying WAN paths, migration handoffs
+// and autoscaler-resized clusters.
+func TestStreamingEquivalenceAcrossTimeline(t *testing.T) {
+	r := mustRun(t, mustBuiltin(t, "edge-autoscale-flashcrowd"), tiny)
+	checked := 0
+	for _, p := range r.Phases {
+		for i, sr := range p.Fleet.Sessions {
+			// Every config shape is covered by the first few sessions
+			// of each phase; re-running all of them would just be slow.
+			if i >= 4 {
+				break
+			}
+			var rec framesink.RecordSink
+			full := rec.Result(pipeline.NewSession(sr.Config).RunSink(&rec))
+			st := sr.Stats
+			if st.Frames != len(full.Frames) {
+				t.Fatalf("phase %q session %q: %d streamed frames, %d materialized",
+					p.Phase.Name, sr.Spec.Name, st.Frames, len(full.Frames))
+			}
+			for name, pair := range map[string][2]float64{
+				"avg_mtp": {st.AvgMTPSeconds, full.AvgMTPSeconds()},
+				"fps":     {st.FPS, full.FPS()},
+				"bytes":   {st.AvgBytesSent, full.AvgBytesSent()},
+				"p99":     {st.PercentileMTP(0.99), full.PercentileMTP(0.99)},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Errorf("phase %q session %q: %s streamed %v != materialized %v",
+						p.Phase.Name, sr.Spec.Name, name, pair[0], pair[1])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no sessions checked; the test lost its subject")
+	}
+}
+
+// TestEmptyPhaseWindows: a timeline with zero-session windows in the
+// middle must report zeroed (never NaN) summaries for them and keep
+// the roll-up anchored on the phases that carried traffic.
+func TestEmptyPhaseWindows(t *testing.T) {
+	sc, err := ParseString(`
+[scenario]
+name   = empty-windows
+mix    = mixed
+frames = 12
+warmup = 4
+
+[phase warm]
+duration = 60
+sessions = 6
+
+[phase drained]
+duration = 60
+sessions = 0
+
+[phase refill]
+duration = 60
+sessions = 6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRun(t, sc, tiny)
+	if len(r.Phases) != 3 {
+		t.Fatalf("got %d phases", len(r.Phases))
+	}
+	drained := r.Phases[1]
+	if drained.Active != 0 || len(drained.Fleet.Sessions) != 0 {
+		t.Fatalf("drained phase ran %d sessions", drained.Active)
+	}
+	s := drained.Summary.Summary
+	for name, v := range map[string]float64{
+		"p50": s.P50MTPMs, "p99": s.P99MTPMs, "mean_fps": s.MeanFPS,
+		"agg_mbps": s.AggregateMBps, "target_share": s.TargetShare,
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("drained phase %s = %v, want 0", name, v)
+		}
+	}
+	roll := r.Rollup
+	if roll.BaselinePhase != "warm" {
+		t.Errorf("baseline %q, want the first traffic phase", roll.BaselinePhase)
+	}
+	if math.IsNaN(roll.DegradationFactor) || math.IsInf(roll.DegradationFactor, 0) {
+		t.Errorf("degradation factor %v, want finite", roll.DegradationFactor)
+	}
+	if roll.Disrupted {
+		t.Error("an empty window is not a disruption")
+	}
+
+	// The report must also survive JSON encoding without NaN leakage.
+	if _, err := json.Marshal(drained.Summary); err != nil {
+		t.Errorf("empty-window summary does not marshal: %v", err)
 	}
 }

@@ -15,7 +15,15 @@ type Resource struct {
 	name     string
 	capacity int
 	busy     int
-	queue    []*job
+	// queue is a head-indexed FIFO: dequeuing advances head instead of
+	// reslicing, and the slice rewinds to its start whenever it drains,
+	// so the backing array is reused for the whole run.
+	queue []*job
+	head  int
+	// free recycles job structs (and their one-time completion
+	// closures), keeping the per-request hot path allocation-free
+	// after warm-up.
+	free []*job
 
 	// Accounting for utilization reports.
 	busyTime   Time
@@ -27,6 +35,9 @@ type job struct {
 	service Time
 	onStart func()
 	onDone  func()
+	// complete is bound once per pooled job: it releases the server,
+	// returns the job to the pool, then runs onDone and re-dispatches.
+	complete func()
 }
 
 // NewResource creates a resource with the given number of servers
@@ -53,29 +64,55 @@ func (r *Resource) RequestWithStart(service Time, onStart, onDone func()) {
 	if service < 0 {
 		service = 0
 	}
-	j := &job{service: service, onStart: onStart, onDone: onDone}
+	j := r.newJob()
+	j.service, j.onStart, j.onDone = service, onStart, onDone
 	r.queue = append(r.queue, j)
 	r.dispatch()
 }
 
+// newJob takes a job from the pool or builds one, binding its
+// completion closure exactly once.
+func (r *Resource) newJob() *job {
+	if n := len(r.free); n > 0 {
+		j := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return j
+	}
+	j := &job{}
+	j.complete = func() {
+		r.accountBusy()
+		r.busy--
+		r.served++
+		// Recycle before the callback: onDone may request this
+		// resource again and can safely reuse the struct, because the
+		// callback itself is held locally.
+		done := j.onDone
+		j.onStart, j.onDone = nil, nil
+		r.free = append(r.free, j)
+		if done != nil {
+			done()
+		}
+		r.dispatch()
+	}
+	return j
+}
+
 func (r *Resource) dispatch() {
-	for r.busy < r.capacity && len(r.queue) > 0 {
-		j := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.busy < r.capacity && r.head < len(r.queue) {
+		j := r.queue[r.head]
+		r.queue[r.head] = nil
+		r.head++
+		if r.head == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.head = 0
+		}
 		r.accountBusy()
 		r.busy++
 		if j.onStart != nil {
 			j.onStart()
 		}
-		r.engine.Schedule(j.service, func() {
-			r.accountBusy()
-			r.busy--
-			r.served++
-			if j.onDone != nil {
-				j.onDone()
-			}
-			r.dispatch()
-		})
+		r.engine.Schedule(j.service, j.complete)
 	}
 }
 
@@ -89,7 +126,7 @@ func (r *Resource) accountBusy() {
 func (r *Resource) InUse() int { return r.busy }
 
 // QueueLen reports the number of jobs waiting for a server.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.head }
 
 // Served reports the number of completed jobs.
 func (r *Resource) Served() int64 { return r.served }

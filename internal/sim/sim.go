@@ -70,6 +70,10 @@ type Engine struct {
 	queue eventHeap
 	seq   int64
 	steps int64
+	// free recycles executed event structs: a session schedules a
+	// handful of events per simulated frame, and pooling them keeps
+	// the hot loop allocation-free after the first few frames.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -92,7 +96,16 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		delay = 0
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = e.now+delay, e.seq, fn
+	} else {
+		ev = &event{at: e.now + delay, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
 }
 
 // At runs fn at absolute simulated time t (or immediately if t is in
@@ -110,7 +123,13 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.steps++
-	ev.fn()
+	// Recycle before running: fn may schedule new events, and handing
+	// it this struct back immediately keeps the pool at the queue's
+	// high-water mark.
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 
