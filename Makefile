@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke profile fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke profile fmt vet fmt-check ci
 
 # build compiles every package and drops the command binaries
-# (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario)
-# into ./bin.
+# (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario,
+# qvr-edge, qvr-capacity) into ./bin.
 build:
 	$(GO) build ./...
 	$(GO) build -o bin/ ./cmd/...
@@ -23,50 +23,51 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Benchmark trajectory: the fleet + edge benchmarks as a machine-
-# readable JSON event stream (go test -json -benchmem), one file CI
-# archives every run so the perf history accumulates across PRs. The
-# awk gate then scrapes BenchmarkFleetStreaming's allocs/op out of the
-# stream and fails the build if it regressed more than 20% over the
-# checked-in baseline — the streaming metrics core is the engine's
-# scaling story, and allocation creep is how it would quietly die.
+# Benchmark trajectory: the fleet + edge + capacity benchmarks as a
+# machine-readable JSON event stream (go test -json -benchmem), one
+# file CI archives every run so the perf history accumulates across
+# PRs. scripts/bench_gate.sh then scrapes allocs/op for every
+# benchmark named in bench_baseline.txt and fails the build on a >20%
+# regression — or on a missing/malformed baseline, so the gate can
+# never silently skip.
 bench-json:
 	@mkdir -p bin
-	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge|BenchmarkAutoscale' -benchmem -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
+	$(GO) test -json -bench 'BenchmarkFleet|BenchmarkEdge|BenchmarkAutoscale|BenchmarkCapacity' -benchmem -benchtime=1x -run '^$$' . > bin/BENCH_edge.json
 	@echo "wrote bin/BENCH_edge.json ($$(wc -c < bin/BENCH_edge.json) bytes)"
-	@baseline=$$(grep -v '^#' bench_baseline.txt | head -1); \
-	allocs=$$(grep 'BenchmarkFleetStreaming' bin/BENCH_edge.json | grep 'allocs/op' | \
-		sed -E 's/.*[^0-9]([0-9]+) allocs\/op.*/\1/' | head -1); \
-	if [ -z "$$allocs" ]; then echo "bench gate FAIL: no allocs/op for BenchmarkFleetStreaming"; exit 1; fi; \
-	limit=$$((baseline + baseline / 5)); \
-	if [ "$$allocs" -gt "$$limit" ]; then \
-		echo "bench gate FAIL: BenchmarkFleetStreaming $$allocs allocs/op > $$limit (baseline $$baseline +20%)"; exit 1; \
-	fi; \
-	echo "bench gate OK: BenchmarkFleetStreaming $$allocs allocs/op <= $$limit (baseline $$baseline +20%)"
+	@./scripts/bench_gate.sh bench_baseline.txt bin/BENCH_edge.json
 
-# Edge-grid smoke: the regional-outage built-in in miniature, then the
-# grid determinism contract — byte-identical JSON across worker pool
-# sizes, with sessions migrating (not dropping) through the outage.
+# Every smoke below enforces the same determinism contract through
+# scripts/determinism_smoke.sh: byte-identical JSON across worker pool
+# sizes, because sharded worker-local state may never leak into the
+# science.
+
+# Scenario smoke: one built-in timeline in miniature, then the
+# determinism contract on the outage-failover scenario.
+scenario-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/qvr-scenario -builtin flash-crowd -frames 8 -warmup 4
+	@./scripts/determinism_smoke.sh scenario scn 1 7 '' \
+		$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4
+
+# Edge-grid smoke: the regional-outage built-in in miniature, with
+# sessions migrating (not dropping) through the outage.
 edge-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
-	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 1 -format json > bin/edge-w1.json
-	@$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 -workers 7 -format json > bin/edge-w7.json
-	@diff bin/edge-w1.json bin/edge-w7.json && echo "edge determinism OK (workers 1 == workers 7)"
+	@./scripts/determinism_smoke.sh edge edge 1 7 '' \
+		$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
 
 # Autoscale smoke: the flash-crowd autoscaling built-in in miniature,
-# then the closed loop's two contracts — byte-identical JSON across
-# worker pool sizes (the controller's decisions are pure functions of
-# windowed metrics), and elastic capacity beating static peak
-# provisioning on GPU-seconds. The awk gate scrapes the report totals
-# (the autoscale block follows the phase rows, so the last
-# "gpu_seconds" is the timeline total).
+# then the closed loop's two contracts — determinism (the controller's
+# decisions are pure functions of windowed metrics), and elastic
+# capacity beating static peak provisioning on GPU-seconds. The awk
+# gate scrapes the report totals (the autoscale block follows the
+# phase rows, so the last "gpu_seconds" is the timeline total).
 autoscale-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4
-	@$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4 -workers 1 -format json > bin/autoscale-w1.json
-	@$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4 -workers 4 -format json > bin/autoscale-w4.json
-	@diff bin/autoscale-w1.json bin/autoscale-w4.json && echo "autoscale determinism OK (workers 1 == workers 4)"
+	@./scripts/determinism_smoke.sh autoscale autoscale 1 4 '' \
+		$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4
 	@awk -F': *' '/"gpu_seconds"/ { gsub(/,/, "", $$2); used = $$2 } \
 		/"static_peak_gpu_seconds"/ { gsub(/,/, "", $$2); peak = $$2 } \
 		END { \
@@ -78,19 +79,43 @@ autoscale-smoke:
 
 # Scale smoke: the streaming metrics core at production scale — the
 # mega-steady built-in runs a 20,000-session steady state (42k session
-# simulations across three phases, trimmed to 3 frames each) twice,
-# and the reports must be byte-identical between a single worker and
-# four. This is the 100k-session contract in CI-sized form: sharded
-# worker-local sinks may never leak into the science, and the run must
-# fit the CI memory budget because per-session state is a compact
-# summary, not a FrameRecord slice.
+# simulations across three phases, trimmed to 2 frames each) twice.
+# This is the 100k-session contract in CI-sized form: the run must
+# also fit the CI memory budget, because per-session state is a
+# compact summary, not a FrameRecord slice.
 scale-smoke:
 	@mkdir -p bin
-	@echo "scale-smoke: mega-steady (20k sessions) on 1 worker..."
-	@$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1 -workers 1 -format json > bin/scale-w1.json
-	@echo "scale-smoke: mega-steady (20k sessions) on 4 workers..."
-	@$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1 -workers 4 -format json > bin/scale-w4.json
-	@diff bin/scale-w1.json bin/scale-w4.json && echo "scale determinism OK (20k sessions, workers 1 == workers 4)"
+	@./scripts/determinism_smoke.sh scale scale 1 4 '' \
+		$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1
+
+# Capacity smoke: the HPL-style probe in miniature on the
+# capacity-probe built-in. Three gates: (1) the knee-curve JSON is
+# byte-identical across worker pool sizes — the scaling study's
+# wall-clock-derived fields are the only lines excluded from the diff;
+# (2) the probe found a real knee strictly inside the search bounds
+# (an answer pinned to either bound is a bound, not a measurement);
+# (3) the run produced the BENCH_capacity.json event stream and the
+# HPL.dat-style capacity.params file CI archives.
+capacity-smoke:
+	@mkdir -p bin
+	@./scripts/determinism_smoke.sh capacity cap 1 4 \
+		'"(wall_seconds|sessions_per_sec|speedup|efficiency)"' \
+		$(GO) run ./cmd/qvr-capacity -builtin capacity-probe -frames 40 -warmup 8 \
+			-scale-workers 1,4 -spw 4 \
+			-params bin/capacity.params -events bin/BENCH_capacity.json
+	@awk -F': *' '/"min_sessions"/ { gsub(/,/, "", $$2); min = $$2 } \
+		/"max_sessions"/ { gsub(/,/, "", $$2); max = $$2 } \
+		/"outcome"/ { gsub(/[",]/, "", $$2); outcome = $$2 } \
+		/"knee_sessions"/ { gsub(/,/, "", $$2); knee = $$2 } \
+		END { \
+			if (outcome != "knee" || knee + 0 <= min + 0 || knee + 0 >= max + 0) { \
+				printf "capacity smoke FAIL: outcome %s, knee %s not strictly inside [%s, %s]\n", outcome, knee, min, max; exit 1 \
+			} \
+			printf "capacity knee OK: %s sessions strictly inside [%s, %s]\n", knee, min, max \
+		}' bin/cap-w1.json
+	@test -s bin/BENCH_capacity.json || { echo "capacity smoke FAIL: bin/BENCH_capacity.json missing or empty"; exit 1; }
+	@test -s bin/capacity.params || { echo "capacity smoke FAIL: bin/capacity.params missing or empty"; exit 1; }
+	@echo "capacity artifacts OK: bin/BENCH_capacity.json ($$(wc -l < bin/BENCH_capacity.json) events), bin/capacity.params"
 
 # Profile the scale scenario: CPU + end-of-run heap profiles of the
 # real fleet workload (not a synthetic benchmark), for the
@@ -102,16 +127,6 @@ profile: build
 	@echo "wrote bin/scenario-cpu.prof and bin/scenario-mem.prof"
 	@echo "inspect with: go tool pprof bin/scenario-cpu.prof"
 
-# Scenario smoke: one built-in timeline in miniature, then the
-# determinism contract — the outage-failover scenario must produce
-# byte-identical JSON for different worker pool sizes.
-scenario-smoke:
-	@mkdir -p bin
-	$(GO) run ./cmd/qvr-scenario -builtin flash-crowd -frames 8 -warmup 4
-	@$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4 -workers 1 -format json > bin/scn-w1.json
-	@$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4 -workers 7 -format json > bin/scn-w7.json
-	@diff bin/scn-w1.json bin/scn-w7.json && echo "scenario determinism OK (workers 1 == workers 7)"
-
 fmt:
 	gofmt -w .
 
@@ -122,4 +137,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke bench-json
+ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke bench-json

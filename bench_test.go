@@ -11,6 +11,7 @@ import (
 	"sort"
 	"testing"
 
+	"qvr/internal/capacity"
 	"qvr/internal/edge"
 	"qvr/internal/experiments"
 	"qvr/internal/fleet"
@@ -590,6 +591,35 @@ func BenchmarkAutoscaleFlashCrowd(b *testing.B) {
 	b.ReportMetric(rep.SavedFraction*100, "gpu-s-saved-%")
 	b.ReportMetric(float64(rep.SLOMetPhases), "slo-met-phases")
 	b.ReportMetric(float64(len(rep.Events)), "scale-events")
+}
+
+// BenchmarkCapacityProbe runs the HPL-style capacity probe in
+// miniature — binary search plus a trimmed knee sweep, no scaling
+// study — and reports the probe's science (the knee itself and how
+// many fleet evaluations the search cost) alongside allocs/op, which
+// the bench-json gate tracks: the probe re-runs whole fleets per
+// search step, so allocation creep here multiplies across every point.
+func BenchmarkCapacityProbe(b *testing.B) {
+	sc, err := scenario.Builtin("capacity-probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep capacity.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = capacity.Probe(capacity.Config{
+			Scenario:       sc,
+			GridPoints:     3,
+			FramesOverride: 8,
+			WarmupOverride: scenario.Warmup(4),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.KneeSessions), "knee-sessions")
+	b.ReportMetric(float64(len(rep.Search)), "search-evals")
 }
 
 // BenchmarkSurveyProxy runs the Section 3.1 perception study proxy and

@@ -35,7 +35,7 @@ import (
 
 func main() {
 	file := flag.String("file", "", "grid scenario file to run (needs [cluster] sections)")
-	builtin := flag.String("builtin", "", "built-in grid scenario: "+strings.Join(gridBuiltins(), " "))
+	builtin := flag.String("builtin", "", "built-in grid scenario: "+strings.Join(scenario.GridBuiltinNames(), " "))
 	list := flag.Bool("list", false, "list built-in grid scenarios and exit")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = all cores; never affects results)")
 	frames := flag.Int("frames", 0, "override measured frames per session per phase (0 = scenario setting)")
@@ -54,7 +54,7 @@ func main() {
 	defer stopProfiles()
 
 	if *list {
-		for _, name := range gridBuiltins() {
+		for _, name := range scenario.GridBuiltinNames() {
 			sc, err := scenario.Builtin(name)
 			if err != nil {
 				fail("%v", err)
@@ -79,7 +79,7 @@ func main() {
 	case *builtin != "":
 		sc, err = scenario.Builtin(*builtin)
 	default:
-		fail("need -file, -builtin or -list (built-ins: %s)", strings.Join(gridBuiltins(), " "))
+		fail("need -file, -builtin or -list (built-ins: %s)", strings.Join(scenario.GridBuiltinNames(), " "))
 	}
 	if err != nil {
 		fail("%v", err)
@@ -117,17 +117,6 @@ func main() {
 
 func fail(format string, args ...interface{}) {
 	cliout.Fail("qvr-edge", format, args...)
-}
-
-// gridBuiltins filters the scenario library down to grid-mode entries.
-func gridBuiltins() []string {
-	var names []string
-	for _, name := range scenario.BuiltinNames() {
-		if sc, err := scenario.Builtin(name); err == nil && len(sc.Topology.Clusters) > 0 {
-			names = append(names, name)
-		}
-	}
-	return names
 }
 
 // placementOf spells the effective policy (the default when unset).

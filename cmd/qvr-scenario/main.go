@@ -52,7 +52,13 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			fmt.Printf("%-24s %d phases, mix %s\n", name, len(sc.Phases), sc.Mix)
+			// Grid scenarios run here too, but their per-cluster story
+			// needs qvr-edge; say so instead of hiding the topology.
+			grid := ""
+			if n := len(sc.Topology.Clusters); n > 0 {
+				grid = fmt.Sprintf(", %d-cluster grid (see qvr-edge)", n)
+			}
+			fmt.Printf("%-24s %d phases, mix %s%s\n", name, len(sc.Phases), sc.Mix, grid)
 		}
 		return
 	}

@@ -1,0 +1,436 @@
+package capacity
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qvr/internal/edge"
+	"qvr/internal/fleet"
+	"qvr/internal/scenario"
+)
+
+// recorder wraps a met-predicate, recording evaluation order and
+// failing the test if any candidate is evaluated twice — the property
+// that makes the search deterministic under non-monotone noise.
+type recorder struct {
+	t     *testing.T
+	met   func(int) bool
+	order []int
+}
+
+func (r *recorder) eval(n int) (bool, error) {
+	for _, seen := range r.order {
+		if seen == n {
+			r.t.Fatalf("candidate %d evaluated twice (order %v)", n, r.order)
+		}
+	}
+	r.order = append(r.order, n)
+	return r.met(n), nil
+}
+
+func TestFindKneeUnmeetableAtFloor(t *testing.T) {
+	// SLO violated already at the lower bound: capacity is zero, and
+	// the search must not waste evaluations above the floor.
+	r := &recorder{t: t, met: func(int) bool { return false }}
+	knee, outcome, err := FindKnee(4, 64, r.eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 0 || outcome != OutcomeBelowMin {
+		t.Errorf("got (%d, %s), want (0, %s)", knee, outcome, OutcomeBelowMin)
+	}
+	if !reflect.DeepEqual(r.order, []int{4}) {
+		t.Errorf("evaluated %v, want just the floor", r.order)
+	}
+}
+
+func TestFindKneeMetAtCeiling(t *testing.T) {
+	// SLO still met at the upper bound: the result is the bound, not a
+	// knee, and the outcome says so.
+	r := &recorder{t: t, met: func(int) bool { return true }}
+	knee, outcome, err := FindKnee(1, 64, r.eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 64 || outcome != OutcomeAtMax {
+		t.Errorf("got (%d, %s), want (64, %s)", knee, outcome, OutcomeAtMax)
+	}
+	if !reflect.DeepEqual(r.order, []int{1, 64}) {
+		t.Errorf("evaluated %v, want floor then ceiling only", r.order)
+	}
+}
+
+func TestFindKneeDegenerateBounds(t *testing.T) {
+	// lo == hi met: the single admissible point is a bound by
+	// definition.
+	knee, outcome, err := FindKnee(5, 5, func(int) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 5 || outcome != OutcomeAtMax {
+		t.Errorf("got (%d, %s), want (5, %s)", knee, outcome, OutcomeAtMax)
+	}
+}
+
+func TestFindKneeInvalidBounds(t *testing.T) {
+	for _, b := range [][2]int{{0, 10}, {-1, 10}, {10, 9}} {
+		if _, _, err := FindKnee(b[0], b[1], func(int) (bool, error) { return true, nil }); err == nil {
+			t.Errorf("bounds %v: want error", b)
+		}
+	}
+}
+
+func TestFindKneeExact(t *testing.T) {
+	// A clean monotone threshold: the search must land exactly on it,
+	// in O(log) evaluations.
+	const threshold = 37
+	r := &recorder{t: t, met: func(n int) bool { return n <= threshold }}
+	knee, outcome, err := FindKnee(1, 128, r.eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != threshold || outcome != OutcomeKnee {
+		t.Errorf("got (%d, %s), want (%d, %s)", knee, outcome, threshold, OutcomeKnee)
+	}
+	if len(r.order) > 10 { // 2 bounds + ceil(log2(127))
+		t.Errorf("%d evaluations for a 128-wide search, want <= 10 (%v)", len(r.order), r.order)
+	}
+}
+
+// TestFindKneeNonMonotone drives the search with a metric that is
+// noisy near the knee — pockets of failure below the broad threshold
+// and a pocket of success above it. The contract is not that the
+// search finds the global knee of such a metric (no bisection can),
+// but that it terminates in O(log) evaluations, never re-evaluates a
+// candidate, returns a point that itself met the SLO, and — being a
+// pure function of the evaluator — returns the identical trace and
+// result every time.
+func TestFindKneeNonMonotone(t *testing.T) {
+	noisy := func(n int) bool {
+		switch n {
+		case 33, 35: // failure pockets below the broad threshold
+			return false
+		case 45: // success pocket above it
+			return true
+		}
+		return n <= 40
+	}
+	var firstKnee int
+	var firstOrder []int
+	for trial := 0; trial < 3; trial++ {
+		r := &recorder{t: t, met: noisy}
+		knee, outcome, err := FindKnee(1, 128, r.eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != OutcomeKnee {
+			t.Fatalf("outcome %s, want %s", outcome, OutcomeKnee)
+		}
+		if !noisy(knee) {
+			t.Errorf("returned knee %d does not itself meet the SLO", knee)
+		}
+		if len(r.order) > 10 {
+			t.Errorf("%d evaluations, want <= 10 (%v)", len(r.order), r.order)
+		}
+		if trial == 0 {
+			firstKnee, firstOrder = knee, r.order
+			continue
+		}
+		if knee != firstKnee || !reflect.DeepEqual(r.order, firstOrder) {
+			t.Errorf("trial %d: knee %d order %v, want knee %d order %v (nondeterministic search)",
+				trial, knee, r.order, firstKnee, firstOrder)
+		}
+	}
+}
+
+func TestGridSessions(t *testing.T) {
+	grid := gridSessions(31, 9, 0.5)
+	if len(grid) == 0 {
+		t.Fatal("empty grid")
+	}
+	seen := map[int]bool{}
+	hasCenter := false
+	for i, n := range grid {
+		if n < 1 {
+			t.Errorf("grid point %d < 1", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate grid point %d", n)
+		}
+		seen[n] = true
+		if i > 0 && grid[i-1] >= n {
+			t.Errorf("grid not ascending: %v", grid)
+		}
+		if n == 31 {
+			hasCenter = true
+		}
+	}
+	if !hasCenter {
+		t.Errorf("grid %v omits its center", grid)
+	}
+	if lo, hi := grid[0], grid[len(grid)-1]; lo > 16 || hi < 46 {
+		t.Errorf("grid %v does not span [~16, ~46]", grid)
+	}
+
+	// A center of 1 clamps: no zero or negative session counts.
+	for _, n := range gridSessions(1, 5, 0.9) {
+		if n < 1 {
+			t.Errorf("clamped grid emitted %d", n)
+		}
+	}
+}
+
+// probeScenario is a miniature two-site grid with a P99 SLO, small
+// enough for the full probe to run in test time.
+func probeScenario(t *testing.T) scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Builtin("capacity-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func miniConfig(sc scenario.Scenario) Config {
+	return Config{
+		Scenario:       sc,
+		MaxSessions:    48,
+		GridPoints:     3,
+		FramesOverride: 8,
+		WarmupOverride: scenario.Warmup(4),
+	}
+}
+
+func TestProbeFindsKneeInsideBounds(t *testing.T) {
+	rep, err := Probe(miniConfig(probeScenario(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeKnee {
+		t.Fatalf("outcome %s, want %s (search %+v)", rep.Outcome, OutcomeKnee, rep.Search)
+	}
+	if rep.KneeSessions <= rep.Params.MinSessions || rep.KneeSessions >= rep.Params.MaxSessions {
+		t.Errorf("knee %d not strictly inside [%d, %d]",
+			rep.KneeSessions, rep.Params.MinSessions, rep.Params.MaxSessions)
+	}
+	if len(rep.Search) == 0 || len(rep.Knee) == 0 {
+		t.Fatalf("empty trace: %d search, %d knee points", len(rep.Search), len(rep.Knee))
+	}
+	for i := 1; i < len(rep.Knee); i++ {
+		if rep.Knee[i-1].Sessions >= rep.Knee[i].Sessions {
+			t.Errorf("knee curve not ascending at %d", i)
+		}
+	}
+	// The knee point itself must be on the curve and meet the SLO.
+	found := false
+	for _, pt := range rep.Knee {
+		if pt.Sessions == rep.KneeSessions {
+			found = true
+			if !pt.Met {
+				t.Errorf("knee point %d on the curve does not meet the SLO", pt.Sessions)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("knee %d missing from its own curve", rep.KneeSessions)
+	}
+	// GPU-seconds price the declared capacity over the default window.
+	if want := 4.0 * DefaultWindowSeconds; rep.Knee[0].GPUSeconds != want {
+		t.Errorf("GPU-seconds %v, want %v (4 GPUs x default window)", rep.Knee[0].GPUSeconds, want)
+	}
+}
+
+func TestProbeDeterministicAcrossWorkers(t *testing.T) {
+	cfg1 := miniConfig(probeScenario(t))
+	cfg1.Workers = 1
+	cfg3 := cfg1
+	cfg3.Workers = 3
+	r1, err := Probe(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Probe(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Errorf("probe reports differ across workers:\n1: %+v\n3: %+v", r1, r3)
+	}
+}
+
+func TestProbeRequiresSLO(t *testing.T) {
+	sc, err := scenario.Builtin("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probe(Config{Scenario: sc, MaxSessions: 8}); err == nil {
+		t.Error("probe of an SLO-less scenario must fail")
+	}
+}
+
+func TestProbeUnmeetableSLOReportsZeroCapacity(t *testing.T) {
+	// A P99 MTP ceiling below physics (1 ms: under the bare network
+	// round trip): the probe must classify it, not loop or lie.
+	sc := probeScenario(t)
+	slo := *sc.SLO
+	slo.P99MTPMs = 1
+	sc.SLO = &slo
+	rep, err := Probe(miniConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeBelowMin || rep.KneeSessions != 0 {
+		t.Errorf("got (%s, %d), want (%s, 0)", rep.Outcome, rep.KneeSessions, OutcomeBelowMin)
+	}
+	if len(rep.Knee) == 0 {
+		t.Error("knee curve empty: the floor neighbourhood should still be swept")
+	}
+}
+
+func TestProbeBoundNotKnee(t *testing.T) {
+	// A ceiling below the real knee: the probe reports the bound and
+	// says so via the outcome.
+	cfg := miniConfig(probeScenario(t))
+	cfg.MaxSessions = 4
+	rep, err := Probe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeAtMax || rep.KneeSessions != 4 {
+		t.Errorf("got (%s, %d), want (%s, 4)", rep.Outcome, rep.KneeSessions, OutcomeAtMax)
+	}
+}
+
+func TestProbeEventStream(t *testing.T) {
+	var events []Event
+	cfg := miniConfig(probeScenario(t))
+	cfg.ScaleWorkers = []int{1, 2}
+	cfg.SessionsPerWorker = 2
+	cfg.Observer = func(e Event) { events = append(events, e) }
+	rep, err := Probe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("only %d events", len(events))
+	}
+	if events[0].Event != "params" || events[0].Params == nil || events[0].SLO == nil {
+		t.Errorf("first event %+v, want a params event carrying the resolved params and SLO", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Event != "result" || last.Outcome != rep.Outcome || last.KneeSessions != rep.KneeSessions {
+		t.Errorf("last event %+v, want the result event echoing the report", last)
+	}
+	points, scalings := 0, 0
+	for _, e := range events {
+		switch e.Event {
+		case "point":
+			points++
+			if e.Point == nil || (e.Stage != "search" && e.Stage != "knee") {
+				t.Errorf("malformed point event %+v", e)
+			}
+		case "scaling":
+			scalings++
+		}
+	}
+	// Cached knee-sweep points are not re-emitted, so the distinct
+	// session counts probed bound the point events.
+	if points < len(rep.Search) {
+		t.Errorf("%d point events < %d search evaluations", points, len(rep.Search))
+	}
+	if want := 2 * len(cfg.ScaleWorkers); scalings != want {
+		t.Errorf("%d scaling events, want %d (weak+strong per worker count)", scalings, want)
+	}
+}
+
+func TestProbeScalingStudyShape(t *testing.T) {
+	cfg := miniConfig(probeScenario(t))
+	cfg.ScaleWorkers = []int{1, 2}
+	cfg.SessionsPerWorker = 3
+	cfg.StrongSessions = 5
+	rep, err := Probe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scaling) != 4 {
+		t.Fatalf("%d scaling points, want 4", len(rep.Scaling))
+	}
+	for i, sp := range rep.Scaling {
+		mode, w := "weak", []int{1, 2}[i%2]
+		if i >= 2 {
+			mode = "strong"
+		}
+		if sp.Mode != mode || sp.Workers != w {
+			t.Errorf("point %d: (%s, %d workers), want (%s, %d)", i, sp.Mode, sp.Workers, mode, w)
+		}
+		want := 5
+		if mode == "weak" {
+			want = w * 3
+		}
+		if sp.Sessions != want {
+			t.Errorf("point %d: %d sessions, want %d", i, sp.Sessions, want)
+		}
+	}
+	// The first point of each mode is its own baseline.
+	if rep.Scaling[0].Speedup != 1 || rep.Scaling[0].Efficiency != 1 ||
+		rep.Scaling[2].Speedup != 1 || rep.Scaling[2].Efficiency != 1 {
+		t.Errorf("mode baselines not normalized to 1: %+v", rep.Scaling)
+	}
+}
+
+func TestProbeDefaultCeilingNeedsCapacity(t *testing.T) {
+	// No topology, no shared-cluster GPUs: there is nothing to derive
+	// the default ceiling from, and the probe must say so.
+	sc := probeScenario(t)
+	sc.Topology = edge.Topology{}
+	sc.Placement = ""
+	sc.SLO = &fleet.SLO{P99MTPMs: 135}
+	cfg := miniConfig(sc)
+	cfg.MaxSessions = 0
+	if _, err := Probe(cfg); err == nil || !strings.Contains(err.Error(), "max-sessions") {
+		t.Errorf("want a derive-max-sessions error, got %v", err)
+	}
+}
+
+func TestWriteParams(t *testing.T) {
+	rep := Report{
+		Scenario: "capacity-probe", Mix: "mixed", Design: "qvr", Seed: 1,
+		SLO: fleet.SLO{P99MTPMs: 135},
+		Params: Params{
+			MinSessions: 1, MaxSessions: 64, GridPoints: 9, GridSpan: 0.5,
+			WindowSeconds: 60, Frames: 40, Warmup: 8,
+			ScaleWorkers: []int{1, 4}, SessionsPerWorker: 4,
+		},
+	}
+	topo := edge.Topology{Clusters: []edge.ClusterSpec{
+		{Name: "us-west", GPUs: 2}, {Name: "eu-central", GPUs: 2},
+	}}
+	var sb strings.Builder
+	if err := WriteParams(&sb, rep, topo, "score"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"scenario                    : capacity-probe",
+		"topology                    : us-west:2 eu-central:2",
+		"placement                   : score",
+		"slo.p99-mtp-ms              : 135.0",
+		"search.min-sessions         : 1",
+		"search.max-sessions         : 64",
+		"knee.grid-points            : 9",
+		"knee.grid-span              : 0.500",
+		"window-seconds              : 60.0",
+		"scaling.workers             : 1 4",
+		"scaling.strong-sessions     : knee",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("params file missing %q:\n%s", want, out)
+		}
+	}
+	// No share floor declared: the line must be absent, so a params
+	// file never claims a target the probe did not enforce.
+	if strings.Contains(out, "min-90fps-share") {
+		t.Errorf("params file invents an undeclared share floor:\n%s", out)
+	}
+}

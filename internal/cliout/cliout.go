@@ -73,6 +73,20 @@ func WriteJSON(w io.Writer, v interface{}) error {
 	return enc.Encode(sanitize(reflect.ValueOf(v)))
 }
 
+// WriteJSONLine writes v as one compact JSON line — the NDJSON
+// event-stream convention the BENCH_* archives use, in the spirit of
+// `go test -json`. It shares WriteJSON's non-finite sanitizing and
+// field-order preservation, so the two encoders never disagree on a
+// value.
+func WriteJSONLine(w io.Writer, v interface{}) error {
+	b, err := json.Marshal(sanitize(reflect.ValueOf(v)))
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
 // kv/obj carry a sanitized struct as an order-preserving JSON object:
 // encoding/json would sort a map's keys, and report fields must stay
 // in declaration order.

@@ -9,38 +9,6 @@ package fleet
 // clock, never wall time — so autoscaled reports keep the fleet's
 // byte-identical-across-workers contract.
 
-// SLO declares the fleet's quality-of-experience targets: the numbers
-// an operator promises, and the numbers the autoscaler provisions
-// against. The zero value of each field means "no target".
-type SLO struct {
-	// P99MTPMs is the ceiling on windowed P99 motion-to-photon latency
-	// in milliseconds (the judder tail; 90-FPS VR wants <= ~11 ms of
-	// display interval headroom on top of the photon budget).
-	P99MTPMs float64 `json:"p99_mtp_ms,omitempty"`
-	// Min90FPSShare is the floor on the share of sessions sustaining at
-	// least 95% of the 90 FPS display rate (Summary.TargetShare).
-	Min90FPSShare float64 `json:"min_90fps_share,omitempty"`
-}
-
-// Enabled reports whether the SLO declares any target at all.
-func (s SLO) Enabled() bool { return s.P99MTPMs > 0 || s.Min90FPSShare > 0 }
-
-// Met reports whether one windowed Summary satisfies the SLO. A
-// window with no traffic meets it vacuously: an empty fleet violates
-// nothing.
-func (s SLO) Met(sum Summary) bool {
-	if sum.Sessions+sum.Dropped == 0 {
-		return true
-	}
-	if s.P99MTPMs > 0 && sum.P99MTPMs > s.P99MTPMs {
-		return false
-	}
-	if s.Min90FPSShare > 0 && sum.TargetShare < s.Min90FPSShare {
-		return false
-	}
-	return true
-}
-
 // ScaleEvent records one autoscaler decision: a cluster resized, with
 // when it was ordered and when the capacity becomes real.
 type ScaleEvent struct {

@@ -1,0 +1,66 @@
+package fleet
+
+// SLO evaluation, hoisted out of the autoscaler path: the scenario
+// timeline (per-phase attainment verdicts), the autoscale controller
+// (provision triggers) and the capacity probe (knee search) all judge
+// windowed fleet metrics against the same declared targets, so the
+// judgment lives here once. Everything is a pure function of a
+// windowed Summary — no wall clock — preserving the fleet's
+// byte-identical-across-workers reporting contract.
+
+// SLO declares the fleet's quality-of-experience targets: the numbers
+// an operator promises, and the numbers the autoscaler provisions
+// against. The zero value of each field means "no target".
+type SLO struct {
+	// P99MTPMs is the ceiling on windowed P99 motion-to-photon latency
+	// in milliseconds (the judder tail; 90-FPS VR wants <= ~11 ms of
+	// display interval headroom on top of the photon budget).
+	P99MTPMs float64 `json:"p99_mtp_ms,omitempty"`
+	// Min90FPSShare is the floor on the share of sessions sustaining at
+	// least 95% of the 90 FPS display rate (Summary.TargetShare).
+	Min90FPSShare float64 `json:"min_90fps_share,omitempty"`
+}
+
+// Enabled reports whether the SLO declares any target at all.
+func (s SLO) Enabled() bool { return s.P99MTPMs > 0 || s.Min90FPSShare > 0 }
+
+// SLOVerdict is one window's judgment against an SLO: the overall
+// verdict plus the per-target breakdown and margins, so a report (or a
+// capacity probe's knee search) can say not just "missed" but which
+// target by how much.
+type SLOVerdict struct {
+	// Met is the overall verdict: every declared target satisfied.
+	Met bool `json:"met"`
+	// P99Ok / ShareOk are the per-target verdicts (vacuously true for
+	// undeclared targets).
+	P99Ok   bool `json:"p99_ok"`
+	ShareOk bool `json:"share_ok"`
+	// P99MarginMs is the P99-MTP headroom in milliseconds: target minus
+	// observed, positive when inside the SLO (0 when undeclared).
+	P99MarginMs float64 `json:"p99_margin_ms"`
+	// ShareMargin is the 90-FPS-share headroom: observed minus floor,
+	// positive when inside the SLO (0 when undeclared).
+	ShareMargin float64 `json:"share_margin"`
+}
+
+// Evaluate judges one windowed Summary against the SLO. A window with
+// no traffic meets it vacuously: an empty fleet violates nothing.
+func (s SLO) Evaluate(sum Summary) SLOVerdict {
+	v := SLOVerdict{Met: true, P99Ok: true, ShareOk: true}
+	if sum.Sessions+sum.Dropped == 0 {
+		return v
+	}
+	if s.P99MTPMs > 0 {
+		v.P99MarginMs = s.P99MTPMs - sum.P99MTPMs
+		v.P99Ok = sum.P99MTPMs <= s.P99MTPMs
+	}
+	if s.Min90FPSShare > 0 {
+		v.ShareMargin = sum.TargetShare - s.Min90FPSShare
+		v.ShareOk = sum.TargetShare >= s.Min90FPSShare
+	}
+	v.Met = v.P99Ok && v.ShareOk
+	return v
+}
+
+// Met reports whether one windowed Summary satisfies the SLO.
+func (s SLO) Met(sum Summary) bool { return s.Evaluate(sum).Met }

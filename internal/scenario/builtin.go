@@ -319,6 +319,43 @@ duration = 120
 sessions = 20000
 `,
 
+	// capacity-probe: the HPL.dat of this repo. A plain two-site grid
+	// with a declared SLO and a single steady phase — deliberately
+	// boring, because it exists to be *probed*: `qvr-capacity` binary-
+	// searches the session count this topology sustains inside the
+	// [slo] targets and sweeps the knee curve around it. It runs fine
+	// under qvr-edge too (one phase, attainment-only SLO report).
+	"capacity-probe": `
+[scenario]
+name      = capacity-probe
+mix       = mixed
+placement = score
+
+# P99 MTP only: the mixed fleet's sustainable per-session FPS sits
+# below the 90 FPS display rate by design (mobile GPUs at 300-500 MHz),
+# so a min-90fps-share floor would be unmeetable at any session count.
+[slo]
+p99-mtp-ms = 135
+
+[cluster us-west]
+gpus   = 2
+rtt    = 40
+rtt.us = 8
+rtt.eu = 70
+rtt.ap = 90
+
+[cluster eu-central]
+gpus   = 2
+rtt    = 40
+rtt.us = 70
+rtt.eu = 10
+rtt.ap = 60
+
+[phase steady]
+duration = 120
+sessions = 8
+`,
+
 	// churn: the population size holds but its members do not — half
 	// of the users are replaced every phase, so per-session state
 	// (controller warm-up, channel estimates) keeps restarting.
@@ -366,5 +403,19 @@ func BuiltinNames() []string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names
+}
+
+// GridBuiltinNames lists the built-in scenarios that declare an edge
+// grid topology ([cluster] sections), sorted — the set qvr-edge runs.
+// Hoisted here (from qvr-edge's private filter) so every CLI's -list
+// output comes from the one registry and cannot drift from it.
+func GridBuiltinNames() []string {
+	var names []string
+	for _, name := range BuiltinNames() {
+		if sc, err := Builtin(name); err == nil && len(sc.Topology.Clusters) > 0 {
+			names = append(names, sc.Name)
+		}
+	}
 	return names
 }

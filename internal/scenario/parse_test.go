@@ -320,8 +320,9 @@ func TestParseGridScenario(t *testing.T) {
 
 func TestBuiltinsParseAndValidate(t *testing.T) {
 	names := BuiltinNames()
-	want := []string{"churn", "cluster-outage-failover", "diurnal", "edge-autoscale-flashcrowd",
-		"edge-imbalance", "edge-regional-outage", "flash-crowd", "mega-steady", "net-brownout", "steady"}
+	want := []string{"capacity-probe", "churn", "cluster-outage-failover", "diurnal",
+		"edge-autoscale-flashcrowd", "edge-imbalance", "edge-regional-outage",
+		"flash-crowd", "mega-steady", "net-brownout", "steady"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("built-ins = %v, want %v", names, want)
 	}
@@ -334,7 +335,14 @@ func TestBuiltinsParseAndValidate(t *testing.T) {
 		if sc.Name != name {
 			t.Errorf("built-in %q declares name %q", name, sc.Name)
 		}
-		if len(sc.Phases) < 3 {
+		// Timeline scenarios need a story arc; capacity-probe is the
+		// deliberate exception — a single steady phase, because it
+		// exists to be probed at externally chosen session counts.
+		minPhases := 3
+		if name == "capacity-probe" {
+			minPhases = 1
+		}
+		if len(sc.Phases) < minPhases {
 			t.Errorf("built-in %q has only %d phases", name, len(sc.Phases))
 		}
 	}

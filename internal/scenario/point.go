@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"fmt"
+
+	"qvr/internal/edge"
+	"qvr/internal/fleet"
+	"qvr/internal/gpu"
+)
+
+// The single-point runner: one steady-state fleet window at an exact
+// session count, on the scenario's declared infrastructure (mix,
+// design, shared cluster or grid topology, cell capacity, SLO). This
+// is the primitive the capacity probe (internal/capacity) binary-
+// searches and sweeps — hoisted here so the timeline executor and the
+// probe share one definition of "run the scenario's population at N".
+
+// PointResult is one completed single-point run.
+type PointResult struct {
+	// Sessions is the requested session count (admitted plus dropped).
+	Sessions int
+	// Summary is the window's fleet roll-up. Host artifacts (wall time,
+	// worker count) are zeroed so point reports are byte-identical
+	// across runs and pool sizes.
+	Summary fleet.Summary
+	// Verdict judges the window against the scenario's [slo] section
+	// (zero-valued, all-ok when the scenario declares none).
+	Verdict fleet.SLOVerdict
+	// GPUs is the total provisioned remote GPU count the point ran
+	// against: the sum of the topology's cluster sizes in grid mode,
+	// the shared cluster size otherwise (0 when admission is off).
+	GPUs int
+	// WallSeconds is the host wall-clock time the fleet run took — the
+	// only non-deterministic field, reported for scaling studies and
+	// excluded from deterministic output.
+	WallSeconds float64
+}
+
+// RunPoint runs the scenario's population at exactly n sessions for
+// one steady-state window and judges it against the scenario's SLO.
+// Phases, autoscale keys and per-phase overrides are ignored: a point
+// probes the *declared* infrastructure (topology or shared cluster at
+// its configured size), not a moment of the timeline. Results are
+// deterministic for fixed (scenario, n) regardless of opt.Workers.
+func RunPoint(sc Scenario, n int, opt Options) (PointResult, error) {
+	if err := sc.Validate(); err != nil {
+		return PointResult{}, err
+	}
+	if n <= 0 {
+		return PointResult{}, fmt.Errorf("scenario %q: point session count %d must be positive", sc.Name, n)
+	}
+	frames, warmup := sc.Frames, sc.Warmup
+	if opt.FramesOverride > 0 {
+		frames = opt.FramesOverride
+	}
+	if opt.WarmupOverride != nil && *opt.WarmupOverride >= 0 {
+		warmup = *opt.WarmupOverride
+	}
+
+	mix, _ := fleet.MixByName(sc.Mix) // Validate checked it
+	specs, err := mix.Specs(n, sc.Design, frames, warmup, sc.Seed)
+	if err != nil {
+		return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+
+	// Grid mode gets a fresh scheduler per point: capacity is a
+	// steady-state question, so placements start from scratch rather
+	// than inheriting another point's stickiness.
+	var grid *edge.Grid
+	if len(sc.Topology.Clusters) > 0 {
+		policy, _ := edge.PolicyByName(sc.Placement)
+		grid, err = edge.NewGrid(sc.Topology, policy)
+		if err != nil {
+			return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if sc.MigrationPenaltyMs >= 0 {
+			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
+		}
+		if err := grid.BeginPhase(nil, nil); err != nil {
+			return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+
+	r := fleet.Run(fleetConfig(sc, specs, opt.Workers, grid, sc.GPUs))
+	pt := PointResult{Sessions: n, WallSeconds: r.WallSeconds}
+	sum := r.Summarize()
+	sum.WallSeconds, sum.Workers = 0, 0
+	pt.Summary = sum
+	if sc.SLO != nil {
+		pt.Verdict = sc.SLO.Evaluate(sum)
+	}
+	switch {
+	case grid != nil:
+		for _, c := range sc.Topology.Clusters {
+			pt.GPUs += c.GPUs
+		}
+	case sc.GPUs > 0:
+		pt.GPUs = sc.GPUs
+	}
+	return pt, nil
+}
+
+// fleetConfig builds the fleet run configuration both the timeline
+// executor and the single-point runner use: the grid owns every remote
+// binding when present; otherwise a non-negative gpus count enables
+// the shared-cluster admission layer (0 = total outage, everyone fails
+// over); gpus < 0 leaves admission off.
+func fleetConfig(sc Scenario, specs []fleet.SessionSpec, workers int, grid *edge.Grid, gpus int) fleet.Config {
+	fc := fleet.Config{Specs: specs, Workers: workers, CellCapacity: sc.CellCapacity}
+	switch {
+	case grid != nil:
+		fc.Placer = grid
+	case gpus >= 0:
+		fc.Admission = fleet.Admission{
+			Cluster:        gpu.DefaultRemote().WithGPUs(gpus),
+			Enabled:        true,
+			SessionsPerGPU: sc.SessionsPerGPU,
+		}
+	}
+	return fc
+}

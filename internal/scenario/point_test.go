@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunPointDeterministicAcrossWorkers(t *testing.T) {
+	sc, err := Builtin("capacity-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{FramesOverride: 8, WarmupOverride: Warmup(4)}
+	opt.Workers = 1
+	p1, err := RunPoint(sc, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 3
+	p3, err := RunPoint(sc, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock is the one legitimate difference; everything else is
+	// the science and must match exactly.
+	p1.WallSeconds, p3.WallSeconds = 0, 0
+	if !reflect.DeepEqual(p1, p3) {
+		t.Errorf("point results differ across workers:\n1: %+v\n3: %+v", p1, p3)
+	}
+	if p1.Summary.WallSeconds != 0 || p1.Summary.Workers != 0 {
+		t.Errorf("summary leaks host artifacts: wall=%v workers=%d",
+			p1.Summary.WallSeconds, p1.Summary.Workers)
+	}
+}
+
+func TestRunPointGridProvisioning(t *testing.T) {
+	sc, err := Builtin("capacity-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunPoint(sc, 4, Options{FramesOverride: 8, WarmupOverride: Warmup(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.GPUs != 4 {
+		t.Errorf("GPUs = %d, want 4 (the topology's total)", pt.GPUs)
+	}
+	if pt.Sessions != 4 {
+		t.Errorf("Sessions = %d, want the requested count", pt.Sessions)
+	}
+	if !pt.Verdict.Met {
+		t.Errorf("4 sessions on a 16-session grid should meet the SLO: %+v", pt.Verdict)
+	}
+}
+
+func TestRunPointIgnoresPhasesAndUsesDeclaredInfra(t *testing.T) {
+	// The flash-crowd builtin's phases ramp to several times its
+	// shared cluster; a point run at n=2 must see only the declared
+	// cluster at its configured size, not any phase's sizing.
+	sc, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := RunPoint(sc, 2, Options{FramesOverride: 8, WarmupOverride: Warmup(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.GPUs != sc.GPUs {
+		t.Errorf("GPUs = %d, want the declared cluster size %d", pt.GPUs, sc.GPUs)
+	}
+	if pt.Summary.Sessions+pt.Summary.Dropped != 2 {
+		t.Errorf("population %d+%d, want the requested 2",
+			pt.Summary.Sessions, pt.Summary.Dropped)
+	}
+	// No SLO declared: the verdict is the zero-valued all-ok one.
+	if sc.SLO != nil {
+		t.Fatalf("flash-crowd grew an SLO; pick another SLO-less fixture")
+	}
+	if pt.Verdict.Met {
+		t.Errorf("SLO-less point must report the zero verdict, got %+v", pt.Verdict)
+	}
+}
+
+func TestRunPointRejectsBadInput(t *testing.T) {
+	sc, err := Builtin("capacity-probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPoint(sc, 0, Options{}); err == nil {
+		t.Error("zero sessions must error")
+	}
+	if _, err := RunPoint(sc, -3, Options{}); err == nil {
+		t.Error("negative sessions must error")
+	}
+	sc.Mix = "no-such-mix"
+	if _, err := RunPoint(sc, 2, Options{}); err == nil {
+		t.Error("invalid scenario must fail validation")
+	}
+}

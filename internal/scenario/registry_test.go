@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGridBuiltinNamesMatchTopologies pins the contract behind every
+// CLI's -list output: GridBuiltinNames is exactly the topology-bearing
+// subset of the registry, sorted, using the registered names. Both
+// qvr-edge's -builtin help and its -list loop print this function, so
+// this test is the drift gate the old per-command filters lacked.
+func TestGridBuiltinNamesMatchTopologies(t *testing.T) {
+	grid := GridBuiltinNames()
+	seen := map[string]bool{}
+	for _, name := range grid {
+		seen[name] = true
+	}
+	prev := ""
+	for _, name := range grid {
+		if name <= prev {
+			t.Errorf("grid built-ins not sorted: %q after %q", name, prev)
+		}
+		prev = name
+	}
+	for _, name := range BuiltinNames() {
+		sc, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isGrid := len(sc.Topology.Clusters) > 0
+		if isGrid != seen[name] {
+			t.Errorf("built-in %q: topology=%v but GridBuiltinNames lists it=%v",
+				name, isGrid, seen[name])
+		}
+		delete(seen, name)
+	}
+	for name := range seen {
+		t.Errorf("GridBuiltinNames lists %q, which is not a registered built-in", name)
+	}
+}
+
+// TestReadmeListsEveryBuiltin keeps the README's built-in tables in
+// step with the registry — the drift this PR fixed (the docs said
+// "nine"/"ten" while eleven existed) stays fixed.
+func TestReadmeListsEveryBuiltin(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readme)
+	for _, name := range BuiltinNames() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("README.md does not mention built-in `%s`", name)
+		}
+	}
+}
+
+// TestPackageDocCountsBuiltins keeps the scenario package doc's
+// spelled-out census honest.
+func TestPackageDocCountsBuiltins(t *testing.T) {
+	words := map[int]string{9: "Nine", 10: "Ten", 11: "Eleven", 12: "Twelve", 13: "Thirteen"}
+	n := len(BuiltinNames())
+	word, ok := words[n]
+	if !ok {
+		t.Fatalf("registry grew to %d built-ins; extend this test's number table", n)
+	}
+	src, err := os.ReadFile("scenario.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), word+" built-in scenarios") {
+		t.Errorf("scenario.go package doc does not say %q for the %d registered built-ins",
+			word+" built-in scenarios", n)
+	}
+}

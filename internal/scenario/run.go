@@ -7,7 +7,6 @@ import (
 	"qvr/internal/autoscale"
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
-	"qvr/internal/gpu"
 )
 
 // Options tunes how a timeline executes without changing what it
@@ -193,9 +192,7 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Region: sp.Region, Config: cfg}
 		}
 
-		fc := fleet.Config{Specs: runSpecs, Workers: opt.Workers, CellCapacity: sc.CellCapacity}
-		switch {
-		case grid != nil:
+		if grid != nil {
 			// The autoscaler's capacity lands first (provisions whose
 			// warm-up elapsed by phase start), then the phase's own
 			// overrides — a staged outage wins over any ordered GPUs.
@@ -207,17 +204,8 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			if err := grid.BeginPhase(ph.ClusterGPUs, ph.ClusterDerate); err != nil {
 				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
 			}
-			fc.Placer = grid
-		default:
-			if g := phaseGPUs(sc, ph); g >= 0 {
-				fc.Admission = fleet.Admission{
-					Cluster:        gpu.DefaultRemote().WithGPUs(g),
-					Enabled:        true,
-					SessionsPerGPU: sc.SessionsPerGPU,
-				}
-			}
 		}
-		r := fleet.Run(fc)
+		r := fleet.Run(fleetConfig(sc, runSpecs, opt.Workers, grid, phaseGPUs(sc, ph)))
 
 		sum := r.Summarize()
 		// Wall time and pool size are host artifacts, not science;

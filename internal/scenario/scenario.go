@@ -17,12 +17,15 @@
 // the whole timeline is reproducible bit-for-bit for any worker
 // count.
 //
-// Nine built-in scenarios ship with the package: steady, diurnal,
-// flash-crowd, net-brownout, cluster-outage-failover, churn, and the
-// grid timelines edge-regional-outage, edge-imbalance and
-// edge-autoscale-flashcrowd. They are written in the same file format
-// the parser accepts, so they double as format documentation and
-// parser test vectors.
+// Eleven built-in scenarios ship with the package: steady, diurnal,
+// flash-crowd, net-brownout, cluster-outage-failover, churn, the
+// 20,000-session mega-steady scale proof, and the grid timelines
+// edge-regional-outage, edge-imbalance, edge-autoscale-flashcrowd and
+// capacity-probe. They are written in the same file format the parser
+// accepts, so they double as format documentation and parser test
+// vectors (BuiltinNames/GridBuiltinNames enumerate them; a registry
+// test keeps this comment, the CLIs' -list output and the README
+// tables in sync).
 //
 // A grid scenario may additionally declare an [slo] section (quality
 // targets reported per phase) and autoscale.* keys, which close the

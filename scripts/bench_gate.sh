@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench_gate.sh — the allocs/op regression gate over a `go test -json
+# -benchmem` event stream. The baseline file names every gated
+# benchmark, one per line:
+#
+#   # comment
+#   BenchmarkFleetStreaming 2203
+#   BenchmarkCapacityProbe  4096
+#
+# Each named benchmark must appear in the stream with an allocs/op
+# figure at most 20% over its baseline. A missing or malformed baseline
+# file fails loudly — a gate that silently skips is how allocation
+# creep ships.
+#
+# usage: bench_gate.sh BASELINE_FILE BENCH_JSON
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 BASELINE_FILE BENCH_JSON" >&2
+    exit 2
+fi
+baseline_file=$1
+bench_json=$2
+
+if [ ! -f "$baseline_file" ]; then
+    echo "bench gate FAIL: baseline file $baseline_file is missing" >&2
+    echo "  (seed it with one '<BenchmarkName> <allocs/op>' line per gated benchmark)" >&2
+    exit 1
+fi
+if [ ! -f "$bench_json" ]; then
+    echo "bench gate FAIL: benchmark stream $bench_json is missing" >&2
+    exit 1
+fi
+
+gated=0
+while read -r name base rest; do
+    case "$name" in ''|'#'*) continue ;; esac
+    case "$name" in
+    Benchmark*) ;;
+    *)
+        echo "bench gate FAIL: malformed baseline line '$name ${base:-}' in $baseline_file" >&2
+        echo "  (expected '<BenchmarkName> <allocs/op>')" >&2
+        exit 1
+        ;;
+    esac
+    if [ -z "${base:-}" ] || [ -n "$rest" ] || ! [ "$base" -ge 0 ] 2>/dev/null; then
+        echo "bench gate FAIL: malformed baseline line '$name ${base:-} ${rest:-}' in $baseline_file" >&2
+        echo "  (expected '<BenchmarkName> <allocs/op>')" >&2
+        exit 1
+    fi
+    gated=$((gated + 1))
+    # The stream quotes benchmark output inside JSON "Output" events;
+    # match the result line for this exact benchmark (allowing the
+    # -N GOMAXPROCS suffix) and scrape its allocs/op.
+    allocs=$(grep "$name" "$bench_json" | grep 'allocs/op' |
+        sed -E 's|.*[^0-9]([0-9]+) allocs/op.*|\1|' | head -1)
+    if [ -z "$allocs" ]; then
+        echo "bench gate FAIL: no allocs/op for $name in $bench_json" >&2
+        echo "  (benchmark removed or renamed? update $baseline_file)" >&2
+        exit 1
+    fi
+    limit=$((base + base / 5))
+    if [ "$allocs" -gt "$limit" ]; then
+        echo "bench gate FAIL: $name $allocs allocs/op > $limit (baseline $base +20%)" >&2
+        exit 1
+    fi
+    echo "bench gate OK: $name $allocs allocs/op <= $limit (baseline $base +20%)"
+done < "$baseline_file"
+
+if [ "$gated" -eq 0 ]; then
+    echo "bench gate FAIL: $baseline_file names no benchmarks" >&2
+    exit 1
+fi

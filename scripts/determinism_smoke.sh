@@ -1,0 +1,57 @@
+#!/bin/sh
+# determinism_smoke.sh — the workers-1-vs-N determinism contract every
+# qvr smoke enforces, in one place: run the same command twice with
+# different worker pool sizes, and the JSON reports must be
+# byte-identical. Sharded worker-local state may never leak into the
+# science.
+#
+# usage: determinism_smoke.sh NAME PREFIX W1 W2 FILTER CMD [ARGS...]
+#
+#   NAME    label for messages ("edge", "capacity", ...)
+#   PREFIX  output file prefix: reports land in bin/PREFIX-w$W.json
+#   W1, W2  the two worker pool sizes to compare
+#   FILTER  grep -vE pattern of lines to EXCLUDE from the diff, for
+#           reports whose only legitimate nondeterminism is host
+#           wall-clock (capacity scaling study); "" diffs every byte
+#   CMD...  the report command; "-workers $W -format json" is appended
+#
+# The unfiltered reports are kept in bin/ for CI to archive.
+set -eu
+
+if [ "$#" -lt 6 ]; then
+    echo "usage: $0 NAME PREFIX W1 W2 FILTER CMD [ARGS...]" >&2
+    exit 2
+fi
+name=$1
+prefix=$2
+w1=$3
+w2=$4
+filter=$5
+shift 5
+
+mkdir -p bin
+for w in "$w1" "$w2"; do
+    echo "$name-smoke: probing on $w worker(s)..."
+    "$@" -workers "$w" -format json > "bin/$prefix-w$w.json"
+done
+
+a="bin/$prefix-w$w1.json"
+b="bin/$prefix-w$w2.json"
+if [ -n "$filter" ]; then
+    # Wall-clock-derived lines are the only permitted difference; strip
+    # them and every remaining byte must match. (Temp files, not process
+    # substitution: this script runs under plain sh.)
+    grep -vE "$filter" "$a" > "$a.filtered"
+    grep -vE "$filter" "$b" > "$b.filtered"
+    if ! diff "$a.filtered" "$b.filtered"; then
+        echo "$name determinism FAIL: workers $w1 != workers $w2 (beyond $filter)" >&2
+        exit 1
+    fi
+    rm -f "$a.filtered" "$b.filtered"
+else
+    if ! diff "$a" "$b"; then
+        echo "$name determinism FAIL: workers $w1 != workers $w2" >&2
+        exit 1
+    fi
+fi
+echo "$name determinism OK (workers $w1 == workers $w2)"
