@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke profile fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke profile fmt vet fmt-check ci
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario,
@@ -39,14 +39,17 @@ bench-json:
 # Every smoke below enforces the same determinism contract through
 # scripts/determinism_smoke.sh: byte-identical JSON across worker pool
 # sizes, because sharded worker-local state may never leak into the
-# science.
+# science. SMOKE_COUNTERS=1 extends the contract to the observability
+# layer — the merged counter snapshots must also match byte-for-byte,
+# and writing them arms the CLI-side Refute invariant checker, so every
+# smoke is a standing audit of the stack's bookkeeping.
 
 # Scenario smoke: one built-in timeline in miniature, then the
 # determinism contract on the outage-failover scenario.
 scenario-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-scenario -builtin flash-crowd -frames 8 -warmup 4
-	@./scripts/determinism_smoke.sh scenario scn 1 7 '' \
+	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh scenario scn 1 7 '' \
 		$(GO) run ./cmd/qvr-scenario -builtin cluster-outage-failover -frames 8 -warmup 4
 
 # Edge-grid smoke: the regional-outage built-in in miniature, with
@@ -54,7 +57,7 @@ scenario-smoke:
 edge-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
-	@./scripts/determinism_smoke.sh edge edge 1 7 '' \
+	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh edge edge 1 7 '' \
 		$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
 
 # Autoscale smoke: the flash-crowd autoscaling built-in in miniature,
@@ -66,7 +69,7 @@ edge-smoke:
 autoscale-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4
-	@./scripts/determinism_smoke.sh autoscale autoscale 1 4 '' \
+	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh autoscale autoscale 1 4 '' \
 		$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4
 	@awk -F': *' '/"gpu_seconds"/ { gsub(/,/, "", $$2); used = $$2 } \
 		/"static_peak_gpu_seconds"/ { gsub(/,/, "", $$2); peak = $$2 } \
@@ -85,8 +88,10 @@ autoscale-smoke:
 # compact summary, not a FrameRecord slice.
 scale-smoke:
 	@mkdir -p bin
-	@./scripts/determinism_smoke.sh scale scale 1 4 '' \
+	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh scale scale 1 4 '' \
 		$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1
+	@cp bin/scale-counters-w1.ndjson bin/BENCH_obs.ndjson
+	@echo "archived mega-steady counters as bin/BENCH_obs.ndjson ($$(wc -l < bin/BENCH_obs.ndjson) records)"
 
 # Capacity smoke: the HPL-style probe in miniature on the
 # capacity-probe built-in. Three gates: (1) the knee-curve JSON is
@@ -98,7 +103,7 @@ scale-smoke:
 # HPL.dat-style capacity.params file CI archives.
 capacity-smoke:
 	@mkdir -p bin
-	@./scripts/determinism_smoke.sh capacity cap 1 4 \
+	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh capacity cap 1 4 \
 		'"(wall_seconds|sessions_per_sec|speedup|efficiency)"' \
 		$(GO) run ./cmd/qvr-capacity -builtin capacity-probe -frames 40 -warmup 8 \
 			-scale-workers 1,4 -spw 4 \
@@ -116,6 +121,22 @@ capacity-smoke:
 	@test -s bin/BENCH_capacity.json || { echo "capacity smoke FAIL: bin/BENCH_capacity.json missing or empty"; exit 1; }
 	@test -s bin/capacity.params || { echo "capacity smoke FAIL: bin/capacity.params missing or empty"; exit 1; }
 	@echo "capacity artifacts OK: bin/BENCH_capacity.json ($$(wc -l < bin/BENCH_capacity.json) events), bin/capacity.params"
+
+# Observability smoke: capture a sampled span trace of the
+# regional-outage timeline (24 sessions/run, enough to sample a
+# migrated session), validate it against the trace-event schema with
+# qvr-tracecheck (well-formed JSON, known phases, per-lane monotone
+# timestamps), and require the migration handoff to be visible as a
+# span — the acceptance criterion for the trace seam.
+obs-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 \
+		-counters bin/obs-counters.ndjson \
+		-trace bin/obs-trace.json -trace-sessions 24 > /dev/null
+	$(GO) run ./cmd/qvr-tracecheck bin/obs-trace.json
+	@grep -q '"migration-handoff"' bin/obs-trace.json \
+		|| { echo "obs smoke FAIL: no migration-handoff span in bin/obs-trace.json"; exit 1; }
+	@echo "obs trace OK: migration handoff visible as a span"
 
 # Profile the scale scenario: CPU + end-of-run heap profiles of the
 # real fleet workload (not a synthetic benchmark), for the
@@ -137,4 +158,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke bench-json
+ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke bench-json

@@ -18,6 +18,7 @@ import (
 	"qvr/internal/liwc"
 	"qvr/internal/motion"
 	"qvr/internal/netsim"
+	"qvr/internal/obs"
 	"qvr/internal/pipeline"
 	"qvr/internal/scenario"
 	"qvr/internal/scene"
@@ -481,6 +482,39 @@ func BenchmarkFleetMaterialized(b *testing.B) {
 	}
 	b.ReportMetric(s.AggregateFPS, "agg-fps")
 	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+}
+
+// BenchmarkFleetCounters prices the observability layer: the same
+// 32-session fleet with the counter registry off and on. The on
+// variant's allocs/op must stay within the gate of the off variant's —
+// the per-frame path touches only fixed-size int64 arrays in a
+// worker-local shard, so the only extra allocations are the per-run
+// registry, one shard per worker, and the final snapshot, never
+// anything per frame (9,600 measured frames per op here).
+func BenchmarkFleetCounters(b *testing.B) {
+	specs := streamingBenchSpecs(b)
+	b.Run("off", func(b *testing.B) {
+		var s fleet.Summary
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s = fleet.Run(fleet.Config{Specs: specs, Workers: 4}).Summarize()
+		}
+		b.ReportMetric(s.AggregateFPS, "agg-fps")
+	})
+	b.Run("on", func(b *testing.B) {
+		var s fleet.Summary
+		var frames int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg := obs.New()
+			s = fleet.Run(fleet.Config{Specs: specs, Workers: 4, Obs: reg}).Summarize()
+			frames = reg.Snapshot().Counter(obs.CFramesMeasured)
+		}
+		b.ReportMetric(s.AggregateFPS, "agg-fps")
+		b.ReportMetric(float64(frames), "frames-counted")
+	})
 }
 
 func BenchmarkFleet8Sessions(b *testing.B) {

@@ -56,7 +56,16 @@ func main() {
 	params := flag.String("params", "capacity.params", "write the HPL.dat-style parameter file here (empty = skip)")
 	events := flag.String("events", "", "stream NDJSON probe events to this file (the BENCH_capacity.json archive)")
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	obsFlags := cliout.AddObsFlags()
 	flag.Parse()
+
+	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, name := range scenario.BuiltinNames() {
@@ -134,19 +143,20 @@ func main() {
 		}
 	}
 
-	var eventsFile *os.File
 	if *events != "" {
-		eventsFile, err = os.Create(*events)
+		w, err := cliout.NewEventWriter(*events)
 		if err != nil {
 			fail("%v", err)
 		}
-		defer eventsFile.Close()
+		defer w.Close()
 		cfg.Observer = func(e capacity.Event) {
-			if err := cliout.WriteJSONLine(eventsFile, e); err != nil {
+			if err := w.Emit(e); err != nil {
 				fail("%v", err)
 			}
 		}
 	}
+	cfg.Obs = obsFlags.Registry()
+	cfg.Tracer = obsFlags.Tracer()
 
 	rep, err := capacity.Probe(cfg)
 	if err != nil {
@@ -176,6 +186,7 @@ func main() {
 	case cliout.CSV:
 		printCSV(rep)
 	}
+	obsFlags.Finish("qvr-capacity", capacity.Expectations(rep))
 }
 
 func fail(format string, args ...interface{}) {

@@ -45,6 +45,7 @@ func main() {
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	obsFlags := cliout.AddObsFlags()
 	flag.Parse()
 
 	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
@@ -101,6 +102,8 @@ func main() {
 	if *warmup >= 0 {
 		opt.WarmupOverride = scenario.Warmup(*warmup)
 	}
+	opt.Obs = obsFlags.Registry()
+	opt.Tracer = obsFlags.Tracer()
 	r, err := scenario.Run(sc, opt)
 	if err != nil {
 		fail("%v", err)
@@ -113,6 +116,7 @@ func main() {
 	case cliout.CSV:
 		printCSV(r)
 	}
+	obsFlags.Finish("qvr-edge", scenario.Expectations(r))
 }
 
 func fail(format string, args ...interface{}) {

@@ -45,6 +45,7 @@ func main() {
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	obsFlags := cliout.AddObsFlags()
 	flag.Parse()
 
 	stopProfiles, err := cliout.StartProfiles(*cpuProfile, *memProfile)
@@ -87,6 +88,9 @@ func main() {
 	if *gpus > 0 {
 		cfg.Admission = fleet.Admission{Cluster: gpu.DefaultRemote().WithGPUs(*gpus)}
 	}
+	cfg.Obs = obsFlags.Registry()
+	cfg.Tracer = obsFlags.Tracer()
+	cfg.TraceLabel = "fleet"
 
 	r := fleet.Run(cfg)
 	switch form {
@@ -97,6 +101,7 @@ func main() {
 	case cliout.CSV:
 		printCSV(r)
 	}
+	obsFlags.Finish("qvr-fleet", fleet.Expectations(r))
 }
 
 func fail(format string, args ...interface{}) {

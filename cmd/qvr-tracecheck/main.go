@@ -1,0 +1,34 @@
+// Command qvr-tracecheck validates a Chrome trace-event JSON file as
+// produced by the fleet CLIs' -trace flag: the document must parse,
+// carry at least one event, use only metadata (M) and complete (X)
+// phases, and keep timestamps nonnegative and monotone nondecreasing
+// within every (pid, tid) lane. CI's obs-smoke target runs it against
+// a freshly captured trace.
+//
+// Usage:
+//
+//	qvr-tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qvr/internal/cliout"
+	"qvr/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		cliout.Fail("qvr-tracecheck", "usage: qvr-tracecheck <trace.json>")
+	}
+	path := os.Args[1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		cliout.Fail("qvr-tracecheck", "%v", err)
+	}
+	if err := obs.ValidateTrace(raw); err != nil {
+		cliout.Fail("qvr-tracecheck", "%s: %v", path, err)
+	}
+	fmt.Printf("%s: ok\n", path)
+}

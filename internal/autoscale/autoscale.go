@@ -38,6 +38,7 @@ import (
 
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
+	"qvr/internal/obs"
 )
 
 // Defaults for Config's zero-valued tunables.
@@ -160,6 +161,18 @@ func (st *clusterState) target() int {
 type Controller struct {
 	cfg      Config
 	clusters []*clusterState
+	// o, when set, counts scale decisions and cooldown suppressions.
+	o *obs.Shard
+}
+
+// SetObs points the controller's decision counters at a registry (nil
+// detaches them).
+func (c *Controller) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		c.o = nil
+		return
+	}
+	c.o = reg.Ctl()
 }
 
 // New builds a controller over the grid topology. Each cluster starts
@@ -212,16 +225,16 @@ func (c *Controller) BaseGPUs(atSeconds float64) map[string]int {
 // Observe feeds one completed metric window and returns the scale
 // decisions it triggered, in topology order. It implements
 // fleet.Autoscaler.
-func (c *Controller) Observe(obs fleet.AutoscaleObservation) []fleet.ScaleEvent {
-	now := obs.StartSeconds + obs.DurationSeconds
+func (c *Controller) Observe(win fleet.AutoscaleObservation) []fleet.ScaleEvent {
+	now := win.StartSeconds + win.DurationSeconds
 	// Provisions whose warm-up elapsed during the window are committed
 	// before deciding: capacity that is ready by decision time must not
 	// linger as "pending" and block a legitimate scale-down.
 	c.BaseGPUs(now)
-	violated := c.cfg.SLO.Enabled() && !c.cfg.SLO.Met(obs.Summary)
+	violated := c.cfg.SLO.Enabled() && !c.cfg.SLO.Met(win.Summary)
 
-	loads := make(map[string]fleet.ClusterLoad, len(obs.Clusters))
-	for _, cl := range obs.Clusters {
+	loads := make(map[string]fleet.ClusterLoad, len(win.Clusters))
+	for _, cl := range win.Clusters {
 		loads[cl.Name] = cl
 	}
 
@@ -235,6 +248,15 @@ func (c *Controller) Observe(obs fleet.AutoscaleObservation) []fleet.ScaleEvent 
 			continue
 		}
 		if now-st.lastActionSeconds < c.cfg.CooldownSeconds {
+			// Count a suppression only when a scale condition actually
+			// held — a quiet window inside the cooldown is not one.
+			if c.o != nil {
+				up := cl.Load > 1 || (violated && cl.Load > c.cfg.TargetUtil)
+				down := !violated && cl.Load < c.cfg.ScaleDownUtil && len(st.pending) == 0
+				if up || down {
+					c.o.Inc(obs.CScaleSuppressedCooldown)
+				}
+			}
 			continue
 		}
 		target := st.target()
@@ -260,6 +282,9 @@ func (c *Controller) Observe(obs fleet.AutoscaleObservation) []fleet.ScaleEvent 
 			ready := now + c.cfg.ProvisionDelaySeconds
 			st.pending = append(st.pending, pendingProvision{gpus: desired - target, readySeconds: ready})
 			st.lastActionSeconds = now
+			if c.o != nil {
+				c.o.Inc(obs.CScaleUp)
+			}
 			events = append(events, fleet.ScaleEvent{
 				TimeSeconds: now, Cluster: st.name,
 				FromGPUs: target, ToGPUs: desired,
@@ -284,6 +309,9 @@ func (c *Controller) Observe(obs fleet.AutoscaleObservation) []fleet.ScaleEvent 
 			}
 			st.base = desired
 			st.lastActionSeconds = now
+			if c.o != nil {
+				c.o.Inc(obs.CScaleDown)
+			}
 			events = append(events, fleet.ScaleEvent{
 				TimeSeconds: now, Cluster: st.name,
 				FromGPUs: target, ToGPUs: desired,

@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"qvr/internal/fleet"
+	"qvr/internal/obs"
 	"qvr/internal/scenario"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// happens — the hook the NDJSON event stream (BENCH_capacity.json)
 	// hangs off. Nil means no events.
 	Observer func(Event)
+	// Obs, when set, receives decision counters from every layer the
+	// probe drives (plus the probe's own evaluation counter); Tracer
+	// records span traces for a sampled subset of sessions per point.
+	// Neither affects the probe's metrics.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Outcome classifies what the knee search found.
@@ -370,11 +377,24 @@ func Probe(cfg Config) (Report, error) {
 
 	// Every probe point is deterministic in its session count, so
 	// points are cached: the knee sweep reuses search evaluations.
-	opt := scenario.Options{Workers: cfg.Workers, FramesOverride: cfg.FramesOverride, WarmupOverride: cfg.WarmupOverride}
+	opt := scenario.Options{
+		Workers: cfg.Workers, FramesOverride: cfg.FramesOverride, WarmupOverride: cfg.WarmupOverride,
+		Obs: cfg.Obs, Tracer: cfg.Tracer,
+	}
+	var ctl *obs.Shard
+	if cfg.Obs != nil {
+		ctl = cfg.Obs.Ctl()
+	}
 	cache := map[int]Point{}
 	eval := func(n int, stage string) (Point, error) {
 		if pt, ok := cache[n]; ok {
 			return pt, nil
+		}
+		// Counted at the cache-miss site: one probe evaluation is one
+		// fleet actually run, which is what Refute checks against the
+		// report's unique probed session counts.
+		if ctl != nil {
+			ctl.Inc(obs.CProbePoints)
 		}
 		pr, err := scenario.RunPoint(sc, n, opt)
 		if err != nil {
@@ -431,6 +451,7 @@ func Probe(cfg Config) (Report, error) {
 			}
 			pr, err := scenario.RunPoint(sc, n, scenario.Options{
 				Workers: w, FramesOverride: cfg.FramesOverride, WarmupOverride: cfg.WarmupOverride,
+				Obs: cfg.Obs, Tracer: cfg.Tracer,
 			})
 			if err != nil {
 				return Report{}, err

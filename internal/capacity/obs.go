@@ -1,0 +1,25 @@
+package capacity
+
+import "qvr/internal/obs"
+
+// Expectations derives the invariant a completed probe's counters
+// must satisfy from its report: the evaluation counter (incremented at
+// the point cache's miss site) must equal the number of distinct
+// session counts across the search trace and the knee curve — each
+// distinct count was simulated exactly once, everything else was a
+// cache hit. The scaling study bypasses the cache by design (it is a
+// wall-clock measurement), so its runs are deliberately outside this
+// count.
+func Expectations(rep Report) []obs.Expectation {
+	seen := map[int]bool{}
+	for _, pt := range rep.Search {
+		seen[pt.Sessions] = true
+	}
+	for _, pt := range rep.Knee {
+		seen[pt.Sessions] = true
+	}
+	return []obs.Expectation{{
+		Counter: obs.CProbePoints, Want: int64(len(seen)),
+		Source: "distinct session counts across Search and Knee",
+	}}
+}

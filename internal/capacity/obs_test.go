@@ -1,0 +1,57 @@
+package capacity
+
+import (
+	"reflect"
+	"testing"
+
+	"qvr/internal/obs"
+)
+
+// TestObsWorkerInvariance: the probe's merged counter snapshot must be
+// identical for any worker pool size, and the probe-point counter must
+// reconcile with the report's distinct evaluated session counts.
+func TestObsWorkerInvariance(t *testing.T) {
+	var prev []obs.Line
+	for _, workers := range []int{1, 3} {
+		cfg := miniConfig(probeScenario(t))
+		cfg.Workers = workers
+		reg := obs.New()
+		cfg.Obs = reg
+		rep, err := Probe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := reg.Snapshot().Lines()
+		if prev != nil && !reflect.DeepEqual(prev, lines) {
+			t.Fatalf("workers=%d changed the counter snapshot", workers)
+		}
+		prev = lines
+		if _, err := obs.Refute(reg.Snapshot(), Expectations(rep)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestObsCountsCacheMisses: the probe memoizes per session count, so
+// the evaluation counter equals the number of distinct counts across
+// the search trace and knee curve — a re-swept point costs nothing and
+// counts nothing.
+func TestObsCountsCacheMisses(t *testing.T) {
+	cfg := miniConfig(probeScenario(t))
+	reg := obs.New()
+	cfg.Obs = reg
+	rep, err := Probe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, pt := range rep.Search {
+		distinct[pt.Sessions] = true
+	}
+	for _, pt := range rep.Knee {
+		distinct[pt.Sessions] = true
+	}
+	if got := reg.Snapshot().Counter(obs.CProbePoints); got != int64(len(distinct)) {
+		t.Errorf("probe points counted %d, want %d distinct session counts", got, len(distinct))
+	}
+}

@@ -1,0 +1,55 @@
+package cliout
+
+import (
+	"fmt"
+	"os"
+)
+
+// EventWriter is the one open/flush/error path behind every file the
+// qvr CLIs stream or drop artifacts into: NDJSON event streams
+// (BENCH_capacity.json), counter snapshots (-counters), and whole
+// JSON documents (-trace). Emit appends one compact JSON line per
+// value; EmitDoc writes a single indented document. Both share the
+// WriteJSON/WriteJSONLine sanitizing, so file output can never
+// disagree with stdout about a value.
+type EventWriter struct {
+	path string
+	f    *os.File
+}
+
+// NewEventWriter creates (truncating) the file at path.
+func NewEventWriter(path string) (*EventWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", path, err)
+	}
+	return &EventWriter{path: path, f: f}, nil
+}
+
+// Path returns the destination file path.
+func (w *EventWriter) Path() string { return w.path }
+
+// Emit appends v as one compact JSON line (NDJSON).
+func (w *EventWriter) Emit(v interface{}) error {
+	if err := WriteJSONLine(w.f, v); err != nil {
+		return fmt.Errorf("write %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// EmitDoc writes v as a single indented JSON document.
+func (w *EventWriter) EmitDoc(v interface{}) error {
+	if err := WriteJSON(w.f, v); err != nil {
+		return fmt.Errorf("write %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file, reporting any deferred write
+// error.
+func (w *EventWriter) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", w.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package cliout
+
+import (
+	"flag"
+
+	"qvr/internal/obs"
+)
+
+// ObsFlags is the shared -counters/-trace/-trace-sessions surface of
+// the fleet-facing CLIs: it owns the registry and tracer lifecycles
+// so the four commands wire observability identically.
+type ObsFlags struct {
+	counters      *string
+	trace         *string
+	traceSessions *int
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+}
+
+// AddObsFlags registers the observability flags on the default
+// FlagSet. Call before flag.Parse.
+func AddObsFlags() *ObsFlags {
+	return &ObsFlags{
+		counters: flag.String("counters", "",
+			"write the merged counter/histogram snapshot to this file as NDJSON (byte-identical across -workers) and cross-check it against the run summary"),
+		trace: flag.String("trace", "",
+			"write Chrome trace-event JSON for sampled sessions to this file (view in chrome://tracing or Perfetto)"),
+		traceSessions: flag.Int("trace-sessions", 4,
+			"sessions traced per fleet run when -trace is set (the first N by spec index)"),
+	}
+}
+
+// Registry returns the counter registry, created on first use, or nil
+// when -counters was not set. Call after flag.Parse.
+func (o *ObsFlags) Registry() *obs.Registry {
+	if *o.counters == "" {
+		return nil
+	}
+	if o.reg == nil {
+		o.reg = obs.New()
+	}
+	return o.reg
+}
+
+// Tracer returns the span tracer, created on first use, or nil when
+// -trace was not set. Call after flag.Parse.
+func (o *ObsFlags) Tracer() *obs.Tracer {
+	if *o.trace == "" {
+		return nil
+	}
+	if o.tracer == nil {
+		o.tracer = obs.NewTracer(*o.traceSessions)
+	}
+	return o.tracer
+}
+
+// Finish writes the counter and trace files and runs the invariant
+// checker: the counters must not refute the expectations the caller
+// derived from its run summary. Divergence — or any write failure —
+// is fatal via Fail, so a CLI with -counters on is a standing audit
+// of the stack's bookkeeping on every run.
+func (o *ObsFlags) Finish(tool string, exps []obs.Expectation) {
+	if o.reg != nil {
+		snap := o.reg.Snapshot()
+		w, err := NewEventWriter(*o.counters)
+		if err != nil {
+			Fail(tool, "%v", err)
+		}
+		for _, line := range snap.Lines() {
+			if err := w.Emit(line); err != nil {
+				Fail(tool, "%v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			Fail(tool, "%v", err)
+		}
+		if _, err := obs.Refute(snap, exps); err != nil {
+			Fail(tool, "%v", err)
+		}
+	}
+	if o.tracer != nil {
+		w, err := NewEventWriter(*o.trace)
+		if err != nil {
+			Fail(tool, "%v", err)
+		}
+		if err := w.EmitDoc(o.tracer.Doc()); err != nil {
+			Fail(tool, "%v", err)
+		}
+		if err := w.Close(); err != nil {
+			Fail(tool, "%v", err)
+		}
+	}
+}

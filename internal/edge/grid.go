@@ -7,6 +7,7 @@ import (
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
 	"qvr/internal/netsim"
+	"qvr/internal/obs"
 	"qvr/internal/pipeline"
 )
 
@@ -96,6 +97,11 @@ type Grid struct {
 	// declared down.
 	phaseGPUs   map[string]int
 	phaseDerate map[string]float64
+	// obs, when set, counts placement decisions (sticky/policy/
+	// migration/drain-back/failover) and observes per-site load and
+	// queue delay. Place runs on one goroutine, so the control shard is
+	// the right home.
+	obs *obs.Shard
 }
 
 // NewGrid builds a scheduler over the topology. The topology is
@@ -116,6 +122,16 @@ func NewGrid(t Topology, p Policy) (*Grid, error) {
 
 // Policy returns the grid's placement policy.
 func (g *Grid) Policy() Policy { return g.policy }
+
+// SetObs points the grid's decision counters at a registry (nil
+// detaches them).
+func (g *Grid) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		g.obs = nil
+		return
+	}
+	g.obs = reg.Ctl()
+}
 
 // Topology returns the grid's declared layout.
 func (g *Grid) Topology() Topology { return g.topo }
@@ -286,6 +302,9 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 			s.assigned++
 			placement[i] = s
 			sticky[i] = true
+			if g.obs != nil {
+				g.obs.Inc(obs.CPlaceSticky)
+			}
 		}
 	}
 
@@ -303,6 +322,9 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 			// Every site is down or saturated past its queue limit:
 			// degrade to local-only rendering rather than drop.
 			report.FailedOver++
+			if g.obs != nil {
+				g.obs.Inc(obs.CPlaceFailedOver)
+			}
 			if prev != "" {
 				report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: prev, To: FailoverName})
 				delete(g.assigned, sp.Name)
@@ -311,10 +333,16 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 		}
 		best.assigned++
 		placement[i] = best
+		if g.obs != nil {
+			g.obs.Inc(obs.CPlacePolicy)
+		}
 		if prev != "" && prev != best.spec.Name {
 			report.Migrated++
 			moved[i] = true
 			report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: prev, To: best.spec.Name})
+			if g.obs != nil {
+				g.obs.Inc(obs.CPlaceMigrated)
+			}
 		}
 		g.assigned[sp.Name] = best.spec.Name
 	}
@@ -361,6 +389,10 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 		placement[i] = alt
 		moved[i] = true
 		report.Migrated++
+		if g.obs != nil {
+			g.obs.Inc(obs.CPlaceMigrated)
+			g.obs.Inc(obs.CPlaceDrainback)
+		}
 		report.Moves = append(report.Moves, fleet.Move{Session: sp.Name, From: s.spec.Name, To: alt.spec.Name})
 		g.assigned[sp.Name] = alt.spec.Name
 	}
@@ -378,6 +410,9 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 			continue
 		}
 		queue := s.queueSeconds(s.assigned)
+		if g.obs != nil {
+			g.obs.ObserveSeconds(obs.HAdmitQueueUs, queue)
+		}
 		remote := gpu.DefaultRemote().WithGPUs(s.gpus).Derate(s.derate).Share(s.load())
 		sp.Config.Remote = remote
 		sp.Config.RemoteQueueSeconds = queue
@@ -391,6 +426,9 @@ func (g *Grid) Place(specs []fleet.SessionSpec) ([]fleet.SessionSpec, fleet.Grid
 	}
 
 	for _, s := range g.sites {
+		if g.obs != nil && s.up() {
+			g.obs.Observe(obs.HGridLoadPct, int64(math.Round(s.load()*100)))
+		}
 		report.Clusters = append(report.Clusters, fleet.ClusterLoad{
 			Name:     s.spec.Name,
 			GPUs:     s.gpus,

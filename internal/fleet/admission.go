@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"qvr/internal/gpu"
+	"qvr/internal/obs"
 	"qvr/internal/pipeline"
 )
 
@@ -137,6 +138,12 @@ func (a Admission) withDefaults() Admission {
 // specs, and the contention report. Specs are never mutated in place;
 // admitted entries carry copies.
 func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
+	// Counters increment here, at the decision sites, not from the
+	// report fields — obs.Refute cross-checks the two independently.
+	var ctl *obs.Shard
+	if cfg.Obs != nil {
+		ctl = cfg.Obs.Ctl()
+	}
 	specs := cfg.Specs
 	a := cfg.Admission
 	switch {
@@ -156,6 +163,9 @@ func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 		report.FailedOver = len(specs)
 		adjusted := make([]SessionSpec, len(specs))
 		for i, sp := range specs {
+			if ctl != nil {
+				ctl.Inc(obs.CAdmitFailedOver)
+			}
 			sp.Config.Design = pipeline.LocalOnly
 			adjusted[i] = sp
 		}
@@ -165,6 +175,9 @@ func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 		capacity := a.Cluster.GPUs * a.SessionsPerGPU
 		maxAdmit := int(float64(capacity) * a.MaxQueueFactor)
 		if len(specs) > maxAdmit {
+			if ctl != nil {
+				ctl.Add(obs.CAdmitDropped, int64(len(specs)-maxAdmit))
+			}
 			dropped = append(dropped, specs[maxAdmit:]...)
 			specs = specs[:maxAdmit]
 		}
@@ -181,6 +194,9 @@ func admit(cfg Config) (admitted, dropped []SessionSpec, report Contention) {
 		}
 		adjusted := make([]SessionSpec, len(specs))
 		for i, sp := range specs {
+			if ctl != nil {
+				ctl.ObserveSeconds(obs.HAdmitQueueUs, report.QueueSeconds)
+			}
 			sp.Config.Remote = shared
 			sp.Config.RemoteQueueSeconds = report.QueueSeconds
 			adjusted[i] = sp

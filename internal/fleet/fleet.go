@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"qvr/internal/framesink"
+	"qvr/internal/obs"
 	"qvr/internal/pipeline"
 )
 
@@ -81,6 +82,18 @@ type Config struct {
 	// condition name) carries before the sessions start splitting its
 	// bandwidth. 0 means uncontended access networks.
 	CellCapacity int
+	// Obs, when set, receives event counters and stage-timing
+	// histograms: each worker writes a private registry shard, merged
+	// on Snapshot, so enabling counters never perturbs results or the
+	// worker-count determinism contract. Nil disables all counting at
+	// zero cost.
+	Obs *obs.Registry
+	// Tracer, when set, records per-stage span traces for a sampled
+	// subset of sessions (the first Tracer-configured N of each run,
+	// by spec index — deterministic for any worker pool). TraceLabel
+	// names this run in the trace (scenario phase, capacity point...).
+	Tracer     *obs.Tracer
+	TraceLabel string
 }
 
 // SessionResult pairs a spec with its completed simulation: the
@@ -125,6 +138,11 @@ func Run(cfg Config) Result {
 		workers = len(admitted)
 	}
 
+	traceRun := -1
+	if cfg.Tracer != nil {
+		traceRun = cfg.Tracer.BeginRun(cfg.TraceLabel)
+	}
+
 	results := make([]SessionResult, len(admitted))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -138,7 +156,7 @@ func Run(cfg Config) Result {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			runShard(admitted, results, lo, hi)
+			runShard(cfg, admitted, results, lo, hi, traceRun)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -156,17 +174,39 @@ func Run(cfg Config) Result {
 // reusable StatsSink and one sample buffer pre-sized for the shard's
 // total measured frames, so an entire shard's exact-percentile
 // samples live in a single allocation and per-session garbage is
-// limited to the simulator itself.
-func runShard(admitted []SessionSpec, results []SessionResult, lo, hi int) {
+// limited to the simulator itself. When counters are on, the worker
+// also owns one registry shard and one StageSink reused across its
+// whole range — the per-frame path stays allocation-free either way.
+func runShard(cfg Config, admitted []SessionSpec, results []SessionResult, lo, hi, traceRun int) {
 	frames := 0
 	for i := lo; i < hi; i++ {
 		frames += admitted[i].Config.MeasuredFrames()
 	}
 	buf := make([]float64, 0, frames)
 	var sink framesink.StatsSink
+	var stage obs.StageSink
+	if cfg.Obs != nil {
+		stage = obs.StageSink{Shard: cfg.Obs.NewShard(), Next: &sink}
+	}
 	for i := lo; i < hi; i++ {
 		sink.Reset(buf)
-		res := pipeline.NewSession(admitted[i].Config).RunSink(&sink)
+		// The sink chain, innermost first: StatsSink always terminates;
+		// StageSink taps stage timings when counters are on; a
+		// SessionTrace records spans when this session is sampled.
+		var dst pipeline.FrameSink = &sink
+		if cfg.Obs != nil {
+			stage.Shard.Inc(obs.CSessionsSimulated)
+			dst = &stage
+		}
+		var st *obs.SessionTrace
+		if cfg.Tracer != nil && cfg.Tracer.Wants(i) {
+			st = cfg.Tracer.Session(traceRun, i, admitted[i].Name, admitted[i].Config, dst)
+			dst = st
+		}
+		res := pipeline.NewSession(admitted[i].Config).RunSink(dst)
+		if st != nil {
+			cfg.Tracer.Collect(st)
+		}
 		results[i] = SessionResult{
 			Spec:   admitted[i],
 			Config: res.Config,

@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"fmt"
+
+	"qvr/internal/obs"
+)
+
+// Expectations derives the invariants a single fleet run's counters
+// must satisfy from its result: the summary side of the double-entry
+// books. The counters were incremented at the decision sites
+// (admission, placement, the worker loop, the frame sink); the result
+// aggregates the same events through entirely separate code, so
+// obs.Refute comparing the two is a genuine cross-check of the fleet's
+// bookkeeping.
+func Expectations(r Result) []obs.Expectation {
+	var frames int64
+	for _, s := range r.Sessions {
+		frames += int64(s.Stats.Frames)
+	}
+	exps := []obs.Expectation{
+		{
+			Counter: obs.CSessionsSimulated, Want: int64(len(r.Sessions)),
+			Source: "len(Result.Sessions)",
+		},
+		{
+			Counter: obs.CFramesMeasured, Want: frames,
+			Source: "sum of Stats.Frames over sessions",
+		},
+		{
+			Counter: obs.CAdmitDropped, Want: int64(len(r.Dropped)),
+			Source: "len(Result.Dropped)",
+		},
+	}
+	if g := r.Contention.Grid; g != nil {
+		exps = append(exps,
+			obs.Expectation{
+				Counter: obs.CPlaceMigrated, Want: int64(g.Migrated),
+				Source: fmt.Sprintf("GridReport.Migrated (policy %s)", g.Policy),
+			},
+			obs.Expectation{
+				Counter: obs.CPlaceFailedOver, Want: int64(r.Contention.FailedOver),
+				Source: "Contention.FailedOver (grid mode)",
+			},
+		)
+	} else {
+		exps = append(exps, obs.Expectation{
+			Counter: obs.CAdmitFailedOver, Want: int64(r.Contention.FailedOver),
+			Source: "Contention.FailedOver (admission mode)",
+		})
+	}
+	return exps
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"qvr/internal/gpu"
+	"qvr/internal/obs"
+)
+
+// TestCounterWorkerInvariance extends the fleet's determinism contract
+// to the observability layer: the merged counter snapshot — and the
+// sampled trace document — must be identical for any worker pool size.
+func TestCounterWorkerInvariance(t *testing.T) {
+	specs := testSpecs(t, 12)
+	var prevLines []obs.Line
+	var prevTrace []byte
+	for _, workers := range []int{1, 3, 8} {
+		reg := obs.New()
+		tr := obs.NewTracer(3)
+		r := Run(Config{
+			Specs: specs, Workers: workers,
+			Admission: Admission{Cluster: gpu.DefaultRemote().WithGPUs(2)},
+			Obs:       reg, Tracer: tr, TraceLabel: "test",
+		})
+		snap := reg.Snapshot()
+		lines := snap.Lines()
+		if prevLines != nil && !reflect.DeepEqual(prevLines, lines) {
+			t.Fatalf("workers=%d changed the counter snapshot", workers)
+		}
+		prevLines = lines
+
+		raw, err := json.Marshal(tr.Doc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateTrace(raw); err != nil {
+			t.Fatalf("workers=%d: trace invalid: %v", workers, err)
+		}
+		if prevTrace != nil && string(prevTrace) != string(raw) {
+			t.Fatalf("workers=%d changed the trace document", workers)
+		}
+		prevTrace = raw
+
+		if _, err := obs.Refute(snap, Expectations(r)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestCountersMatchSummaries pins the double-entry bookkeeping on a
+// contended cluster: sessions simulated, frames measured and admission
+// outcomes counted at the decision sites must reconcile with the run
+// summary, and the frame histogram must have seen every frame.
+func TestCountersMatchSummaries(t *testing.T) {
+	specs := testSpecs(t, 10)
+	reg := obs.New()
+	r := Run(Config{
+		Specs: specs, Workers: 4,
+		Admission: Admission{Cluster: gpu.DefaultRemote().WithGPUs(1)},
+		Obs:       reg,
+	})
+	snap := reg.Snapshot()
+	if _, err := obs.Refute(snap, Expectations(r)); err != nil {
+		t.Fatal(err)
+	}
+	var frames int64
+	for _, sr := range r.Sessions {
+		frames += int64(sr.Stats.Frames)
+	}
+	if frames == 0 {
+		t.Fatal("no frames measured; the test exercises nothing")
+	}
+	if got := snap.HistogramCount(obs.HFrameMTPUs); got != frames {
+		t.Errorf("frame_mtp_us saw %d observations, want %d", got, frames)
+	}
+}
+
+// TestRefuteCatchesTampering: a deliberately corrupted book must be
+// refuted — the checker is only worth shipping if it actually fires.
+func TestRefuteCatchesTampering(t *testing.T) {
+	specs := testSpecs(t, 6)
+	reg := obs.New()
+	r := Run(Config{Specs: specs, Workers: 2, Obs: reg})
+	reg.Ctl().Inc(obs.CSessionsSimulated) // phantom session
+	if _, err := obs.Refute(reg.Snapshot(), Expectations(r)); err == nil {
+		t.Fatal("phantom session not refuted")
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "qvr/internal/pipeline"
+
+// StageSink folds per-frame stage timings into a worker shard and
+// forwards the record to the next sink in the chain. One StageSink
+// belongs to one fleet worker and is reused across every session in
+// the worker's shard, so the per-frame path touches only fixed-size
+// int64 arrays — no allocation, no locks.
+//
+// The remote-chain histograms (remote chain, transfer, decode) are
+// observed only for frames that actually took the remote path;
+// local-only frames would otherwise bury the distributions under
+// zeros.
+type StageSink struct {
+	Shard *Shard
+	Next  pipeline.FrameSink
+}
+
+// Observe implements pipeline.FrameSink.
+func (s *StageSink) Observe(f pipeline.FrameRecord) {
+	sh := s.Shard
+	sh.Inc(CFramesMeasured)
+	sh.ObserveSeconds(HFrameMTPUs, f.MTPSeconds)
+	sh.ObserveSeconds(HFrameLocalRenderUs, f.LocalRenderSeconds)
+	if f.RemoteChainSeconds > 0 {
+		sh.ObserveSeconds(HFrameRemoteChainUs, f.RemoteChainSeconds)
+		sh.ObserveSeconds(HFrameTransferUs, f.TransferSeconds)
+		sh.ObserveSeconds(HFrameDecodeUs, f.DecodeSeconds)
+	}
+	s.Next.Observe(f)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestShardCountInvariance is the registry's core contract: the merged
+// snapshot is a pure function of the observations, never of how many
+// shards they were spread across or in what order the shards were
+// registered.
+func TestShardCountInvariance(t *testing.T) {
+	// One fixed stream of observations, dealt round-robin across k
+	// shards for several k.
+	type op struct {
+		c Counter
+		h Histogram
+		v int64
+	}
+	var ops []op
+	for i := int64(0); i < 100; i++ {
+		ops = append(ops,
+			op{c: CFramesMeasured, h: -1},
+			op{c: -1, h: HFrameMTPUs, v: 900 + i*137},
+			op{c: -1, h: HGridLoadPct, v: i % 230},
+		)
+	}
+	var prev []Line
+	for _, shards := range []int{1, 2, 3, 7} {
+		r := New()
+		pool := make([]*Shard, shards)
+		for i := range pool {
+			pool[i] = r.NewShard()
+		}
+		for i, o := range ops {
+			s := pool[i%shards]
+			if o.c >= 0 {
+				s.Inc(o.c)
+			}
+			if o.h >= 0 {
+				s.Observe(o.h, o.v)
+			}
+		}
+		r.Ctl().Add(CAdmitDropped, 5)
+		lines := r.Snapshot().Lines()
+		if prev != nil && !reflect.DeepEqual(prev, lines) {
+			t.Fatalf("shards=%d changed the merged snapshot", shards)
+		}
+		prev = lines
+	}
+}
+
+// TestHistogramBucketing pins the bucketing rule: values at or below a
+// bound land in that bound's bucket, values past the last bound in the
+// overflow bucket, and the emitted buckets are cumulative ending at
+// +Inf.
+func TestHistogramBucketing(t *testing.T) {
+	var s Shard
+	s.Observe(HFrameMTPUs, 1000)   // at the first bound: bucket le=1000
+	s.Observe(HFrameMTPUs, 1001)   // just past it: bucket le=2000
+	s.Observe(HFrameMTPUs, 999999) // past the last bound: overflow
+	if got := s.hbkt[HFrameMTPUs][0]; got != 1 {
+		t.Errorf("le=1000 bucket = %d, want 1", got)
+	}
+	if got := s.hbkt[HFrameMTPUs][1]; got != 1 {
+		t.Errorf("le=2000 bucket = %d, want 1", got)
+	}
+	over := len(histogramBounds[HFrameMTPUs])
+	if got := s.hbkt[HFrameMTPUs][over]; got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+
+	r := New()
+	*r.Ctl() = s
+	lines := r.Snapshot().Lines()
+	var mtp *Line
+	for i := range lines {
+		if lines[i].Name == HFrameMTPUs.String() {
+			mtp = &lines[i]
+		}
+	}
+	if mtp == nil {
+		t.Fatal("frame_mtp_us line missing")
+	}
+	if mtp.Value != 3 || mtp.Sum != 1000+1001+999999 {
+		t.Errorf("line value/sum = %d/%d, want 3/%d", mtp.Value, mtp.Sum, 1000+1001+999999)
+	}
+	last := mtp.Buckets[len(mtp.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 3 {
+		t.Errorf("final bucket = %+v, want +Inf count 3", last)
+	}
+	// Cumulative: counts never decrease.
+	for i := 1; i < len(mtp.Buckets); i++ {
+		if mtp.Buckets[i].Count < mtp.Buckets[i-1].Count {
+			t.Errorf("bucket %d count %d < previous %d", i, mtp.Buckets[i].Count, mtp.Buckets[i-1].Count)
+		}
+	}
+}
+
+// TestObserveSecondsRounding pins the fixed seconds→µs rule (round
+// half away from zero) the determinism contract depends on.
+func TestObserveSecondsRounding(t *testing.T) {
+	var s Shard
+	s.ObserveSeconds(HAdmitQueueUs, 0.0000015) // 1.5 µs → 2
+	if got := s.hsum[HAdmitQueueUs]; got != 2 {
+		t.Errorf("sum = %d, want 2", got)
+	}
+}
+
+// TestLinesCatalogueComplete checks every catalogue entry appears, in
+// order, even when zero — the property that makes two counter files
+// diffable byte for byte.
+func TestLinesCatalogueComplete(t *testing.T) {
+	lines := New().Snapshot().Lines()
+	want := int(numCounters) + int(numHistograms)
+	if len(lines) != want {
+		t.Fatalf("got %d lines, want %d", len(lines), want)
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if lines[c].Kind != "counter" || lines[c].Name != c.String() || lines[c].Value != 0 {
+			t.Errorf("line %d = %+v, want zero counter %s", c, lines[c], c)
+		}
+	}
+	for h := Histogram(0); h < numHistograms; h++ {
+		l := lines[int(numCounters)+int(h)]
+		if l.Kind != "histogram" || l.Name != h.String() {
+			t.Errorf("histogram line %d = %+v, want %s", h, l, h)
+		}
+	}
+}
+
+// TestWritePromText spot-checks the exposition format: TYPE headers,
+// qvr_ prefix, cumulative buckets with +Inf, _sum and _count.
+func TestWritePromText(t *testing.T) {
+	r := New()
+	r.Ctl().Inc(CScaleUp)
+	r.Ctl().Observe(HGridLoadPct, 80)
+	var b strings.Builder
+	if err := WritePromText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE qvr_autoscale_up_total counter\nqvr_autoscale_up_total 1\n",
+		"# TYPE qvr_grid_cluster_load_pct histogram\n",
+		"qvr_grid_cluster_load_pct_bucket{le=\"100\"} 1\n",
+		"qvr_grid_cluster_load_pct_bucket{le=\"+Inf\"} 1\n",
+		"qvr_grid_cluster_load_pct_sum 80\n",
+		"qvr_grid_cluster_load_pct_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom text missing %q", want)
+		}
+	}
+}
+
+// TestRefute covers the checker itself: exact pass, tolerance pass,
+// and a failure that names the diverging counter and its source.
+func TestRefute(t *testing.T) {
+	r := New()
+	r.Ctl().Add(CSessionsSimulated, 10)
+	r.Ctl().Add(CGridGPUMs, 5003)
+	snap := r.Snapshot()
+
+	checks, err := Refute(snap, []Expectation{
+		{Counter: CSessionsSimulated, Want: 10, Source: "len(sessions)"},
+		{Counter: CGridGPUMs, Want: 5000, Tolerance: 5, Source: "gpu-seconds"},
+	})
+	if err != nil {
+		t.Fatalf("expected pass, got %v", err)
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check %+v not ok", c)
+		}
+	}
+
+	_, err = Refute(snap, []Expectation{
+		{Counter: CSessionsSimulated, Want: 11, Source: "len(sessions)"},
+		{Counter: CGridGPUMs, Want: 5000, Tolerance: 2, Source: "gpu-seconds"},
+	})
+	if err == nil {
+		t.Fatal("expected refutation")
+	}
+	msg := err.Error()
+	for _, want := range []string{"refuted 2 invariant(s)",
+		"fleet_sessions_simulated_total got 10 want 11 (len(sessions))",
+		"grid_gpu_ms_total got 5003 want 5000±2 (gpu-seconds)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePromText renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), the wire format the future
+// qvr-serve daemon will expose over HTTP. Metric names carry a qvr_
+// prefix; histograms emit the conventional cumulative _bucket series
+// with le labels, plus _sum and _count.
+func WritePromText(w io.Writer, snap Snapshot) error {
+	for c := Counter(0); c < numCounters; c++ {
+		name := "qvr_" + c.String()
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.counts[c]); err != nil {
+			return err
+		}
+	}
+	for h := Histogram(0); h < numHistograms; h++ {
+		name := "qvr_" + h.String()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		bounds := histogramBounds[h]
+		var cum int64
+		for i, b := range bounds {
+			cum += snap.hbkt[h][i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += snap.hbkt[h][len(bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, cum, name, snap.hsum[h], name, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expectation is one invariant: the merged value of Counter must
+// equal Want within Tolerance (exact when zero). Source names the
+// summary-side quantity the counter is being checked against, for the
+// failure message. Expectations are built by the layers that own the
+// summaries (fleet.Expectations, scenario.Expectations,
+// capacity.Expectations): the counters increment at the decision
+// sites, the summaries aggregate independently, and Refute is the
+// double-entry reconciliation between the two books.
+type Expectation struct {
+	Counter   Counter
+	Want      int64
+	Tolerance int64
+	Source    string
+}
+
+// Check is one evaluated expectation.
+type Check struct {
+	Counter   string `json:"counter"`
+	Got       int64  `json:"got"`
+	Want      int64  `json:"want"`
+	Tolerance int64  `json:"tolerance,omitempty"`
+	Source    string `json:"source"`
+	OK        bool   `json:"ok"`
+}
+
+// Refute evaluates every expectation against the snapshot. It returns
+// all checks (passing and failing) plus a single error that names
+// every divergence — a failed refutation means the counters and the
+// summaries disagree about what happened, i.e. a bookkeeping bug
+// somewhere, and callers are expected to fail loudly.
+func Refute(snap Snapshot, exps []Expectation) ([]Check, error) {
+	checks := make([]Check, 0, len(exps))
+	var failed []string
+	for _, e := range exps {
+		got := snap.Counter(e.Counter)
+		diff := got - e.Want
+		if diff < 0 {
+			diff = -diff
+		}
+		ok := diff <= e.Tolerance
+		checks = append(checks, Check{
+			Counter: e.Counter.String(), Got: got, Want: e.Want,
+			Tolerance: e.Tolerance, Source: e.Source, OK: ok,
+		})
+		if !ok {
+			msg := fmt.Sprintf("%s got %d want %d", e.Counter, got, e.Want)
+			if e.Tolerance > 0 {
+				msg += fmt.Sprintf("±%d", e.Tolerance)
+			}
+			msg += " (" + e.Source + ")"
+			failed = append(failed, msg)
+		}
+	}
+	if len(failed) > 0 {
+		return checks, fmt.Errorf("obs: refuted %d invariant(s): %s",
+			len(failed), strings.Join(failed, "; "))
+	}
+	return checks, nil
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"qvr/internal/pipeline"
+)
+
+// Tracer samples a deterministic subset of sessions per fleet run and
+// records their per-stage timelines as Chrome trace-event JSON
+// (viewable in chrome://tracing or Perfetto). Sampling is by session
+// index — the first N sessions of every run — so the set of traced
+// sessions, like everything else in the repo, is independent of the
+// worker count.
+//
+// One trace "process" (pid) is one sampled session; its five threads
+// (tid) are the pipeline's lanes: cpu, local-gpu, remote, net and
+// decode. WAN legs show up as a nested span inside transfer, and a
+// session-migration handoff as a one-time span on the remote lane of
+// the first measured remote frame — exactly where the pipeline
+// charges it.
+type Tracer struct {
+	perRun int
+
+	mu     sync.Mutex
+	labels []string
+	done   []*SessionTrace
+}
+
+// NewTracer builds a tracer that samples the first perRun sessions of
+// every fleet run (minimum 1).
+func NewTracer(perRun int) *Tracer {
+	if perRun < 1 {
+		perRun = 1
+	}
+	return &Tracer{perRun: perRun}
+}
+
+// BeginRun registers a fleet run (a scenario phase, a capacity point,
+// or a plain qvr-fleet invocation) under a label and returns its run
+// ordinal. Called from the run's single orchestration goroutine.
+func (t *Tracer) BeginRun(label string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.labels = append(t.labels, label)
+	return len(t.labels) - 1
+}
+
+// Wants reports whether the session at this run-local index is
+// sampled. Pure function of the index, so the sampled set is
+// deterministic for any worker pool.
+func (t *Tracer) Wants(index int) bool { return index < t.perRun }
+
+// Session starts a trace for one sampled session. The returned
+// SessionTrace is a pipeline.FrameSink that forwards to next; the
+// caller owns it for the session's lifetime and must hand it back via
+// Collect once the session finishes.
+func (t *Tracer) Session(run, index int, name string, cfg pipeline.Config, next pipeline.FrameSink) *SessionTrace {
+	return &SessionTrace{Next: next, tracer: t, run: run, index: index, name: name, cfg: cfg}
+}
+
+// Collect registers a finished session trace for emission.
+func (t *Tracer) Collect(st *SessionTrace) {
+	t.mu.Lock()
+	t.done = append(t.done, st)
+	t.mu.Unlock()
+}
+
+// TraceEvent is one Chrome trace-event record. Complete spans use
+// ph "X"; process/thread names are ph "M" metadata events.
+type TraceEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Ts   int64      `json:"ts"`
+	Dur  int64      `json:"dur,omitempty"`
+	Args *TraceArgs `json:"args,omitempty"`
+}
+
+// TraceArgs carries span annotations; one struct with omitempty
+// fields covers every event kind.
+type TraceArgs struct {
+	Name      string  `json:"name,omitempty"`
+	Cluster   string  `json:"cluster,omitempty"`
+	QueueMs   float64 `json:"queue_ms,omitempty"`
+	HandoffMs float64 `json:"handoff_ms,omitempty"`
+	WANRTTMs  float64 `json:"wan_rtt_ms,omitempty"`
+	Bytes     int     `json:"bytes,omitempty"`
+	FPS       float64 `json:"fps,omitempty"`
+}
+
+// TraceDoc is the trace.json document.
+type TraceDoc struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// Thread lanes within a session's trace process.
+const (
+	laneCPU = iota
+	laneLocalGPU
+	laneRemote
+	laneNet
+	laneDecode
+	numLanes
+)
+
+var laneNames = [numLanes]string{"cpu", "local-gpu", "remote", "net", "decode"}
+
+// Doc assembles the trace document: sessions sorted by (run, session
+// index) and numbered 1..N as trace pids, each with its metadata and
+// span events. Deterministic given a deterministic set of collected
+// sessions.
+func (t *Tracer) Doc() TraceDoc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sessions := make([]*SessionTrace, len(t.done))
+	copy(sessions, t.done)
+	sort.Slice(sessions, func(i, j int) bool {
+		if sessions[i].run != sessions[j].run {
+			return sessions[i].run < sessions[j].run
+		}
+		return sessions[i].index < sessions[j].index
+	})
+	var doc TraceDoc
+	for i, st := range sessions {
+		pid := i + 1
+		label := ""
+		if st.run >= 0 && st.run < len(t.labels) {
+			label = t.labels[st.run]
+		}
+		procName := st.name
+		if label != "" {
+			procName = label + "/" + st.name
+		}
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", PID: pid, Args: &TraceArgs{Name: procName},
+		})
+		for tid := 0; tid < numLanes; tid++ {
+			doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: &TraceArgs{Name: laneNames[tid]},
+			})
+		}
+		for _, ev := range st.events {
+			ev.PID = pid
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	return doc
+}
+
+// SessionTrace records one sampled session's spans. It implements
+// pipeline.FrameSink, deriving lane spans from each frame record and
+// forwarding it unchanged.
+type SessionTrace struct {
+	Next pipeline.FrameSink
+
+	tracer      *Tracer
+	run, index  int
+	name        string
+	cfg         pipeline.Config
+	handoffPaid bool
+	events      []TraceEvent
+}
+
+func us(seconds float64) int64 { return int64(math.Round(seconds * 1e6)) }
+
+// span appends a complete event when the duration is positive.
+// Events within a lane are appended in nondecreasing ts order frame
+// by frame, which is the property ValidateTrace checks.
+func (st *SessionTrace) span(tid int, name string, startSec, durSec float64, args *TraceArgs) {
+	if durSec <= 0 {
+		return
+	}
+	st.events = append(st.events, TraceEvent{
+		Name: name, Ph: "X", TID: tid, Ts: us(startSec), Dur: us(durSec), Args: args,
+	})
+}
+
+// Observe implements pipeline.FrameSink.
+//
+// Span anchors: the cpu span sits at the frame start; local render
+// follows it; compose ends at frame completion. The remote chain is
+// anchored forward from the cpu hand-off for request/remote-render/
+// encode and backward from the chain's end (completion minus compose)
+// for transfer and decode — the two meet in the middle, and any
+// model-level overlap between the legs lands harmlessly between
+// different lanes. All anchors stay within [start, complete], so
+// per-lane timestamps are monotone across frames (frames are
+// serialized: one in flight per session).
+func (st *SessionTrace) Observe(f pipeline.FrameRecord) {
+	st.span(laneCPU, "cpu", f.StartSeconds, f.CPUSeconds, nil)
+	localStart := f.StartSeconds + f.CPUSeconds
+	st.span(laneLocalGPU, "local-render", localStart, f.LocalRenderSeconds, nil)
+	composeStart := f.CompleteSeconds - f.ComposeSeconds
+	st.span(laneLocalGPU, "compose", composeStart, f.ComposeSeconds, nil)
+
+	if f.RemoteChainSeconds > 0 {
+		chainStart := localStart
+		chainEnd := composeStart
+		reqArgs := &TraceArgs{
+			Cluster: st.cfg.RemoteClusterName,
+			QueueMs: st.cfg.RemoteQueueSeconds * 1e3,
+		}
+		st.span(laneRemote, "request", chainStart, f.RequestSeconds, reqArgs)
+		if st.cfg.RemoteHandoffSeconds > 0 && !st.handoffPaid && f.RequestSeconds > 0 {
+			// The pipeline charges the migration stall once, on the first
+			// measured remote request; surface it as a span nested at the
+			// head of that request.
+			st.handoffPaid = true
+			st.span(laneRemote, "migration-handoff", chainStart, st.cfg.RemoteHandoffSeconds,
+				&TraceArgs{Cluster: st.cfg.RemoteClusterName, HandoffMs: st.cfg.RemoteHandoffSeconds * 1e3})
+		}
+		st.span(laneRemote, "remote-render", chainStart+f.RequestSeconds, f.RemoteRenderSeconds, nil)
+		st.span(laneRemote, "encode",
+			chainStart+f.RequestSeconds+f.RemoteRenderSeconds, f.EncodeSeconds, nil)
+
+		transferStart := chainEnd - f.DecodeSeconds - f.TransferSeconds
+		if transferStart < chainStart {
+			transferStart = chainStart
+		}
+		var xferArgs *TraceArgs
+		if f.BytesSent > 0 || st.cfg.RemotePath.RTTSeconds > 0 {
+			xferArgs = &TraceArgs{Bytes: f.BytesSent, WANRTTMs: st.cfg.RemotePath.RTTSeconds * 1e3}
+		}
+		st.span(laneNet, "transfer", transferStart, f.TransferSeconds, xferArgs)
+		if rtt := st.cfg.RemotePath.RTTSeconds; rtt > 0 && f.TransferSeconds > rtt/2 {
+			// The WAN leg's propagation half-RTT tails the transfer.
+			st.span(laneNet, "wan-leg", transferStart+f.TransferSeconds-rtt/2, rtt/2,
+				&TraceArgs{WANRTTMs: rtt * 1e3})
+		}
+		st.span(laneDecode, "decode", chainEnd-f.DecodeSeconds, f.DecodeSeconds, nil)
+	}
+	st.Next.Observe(f)
+}
+
+// ValidateTrace checks raw trace.json bytes against the trace-event
+// schema subset this package emits: well-formed JSON with a non-empty
+// traceEvents array, every event named with a known phase, and "X"
+// spans nonnegative with per-(pid,tid) monotone nondecreasing
+// timestamps in file order.
+func ValidateTrace(raw []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents array")
+	}
+	type lane struct{ pid, tid int }
+	lastTs := map[lane]float64{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("trace: event %d (%s) has unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return fmt.Errorf("trace: event %d (%s) has negative ts/dur", i, ev.Name)
+		}
+		k := lane{ev.PID, ev.TID}
+		if prev, ok := lastTs[k]; ok && ev.Ts < prev {
+			return fmt.Errorf("trace: event %d (%s) ts %.0f precedes %.0f on pid %d tid %d",
+				i, ev.Name, ev.Ts, prev, ev.PID, ev.TID)
+		}
+		lastTs[k] = ev.Ts
+	}
+	return nil
+}

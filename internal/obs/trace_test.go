@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qvr/internal/netsim"
+	"qvr/internal/pipeline"
+)
+
+// nopSink terminates a test sink chain.
+type nopSink struct{ frames int }
+
+func (n *nopSink) Observe(pipeline.FrameRecord) { n.frames++ }
+
+// remoteFrame builds a plausible remote-path frame starting at start
+// seconds, with every stage inside [start, complete].
+func remoteFrame(idx int, start float64) pipeline.FrameRecord {
+	return pipeline.FrameRecord{
+		Index:               idx,
+		StartSeconds:        start,
+		CompleteSeconds:     start + 0.020,
+		MTPSeconds:          0.020,
+		CPUSeconds:          0.002,
+		LocalRenderSeconds:  0.004,
+		RemoteChainSeconds:  0.016,
+		RequestSeconds:      0.003,
+		RemoteRenderSeconds: 0.004,
+		EncodeSeconds:       0.002,
+		TransferSeconds:     0.005,
+		DecodeSeconds:       0.002,
+		ComposeSeconds:      0.001,
+		BytesSent:           40000,
+	}
+}
+
+func traceCfg() pipeline.Config {
+	return pipeline.Config{
+		RemoteClusterName:    "eu-west",
+		RemoteQueueSeconds:   0.004,
+		RemoteHandoffSeconds: 0.120,
+		RemotePath:           netsim.Condition{RTTSeconds: 0.008},
+	}
+}
+
+// TestTracerSampling: the sampled set is the first N indices of every
+// run — a pure function of the index, never of scheduling.
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 6; i++ {
+		if got, want := tr.Wants(i), i < 3; got != want {
+			t.Errorf("Wants(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if !NewTracer(0).Wants(0) {
+		t.Error("NewTracer(0) should clamp to sampling at least one session")
+	}
+}
+
+// TestSessionTraceDoc runs frames through a traced session and checks
+// the emitted document: valid against the schema, the migration
+// handoff charged exactly once on the first remote frame, the WAN leg
+// nested in transfer, and the run label prefixed onto the process
+// name.
+func TestSessionTraceDoc(t *testing.T) {
+	tr := NewTracer(4)
+	run := tr.BeginRun("surge")
+	var next nopSink
+	st := tr.Session(run, 0, "sess-0", traceCfg(), &next)
+	for i := 0; i < 3; i++ {
+		st.Observe(remoteFrame(i, float64(i)*0.020))
+	}
+	tr.Collect(st)
+	if next.frames != 3 {
+		t.Fatalf("sink saw %d frames, want 3", next.frames)
+	}
+
+	raw, err := json.Marshal(tr.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(raw); err != nil {
+		t.Fatalf("emitted trace fails its own validator: %v", err)
+	}
+	out := string(raw)
+	if got := strings.Count(out, `"migration-handoff"`); got != 1 {
+		t.Errorf("migration-handoff spans = %d, want exactly 1", got)
+	}
+	if !strings.Contains(out, `"surge/sess-0"`) {
+		t.Error("process name missing the run label prefix")
+	}
+	if !strings.Contains(out, `"wan-leg"`) {
+		t.Error("wan-leg span missing despite RTT/2 < transfer")
+	}
+	if !strings.Contains(out, `"cluster":"eu-west"`) {
+		t.Error("request span missing cluster annotation")
+	}
+}
+
+// TestSessionTraceLocalOnly: a local frame emits no remote/net/decode
+// spans and no handoff.
+func TestSessionTraceLocalOnly(t *testing.T) {
+	tr := NewTracer(1)
+	run := tr.BeginRun("")
+	var next nopSink
+	st := tr.Session(run, 0, "local", traceCfg(), &next)
+	f := remoteFrame(0, 0)
+	f.RemoteChainSeconds = 0
+	st.Observe(f)
+	tr.Collect(st)
+	raw, _ := json.Marshal(tr.Doc())
+	for _, banned := range []string{`"request"`, `"transfer"`, `"decode","ph":"X"`, `"migration-handoff"`} {
+		if strings.Contains(string(raw), banned) {
+			t.Errorf("local-only trace contains %s span", banned)
+		}
+	}
+}
+
+// TestValidateTraceRejects exercises each schema violation.
+func TestValidateTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, raw, wantErr string
+	}{
+		{"garbage", "{not json", "not valid JSON"},
+		{"empty", `{"traceEvents":[]}`, "empty traceEvents"},
+		{"unnamed", `{"traceEvents":[{"ph":"X","ts":0,"dur":1}]}`, "has no name"},
+		{"badPhase", `{"traceEvents":[{"name":"a","ph":"B","ts":0}]}`, "unexpected phase"},
+		{"negative", `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"dur":1}]}`, "negative ts/dur"},
+		{"nonMonotone", `{"traceEvents":[
+			{"name":"a","ph":"X","pid":1,"tid":0,"ts":10,"dur":1},
+			{"name":"b","ph":"X","pid":1,"tid":0,"ts":5,"dur":1}]}`, "precedes"},
+	}
+	for _, tc := range cases {
+		err := ValidateTrace([]byte(tc.raw))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	ok := `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":1},
+		{"name":"a","ph":"X","pid":1,"tid":0,"ts":5,"dur":1},
+		{"name":"b","ph":"X","pid":1,"tid":1,"ts":0,"dur":1}]}`
+	if err := ValidateTrace([]byte(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"qvr/internal/obs"
+)
+
+// TestObsWorkerInvariance: the merged counter snapshot of a full
+// scenario run — grid placement, autoscaling, per-frame stage
+// histograms — must be identical for any worker pool size.
+func TestObsWorkerInvariance(t *testing.T) {
+	for _, name := range []string{"cluster-outage-failover", "edge-autoscale-flashcrowd"} {
+		sc := mustBuiltin(t, name)
+		var prev []obs.Line
+		for _, workers := range []int{1, 5} {
+			reg := obs.New()
+			opt := tiny
+			opt.Workers = workers
+			opt.Obs = reg
+			mustRun(t, sc, opt)
+			lines := reg.Snapshot().Lines()
+			if prev != nil && !reflect.DeepEqual(prev, lines) {
+				t.Fatalf("%s: workers=%d changed the counter snapshot", name, workers)
+			}
+			prev = lines
+		}
+	}
+}
+
+// TestObsRefutesNothingAcrossBuiltins is the standing audit: on every
+// built-in scenario (mega-steady excluded here — the scale smoke
+// covers it end to end), the decision-site counters must reconcile
+// with the end-of-run summaries.
+func TestObsRefutesNothingAcrossBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if name == "mega-steady" {
+			continue // thousands of sessions; audited by the CLI smoke
+		}
+		sc := mustBuiltin(t, name)
+		reg := obs.New()
+		opt := tiny
+		opt.Obs = reg
+		r := mustRun(t, sc, opt)
+		checks, err := obs.Refute(reg.Snapshot(), Expectations(r))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(checks) < 4 {
+			t.Errorf("%s: only %d invariants checked; expectations look incomplete", name, len(checks))
+		}
+	}
+}
+
+// TestObsCountsAutoscaleDecisions: the flash-crowd autoscale scenario
+// must actually exercise the scale-up counter, and the suppressed
+// counter only moves when a cooldown swallowed a real decision.
+func TestObsCountsAutoscaleDecisions(t *testing.T) {
+	sc := mustBuiltin(t, "edge-autoscale-flashcrowd")
+	reg := obs.New()
+	opt := tiny
+	opt.Obs = reg
+	r := mustRun(t, sc, opt)
+	if r.Autoscale == nil {
+		t.Fatal("autoscale report missing")
+	}
+	snap := reg.Snapshot()
+	if len(r.Autoscale.Events) > 0 && snap.Counter(obs.CScaleUp)+snap.Counter(obs.CScaleDown) == 0 {
+		t.Error("autoscale events reported but no scale decisions counted")
+	}
+	if snap.Counter(obs.CPhases) != int64(len(r.Phases)) {
+		t.Errorf("phases counted %d, want %d", snap.Counter(obs.CPhases), len(r.Phases))
+	}
+}

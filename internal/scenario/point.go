@@ -76,12 +76,17 @@ func RunPoint(sc Scenario, n int, opt Options) (PointResult, error) {
 		if sc.MigrationPenaltyMs >= 0 {
 			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
 		}
+		grid.SetObs(opt.Obs)
 		if err := grid.BeginPhase(nil, nil); err != nil {
 			return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
 	}
 
-	r := fleet.Run(fleetConfig(sc, specs, opt.Workers, grid, sc.GPUs))
+	fc := fleetConfig(sc, specs, opt.Workers, grid, sc.GPUs)
+	fc.Obs = opt.Obs
+	fc.Tracer = opt.Tracer
+	fc.TraceLabel = fmt.Sprintf("%s@%d", sc.Name, n)
+	r := fleet.Run(fc)
 	pt := PointResult{Sessions: n, WallSeconds: r.WallSeconds}
 	sum := r.Summarize()
 	sum.WallSeconds, sum.Workers = 0, 0

@@ -7,6 +7,7 @@ import (
 	"qvr/internal/autoscale"
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
+	"qvr/internal/obs"
 )
 
 // Options tunes how a timeline executes without changing what it
@@ -22,6 +23,12 @@ type Options struct {
 	// settings, so the Options zero value changes nothing.
 	FramesOverride int
 	WarmupOverride *int
+	// Obs, when set, receives decision counters and stage histograms
+	// from every layer the run touches (fleet, grid, autoscaler, the
+	// scenario driver itself); Tracer records span traces for a sampled
+	// subset of sessions per phase. Neither affects results.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Warmup wraps a warmup frame count for Options.WarmupOverride.
@@ -105,6 +112,7 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		if sc.MigrationPenaltyMs >= 0 {
 			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
 		}
+		grid.SetObs(opt.Obs)
 	}
 
 	// The closed loop: one controller for the whole timeline, observing
@@ -118,7 +126,13 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
+		c.SetObs(opt.Obs)
 		ctrl = c
+	}
+
+	var ctl *obs.Shard
+	if opt.Obs != nil {
+		ctl = opt.Obs.Ctl()
 	}
 
 	var (
@@ -205,7 +219,14 @@ func Run(sc Scenario, opt Options) (Result, error) {
 				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
 			}
 		}
-		r := fleet.Run(fleetConfig(sc, runSpecs, opt.Workers, grid, phaseGPUs(sc, ph)))
+		if ctl != nil {
+			ctl.Inc(obs.CPhases)
+		}
+		fc := fleetConfig(sc, runSpecs, opt.Workers, grid, phaseGPUs(sc, ph))
+		fc.Obs = opt.Obs
+		fc.Tracer = opt.Tracer
+		fc.TraceLabel = ph.Name
+		r := fleet.Run(fc)
 
 		sum := r.Summarize()
 		// Wall time and pool size are host artifacts, not science;
@@ -231,6 +252,13 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			gridClusters = g.Clusters
 			for _, c := range g.Clusters {
 				pr.GPUSeconds += float64(c.GPUs) * ph.DurationSeconds
+				if ctl != nil {
+					// Integer GPU-milliseconds per (phase, cluster): integer
+					// accumulation keeps the counter order-independent, and
+					// Refute checks it against the float report with a
+					// rounding tolerance.
+					ctl.Add(obs.CGridGPUMs, int64(math.Round(float64(c.GPUs)*ph.DurationSeconds*1000)))
+				}
 			}
 		}
 		if sc.SLO != nil {

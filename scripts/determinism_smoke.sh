@@ -15,6 +15,14 @@
 #           wall-clock (capacity scaling study); "" diffs every byte
 #   CMD...  the report command; "-workers $W -format json" is appended
 #
+# With SMOKE_COUNTERS=1 in the environment, each run also writes the
+# observability layer's merged counter snapshot (-counters) to
+# bin/PREFIX-counters-w$W.ndjson, and the two snapshots are diffed
+# byte-for-byte with no filter: counters are integer sums, so not even
+# the wall-clock exemption applies. Because -counters also arms the
+# CLI-side Refute invariant checker, every counted smoke is a standing
+# audit of the stack's bookkeeping.
+#
 # The unfiltered reports are kept in bin/ for CI to archive.
 set -eu
 
@@ -32,8 +40,23 @@ shift 5
 mkdir -p bin
 for w in "$w1" "$w2"; do
     echo "$name-smoke: probing on $w worker(s)..."
-    "$@" -workers "$w" -format json > "bin/$prefix-w$w.json"
+    if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
+        "$@" -workers "$w" -format json \
+            -counters "bin/$prefix-counters-w$w.ndjson" > "bin/$prefix-w$w.json"
+    else
+        "$@" -workers "$w" -format json > "bin/$prefix-w$w.json"
+    fi
 done
+
+if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
+    ca="bin/$prefix-counters-w$w1.ndjson"
+    cb="bin/$prefix-counters-w$w2.ndjson"
+    if ! diff "$ca" "$cb"; then
+        echo "$name counter determinism FAIL: workers $w1 != workers $w2" >&2
+        exit 1
+    fi
+    echo "$name counter determinism OK (workers $w1 == workers $w2)"
+fi
 
 a="bin/$prefix-w$w1.json"
 b="bin/$prefix-w$w2.json"
