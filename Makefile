@@ -7,7 +7,7 @@ GO ?= go
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario,
-# qvr-edge, qvr-capacity) into ./bin.
+# qvr-edge, qvr-capacity, qvr-tracecheck, qvr-report) into ./bin.
 build:
 	$(GO) build ./...
 	$(GO) build -o bin/ ./cmd/...
@@ -88,10 +88,14 @@ autoscale-smoke:
 # compact summary, not a FrameRecord slice.
 scale-smoke:
 	@mkdir -p bin
-	@SMOKE_COUNTERS=1 ./scripts/determinism_smoke.sh scale scale 1 4 '' \
+	@SMOKE_COUNTERS=1 SMOKE_SERIES=1 ./scripts/determinism_smoke.sh scale scale 1 4 '' \
 		$(GO) run ./cmd/qvr-scenario -builtin mega-steady -frames 2 -warmup 1
 	@cp bin/scale-counters-w1.ndjson bin/BENCH_obs.ndjson
 	@echo "archived mega-steady counters as bin/BENCH_obs.ndjson ($$(wc -l < bin/BENCH_obs.ndjson) records)"
+	$(GO) run ./cmd/qvr-report -series bin/scale-series-w1.ndjson -o bin/BENCH_obs.html
+	@grep -q '<svg' bin/BENCH_obs.html \
+		|| { echo "scale smoke FAIL: bin/BENCH_obs.html carries no charts"; exit 1; }
+	@echo "archived mega-steady run report as bin/BENCH_obs.html ($$(wc -c < bin/BENCH_obs.html) bytes)"
 
 # Capacity smoke: the HPL-style probe in miniature on the
 # capacity-probe built-in. Three gates: (1) the knee-curve JSON is
@@ -122,12 +126,18 @@ capacity-smoke:
 	@test -s bin/capacity.params || { echo "capacity smoke FAIL: bin/capacity.params missing or empty"; exit 1; }
 	@echo "capacity artifacts OK: bin/BENCH_capacity.json ($$(wc -l < bin/BENCH_capacity.json) events), bin/capacity.params"
 
-# Observability smoke: capture a sampled span trace of the
-# regional-outage timeline (24 sessions/run, enough to sample a
+# Observability smoke, in four acts. (1) Capture a sampled span trace
+# of the regional-outage timeline (24 sessions/run, enough to sample a
 # migrated session), validate it against the trace-event schema with
 # qvr-tracecheck (well-formed JSON, known phases, per-lane monotone
 # timestamps), and require the migration handoff to be visible as a
-# span — the acceptance criterion for the trace seam.
+# span and the phase starts as instant marks. (2) The flight
+# recorder's determinism contract: the autoscaled flash crowd's time
+# series — interior 30s samples included — must be byte-identical
+# across worker pool sizes, with the window-sum audit armed. (3) The
+# series renders to an HTML run report whose grid charts made it in.
+# (4) The live endpoints: scripts/metrics_smoke.sh scrapes /metrics
+# during a real run and validates the Prometheus text exposition.
 obs-smoke:
 	@mkdir -p bin
 	$(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4 \
@@ -136,7 +146,17 @@ obs-smoke:
 	$(GO) run ./cmd/qvr-tracecheck bin/obs-trace.json
 	@grep -q '"migration-handoff"' bin/obs-trace.json \
 		|| { echo "obs smoke FAIL: no migration-handoff span in bin/obs-trace.json"; exit 1; }
-	@echo "obs trace OK: migration handoff visible as a span"
+	@grep -q '"phase:' bin/obs-trace.json \
+		|| { echo "obs smoke FAIL: no phase instant marks in bin/obs-trace.json"; exit 1; }
+	@echo "obs trace OK: migration handoff span + phase instant marks"
+	@SMOKE_SERIES=1 ./scripts/determinism_smoke.sh obs-series obs 1 4 '' \
+		$(GO) run ./cmd/qvr-edge -builtin edge-autoscale-flashcrowd -frames 8 -warmup 4 \
+			-series-interval 30
+	$(GO) run ./cmd/qvr-report -series bin/obs-series-w1.ndjson -o bin/obs-report.html
+	@grep -q 'Per-cluster GPUs' bin/obs-report.html \
+		|| { echo "obs smoke FAIL: bin/obs-report.html lost the grid charts"; exit 1; }
+	@echo "obs report OK: bin/obs-report.html ($$(wc -c < bin/obs-report.html) bytes)"
+	./scripts/metrics_smoke.sh $(GO) run ./cmd/qvr-edge -builtin edge-regional-outage -frames 8 -warmup 4
 
 # Profile the scale scenario: CPU + end-of-run heap profiles of the
 # real fleet workload (not a synthetic benchmark), for the

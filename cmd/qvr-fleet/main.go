@@ -23,6 +23,7 @@ import (
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
 	"qvr/internal/netsim"
+	"qvr/internal/obs/series"
 	"qvr/internal/pipeline"
 )
 
@@ -91,8 +92,19 @@ func main() {
 	cfg.Obs = obsFlags.Registry()
 	cfg.Tracer = obsFlags.Tracer()
 	cfg.TraceLabel = "fleet"
+	rec := obsFlags.Recorder(series.Meta{Tool: "qvr-fleet"})
 
 	r := fleet.Run(cfg)
+	if rec != nil {
+		// A bare fleet run has no scenario clock: the whole run is one
+		// window at t=0.
+		sum := r.Summarize()
+		var clusters []fleet.ClusterLoad
+		if g := r.Contention.Grid; g != nil {
+			clusters = g.Clusters
+		}
+		rec.EndWindow(series.Window{Label: "fleet", Gauges: series.GaugesOf(sum, clusters)})
+	}
 	switch form {
 	case cliout.Table:
 		printTable(r)

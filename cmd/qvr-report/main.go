@@ -1,0 +1,86 @@
+// Command qvr-report renders a flight-recorder series file (the NDJSON
+// written by the fleet CLIs' -series flag or served at /series) into a
+// self-contained HTML run report: P99 MTP and 90-FPS share against
+// their SLO lines, live sessions, per-cluster load and GPU counts —
+// all with phase bands, scale events and migrations as markers — plus
+// the windows table. The output is one file with inline SVG and no
+// scripts, so it renders offline and archives cleanly from CI.
+//
+// Usage:
+//
+//	qvr-report -series run.ndjson -o report.html [-title "…"]
+//
+// -series - reads the stream from stdin; -o defaults to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qvr/internal/cliout"
+	"qvr/internal/report"
+)
+
+func main() {
+	seriesPath := flag.String("series", "", "series NDJSON file to render (- for stdin)")
+	out := flag.String("o", "", "output HTML file (default stdout)")
+	title := flag.String("title", "", "report title (default derived from the stream's meta record)")
+	flag.Parse()
+
+	if *seriesPath == "" {
+		cliout.Fail("qvr-report", "usage: qvr-report -series <run.ndjson> [-o report.html] [-title ...]")
+	}
+
+	var in io.Reader = os.Stdin
+	if *seriesPath != "-" {
+		f, err := os.Open(*seriesPath)
+		if err != nil {
+			cliout.Fail("qvr-report", "%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := report.Parse(in)
+	if err != nil {
+		cliout.Fail("qvr-report", "%v", err)
+	}
+
+	if *title == "" {
+		switch {
+		case run.Meta.Scenario != "":
+			*title = "qvr run report — " + run.Meta.Scenario
+		case run.Meta.Tool != "":
+			*title = "qvr run report — " + run.Meta.Tool
+		default:
+			*title = "qvr run report"
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			cliout.Fail("qvr-report", "%v", err)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err == nil {
+				err = f.Close()
+				if err != nil {
+					cliout.Fail("qvr-report", "%v", err)
+				}
+			} else {
+				f.Close()
+				cliout.Fail("qvr-report", "%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "qvr-report: wrote %s\n", *out)
+		}()
+		w = bw
+	}
+	if err := report.Render(w, run, *title); err != nil {
+		cliout.Fail("qvr-report", "%v", err)
+	}
+}

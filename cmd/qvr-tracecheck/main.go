@@ -1,7 +1,7 @@
 // Command qvr-tracecheck validates a Chrome trace-event JSON file as
 // produced by the fleet CLIs' -trace flag: the document must parse,
-// carry at least one event, use only metadata (M) and complete (X)
-// phases, and keep timestamps nonnegative and monotone nondecreasing
+// carry at least one event, use only metadata (M), complete (X) and
+// instant (i) phases, and keep timestamps nonnegative and monotone nondecreasing
 // within every (pid, tid) lane. CI's obs-smoke target runs it against
 // a freshly captured trace.
 //

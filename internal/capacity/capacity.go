@@ -34,6 +34,7 @@ import (
 
 	"qvr/internal/fleet"
 	"qvr/internal/obs"
+	"qvr/internal/obs/series"
 	"qvr/internal/scenario"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// Neither affects the probe's metrics.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
+	// Series, when set, closes one flight-recorder window per fleet
+	// actually run — cache-miss probe points and scaling measurements
+	// alike — on a synthetic clock of WindowSeconds per run (a probe
+	// has no scenario timeline; each point *represents* one
+	// steady-state window). Series must record the same registry as
+	// Obs. Does not affect the probe's metrics.
+	Series *series.Recorder
 }
 
 // Outcome classifies what the knee search found.
@@ -385,6 +393,23 @@ func Probe(cfg Config) (Report, error) {
 	if cfg.Obs != nil {
 		ctl = cfg.Obs.Ctl()
 	}
+	// The probe has no scenario clock; the series recorder gets a
+	// synthetic one instead — each executed fleet (cache-miss point or
+	// scaling measurement) occupies one WindowSeconds slot, in run
+	// order. Every counter increment the probe causes lands in the
+	// window of the run that caused it, so the window-sum audit stays
+	// exact.
+	var seriesT float64
+	endWindow := func(label string, sum fleet.Summary, met bool) {
+		if cfg.Series == nil {
+			return
+		}
+		cfg.Series.EndWindow(series.Window{
+			T0: seriesT, T1: seriesT + cfg.WindowSeconds, Label: label,
+			Gauges: series.GaugesOf(sum, nil), SLOMet: &met,
+		})
+		seriesT += cfg.WindowSeconds
+	}
 	cache := map[int]Point{}
 	eval := func(n int, stage string) (Point, error) {
 		if pt, ok := cache[n]; ok {
@@ -402,6 +427,7 @@ func Probe(cfg Config) (Report, error) {
 		}
 		pt := pointOf(pr, cfg.WindowSeconds)
 		cache[n] = pt
+		endWindow(fmt.Sprintf("%s n=%d", stage, n), pr.Summary, pr.Verdict.Met)
 		emit(Event{Event: "point", Stage: stage, Point: &pt, WallSeconds: pr.WallSeconds})
 		return pt, nil
 	}
@@ -474,6 +500,7 @@ func Probe(cfg Config) (Report, error) {
 					sp.Efficiency = sp.Speedup / ratio
 				}
 			}
+			endWindow(fmt.Sprintf("scaling-%s w=%d", mode, w), pr.Summary, pr.Verdict.Met)
 			rep.Scaling = append(rep.Scaling, sp)
 			emit(Event{Event: "scaling", Scaling: &sp, WallSeconds: pr.WallSeconds})
 		}

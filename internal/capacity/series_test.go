@@ -1,0 +1,55 @@
+package capacity
+
+import (
+	"bytes"
+	"testing"
+
+	"qvr/internal/obs"
+	"qvr/internal/obs/series"
+)
+
+// TestSeriesWorkerInvariance: the probe's flight-recorder stream —
+// one window per executed fleet on the synthetic WindowSeconds clock,
+// scaling-study measurements included — must be byte-identical for
+// any worker pool size, and the window deltas must sum to the final
+// snapshot (so no probe work ever lands outside a window).
+func TestSeriesWorkerInvariance(t *testing.T) {
+	var prev []byte
+	for _, workers := range []int{1, 3} {
+		cfg := miniConfig(probeScenario(t))
+		cfg.Workers = workers
+		cfg.ScaleWorkers = []int{1, 2}
+		reg := obs.New()
+		rec := series.New(reg, 0)
+		cfg.Obs = reg
+		cfg.Series = rec
+		rep, err := Probe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Finish(); err != nil {
+			t.Fatalf("workers=%d: window-sum audit: %v", workers, err)
+		}
+		got := rec.NDJSON()
+		if prev != nil && !bytes.Equal(prev, got) {
+			t.Fatalf("workers=%d changed the series stream", workers)
+		}
+		prev = got
+		// One window per executed fleet: distinct probed session counts
+		// plus one per scaling measurement.
+		distinct := map[int]bool{}
+		for _, pt := range rep.Search {
+			distinct[pt.Sessions] = true
+		}
+		for _, pt := range rep.Knee {
+			distinct[pt.Sessions] = true
+		}
+		if want := len(distinct) + len(rep.Scaling); rec.Windows() != want {
+			t.Fatalf("workers=%d: %d windows, want %d (distinct points + scaling runs)",
+				workers, rec.Windows(), want)
+		}
+	}
+	if !bytes.Contains(prev, []byte(`"scaling-weak w=1"`)) {
+		t.Error("stream missing the scaling-study windows")
+	}
+}

@@ -2,20 +2,33 @@ package cliout
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"time"
 
 	"qvr/internal/obs"
+	"qvr/internal/obs/series"
 )
 
-// ObsFlags is the shared -counters/-trace/-trace-sessions surface of
-// the fleet-facing CLIs: it owns the registry and tracer lifecycles
-// so the four commands wire observability identically.
+// ObsFlags is the shared observability surface of the fleet-facing
+// CLIs — -counters/-trace/-trace-sessions plus the flight recorder's
+// -series/-series-interval and the live scrape endpoint's
+// -listen/-serve-seconds. It owns the registry, tracer, recorder and
+// server lifecycles so the four commands wire observability
+// identically.
 type ObsFlags struct {
-	counters      *string
-	trace         *string
-	traceSessions *int
+	counters       *string
+	trace          *string
+	traceSessions  *int
+	series         *string
+	seriesInterval *float64
+	listen         *string
+	serveSeconds   *float64
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	rec    *series.Recorder
+	srv    *series.Server
 }
 
 // AddObsFlags registers the observability flags on the default
@@ -28,13 +41,25 @@ func AddObsFlags() *ObsFlags {
 			"write Chrome trace-event JSON for sampled sessions to this file (view in chrome://tracing or Perfetto)"),
 		traceSessions: flag.Int("trace-sessions", 4,
 			"sessions traced per fleet run when -trace is set (the first N by spec index)"),
+		series: flag.String("series", "",
+			"write the per-window time series (gauges plus counter deltas) to this file as NDJSON (byte-identical across -workers)"),
+		seriesInterval: flag.Float64("series-interval", 0,
+			"interior sample-and-hold tick spacing for -series, scenario seconds (0 = one record per window)"),
+		listen: flag.String("listen", "",
+			"serve /metrics (Prometheus text), /series (NDJSON so far) and /healthz on this address during the run (e.g. :9090)"),
+		serveSeconds: flag.Float64("serve-seconds", 0,
+			"keep -listen serving this many wall seconds after the run finishes (0 = close immediately)"),
 	}
 }
 
+// seriesOn reports whether anything needs the flight recorder.
+func (o *ObsFlags) seriesOn() bool { return *o.series != "" || *o.listen != "" }
+
 // Registry returns the counter registry, created on first use, or nil
-// when -counters was not set. Call after flag.Parse.
+// when nothing that needs one (-counters, -series, -listen) was set.
+// Call after flag.Parse.
 func (o *ObsFlags) Registry() *obs.Registry {
-	if *o.counters == "" {
+	if *o.counters == "" && !o.seriesOn() {
 		return nil
 	}
 	if o.reg == nil {
@@ -55,13 +80,41 @@ func (o *ObsFlags) Tracer() *obs.Tracer {
 	return o.tracer
 }
 
-// Finish writes the counter and trace files and runs the invariant
-// checker: the counters must not refute the expectations the caller
-// derived from its run summary. Divergence — or any write failure —
-// is fatal via Fail, so a CLI with -counters on is a standing audit
-// of the stack's bookkeeping on every run.
+// Recorder returns the series flight recorder, created on first use,
+// or nil when neither -series nor -listen was set. meta opens the
+// stream (Kind and the interval are filled in here). When -listen is
+// set, the first call also starts the scrape server and prints its
+// bound address to stderr. Call after flag.Parse, before the run.
+func (o *ObsFlags) Recorder(meta series.Meta) *series.Recorder {
+	if !o.seriesOn() {
+		return nil
+	}
+	if o.rec == nil {
+		o.rec = series.New(o.Registry(), *o.seriesInterval)
+		o.rec.SetMeta(meta)
+		if *o.listen != "" {
+			srv, err := series.Serve(*o.listen, o.rec)
+			if err != nil {
+				Fail(meta.Tool, "%v", err)
+			}
+			o.srv = srv
+			fmt.Fprintf(os.Stderr, "%s: serving /metrics /series /healthz on http://%s\n",
+				meta.Tool, srv.Addr())
+		}
+	}
+	return o.rec
+}
+
+// Finish writes the counter, series and trace files and runs the
+// invariant checkers: the counters must not refute the expectations
+// the caller derived from its run summary, and the series windows'
+// deltas must sum to the final snapshot. Divergence — or any write
+// failure — is fatal via Fail, so a CLI with these flags on is a
+// standing audit of the stack's bookkeeping on every run. When
+// -serve-seconds is set the scrape endpoint lingers (now serving the
+// final snapshot) before closing.
 func (o *ObsFlags) Finish(tool string, exps []obs.Expectation) {
-	if o.reg != nil {
+	if o.reg != nil && *o.counters != "" {
 		snap := o.reg.Snapshot()
 		w, err := NewEventWriter(*o.counters)
 		if err != nil {
@@ -79,6 +132,24 @@ func (o *ObsFlags) Finish(tool string, exps []obs.Expectation) {
 			Fail(tool, "%v", err)
 		}
 	}
+	if o.rec != nil {
+		_, auditErr := o.rec.Finish()
+		if *o.series != "" {
+			f, err := os.Create(*o.series)
+			if err != nil {
+				Fail(tool, "create %s: %v", *o.series, err)
+			}
+			if _, err := o.rec.WriteTo(f); err != nil {
+				Fail(tool, "write %s: %v", *o.series, err)
+			}
+			if err := f.Close(); err != nil {
+				Fail(tool, "close %s: %v", *o.series, err)
+			}
+		}
+		if auditErr != nil {
+			Fail(tool, "%v", auditErr)
+		}
+	}
 	if o.tracer != nil {
 		w, err := NewEventWriter(*o.trace)
 		if err != nil {
@@ -90,5 +161,13 @@ func (o *ObsFlags) Finish(tool string, exps []obs.Expectation) {
 		if err := w.Close(); err != nil {
 			Fail(tool, "%v", err)
 		}
+	}
+	if o.srv != nil {
+		if secs := *o.serveSeconds; secs > 0 {
+			fmt.Fprintf(os.Stderr, "%s: run finished; holding http://%s open for %gs\n",
+				tool, o.srv.Addr(), secs)
+			time.Sleep(time.Duration(secs * float64(time.Second)))
+		}
+		_ = o.srv.Close()
 	}
 }

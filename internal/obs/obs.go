@@ -101,12 +101,42 @@ var counterNames = [numCounters]string{
 	CProbePoints:             "capacity_probe_points_total",
 }
 
+// counterHelp is the operator-facing description of every counter,
+// emitted as the # HELP line of the Prometheus exposition. The test
+// suite pins the catalogue complete: a counter without help text is a
+// build error caught in CI, not a blank line on a dashboard.
+var counterHelp = [numCounters]string{
+	CSessionsSimulated:       "Sessions actually simulated by fleet workers.",
+	CFramesMeasured:          "Measured frames streamed through the per-worker stage sinks.",
+	CAdmitDropped:            "Sessions refused by the shared-cluster admission layer.",
+	CAdmitFailedOver:         "Sessions degraded to local-only rendering by an admission-layer outage.",
+	CPlaceSticky:             "Placement rounds that kept a session on its previous edge site.",
+	CPlacePolicy:             "Sessions placed by the grid policy (new arrivals and evictees).",
+	CPlaceMigrated:           "Sessions moved between edge sites (policy re-placement and drain-back).",
+	CPlaceDrainback:          "Migrations performed by the drain-back hysteresis pass.",
+	CPlaceFailedOver:         "Sessions no edge site could serve, degraded to local-only rendering.",
+	CGridGPUMs:               "Grid capacity consumed, in integer GPU-milliseconds.",
+	CScaleUp:                 "Autoscaler scale-up decisions.",
+	CScaleDown:               "Autoscaler scale-down decisions.",
+	CScaleSuppressedCooldown: "Autoscaler decisions suppressed by the per-cluster cooldown.",
+	CPhases:                  "Scenario phase windows executed.",
+	CProbePoints:             "Capacity-probe evaluations that ran a fleet (cache misses).",
+}
+
 // String returns the counter's catalogue name.
 func (c Counter) String() string {
 	if c < 0 || c >= numCounters {
 		return "counter(?)"
 	}
 	return counterNames[c]
+}
+
+// Help returns the counter's one-line description.
+func (c Counter) Help() string {
+	if c < 0 || c >= numCounters {
+		return ""
+	}
+	return counterHelp[c]
 }
 
 // Histogram names one fixed-bucket distribution in the catalogue.
@@ -145,12 +175,31 @@ var histogramNames = [numHistograms]string{
 	HGridLoadPct:        "grid_cluster_load_pct",
 }
 
+// histogramHelp mirrors counterHelp for the histogram catalogue.
+var histogramHelp = [numHistograms]string{
+	HFrameMTPUs:         "Per-frame motion-to-photon latency, microseconds.",
+	HFrameLocalRenderUs: "Per-frame local render time, microseconds.",
+	HFrameRemoteChainUs: "Per-frame remote chain time (frames that went remote), microseconds.",
+	HFrameTransferUs:    "Per-frame network transfer time, microseconds.",
+	HFrameDecodeUs:      "Per-frame decode time, microseconds.",
+	HAdmitQueueUs:       "Admission/placement queue delay charged per admitted session, microseconds.",
+	HGridLoadPct:        "Per-cluster load (assigned/capacity) per live site per placement round, percent.",
+}
+
 // String returns the histogram's catalogue name.
 func (h Histogram) String() string {
 	if h < 0 || h >= numHistograms {
 		return "histogram(?)"
 	}
 	return histogramNames[h]
+}
+
+// Help returns the histogram's one-line description.
+func (h Histogram) Help() string {
+	if h < 0 || h >= numHistograms {
+		return ""
+	}
+	return histogramHelp[h]
 }
 
 // maxHistBuckets bounds every histogram's bucket array (bounds plus
@@ -279,6 +328,34 @@ func (snap *Snapshot) merge(s *Shard) {
 
 // Counter returns the merged value of c.
 func (snap Snapshot) Counter(c Counter) int64 { return snap.counts[c] }
+
+// Sub returns the element-wise difference snap minus prev: the window
+// delta between two snapshots of the same registry. Counters are
+// monotone and histograms only accumulate, so for snapshots taken in
+// order every field of the difference is nonnegative — this is what
+// the time-series flight recorder records per window.
+func (snap Snapshot) Sub(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range d.counts {
+		d.counts[i] = snap.counts[i] - prev.counts[i]
+	}
+	for i := range d.hsum {
+		d.hsum[i] = snap.hsum[i] - prev.hsum[i]
+		for j := range d.hbkt[i] {
+			d.hbkt[i][j] = snap.hbkt[i][j] - prev.hbkt[i][j]
+		}
+	}
+	return d
+}
+
+// EachCounter calls fn for every catalogue counter in fixed catalogue
+// order with its merged value — zeros included, so consumers (the
+// series recorder, the window-sum audit) see the whole catalogue.
+func (snap Snapshot) EachCounter(fn func(c Counter, value int64)) {
+	for c := Counter(0); c < numCounters; c++ {
+		fn(c, snap.counts[c])
+	}
+}
 
 // HistogramCount returns the merged observation count of h.
 func (snap Snapshot) HistogramCount(h Histogram) int64 {

@@ -155,6 +155,115 @@ func TestWritePromText(t *testing.T) {
 	}
 }
 
+// TestHelpCatalogueComplete pins the rule that every counter and
+// histogram in the catalogue carries a help string: a metric whose
+// HELP line would be blank is a catalogue entry someone forgot to
+// document, and the /metrics endpoint promises a description for
+// every exposed name.
+func TestHelpCatalogueComplete(t *testing.T) {
+	for c := Counter(0); c < numCounters; c++ {
+		if c.Help() == "" {
+			t.Errorf("counter %s has no help text", c)
+		}
+	}
+	for h := Histogram(0); h < numHistograms; h++ {
+		if h.Help() == "" {
+			t.Errorf("histogram %s has no help text", h)
+		}
+	}
+	if Counter(-1).Help() != "" || Counter(numCounters).Help() != "" {
+		t.Error("out-of-range counter should have empty help")
+	}
+	if Histogram(-1).Help() != "" || Histogram(numHistograms).Help() != "" {
+		t.Error("out-of-range histogram should have empty help")
+	}
+}
+
+// TestWritePromTextHelp checks each metric's HELP line directly
+// precedes its TYPE line, carrying the catalogue text.
+func TestWritePromTextHelp(t *testing.T) {
+	var b strings.Builder
+	if err := WritePromText(&b, New().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP qvr_autoscale_up_total " + CScaleUp.Help() + "\n# TYPE qvr_autoscale_up_total counter\n",
+		"# HELP qvr_frame_mtp_us " + HFrameMTPUs.Help() + "\n# TYPE qvr_frame_mtp_us histogram\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom text missing %q", want)
+		}
+	}
+	if got, want := strings.Count(out, "# HELP qvr_"), int(numCounters)+int(numHistograms); got != want {
+		t.Errorf("%d HELP lines, want %d (one per metric)", got, want)
+	}
+}
+
+// TestSnapshotSub: Sub is the window-delta operator — exact
+// elementwise difference over counters, sums and buckets.
+func TestSnapshotSub(t *testing.T) {
+	r := New()
+	r.Ctl().Add(CSessionsSimulated, 3)
+	r.Ctl().Observe(HFrameMTPUs, 1500)
+	prev := r.Snapshot()
+	r.Ctl().Add(CSessionsSimulated, 4)
+	r.Ctl().Observe(HFrameMTPUs, 2500)
+	d := r.Snapshot().Sub(prev)
+	if got := d.Counter(CSessionsSimulated); got != 4 {
+		t.Errorf("delta counter = %d, want 4", got)
+	}
+	if d.hsum[HFrameMTPUs] != 2500 {
+		t.Errorf("delta sum = %d, want 2500", d.hsum[HFrameMTPUs])
+	}
+	if d.hbkt[HFrameMTPUs][1] != 0 || d.hbkt[HFrameMTPUs][2] != 1 {
+		t.Errorf("delta buckets = %v, want only le=3000 incremented", d.hbkt[HFrameMTPUs])
+	}
+}
+
+// TestRefuteWindowSums: the series audit passes when per-window
+// deltas reproduce the final snapshot, fails naming the counter when
+// a window lost an increment, and fails on names outside the
+// catalogue.
+func TestRefuteWindowSums(t *testing.T) {
+	r := New()
+	r.Ctl().Add(CSessionsSimulated, 7)
+	r.Ctl().Add(CPhases, 2)
+	final := r.Snapshot()
+
+	sums := map[string]int64{
+		CSessionsSimulated.String(): 7,
+		CPhases.String():            2,
+	}
+	checks, err := RefuteWindowSums(final, sums)
+	if err != nil {
+		t.Fatalf("expected pass, got %v", err)
+	}
+	if len(checks) != int(numCounters) {
+		t.Errorf("%d checks, want one per counter (%d)", len(checks), numCounters)
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check %+v not ok", c)
+		}
+	}
+
+	// Tampered: one window's delta lost an increment.
+	sums[CSessionsSimulated.String()] = 6
+	_, err = RefuteWindowSums(final, sums)
+	if err == nil || !strings.Contains(err.Error(), "fleet_sessions_simulated_total window deltas sum to 6, final snapshot 7") {
+		t.Errorf("tampered audit error = %v, want the diverging counter named", err)
+	}
+
+	// A name outside the catalogue is a recorder/registry mismatch.
+	sums[CSessionsSimulated.String()] = 7
+	sums["bogus_total"] = 1
+	_, err = RefuteWindowSums(final, sums)
+	if err == nil || !strings.Contains(err.Error(), "bogus_total appears in window deltas but not in the catalogue") {
+		t.Errorf("unknown-name audit error = %v, want bogus_total named", err)
+	}
+}
+
 // TestRefute covers the checker itself: exact pass, tolerance pass,
 // and a failure that names the diverging counter and its source.
 func TestRefute(t *testing.T) {

@@ -6,20 +6,23 @@ import (
 )
 
 // WritePromText renders the snapshot in the Prometheus text
-// exposition format (version 0.0.4), the wire format the future
-// qvr-serve daemon will expose over HTTP. Metric names carry a qvr_
-// prefix; histograms emit the conventional cumulative _bucket series
-// with le labels, plus _sum and _count.
+// exposition format (version 0.0.4), the wire format the /metrics
+// scrape endpoint (and the future qvr-serve daemon) exposes over
+// HTTP. Metric names carry a qvr_ prefix; every metric gets a # HELP
+// line from the help catalogue and a # TYPE line; histograms emit the
+// conventional cumulative _bucket series with le labels, plus _sum
+// and _count.
 func WritePromText(w io.Writer, snap Snapshot) error {
 	for c := Counter(0); c < numCounters; c++ {
 		name := "qvr_" + c.String()
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.counts[c]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			name, c.Help(), name, name, snap.counts[c]); err != nil {
 			return err
 		}
 	}
 	for h := Histogram(0); h < numHistograms; h++ {
 		name := "qvr_" + h.String()
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, h.Help(), name); err != nil {
 			return err
 		}
 		bounds := histogramBounds[h]

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -60,6 +61,44 @@ func Refute(snap Snapshot, exps []Expectation) ([]Check, error) {
 	}
 	if len(failed) > 0 {
 		return checks, fmt.Errorf("obs: refuted %d invariant(s): %s",
+			len(failed), strings.Join(failed, "; "))
+	}
+	return checks, nil
+}
+
+// RefuteWindowSums is the flight recorder's double-entry audit: the
+// per-window counter deltas the series recorder emitted, summed per
+// counter name, must reproduce the final snapshot exactly — a window
+// that lost or invented an increment is a recording bug, and a name
+// in sums outside the catalogue means the recorder and the registry
+// disagree about what exists. Deltas are integer differences of
+// snapshots of one monotone registry, so there is no tolerance: the
+// books balance to the count or the run fails.
+func RefuteWindowSums(final Snapshot, sums map[string]int64) ([]Check, error) {
+	known := make(map[string]bool, int(numCounters))
+	checks := make([]Check, 0, int(numCounters))
+	var failed []string
+	final.EachCounter(func(c Counter, want int64) {
+		name := c.String()
+		known[name] = true
+		got := sums[name]
+		ok := got == want
+		checks = append(checks, Check{
+			Counter: name, Got: got, Want: want,
+			Source: "sum of series window deltas", OK: ok,
+		})
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s window deltas sum to %d, final snapshot %d", name, got, want))
+		}
+	})
+	for name := range sums {
+		if !known[name] {
+			failed = append(failed, fmt.Sprintf("%s appears in window deltas but not in the catalogue", name))
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return checks, fmt.Errorf("obs: series window-sum audit refuted %d invariant(s): %s",
 			len(failed), strings.Join(failed, "; "))
 	}
 	return checks, nil

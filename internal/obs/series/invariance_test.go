@@ -1,0 +1,45 @@
+package series
+
+import (
+	"bytes"
+	"testing"
+
+	"qvr/internal/fleet"
+	"qvr/internal/obs"
+	"qvr/internal/pipeline"
+)
+
+// TestFleetWorkerInvariance mirrors qvr-fleet's wiring — the whole
+// run is one window at t=0 — and pins that the stream is
+// byte-identical across worker pool sizes: Gauges deliberately has no
+// wall-clock or worker-count field to leak them through.
+func TestFleetWorkerInvariance(t *testing.T) {
+	design, ok := pipeline.DesignByName("qvr")
+	if !ok {
+		t.Fatal("qvr design missing")
+	}
+	mix, ok := fleet.MixByName("mixed")
+	if !ok {
+		t.Fatal("mixed mix missing")
+	}
+	var prev []byte
+	for _, workers := range []int{1, 4} {
+		specs, err := mix.Specs(12, design, 10, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.New()
+		rec := New(reg, 0)
+		rec.SetMeta(Meta{Tool: "qvr-fleet"})
+		r := fleet.Run(fleet.Config{Specs: specs, Workers: workers, Obs: reg})
+		rec.EndWindow(Window{Label: "fleet", Gauges: GaugesOf(r.Summarize(), nil)})
+		if _, err := rec.Finish(); err != nil {
+			t.Fatalf("workers=%d: window-sum audit: %v", workers, err)
+		}
+		got := rec.NDJSON()
+		if prev != nil && !bytes.Equal(prev, got) {
+			t.Fatalf("workers=%d changed the series stream", workers)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,302 @@
+// Package series is the deterministic flight recorder: a run that
+// carries an obs.Registry can additionally emit a time series of what
+// happened *when*, keyed on the scenario clock, as NDJSON. Each
+// window record pairs the window's gauge readings (per-cluster load,
+// queue depth and GPU counts, live session count, windowed P99 MTP
+// and 90-FPS share, the SLO verdict) with the counter *deltas* the
+// window contributed, computed by differencing registry snapshots at
+// window boundaries.
+//
+// Determinism contract: every record is a pure function of the run's
+// science — scenario clock, merged counters, windowed summaries — and
+// never of wall clock or worker count, so a series file is
+// byte-identical across -workers and CI diffs it the same way it
+// diffs -counters files.
+//
+// The deltas are double-entry bookkeeping: summed per counter across
+// all windows they must reproduce the registry's final snapshot
+// exactly (obs.RefuteWindowSums), so a window that lost or invented
+// an increment — a recorder wired after increments started, a tail of
+// work outside any window — fails the run loudly.
+package series
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"qvr/internal/fleet"
+	"qvr/internal/obs"
+)
+
+// Meta is the stream's opening record: which tool and scenario
+// produced it and the SLO targets the per-window verdicts were judged
+// against, so a renderer can draw the ceiling/floor lines without the
+// scenario file.
+type Meta struct {
+	Kind            string  `json:"kind"` // "meta"
+	Tool            string  `json:"tool"`
+	Scenario        string  `json:"scenario,omitempty"`
+	IntervalSeconds float64 `json:"interval_s,omitempty"`
+	// SLOP99MTPMs / SLOMin90FPSShare echo the scenario's [slo]
+	// targets (0 = target not declared).
+	SLOP99MTPMs      float64 `json:"slo_p99_mtp_ms,omitempty"`
+	SLOMin90FPSShare float64 `json:"slo_min_90fps_share,omitempty"`
+}
+
+// Gauges is the point-in-time reading attached to window and sample
+// records: the windowed fleet roll-up plus the grid's per-cluster
+// report. Deliberately excludes wall time and worker count — the two
+// host artifacts the determinism contract bans.
+type Gauges struct {
+	Sessions   int `json:"sessions"`
+	Dropped    int `json:"dropped"`
+	FailedOver int `json:"failed_over"`
+	Migrated   int `json:"migrated"`
+	// P99MTPMs / FPSShare / MeanFPS are the windowed SLO axes.
+	P99MTPMs float64 `json:"p99_mtp_ms"`
+	FPSShare float64 `json:"fps_share_90"`
+	MeanFPS  float64 `json:"mean_fps"`
+	// Load / QueueMs echo the headline contention reading (in grid
+	// mode, the busiest site's).
+	Load    float64 `json:"load"`
+	QueueMs float64 `json:"queue_ms"`
+	// Clusters is the per-site slice: GPU count, capacity, assignment,
+	// load and queue depth per edge cluster (empty outside grid mode).
+	Clusters []fleet.ClusterLoad `json:"clusters,omitempty"`
+}
+
+// GaugesOf projects a windowed fleet summary and grid cluster report
+// into the series gauge set. The cluster slice is copied: the grid
+// rewrites its report every scheduling round.
+func GaugesOf(s fleet.Summary, clusters []fleet.ClusterLoad) Gauges {
+	g := Gauges{
+		Sessions:   s.Sessions,
+		Dropped:    s.Dropped,
+		FailedOver: s.FailedOver,
+		Migrated:   s.Migrated,
+		P99MTPMs:   s.P99MTPMs,
+		FPSShare:   s.TargetShare,
+		MeanFPS:    s.MeanFPS,
+		Load:       s.Load,
+		QueueMs:    s.QueueMs,
+	}
+	if len(clusters) > 0 {
+		g.Clusters = append([]fleet.ClusterLoad(nil), clusters...)
+	}
+	return g
+}
+
+// Delta is one counter's contribution: a name/value pair.
+type Delta struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Window is one closed recording window: [T0, T1) on the scenario
+// clock, its gauge readings, and the counter deltas it contributed.
+// Callers fill T0/T1/Label/Gauges/SLOMet/Scale; the recorder owns
+// Kind, Index, ScaleUps/ScaleDowns and Deltas.
+type Window struct {
+	Kind  string  `json:"kind"` // "window"
+	Index int     `json:"index"`
+	T0    float64 `json:"t0_s"`
+	T1    float64 `json:"t1_s"`
+	Label string  `json:"label"`
+	Gauges
+	// SLOMet is the window's verdict against the run's [slo] targets;
+	// nil when none are declared.
+	SLOMet *bool `json:"slo_met,omitempty"`
+	// ScaleUps/ScaleDowns count the autoscaler decisions inside the
+	// window (derived from the counter deltas); Scale lists them.
+	ScaleUps   int                `json:"scale_ups,omitempty"`
+	ScaleDowns int                `json:"scale_downs,omitempty"`
+	Scale      []fleet.ScaleEvent `json:"scale_events,omitempty"`
+	// Deltas are this window's counter increments, non-zero entries
+	// only, in catalogue order.
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// Sample is an interior sample-and-hold tick: when a window is longer
+// than the recording interval, the window's gauges are re-emitted at
+// each interior interval boundary so long phases keep a dense series
+// without inventing measurements. Samples carry no deltas — counter
+// increments belong to exactly one window.
+type Sample struct {
+	Kind  string  `json:"kind"` // "sample"
+	T     float64 `json:"t_s"`
+	Label string  `json:"label"`
+	Gauges
+}
+
+// Final is the stream's closing record: the full counter catalogue at
+// run end (zeros included — the audit anchor), and how many windows
+// the run closed.
+type Final struct {
+	Kind     string  `json:"kind"` // "final"
+	T        float64 `json:"t_s"`
+	Windows  int     `json:"windows"`
+	Counters []Delta `json:"counters"`
+}
+
+// Recorder accumulates the series for one run. The registry's shards
+// are written by fleet workers without synchronization, so EndWindow
+// and Finish must only be called from the run's single orchestration
+// goroutine at points where the workers have quiesced (a phase
+// boundary, run end) — exactly where the callers sit. The recorder's
+// own mutex exists for the HTTP read side (/metrics, /series), which
+// observes the latest *closed* window, never a live registry.
+type Recorder struct {
+	reg      *obs.Registry
+	interval float64
+
+	mu      sync.Mutex
+	lines   []byte // rendered NDJSON, append-only
+	prev    obs.Snapshot
+	latest  obs.Snapshot // snapshot at the last closed window / finish
+	sums    map[string]int64
+	windows int
+	lastT   float64
+}
+
+// New builds a recorder over the registry. intervalSeconds > 0 turns
+// on interior sample-and-hold ticks; 0 records exactly one entry per
+// window (the per-phase default).
+func New(reg *obs.Registry, intervalSeconds float64) *Recorder {
+	if intervalSeconds < 0 {
+		intervalSeconds = 0
+	}
+	return &Recorder{reg: reg, interval: intervalSeconds, sums: map[string]int64{}}
+}
+
+// SetMeta emits the stream's opening record.
+func (r *Recorder) SetMeta(m Meta) {
+	m.Kind = "meta"
+	m.IntervalSeconds = r.interval
+	r.mu.Lock()
+	r.append(m)
+	r.mu.Unlock()
+}
+
+// EndWindow closes the window: snapshots the registry, attributes the
+// counter increments since the previous boundary to this window, and
+// emits interior samples then the window record. Call from the run's
+// orchestration goroutine with the worker pool quiesced.
+func (r *Recorder) EndWindow(w Window) {
+	snap := r.reg.Snapshot()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := snap.Sub(r.prev)
+	r.prev, r.latest = snap, snap
+
+	w.Kind = "window"
+	w.Index = r.windows
+	r.windows++
+	if w.T1 > r.lastT {
+		r.lastT = w.T1
+	}
+	w.Gauges = sanitizeGauges(w.Gauges)
+	w.ScaleUps = int(d.Counter(obs.CScaleUp))
+	w.ScaleDowns = int(d.Counter(obs.CScaleDown))
+	d.EachCounter(func(c obs.Counter, v int64) {
+		if v != 0 {
+			w.Deltas = append(w.Deltas, Delta{Name: c.String(), Value: v})
+			r.sums[c.String()] += v
+		}
+	})
+
+	if r.interval > 0 {
+		for k := 1; w.T0+float64(k)*r.interval < w.T1; k++ {
+			r.append(Sample{Kind: "sample", T: w.T0 + float64(k)*r.interval, Label: w.Label, Gauges: w.Gauges})
+		}
+	}
+	r.append(w)
+}
+
+// Finish closes the stream at the last window's end time: emits the
+// final full-catalogue record and runs the window-sum audit. The
+// final record is written even when the audit refutes — the file is
+// the evidence. Call once, after the last window.
+func (r *Recorder) Finish() ([]obs.Check, error) {
+	snap := r.reg.Snapshot()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.latest = snap
+	f := Final{Kind: "final", T: r.lastT, Windows: r.windows}
+	snap.EachCounter(func(c obs.Counter, v int64) {
+		f.Counters = append(f.Counters, Delta{Name: c.String(), Value: v})
+	})
+	r.append(f)
+	return obs.RefuteWindowSums(snap, r.sums)
+}
+
+// append renders one record as a compact NDJSON line. Records are
+// built from sanitized finite floats, so a marshal failure is a
+// programming error worth a panic, not a lost record.
+func (r *Recorder) append(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("series: marshal %T: %v", v, err))
+	}
+	r.lines = append(r.lines, b...)
+	r.lines = append(r.lines, '\n')
+}
+
+// NDJSON returns a copy of the stream rendered so far — the /series
+// endpoint's body.
+func (r *Recorder) NDJSON() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.lines...)
+}
+
+// WriteTo writes the stream rendered so far, implementing
+// io.WriterTo for the -series file.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	b := r.NDJSON()
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Snapshot returns the registry snapshot at the last closed window
+// (or Finish) — the race-free reading /metrics serves while workers
+// may still be writing shards.
+func (r *Recorder) Snapshot() obs.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.latest
+}
+
+// Windows reports how many windows have closed.
+func (r *Recorder) Windows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.windows
+}
+
+// sanitizeGauges zeroes non-finite gauge floats: encoding/json
+// refuses NaN/Inf, and a degenerate ratio (a share over an empty
+// window, say) must not cost the run its series file.
+func sanitizeGauges(g Gauges) Gauges {
+	g.P99MTPMs = finite(g.P99MTPMs)
+	g.FPSShare = finite(g.FPSShare)
+	g.MeanFPS = finite(g.MeanFPS)
+	g.Load = finite(g.Load)
+	g.QueueMs = finite(g.QueueMs)
+	for i := range g.Clusters {
+		g.Clusters[i].Load = finite(g.Clusters[i].Load)
+		g.Clusters[i].QueueMs = finite(g.Clusters[i].QueueMs)
+	}
+	return g
+}
+
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,265 @@
+package series
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"qvr/internal/fleet"
+	"qvr/internal/obs"
+)
+
+// record is the union shape the tests decode every NDJSON line into.
+type record struct {
+	Kind     string              `json:"kind"`
+	Index    int                 `json:"index"`
+	T0       float64             `json:"t0_s"`
+	T1       float64             `json:"t1_s"`
+	T        float64             `json:"t_s"`
+	Label    string              `json:"label"`
+	Sessions int                 `json:"sessions"`
+	P99MTPMs float64             `json:"p99_mtp_ms"`
+	Windows  int                 `json:"windows"`
+	SLOMet   *bool               `json:"slo_met"`
+	Deltas   []Delta             `json:"deltas"`
+	Counters []Delta             `json:"counters"`
+	Clusters []fleet.ClusterLoad `json:"clusters"`
+}
+
+func decode(t *testing.T, ndjson []byte) []record {
+	t.Helper()
+	var out []record
+	sc := bufio.NewScanner(bytes.NewReader(ndjson))
+	for sc.Scan() {
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestRecorderStream drives two windows and checks the stream shape:
+// meta first, windows indexed in order, deltas attributed to the
+// window whose increments they were, final catalogue closing the
+// stream, and the audit passing.
+func TestRecorderStream(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 0)
+	rec.SetMeta(Meta{Tool: "qvr-test", Scenario: "demo", SLOP99MTPMs: 20})
+
+	reg.Ctl().Add(obs.CSessionsSimulated, 3)
+	met := true
+	rec.EndWindow(Window{T0: 0, T1: 30, Label: "steady",
+		Gauges: Gauges{Sessions: 3, P99MTPMs: 14.5}, SLOMet: &met})
+
+	reg.Ctl().Add(obs.CSessionsSimulated, 5)
+	reg.Ctl().Inc(obs.CPlaceMigrated)
+	rec.EndWindow(Window{T0: 30, T1: 60, Label: "surge",
+		Gauges: Gauges{Sessions: 5, P99MTPMs: 19.0}})
+
+	checks, err := rec.Finish()
+	if err != nil {
+		t.Fatalf("audit refuted a consistent stream: %v", err)
+	}
+	if len(checks) == 0 {
+		t.Fatal("audit returned no checks")
+	}
+
+	recs := decode(t, rec.NDJSON())
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want meta+2 windows+final", len(recs))
+	}
+	if recs[0].Kind != "meta" {
+		t.Errorf("first record kind %q, want meta", recs[0].Kind)
+	}
+	w0, w1, fin := recs[1], recs[2], recs[3]
+	if w0.Kind != "window" || w0.Index != 0 || w0.Label != "steady" || w0.T1 != 30 {
+		t.Errorf("window 0 = %+v", w0)
+	}
+	if w0.SLOMet == nil || !*w0.SLOMet {
+		t.Error("window 0 lost its SLO verdict")
+	}
+	if w1.Index != 1 || w1.Sessions != 5 {
+		t.Errorf("window 1 = %+v", w1)
+	}
+	wantDeltas := func(r record, name string, v int64) {
+		for _, d := range r.Deltas {
+			if d.Name == name {
+				if d.Value != v {
+					t.Errorf("window %d delta %s = %d, want %d", r.Index, name, d.Value, v)
+				}
+				return
+			}
+		}
+		t.Errorf("window %d missing delta %s", r.Index, name)
+	}
+	wantDeltas(w0, "fleet_sessions_simulated_total", 3)
+	wantDeltas(w1, "fleet_sessions_simulated_total", 5)
+	wantDeltas(w1, "grid_migrations_total", 1)
+	if len(w0.Deltas) != 1 {
+		t.Errorf("window 0 carries %d deltas, want only the non-zero one", len(w0.Deltas))
+	}
+	if fin.Kind != "final" || fin.Windows != 2 || fin.T != 60 {
+		t.Errorf("final = %+v", fin)
+	}
+	if got := len(fin.Counters); got <= 2 {
+		t.Errorf("final carries %d counters, want the whole catalogue", got)
+	}
+}
+
+// TestRecorderInterval: a window longer than the interval emits
+// sample-and-hold ticks at interior boundaries only — never at the
+// window edges — and samples never carry deltas.
+func TestRecorderInterval(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 10)
+	rec.EndWindow(Window{T0: 0, T1: 30, Label: "long", Gauges: Gauges{Sessions: 2}})
+	if _, err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decode(t, rec.NDJSON())
+	var ticks []float64
+	for _, r := range recs {
+		if r.Kind == "sample" {
+			if r.Label != "long" || r.Sessions != 2 {
+				t.Errorf("sample %+v did not hold the window's gauges", r)
+			}
+			if len(r.Deltas) != 0 {
+				t.Error("sample carries deltas")
+			}
+			ticks = append(ticks, r.T)
+		}
+	}
+	want := []float64{10, 20}
+	if len(ticks) != len(want) || ticks[0] != want[0] || ticks[1] != want[1] {
+		t.Errorf("sample ticks %v, want %v", ticks, want)
+	}
+	// Samples precede their window record in stream order.
+	if recs[0].Kind != "sample" || recs[2].Kind != "window" {
+		t.Errorf("stream order %v, want samples before the window",
+			[]string{recs[0].Kind, recs[1].Kind, recs[2].Kind})
+	}
+}
+
+// TestRecorderAuditCatchesLostIncrement: increments that land after
+// the last window (outside any window) refute the audit — the
+// recorder cannot silently drop bookkeeping.
+func TestRecorderAuditCatchesLostIncrement(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 0)
+	reg.Ctl().Add(obs.CSessionsSimulated, 3)
+	rec.EndWindow(Window{T0: 0, T1: 10, Label: "w"})
+	reg.Ctl().Inc(obs.CSessionsSimulated) // after the last window
+	_, err := rec.Finish()
+	if err == nil || !strings.Contains(err.Error(), "fleet_sessions_simulated_total window deltas sum to 3, final snapshot 4") {
+		t.Errorf("audit error = %v, want the stray increment named", err)
+	}
+	// The final record is still written: the file is the evidence.
+	recs := decode(t, rec.NDJSON())
+	if recs[len(recs)-1].Kind != "final" {
+		t.Error("refuted stream lost its final record")
+	}
+}
+
+// TestRecorderSanitizesGauges: NaN/Inf gauge readings become 0
+// instead of killing the marshal.
+func TestRecorderSanitizesGauges(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 0)
+	rec.EndWindow(Window{T0: 0, T1: 1, Label: "degenerate", Gauges: Gauges{
+		P99MTPMs: math.NaN(),
+		Load:     math.Inf(1),
+		Clusters: []fleet.ClusterLoad{{Name: "edge-a", Load: math.NaN()}},
+	}})
+	if _, err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decode(t, rec.NDJSON())
+	w := recs[0]
+	if w.P99MTPMs != 0 || len(w.Clusters) != 1 || w.Clusters[0].Load != 0 {
+		t.Errorf("degenerate gauges not sanitized: %+v", w)
+	}
+}
+
+// TestServe exercises the three endpoints over a real listener.
+func TestServe(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 0)
+	rec.SetMeta(Meta{Tool: "qvr-test"})
+	reg.Ctl().Inc(obs.CScaleUp)
+	rec.EndWindow(Window{T0: 0, T1: 5, Label: "w"})
+
+	srv, err := Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz body %q", body)
+	}
+	_ = ct
+
+	body, ct = get("/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "# HELP qvr_autoscale_up_total") ||
+		!strings.Contains(body, "qvr_autoscale_up_total 1\n") {
+		t.Errorf("/metrics missing the scaled-up counter with HELP:\n%s", body)
+	}
+
+	body, ct = get("/series")
+	if ct != "application/x-ndjson" {
+		t.Errorf("/series content type %q", ct)
+	}
+	if got := string(rec.NDJSON()); body != got {
+		t.Errorf("/series body diverges from the recorder stream")
+	}
+	recs := decode(t, []byte(body))
+	if len(recs) != 2 || recs[1].Kind != "window" {
+		t.Errorf("/series records = %+v", recs)
+	}
+}
+
+// TestSnapshotMovesAtWindowGranularity: /metrics state is the last
+// closed window's snapshot, not the live registry.
+func TestSnapshotMovesAtWindowGranularity(t *testing.T) {
+	reg := obs.New()
+	rec := New(reg, 0)
+	reg.Ctl().Add(obs.CSessionsSimulated, 3)
+	if got := rec.Snapshot().Counter(obs.CSessionsSimulated); got != 0 {
+		t.Errorf("snapshot before any window = %d, want 0", got)
+	}
+	rec.EndWindow(Window{T0: 0, T1: 1, Label: "w"})
+	if got := rec.Snapshot().Counter(obs.CSessionsSimulated); got != 3 {
+		t.Errorf("snapshot after window = %d, want 3", got)
+	}
+	reg.Ctl().Add(obs.CSessionsSimulated, 2)
+	if got := rec.Snapshot().Counter(obs.CSessionsSimulated); got != 3 {
+		t.Errorf("snapshot moved before the window closed: %d", got)
+	}
+}

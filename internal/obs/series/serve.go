@@ -1,0 +1,55 @@
+package series
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"qvr/internal/obs"
+)
+
+// Server is the in-run scrape surface: a plain net/http listener
+// serving the recorder's latest closed-window state. It reads only
+// through the recorder's mutex — never the live registry, whose
+// shards the worker pool writes without synchronization — so scraping
+// mid-run is always safe and the readings move at window granularity.
+//
+//	/metrics  Prometheus text exposition (obs.WritePromText)
+//	/series   the NDJSON series recorded so far
+//	/healthz  liveness
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves the
+// recorder in a background goroutine until Close.
+func Serve(addr string, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("series: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePromText(w, rec.Snapshot())
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write(rec.NDJSON())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr is the bound address — the real port when addr asked for :0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -29,6 +29,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	labels []string
 	done   []*SessionTrace
+	marks  []TraceEvent
 }
 
 // NewTracer builds a tracer that samples the first perRun sessions of
@@ -70,11 +71,34 @@ func (t *Tracer) Collect(st *SessionTrace) {
 	t.mu.Unlock()
 }
 
+// MarkPhase records a scenario phase start at scenario time atSeconds
+// as a global-scope instant event, so the trace shows the same window
+// boundaries the series recorder keys its records on. Called from the
+// timeline's single orchestration goroutine in phase order, which is
+// what keeps the marks' timestamps monotone.
+func (t *Tracer) MarkPhase(label string, atSeconds float64) {
+	t.mu.Lock()
+	t.marks = append(t.marks, TraceEvent{
+		Name: "phase:" + label, Ph: "i", S: "g", PID: phasePID, Ts: us(atSeconds),
+	})
+	t.mu.Unlock()
+}
+
+// phasePID is the dedicated trace process carrying the phase-boundary
+// instant events; session processes are numbered from 1.
+const phasePID = 0
+
 // TraceEvent is one Chrome trace-event record. Complete spans use
-// ph "X"; process/thread names are ph "M" metadata events.
+// ph "X"; process/thread names are ph "M" metadata events; scenario
+// phase boundaries are ph "i" instant events with global scope, so
+// they render as timeline-wide vertical marks that line up with the
+// series recorder's windows.
 type TraceEvent struct {
-	Name string     `json:"name"`
-	Ph   string     `json:"ph"`
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	// S is the instant-event scope ("g" = global, the whole timeline);
+	// empty for every other phase kind.
+	S    string     `json:"s,omitempty"`
 	PID  int        `json:"pid"`
 	TID  int        `json:"tid"`
 	Ts   int64      `json:"ts"`
@@ -127,6 +151,12 @@ func (t *Tracer) Doc() TraceDoc {
 		return sessions[i].index < sessions[j].index
 	})
 	var doc TraceDoc
+	if len(t.marks) > 0 {
+		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", PID: phasePID, Args: &TraceArgs{Name: "scenario"},
+		})
+		doc.TraceEvents = append(doc.TraceEvents, t.marks...)
+	}
 	for i, st := range sessions {
 		pid := i + 1
 		label := ""
@@ -242,8 +272,8 @@ func (st *SessionTrace) Observe(f pipeline.FrameRecord) {
 // ValidateTrace checks raw trace.json bytes against the trace-event
 // schema subset this package emits: well-formed JSON with a non-empty
 // traceEvents array, every event named with a known phase, and "X"
-// spans nonnegative with per-(pid,tid) monotone nondecreasing
-// timestamps in file order.
+// spans and "i" instants nonnegative with per-(pid,tid) monotone
+// nondecreasing timestamps in file order.
 func ValidateTrace(raw []byte) error {
 	var doc struct {
 		TraceEvents []struct {
@@ -270,7 +300,7 @@ func ValidateTrace(raw []byte) error {
 		switch ev.Ph {
 		case "M":
 			continue
-		case "X":
+		case "X", "i":
 		default:
 			return fmt.Errorf("trace: event %d (%s) has unexpected phase %q", i, ev.Name, ev.Ph)
 		}

@@ -117,6 +117,63 @@ func TestSessionTraceLocalOnly(t *testing.T) {
 	}
 }
 
+// TestMarkPhase: phase boundaries come out as global-scope instant
+// events on the dedicated pid-0 process, ahead of the session
+// processes, and the emitted document still validates.
+func TestMarkPhase(t *testing.T) {
+	tr := NewTracer(1)
+	tr.MarkPhase("steady", 0)
+	tr.MarkPhase("surge", 30)
+	run := tr.BeginRun("surge")
+	var next nopSink
+	st := tr.Session(run, 0, "sess-0", traceCfg(), &next)
+	st.Observe(remoteFrame(0, 30.0))
+	tr.Collect(st)
+
+	doc := tr.Doc()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(raw); err != nil {
+		t.Fatalf("trace with instant events fails validation: %v", err)
+	}
+	var marks []TraceEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" {
+			marks = append(marks, ev)
+		}
+	}
+	if len(marks) != 2 {
+		t.Fatalf("%d instant events, want 2", len(marks))
+	}
+	if marks[0].Name != "phase:steady" || marks[0].Ts != 0 ||
+		marks[1].Name != "phase:surge" || marks[1].Ts != 30_000_000 {
+		t.Errorf("marks = %+v, want phase:steady@0 and phase:surge@30s", marks)
+	}
+	for _, m := range marks {
+		if m.PID != phasePID || m.S != "g" {
+			t.Errorf("mark %+v: want pid %d scope g", m, phasePID)
+		}
+	}
+	if !strings.Contains(string(raw), `"name":"scenario"`) {
+		t.Error("pid-0 process_name metadata missing")
+	}
+	// No marks → no pid-0 process at all.
+	if strings.Contains(mustJSON(t, NewTracer(1).Doc()), `"scenario"`) {
+		t.Error("markless tracer should not emit the scenario process")
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
 // TestValidateTraceRejects exercises each schema violation.
 func TestValidateTraceRejects(t *testing.T) {
 	cases := []struct {

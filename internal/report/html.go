@@ -1,0 +1,340 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"qvr/internal/fleet"
+	"qvr/internal/obs/series"
+)
+
+// Render writes the run report as one self-contained HTML document:
+// hero stats, the SLO charts with phase bands and event markers, the
+// per-cluster charts when the run was a grid, and the windows table
+// (the accessibility fallback for every chart). No scripts, no
+// external assets; dark mode rides the prefers-color-scheme query.
+func Render(w io.Writer, run Run, title string) error {
+	var b strings.Builder
+	dur := run.Duration()
+	// A fleet-style stream has a single instantaneous window at t=0;
+	// chart it on a synthetic one-unit-per-window axis instead.
+	wt0 := make([]float64, len(run.Windows))
+	wt1 := make([]float64, len(run.Windows))
+	xLabel := "scenario time (s)"
+	for i, win := range run.Windows {
+		wt0[i], wt1[i] = win.T0, win.T1
+	}
+	if dur <= 0 {
+		for i := range run.Windows {
+			wt0[i], wt1[i] = float64(i), float64(i+1)
+		}
+		dur = float64(len(run.Windows))
+		xLabel = "window"
+	}
+	mid := func(i int) float64 { return (wt0[i] + wt1[i]) / 2 }
+
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>\n" + reportCSS + "</style>\n</head>\n<body>\n")
+
+	// Hero: title, run identity, headline counters.
+	fmt.Fprintf(&b, "<header>\n<h1>%s</h1>\n<p class=\"meta\">", html.EscapeString(title))
+	var chips []string
+	if run.Meta.Tool != "" {
+		chips = append(chips, "tool "+html.EscapeString(run.Meta.Tool))
+	}
+	if run.Meta.Scenario != "" {
+		chips = append(chips, "scenario "+html.EscapeString(run.Meta.Scenario))
+	}
+	if run.Meta.SLOP99MTPMs > 0 {
+		chips = append(chips, fmt.Sprintf("SLO P99 MTP &le; %s ms", num(run.Meta.SLOP99MTPMs)))
+	}
+	if run.Meta.SLOMin90FPSShare > 0 {
+		chips = append(chips, fmt.Sprintf("SLO 90-FPS share &ge; %s", num(run.Meta.SLOMin90FPSShare)))
+	}
+	chips = append(chips, fmt.Sprintf("%d windows", len(run.Windows)))
+	b.WriteString(strings.Join(chips, " &middot; "))
+	b.WriteString("</p>\n")
+	if run.Final != nil {
+		b.WriteString("<div class=\"stats\">\n")
+		stat := func(label string, v int64) {
+			fmt.Fprintf(&b, "<div class=\"stat\"><div class=\"value\">%d</div><div class=\"label\">%s</div></div>\n",
+				v, html.EscapeString(label))
+		}
+		stat("sessions simulated", run.FinalCounter("fleet_sessions_simulated_total"))
+		stat("frames measured", run.FinalCounter("fleet_frames_measured_total"))
+		stat("migrations", run.FinalCounter("grid_migrations_total"))
+		stat("autoscale decisions", run.FinalCounter("autoscale_up_total")+run.FinalCounter("autoscale_down_total"))
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</header>\n<main>\n")
+
+	bands := make([]band, len(run.Windows))
+	for i, win := range run.Windows {
+		bands[i] = band{X0: wt0[i], X1: wt1[i], Label: win.Label}
+	}
+
+	// gaugeLine builds one series from the window midpoints plus any
+	// interior sample-and-hold ticks, in time order.
+	gaugeLine := func(f func(series.Gauges) float64) []pt {
+		var pts []pt
+		si := 0
+		for i, win := range run.Windows {
+			for si < len(run.Samples) && run.Samples[si].T < wt1[i] {
+				pts = append(pts, pt{X: run.Samples[si].T, Y: f(run.Samples[si].Gauges)})
+				si++
+			}
+			pts = append(pts, pt{X: mid(i), Y: f(win.Gauges)})
+		}
+		sortPts(pts)
+		return pts
+	}
+
+	// P99 motion-to-photon with the SLO ceiling.
+	c := chart{
+		Title:  "P99 motion-to-photon latency",
+		YLabel: "ms",
+		XLabel: xLabel,
+		XMax:   dur,
+		Bands:  bands,
+		Series: []chartSeries{{Name: "P99 MTP", Color: seriesSlots[0],
+			Pts: gaugeLine(func(g series.Gauges) float64 { return g.P99MTPMs })}},
+	}
+	if run.Meta.SLOP99MTPMs > 0 {
+		c.HLines = []hline{{Y: run.Meta.SLOP99MTPMs, Label: "SLO ceiling " + num(run.Meta.SLOP99MTPMs) + " ms"}}
+	}
+	renderChart(&b, c)
+
+	// 90-FPS share with the SLO floor.
+	c = chart{
+		Title:  "Share of sessions holding 90 FPS",
+		YLabel: "share",
+		XLabel: xLabel,
+		XMax:   dur,
+		Bands:  bands,
+		Series: []chartSeries{{Name: "90-FPS share", Color: seriesSlots[0],
+			Pts: gaugeLine(func(g series.Gauges) float64 { return g.FPSShare })}},
+	}
+	if run.Meta.SLOMin90FPSShare > 0 {
+		c.HLines = []hline{{Y: run.Meta.SLOMin90FPSShare, Label: "SLO floor " + num(run.Meta.SLOMin90FPSShare)}}
+	}
+	renderChart(&b, c)
+
+	// Live sessions, with migration bursts as diamond markers.
+	c = chart{
+		Title:  "Live sessions",
+		YLabel: "sessions",
+		XLabel: xLabel,
+		XMax:   dur,
+		Bands:  bands,
+		Series: []chartSeries{{Name: "sessions", Color: seriesSlots[0],
+			Pts: gaugeLine(func(g series.Gauges) float64 { return float64(g.Sessions) })}},
+	}
+	for i, win := range run.Windows {
+		if win.Migrated > 0 {
+			c.Markers = append(c.Markers, marker{
+				X: mid(i), Y: float64(win.Sessions), Shape: "diamond", Color: seriesSlots[1],
+				Title: fmt.Sprintf("%s: %d session(s) migrated", win.Label, win.Migrated),
+			})
+		}
+	}
+	renderChart(&b, c)
+
+	// Per-cluster charts, when the stream carries a grid report.
+	// Identity is the cluster's topology order, fixed for the whole
+	// report; past maxSlots the extras live in the table only.
+	slot := map[string]int{}
+	var order []string
+	for _, win := range run.Windows {
+		for _, cl := range win.Clusters {
+			if _, ok := slot[cl.Name]; !ok {
+				slot[cl.Name] = len(order)
+				order = append(order, cl.Name)
+			}
+		}
+	}
+	if len(order) > 0 {
+		charted := order
+		if len(charted) > maxSlots {
+			charted = charted[:maxSlots]
+			fmt.Fprintf(&b, "<p class=\"note\">Charting the first %d of %d clusters; the table carries all of them.</p>\n",
+				maxSlots, len(order))
+		}
+		clusterAt := func(win series.Window, name string) (fleet.ClusterLoad, bool) {
+			for _, cl := range win.Clusters {
+				if cl.Name == name {
+					return cl, true
+				}
+			}
+			return fleet.ClusterLoad{}, false
+		}
+
+		c = chart{
+			Title:  "Per-cluster load (assigned / capacity)",
+			YLabel: "load",
+			XLabel: xLabel,
+			XMax:   dur,
+			Bands:  bands,
+			HLines: []hline{{Y: 1, Label: "capacity"}},
+			Labels: true,
+		}
+		for _, name := range charted {
+			s := chartSeries{Name: name, Color: seriesSlots[slot[name]]}
+			for i, win := range run.Windows {
+				if cl, ok := clusterAt(win, name); ok {
+					s.Pts = append(s.Pts, pt{X: mid(i), Y: cl.Load})
+				}
+			}
+			c.Series = append(c.Series, s)
+		}
+		renderChart(&b, c)
+
+		// GPU counts step with the phase topology; autoscale decisions
+		// land as triangles at their decision time.
+		c = chart{
+			Title:  "Per-cluster GPUs",
+			YLabel: "GPUs",
+			XLabel: xLabel,
+			XMax:   dur,
+			Bands:  bands,
+			Labels: true,
+		}
+		for _, name := range charted {
+			s := chartSeries{Name: name, Color: seriesSlots[slot[name]], Step: true}
+			for i, win := range run.Windows {
+				if cl, ok := clusterAt(win, name); ok {
+					s.Pts = append(s.Pts, pt{X: wt0[i], Y: float64(cl.GPUs)}, pt{X: wt1[i], Y: float64(cl.GPUs)})
+				}
+			}
+			c.Series = append(c.Series, s)
+		}
+		for _, win := range run.Windows {
+			for _, ev := range win.Scale {
+				shape := "tri-up"
+				if ev.ToGPUs < ev.FromGPUs {
+					shape = "tri-down"
+				}
+				color := seriesSlots[0]
+				if i, ok := slot[ev.Cluster]; ok && i < maxSlots {
+					color = seriesSlots[i]
+				}
+				c.Markers = append(c.Markers, marker{
+					X: ev.TimeSeconds, Y: float64(ev.ToGPUs), Shape: shape, Color: color,
+					Title: fmt.Sprintf("t=%ss %s %d→%d GPUs (%s)",
+						num(ev.TimeSeconds), ev.Cluster, ev.FromGPUs, ev.ToGPUs, ev.Reason),
+				})
+			}
+		}
+		renderChart(&b, c)
+	}
+
+	renderTable(&b, run, wt0, wt1)
+
+	b.WriteString("</main>\n</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderTable writes the windows table — every charted reading plus
+// the verdicts, so the report stays readable without the charts.
+func renderTable(b *strings.Builder, run Run, wt0, wt1 []float64) {
+	b.WriteString("<h2>Windows</h2>\n<table>\n<thead><tr>" +
+		"<th>#</th><th>phase</th><th>t (s)</th><th>sessions</th>" +
+		"<th>P99 MTP (ms)</th><th>90-FPS share</th><th>load</th><th>GPUs</th>" +
+		"<th>migrated</th><th>scale &plusmn;</th><th>SLO</th>" +
+		"</tr></thead>\n<tbody>\n")
+	for i, win := range run.Windows {
+		gpus := "&mdash;"
+		if len(win.Clusters) > 0 {
+			total := 0
+			for _, cl := range win.Clusters {
+				total += cl.GPUs
+			}
+			gpus = fmt.Sprintf("%d", total)
+		}
+		scale := "&mdash;"
+		if win.ScaleUps > 0 || win.ScaleDowns > 0 {
+			scale = fmt.Sprintf("+%d / &minus;%d", win.ScaleUps, win.ScaleDowns)
+		}
+		verdict := "<td class=\"na\">&mdash;</td>"
+		if win.SLOMet != nil {
+			if *win.SLOMet {
+				verdict = "<td class=\"ok\">✓ met</td>"
+			} else {
+				verdict = "<td class=\"bad\">✗ missed</td>"
+			}
+		}
+		fmt.Fprintf(b, "<tr><td>%d</td><td>%s</td><td>%s&ndash;%s</td><td>%d</td>"+
+			"<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td>%s</tr>\n",
+			win.Index, html.EscapeString(win.Label), num(wt0[i]), num(wt1[i]), win.Sessions,
+			num(win.P99MTPMs), num(win.FPSShare), num(win.Load), gpus, win.Migrated, scale, verdict)
+	}
+	b.WriteString("</tbody>\n</table>\n")
+}
+
+func sortPts(pts []pt) {
+	// Insertion sort keeps equal-X points in stream order (stable) —
+	// the slices are tiny and already nearly sorted.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].X < pts[j-1].X; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+// reportCSS: colors live in custom properties so the charts' CSS var
+// references restyle for dark mode without scripts. Text always wears
+// ink tokens; series colors appear only on marks and swatches.
+const reportCSS = `:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --ink: #1a1a19; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --band: rgba(137,135,129,0.08);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+  --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+  --critical: #d03b3b; --good: #008300;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #f3f2ee; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #45443f; --band: rgba(137,135,129,0.14);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+    --s5: #d55181; --s7: #9085e9; --s8: #e66767;
+    --good: #3fa73f;
+  }
+}
+body { background: var(--surface); color: var(--ink); max-width: 820px;
+  margin: 2rem auto; padding: 0 1rem;
+  font: 15px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 1.4rem; margin-bottom: 0.2rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta, .note { color: var(--ink2); font-size: 0.9rem; }
+.stats { display: flex; gap: 2rem; margin: 1rem 0; flex-wrap: wrap; }
+.stat .value { font-size: 1.6rem; font-weight: 600; font-variant-numeric: tabular-nums; }
+.stat .label { color: var(--ink2); font-size: 0.8rem; }
+.chart { margin: 1.6rem 0; }
+.chart figcaption { font-weight: 600; margin-bottom: 0.3rem; }
+.chart svg { width: 100%; height: auto; }
+.legend { display: flex; gap: 1rem; flex-wrap: wrap; font-size: 0.8rem;
+  color: var(--ink2); margin-bottom: 0.2rem; }
+.key { display: inline-flex; align-items: center; gap: 0.35rem; }
+.swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+svg .tick { fill: var(--muted); font-size: 10px; }
+svg .axis-label { fill: var(--ink2); font-size: 11px; }
+svg .band-label { fill: var(--muted); font-size: 10px; }
+svg .end-label { fill: var(--ink2); font-size: 10px; }
+svg .slo { stroke: var(--critical); stroke-width: 1.5; stroke-dasharray: 6 4; }
+svg .slo-label { fill: var(--critical); font-size: 10px; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 0.3rem 0.55rem;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink2); font-weight: 600; }
+td:nth-child(2), th:nth-child(2) { text-align: left; }
+td.ok { color: var(--good); }
+td.bad { color: var(--critical); }
+td.na { color: var(--muted); }
+`

@@ -1,0 +1,104 @@
+// Package report renders a flight-recorder stream (internal/obs/series
+// NDJSON) into a self-contained HTML run report: inline SVG charts with
+// phase bands, SLO target lines, and scale/migration markers, plus a
+// windows table. The output embeds everything — styles, charts, data
+// table — in one file with no scripts and no external assets, so CI can
+// archive it next to the series file and a browser renders it offline.
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qvr/internal/obs/series"
+)
+
+// Run is a parsed series stream: the opening meta record, the window
+// and sample records in stream order, and the closing final record.
+type Run struct {
+	Meta    series.Meta
+	Windows []series.Window
+	Samples []series.Sample
+	Final   *series.Final
+}
+
+// Duration is the stream's time extent: the largest window end time.
+func (r Run) Duration() float64 {
+	var d float64
+	for _, w := range r.Windows {
+		if w.T1 > d {
+			d = w.T1
+		}
+	}
+	return d
+}
+
+// FinalCounter returns the named counter from the final record, 0 when
+// absent or when the stream carries no final record.
+func (r Run) FinalCounter(name string) int64 {
+	if r.Final == nil {
+		return 0
+	}
+	for _, c := range r.Final.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Parse reads a series NDJSON stream. Unknown record kinds are an
+// error — the stream is a contract, not a grab bag — and a stream
+// without at least one window cannot be charted.
+func Parse(rd io.Reader) (Run, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var run Run
+	for line := 1; sc.Scan(); line++ {
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return Run{}, fmt.Errorf("report: line %d: %w", line, err)
+		}
+		var err error
+		switch probe.Kind {
+		case "meta":
+			err = json.Unmarshal(b, &run.Meta)
+		case "window":
+			var w series.Window
+			if err = json.Unmarshal(b, &w); err == nil {
+				run.Windows = append(run.Windows, w)
+			}
+		case "sample":
+			var s series.Sample
+			if err = json.Unmarshal(b, &s); err == nil {
+				run.Samples = append(run.Samples, s)
+			}
+		case "final":
+			var f series.Final
+			if err = json.Unmarshal(b, &f); err == nil {
+				run.Final = &f
+			}
+		default:
+			return Run{}, fmt.Errorf("report: line %d: unknown record kind %q", line, probe.Kind)
+		}
+		if err != nil {
+			return Run{}, fmt.Errorf("report: line %d (%s): %w", line, probe.Kind, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Run{}, fmt.Errorf("report: %w", err)
+	}
+	if len(run.Windows) == 0 {
+		return Run{}, fmt.Errorf("report: stream has no window records")
+	}
+	return run, nil
+}

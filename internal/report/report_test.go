@@ -1,0 +1,187 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qvr/internal/obs"
+	"qvr/internal/obs/series"
+	"qvr/internal/scenario"
+)
+
+// flashcrowdRun produces the reference stream: the autoscaled grid
+// scenario in miniature, recorded phase-by-phase — the same wiring the
+// CLIs use.
+func flashcrowdRun(t *testing.T) Run {
+	t.Helper()
+	sc, err := scenario.Builtin("edge-autoscale-flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	rec := series.New(reg, 0)
+	m := series.Meta{Tool: "qvr-edge", Scenario: sc.Name}
+	if sc.SLO != nil {
+		m.SLOP99MTPMs = sc.SLO.P99MTPMs
+		m.SLOMin90FPSShare = sc.SLO.Min90FPSShare
+	}
+	rec.SetMeta(m)
+	opt := scenario.Options{FramesOverride: 12, WarmupOverride: scenario.Warmup(4), Obs: reg, Series: rec}
+	if _, err := scenario.Run(sc, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Parse(bytes.NewReader(rec.NDJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestGoldenReport pins the rendered HTML byte-for-byte against
+// testdata/flashcrowd.html. The render is a pure function of the
+// stream and the stream is deterministic, so any diff is a deliberate
+// change — regenerate with UPDATE_GOLDEN=1 go test ./internal/report.
+func TestGoldenReport(t *testing.T) {
+	run := flashcrowdRun(t)
+	var b bytes.Buffer
+	if err := Render(&b, run, "qvr run report — edge-autoscale-flashcrowd"); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Bytes()
+
+	// Structural floor, independent of the golden bytes: every chart,
+	// the SLO lines, phase bands, scale markers and the table.
+	wants := []string{
+		"P99 motion-to-photon latency",
+		"Share of sessions holding 90 FPS",
+		"Live sessions",
+		"Per-cluster load (assigned / capacity)",
+		"Per-cluster GPUs",
+		"SLO ceiling",
+		"class=\"band-label\"",
+		"<table>",
+		"GPUs (", // a scale-event marker tooltip: "… 2→4 GPUs (slo-violated)"
+	}
+	if run.Meta.SLOMin90FPSShare > 0 {
+		wants = append(wants, "SLO floor")
+	}
+	for _, want := range wants {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if bytes.Contains(got, []byte("<script")) {
+		t.Error("report must not carry scripts")
+	}
+
+	golden := filepath.Join("testdata", "flashcrowd.html")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rendered report diverged from %s (%d vs %d bytes); "+
+			"regenerate with UPDATE_GOLDEN=1 if the change is deliberate",
+			golden, len(got), len(want))
+	}
+}
+
+// TestRenderInstantWindows: a fleet-style stream — one window with
+// t0 == t1 == 0 — must fall back to the synthetic per-window axis
+// instead of dividing by a zero duration.
+func TestRenderInstantWindows(t *testing.T) {
+	stream := `{"kind":"meta","tool":"qvr-fleet"}
+{"kind":"window","index":0,"t0_s":0,"t1_s":0,"label":"fleet","sessions":12,"dropped":0,"failed_over":0,"migrated":0,"p99_mtp_ms":18.5,"fps_share_90":0.9,"mean_fps":88,"load":0.5,"queue_ms":0}
+{"kind":"final","t_s":0,"windows":1,"counters":[{"name":"fleet_sessions_simulated_total","value":12}]}
+`
+	run, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Render(&b, run, "fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b.Bytes(), []byte(">window<")) {
+		t.Error("degenerate stream should chart on the synthetic window axis")
+	}
+	if !bytes.Contains(b.Bytes(), []byte("<circle")) {
+		t.Error("a single reading should render as a dot, not an empty polyline")
+	}
+}
+
+// TestRenderSLOFloor: a stream whose meta declares a 90-FPS floor
+// draws it (flashcrowd only declares the P99 ceiling, so the golden
+// never exercises this line).
+func TestRenderSLOFloor(t *testing.T) {
+	stream := `{"kind":"meta","tool":"qvr-edge","scenario":"x","slo_min_90fps_share":0.95}
+{"kind":"window","index":0,"t0_s":0,"t1_s":30,"label":"steady","sessions":4,"dropped":0,"failed_over":0,"migrated":2,"p99_mtp_ms":20,"fps_share_90":0.97,"mean_fps":89,"load":0.4,"queue_ms":0,"slo_met":true}
+{"kind":"window","index":1,"t0_s":30,"t1_s":60,"label":"late","sessions":4,"dropped":0,"failed_over":0,"migrated":0,"p99_mtp_ms":22,"fps_share_90":0.96,"mean_fps":89,"load":0.4,"queue_ms":0,"slo_met":false}
+{"kind":"final","t_s":60,"windows":2,"counters":[]}
+`
+	run, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Render(&b, run, "floor"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SLO floor 0.95",
+		"session(s) migrated", // the diamond marker's tooltip
+		"✓ met", "✗ missed",   // verdict cells, icon + label, never color alone
+	} {
+		if !bytes.Contains(b.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestParseRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind": `{"kind":"bogus"}`,
+		"not json":     `{{`,
+		"no windows":   `{"kind":"meta","tool":"x"}`,
+	}
+	for name, stream := range cases {
+		if _, err := Parse(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, stream)
+		}
+	}
+}
+
+func TestParseRoundtrip(t *testing.T) {
+	run := flashcrowdRun(t)
+	if run.Meta.Scenario != "edge-autoscale-flashcrowd" {
+		t.Errorf("meta scenario = %q", run.Meta.Scenario)
+	}
+	if run.Final == nil {
+		t.Fatal("no final record")
+	}
+	if run.Final.Windows != len(run.Windows) {
+		t.Errorf("final says %d windows, parsed %d", run.Final.Windows, len(run.Windows))
+	}
+	if run.Duration() <= 0 {
+		t.Error("scenario stream should have a positive duration")
+	}
+	if run.FinalCounter("fleet_sessions_simulated_total") == 0 {
+		t.Error("final counters lost fleet_sessions_simulated_total")
+	}
+}

@@ -1,0 +1,283 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The chart engine: inline SVG, colors by CSS custom property so one
+// stylesheet drives light and dark mode, identity carried by a fixed
+// categorical slot order (never cycled), text in ink tokens only.
+
+const (
+	chartW = 760.0
+	chartH = 250.0
+	padL   = 54.0
+	padR   = 16.0
+	padT   = 26.0
+	padB   = 36.0
+)
+
+// seriesSlots is the fixed categorical order; entity i wears slot
+// i%len never — beyond maxSlots the extras fold into the table.
+var seriesSlots = []string{
+	"var(--s1)", "var(--s2)", "var(--s3)", "var(--s4)",
+	"var(--s5)", "var(--s6)", "var(--s7)", "var(--s8)",
+}
+
+const maxSlots = 8
+
+type pt struct{ X, Y float64 }
+
+type chartSeries struct {
+	Name  string
+	Color string // a CSS var reference from seriesSlots
+	Pts   []pt
+	Step  bool // already-stepped points (t0/t1 pairs); drawn as-is either way
+}
+
+type hline struct {
+	Y     float64
+	Label string
+}
+
+type band struct {
+	X0, X1 float64
+	Label  string
+}
+
+type marker struct {
+	X, Y  float64
+	Shape string // "diamond", "tri-up", "tri-down"
+	Color string
+	Title string // native SVG tooltip, no scripts
+}
+
+type chart struct {
+	Title   string
+	YLabel  string
+	XLabel  string
+	XMax    float64
+	Series  []chartSeries
+	HLines  []hline // dashed critical targets (SLO ceiling/floor, capacity)
+	Bands   []band  // phase washes
+	Markers []marker
+	// Labels turns on direct end-of-line labels (cluster charts).
+	Labels bool
+}
+
+func px(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// num renders an axis/label value compactly and deterministically.
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// niceStep snaps raw to the usual 1/2/2.5/5 tick ladder.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch frac := raw / mag; {
+	case frac <= 1:
+		return mag
+	case frac <= 2:
+		return 2 * mag
+	case frac <= 2.5:
+		return 2.5 * mag
+	case frac <= 5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// renderChart writes the chart as a <figure>: title, optional legend
+// (only for >= 2 series — a single series is named by the title), the
+// SVG plot. Grid and axes are recessive hairlines; data lines are 2px.
+func renderChart(b *strings.Builder, c chart) {
+	yMax := 0.0
+	for _, s := range c.Series {
+		for _, p := range s.Pts {
+			if p.Y > yMax {
+				yMax = p.Y
+			}
+		}
+	}
+	for _, h := range c.HLines {
+		if h.Y > yMax {
+			yMax = h.Y
+		}
+	}
+	for _, m := range c.Markers {
+		if m.Y > yMax {
+			yMax = m.Y
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.08
+	xMax := c.XMax
+	if xMax <= 0 {
+		xMax = 1
+	}
+
+	plotW := chartW - padL - padR
+	plotH := chartH - padT - padB
+	xp := func(x float64) float64 { return padL + x/xMax*plotW }
+	yp := func(y float64) float64 { return padT + (1-y/yMax)*plotH }
+
+	fmt.Fprintf(b, "<figure class=\"chart\">\n<figcaption>%s</figcaption>\n", html.EscapeString(c.Title))
+	if len(c.Series) >= 2 {
+		b.WriteString("<div class=\"legend\">")
+		for _, s := range c.Series {
+			fmt.Fprintf(b, "<span class=\"key\"><span class=\"swatch\" style=\"background:%s\"></span>%s</span>",
+				s.Color, html.EscapeString(s.Name))
+		}
+		b.WriteString("</div>\n")
+	}
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %s %s\" role=\"img\" aria-label=%q>\n",
+		px(chartW), px(chartH), c.Title)
+
+	// Phase bands: alternating washes behind everything, labels on top.
+	for i, bd := range c.Bands {
+		x0, x1 := xp(bd.X0), xp(bd.X1)
+		if i%2 == 1 && x1 > x0 {
+			fmt.Fprintf(b, "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"var(--band)\"/>\n",
+				px(x0), px(padT), px(x1-x0), px(plotH))
+		}
+		if w := x1 - x0; w >= 36 && bd.Label != "" {
+			label := bd.Label
+			if max := int(w / 6.5); len(label) > max && max > 1 {
+				label = label[:max-1] + "…"
+			}
+			fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"band-label\" text-anchor=\"middle\">%s</text>\n",
+				px((x0+x1)/2), px(padT-8), html.EscapeString(label))
+		}
+	}
+
+	// Horizontal grid + y tick labels.
+	step := niceStep(yMax / 4)
+	for v := 0.0; v <= yMax+step*1e-9; v += step {
+		y := yp(v)
+		fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"grid\"/>\n",
+			px(padL), px(y), px(chartW-padR), px(y))
+		fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"tick\" text-anchor=\"end\">%s</text>\n",
+			px(padL-6), px(y+3.5), num(v))
+	}
+	// X ticks.
+	xStep := niceStep(xMax / 6)
+	for v := 0.0; v <= xMax+xStep*1e-9; v += xStep {
+		x := xp(v)
+		fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"grid\"/>\n",
+			px(x), px(chartH-padB), px(x), px(chartH-padB+4))
+		fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"tick\" text-anchor=\"middle\">%s</text>\n",
+			px(x), px(chartH-padB+16), num(v))
+	}
+	// Baseline.
+	fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"axis\"/>\n",
+		px(padL), px(chartH-padB), px(chartW-padR), px(chartH-padB))
+
+	// Axis labels, in ink.
+	if c.XLabel != "" {
+		fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"axis-label\" text-anchor=\"middle\">%s</text>\n",
+			px(padL+plotW/2), px(chartH-4), html.EscapeString(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(b, "<text x=\"12\" y=\"%s\" class=\"axis-label\" text-anchor=\"middle\" transform=\"rotate(-90 12 %s)\">%s</text>\n",
+			px(padT+plotH/2), px(padT+plotH/2), html.EscapeString(c.YLabel))
+	}
+
+	// SLO / capacity targets: dashed, critical color, labeled.
+	for _, h := range c.HLines {
+		y := yp(h.Y)
+		fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"slo\"/>\n",
+			px(padL), px(y), px(chartW-padR), px(y))
+		fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"slo-label\" text-anchor=\"end\">%s</text>\n",
+			px(chartW-padR-4), px(y-4), html.EscapeString(h.Label))
+	}
+
+	// Data lines: 2px, rounded joins.
+	for _, s := range c.Series {
+		if len(s.Pts) == 0 {
+			continue
+		}
+		var poly strings.Builder
+		for i, p := range s.Pts {
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			poly.WriteString(px(xp(p.X)))
+			poly.WriteByte(',')
+			poly.WriteString(px(yp(p.Y)))
+		}
+		if len(s.Pts) == 1 {
+			// A single reading cannot make a line; draw a dot.
+			fmt.Fprintf(b, "<circle cx=\"%s\" cy=\"%s\" r=\"4\" fill=\"%s\"/>\n",
+				px(xp(s.Pts[0].X)), px(yp(s.Pts[0].Y)), s.Color)
+			continue
+		}
+		fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\n",
+			poly.String(), s.Color)
+	}
+
+	// Direct end-of-line labels (ink, not series color; identity comes
+	// from the adjacent line). Nudged apart when ends collide.
+	if c.Labels && len(c.Series) >= 2 && len(c.Series) <= 4 {
+		type endLabel struct {
+			Y    float64
+			Text string
+		}
+		var labels []endLabel
+		for _, s := range c.Series {
+			if len(s.Pts) == 0 {
+				continue
+			}
+			labels = append(labels, endLabel{Y: yp(s.Pts[len(s.Pts)-1].Y), Text: s.Name})
+		}
+		sort.SliceStable(labels, func(i, j int) bool { return labels[i].Y < labels[j].Y })
+		for i := 1; i < len(labels); i++ {
+			if labels[i].Y-labels[i-1].Y < 11 {
+				labels[i].Y = labels[i-1].Y + 11
+			}
+		}
+		for _, l := range labels {
+			fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"end-label\">%s</text>\n",
+				px(chartW-padR+2), px(l.Y+3.5), html.EscapeString(l.Text))
+		}
+	}
+
+	// Event markers, each with a native <title> tooltip.
+	for _, m := range c.Markers {
+		x, y := xp(m.X), yp(m.Y)
+		var shape string
+		switch m.Shape {
+		case "tri-up":
+			shape = fmt.Sprintf("<path d=\"M%s %s l5 9 h-10 z\" fill=\"%s\" stroke=\"var(--surface)\" stroke-width=\"1\">",
+				px(x), px(y-6), m.Color)
+		case "tri-down":
+			shape = fmt.Sprintf("<path d=\"M%s %s l5 -9 h-10 z\" fill=\"%s\" stroke=\"var(--surface)\" stroke-width=\"1\">",
+				px(x), px(y+6), m.Color)
+		default: // diamond
+			shape = fmt.Sprintf("<path d=\"M%s %s l5 5 l-5 5 l-5 -5 z\" fill=\"%s\" stroke=\"var(--surface)\" stroke-width=\"1\">",
+				px(x), px(y-5), m.Color)
+		}
+		fmt.Fprintf(b, "%s<title>%s</title></path>\n", shape, html.EscapeString(m.Title))
+	}
+
+	b.WriteString("</svg>\n</figure>\n")
+}

@@ -8,6 +8,7 @@ import (
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/obs"
+	"qvr/internal/obs/series"
 )
 
 // Options tunes how a timeline executes without changing what it
@@ -29,6 +30,11 @@ type Options struct {
 	// subset of sessions per phase. Neither affects results.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
+	// Series, when set, closes one flight-recorder window per phase:
+	// the phase's windowed gauges plus the counter deltas it
+	// contributed, keyed on the scenario clock. Series must record the
+	// same registry as Obs. Does not affect results.
+	Series *series.Recorder
 }
 
 // Warmup wraps a warmup frame count for Options.WarmupOverride.
@@ -222,6 +228,11 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		if ctl != nil {
 			ctl.Inc(obs.CPhases)
 		}
+		if opt.Tracer != nil {
+			// The trace shows the same window boundaries the series
+			// recorder keys its records on.
+			opt.Tracer.MarkPhase(ph.Name, now)
+		}
 		fc := fleetConfig(sc, runSpecs, opt.Workers, grid, phaseGPUs(sc, ph))
 		fc.Obs = opt.Obs
 		fc.Tracer = opt.Tracer
@@ -271,6 +282,17 @@ func Run(sc Scenario, opt Options) (Result, error) {
 				DurationSeconds: ph.DurationSeconds,
 				Summary:         sum,
 				Clusters:        gridClusters,
+			})
+		}
+		if opt.Series != nil {
+			// The window closes here — after the fleet quiesced and the
+			// autoscaler took its end-of-window decisions — so the delta
+			// snapshot sees every increment the phase caused.
+			opt.Series.EndWindow(series.Window{
+				T0: now, T1: now + ph.DurationSeconds, Label: ph.Name,
+				Gauges: series.GaugesOf(sum, gridClusters),
+				SLOMet: pr.SLOMet,
+				Scale:  pr.ScaleEvents,
 			})
 		}
 		out.Phases = append(out.Phases, pr)

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"qvr/internal/obs"
+	"qvr/internal/obs/series"
+)
+
+// TestSeriesWorkerInvariance: the flight-recorder stream of a full
+// scenario run — gauges, per-cluster loads, counter deltas, SLO
+// verdicts — must be byte-identical for any worker pool size, and its
+// window deltas must sum to the final counter snapshot.
+func TestSeriesWorkerInvariance(t *testing.T) {
+	for _, name := range []string{"cluster-outage-failover", "edge-autoscale-flashcrowd"} {
+		sc := mustBuiltin(t, name)
+		var prev []byte
+		for _, workers := range []int{1, 5} {
+			reg := obs.New()
+			rec := series.New(reg, 0)
+			opt := tiny
+			opt.Workers = workers
+			opt.Obs = reg
+			opt.Series = rec
+			r := mustRun(t, sc, opt)
+			if _, err := rec.Finish(); err != nil {
+				t.Fatalf("%s workers=%d: window-sum audit: %v", name, workers, err)
+			}
+			got := rec.NDJSON()
+			if prev != nil && !bytes.Equal(prev, got) {
+				t.Fatalf("%s: workers=%d changed the series stream", name, workers)
+			}
+			prev = got
+			if rec.Windows() != len(r.Phases) {
+				t.Fatalf("%s: %d windows for %d phases", name, rec.Windows(), len(r.Phases))
+			}
+		}
+		if sc.SLO != nil && !bytes.Contains(prev, []byte(`"slo_met"`)) {
+			t.Errorf("%s: stream carries no SLO verdicts", name)
+		}
+	}
+}
+
+// TestSeriesCarriesGridAndScaleState: on the autoscaled grid
+// scenario, windows must surface the per-cluster report and the scale
+// events the report shows — the raw material of qvr-report's load and
+// GPU-count charts.
+func TestSeriesCarriesGridAndScaleState(t *testing.T) {
+	sc := mustBuiltin(t, "edge-autoscale-flashcrowd")
+	reg := obs.New()
+	rec := series.New(reg, 0)
+	opt := tiny
+	opt.Obs = reg
+	opt.Series = rec
+	r := mustRun(t, sc, opt)
+	if _, err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	stream := rec.NDJSON()
+	if !bytes.Contains(stream, []byte(`"clusters":[{"name"`)) {
+		t.Error("windows carry no per-cluster gauges")
+	}
+	if r.Autoscale != nil && len(r.Autoscale.Events) > 0 &&
+		!bytes.Contains(stream, []byte(`"scale_events"`)) {
+		t.Error("scale events reported but absent from the stream")
+	}
+}

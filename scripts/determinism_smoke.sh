@@ -23,6 +23,13 @@
 # CLI-side Refute invariant checker, every counted smoke is a standing
 # audit of the stack's bookkeeping.
 #
+# With SMOKE_SERIES=1, each run additionally records the flight
+# recorder's time series (-series) to bin/PREFIX-series-w$W.ndjson and
+# the two streams are diffed byte-for-byte, again with no filter: the
+# series is keyed on the scenario clock, never wall clock, and writing
+# it arms the window-sum audit (every window's counter deltas must sum
+# to the final snapshot).
+#
 # The unfiltered reports are kept in bin/ for CI to archive.
 set -eu
 
@@ -40,23 +47,30 @@ shift 5
 mkdir -p bin
 for w in "$w1" "$w2"; do
     echo "$name-smoke: probing on $w worker(s)..."
+    # extra is word-split on purpose; bin/ paths carry no whitespace.
+    extra=""
     if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
-        "$@" -workers "$w" -format json \
-            -counters "bin/$prefix-counters-w$w.ndjson" > "bin/$prefix-w$w.json"
-    else
-        "$@" -workers "$w" -format json > "bin/$prefix-w$w.json"
+        extra="$extra -counters bin/$prefix-counters-w$w.ndjson"
     fi
+    if [ "${SMOKE_SERIES:-0}" = "1" ]; then
+        extra="$extra -series bin/$prefix-series-w$w.ndjson"
+    fi
+    "$@" -workers "$w" -format json $extra > "bin/$prefix-w$w.json"
 done
 
-if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
-    ca="bin/$prefix-counters-w$w1.ndjson"
-    cb="bin/$prefix-counters-w$w2.ndjson"
-    if ! diff "$ca" "$cb"; then
-        echo "$name counter determinism FAIL: workers $w1 != workers $w2" >&2
+for layer in counters series; do
+    case "$layer" in
+        counters) [ "${SMOKE_COUNTERS:-0}" = "1" ] || continue ;;
+        series)   [ "${SMOKE_SERIES:-0}" = "1" ] || continue ;;
+    esac
+    la="bin/$prefix-$layer-w$w1.ndjson"
+    lb="bin/$prefix-$layer-w$w2.ndjson"
+    if ! diff "$la" "$lb"; then
+        echo "$name $layer determinism FAIL: workers $w1 != workers $w2" >&2
         exit 1
     fi
-    echo "$name counter determinism OK (workers $w1 == workers $w2)"
-fi
+    echo "$name $layer determinism OK (workers $w1 == workers $w2)"
+done
 
 a="bin/$prefix-w$w1.json"
 b="bin/$prefix-w$w2.json"
