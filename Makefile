@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke profile fmt vet fmt-check ci
+.PHONY: build test race bench bench-json scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke profile fmt vet fmt-check lint ci
 
 # build compiles every package and drops the command binaries
 # (qvr-sim, qvr-bench, qvr-trace, qvr-live, qvr-fleet, qvr-scenario,
@@ -178,4 +178,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke bench-json
+# Static enforcement of the determinism contract: qvr-vet runs the
+# internal/lint analyzer suite (wallclock, globalrand, maporder,
+# goroutineshare, counterlit) over the whole module. Zero findings or
+# the build fails; exemptions only via reasoned //qvr:<analyzer>
+# directives, which the lint tests audit for non-empty reasons.
+lint:
+	@mkdir -p bin
+	$(GO) build -o bin/qvr-vet ./cmd/qvr-vet
+	./bin/qvr-vet ./...
+
+ci: fmt-check vet lint build race bench scenario-smoke edge-smoke autoscale-smoke scale-smoke capacity-smoke obs-smoke bench-json

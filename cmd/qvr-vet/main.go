@@ -1,0 +1,73 @@
+// Command qvr-vet statically enforces the repository's determinism
+// contract: the byte-identical guarantee that fleet/scenario/edge/
+// capacity JSON, counter snapshots and series streams are the same
+// for any -workers value. It runs the internal/lint analyzer suite —
+// wallclock, globalrand, maporder, goroutineshare, counterlit — over
+// the named packages (default ./...) and exits non-zero on any
+// finding, including directive-hygiene findings (a //qvr: allow-list
+// entry with no reason).
+//
+// Usage:
+//
+//	qvr-vet [-json] [packages...]
+//
+// With -json the findings are emitted as a JSON array of
+// {analyzer, file, line, col, message} objects on stdout, for
+// tooling; the human format is file:line:col: message (analyzer).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qvr/internal/lint/load"
+	"qvr/internal/lint/suite"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qvr-vet [-json] [packages...]\n\n"+
+			"Runs the determinism-contract analyzer suite (default over ./...).\n"+
+			"Exit status 1 on any finding, 2 on a load failure.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	sess, err := load.New(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qvr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := suite.Run(sess)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qvr-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []suite.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "qvr-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qvr-vet: %d finding(s) across %d package(s)\n", len(findings), len(sess.Roots()))
+		os.Exit(1)
+	}
+}

@@ -166,6 +166,7 @@ func (o *ObsFlags) Finish(tool string, exps []obs.Expectation) {
 		if secs := *o.serveSeconds; secs > 0 {
 			fmt.Fprintf(os.Stderr, "%s: run finished; holding http://%s open for %gs\n",
 				tool, o.srv.Addr(), secs)
+			//qvr:wallclock -serve-seconds holds the scrape endpoint open in real time after the run ends
 			time.Sleep(time.Duration(secs * float64(time.Second)))
 		}
 		_ = o.srv.Close()

@@ -127,7 +127,7 @@ type Result struct {
 // aggregates the results. The outcome is deterministic for fixed
 // Specs regardless of Workers.
 func Run(cfg Config) Result {
-	start := time.Now()
+	start := time.Now() //qvr:wallclock feeds WallSeconds, the result's one declared non-deterministic field
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -166,7 +166,7 @@ func Run(cfg Config) Result {
 		Dropped:     dropped,
 		Workers:     workers,
 		Contention:  contention,
-		WallSeconds: time.Since(start).Seconds(),
+		WallSeconds: time.Since(start).Seconds(), //qvr:wallclock WallSeconds is the result's one declared non-deterministic field
 	}
 }
 

@@ -1,0 +1,93 @@
+// Package counterlit pins every obs counter/histogram reference at an
+// increment site to the catalogue: an argument whose declared type is
+// obs.Counter or obs.Histogram must be a constant from package obs
+// (obs.C*/obs.H*) or a variable/parameter threading one through —
+// never an ad-hoc conversion (obs.Counter(3)), a literal, or a
+// shadow constant declared outside the catalogue. That is what keeps
+// the catalogue-completeness test and the Prometheus HELP lines
+// authoritative: a name that isn't in the catalogue can't be
+// incremented, so the two can never drift.
+//
+// Unlike the other determinism analyzers, counterlit runs over every
+// package in the module — an off-catalogue increment is wrong
+// wherever it appears.
+package counterlit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qvr/internal/lint"
+)
+
+// obsPath is the catalogue's home package.
+const obsPath = "qvr/internal/obs"
+
+// Analyzer is the counterlit check.
+var Analyzer = &lint.Analyzer{
+	Name: "counterlit",
+	Doc:  "require obs.Counter/obs.Histogram arguments to be catalogue constants (or variables threading them), never conversions, literals, or shadow constants",
+	Run:  run,
+}
+
+// catalogueType reports whether t is obs.Counter or obs.Histogram.
+func catalogueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return false
+	}
+	return obj.Name() == "Counter" || obj.Name() == "Histogram"
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+				if !catalogueType(sig.Params().At(i).Type()) {
+					continue
+				}
+				checkArg(pass, sig.Params().At(i).Type(), call.Args[i])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkArg(pass *lint.Pass, paramType types.Type, arg ast.Expr) {
+	kind := paramType.(*types.Named).Obj().Name() // Counter or Histogram
+	switch obj := pass.ObjectOf(arg).(type) {
+	case *types.Const:
+		// The catalogue's own constants — and only those.
+		if obj.Pkg() != nil && obj.Pkg().Path() == obsPath {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"obs.%s argument %s is a constant declared outside the catalogue: add it to package obs (with a name and HELP line) instead of shadowing",
+			kind, obj.Name())
+	case *types.Var:
+		// A variable or parameter threading a catalogue value through a
+		// helper is fine; the constant was checked where it was made.
+		return
+	default:
+		pass.Reportf(arg.Pos(),
+			"obs.%s argument must be a catalogue constant (obs.C*/obs.H*) or a variable carrying one, not an ad-hoc expression: the catalogue is what keeps names, HELP lines and the completeness test in lockstep",
+			kind)
+	}
+}

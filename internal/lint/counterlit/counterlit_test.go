@@ -1,0 +1,12 @@
+package counterlit_test
+
+import (
+	"testing"
+
+	"qvr/internal/lint/counterlit"
+	"qvr/internal/lint/linttest"
+)
+
+func TestCounterlit(t *testing.T) {
+	linttest.Run(t, counterlit.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import "qvr/internal/obs"
+
+// Catalogue constants at the increment site, and catalogue values
+// threaded through typed parameters, are the sanctioned shapes.
+func clean(s *obs.Shard) {
+	s.Inc(obs.CSessionsSimulated)
+	s.Add(obs.CAdmitDropped, 3)
+	s.Observe(obs.HFrameMTPUs, 1200)
+	s.ObserveSeconds(obs.HFrameDecodeUs, 0.004)
+	helper(s, obs.CPhases)
+}
+
+func helper(s *obs.Shard, c obs.Counter) {
+	s.Inc(c)
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "qvr/internal/obs"
+
+// A constant declared outside package obs shadows the catalogue: its
+// name has no HELP line and the completeness test cannot see it.
+const shadow = obs.CAdmitDropped
+
+func flagged(s *obs.Shard) {
+	s.Inc(obs.Counter(3))          // want "must be a catalogue constant"
+	s.Add(shadow, 2)               // want "constant declared outside the catalogue"
+	s.Observe(obs.Histogram(1), 5) // want "must be a catalogue constant"
+	s.Inc(obs.CPhases + 1)         // want "must be a catalogue constant"
+}

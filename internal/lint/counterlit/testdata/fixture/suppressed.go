@@ -1,0 +1,8 @@
+package fixture
+
+import "qvr/internal/obs"
+
+// A reasoned directive exempts a deliberate off-catalogue reference.
+func suppressed(s *obs.Shard) {
+	s.Inc(obs.Counter(0)) //qvr:counterlit fixture: proving the directive path
+}

@@ -1,0 +1,82 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qvr/internal/lint"
+)
+
+// repoRoot walks up to go.mod so the scan covers the whole tree no
+// matter where the test binary runs.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestEveryDirectiveCarriesAReason pins the allow-list honest: every
+// //qvr: directive anywhere in the tree (fixtures included) must name
+// an analyzer and say why its site is exempt. An unexplained
+// exemption is indistinguishable from a silenced bug.
+func TestEveryDirectiveCarriesAReason(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	count := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "bin" || name == "examples" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			// Deliberately-broken fixtures would land here; today there
+			// are none, so surface the problem.
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		for _, dir := range lint.ParseDirectives(fset, []*ast.File{f}) {
+			count++
+			rel, _ := filepath.Rel(root, dir.File)
+			if dir.Analyzer == "" {
+				t.Errorf("%s:%d: //qvr: directive names no analyzer", rel, dir.Line)
+			}
+			if dir.Reason == "" && !strings.Contains(path, "testdata") {
+				t.Errorf("%s:%d: //qvr:%s directive carries no reason", rel, dir.Line, dir.Analyzer)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if count == 0 {
+		t.Error("no //qvr: directives found anywhere: the known allow-listed sites (fleet WallSeconds, cliout serve hold, netsim live transport) have lost their annotations")
+	}
+}

@@ -1,0 +1,85 @@
+// Package globalrand forbids the process-global math/rand source in
+// the deterministic packages, and literal-seeded sources anywhere in
+// them. Randomness in the simulation must flow from config-derived
+// seeds through an explicit *rand.Rand, so two runs of the same
+// config are the same run — the top-level rand functions draw from a
+// shared source whose sequence depends on whatever else the process
+// did, and a literal seed hides the science's inputs from the config
+// file.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qvr/internal/lint"
+)
+
+// constructors are the math/rand functions that build explicit
+// sources/generators rather than drawing from the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func randPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// Analyzer is the globalrand check.
+var Analyzer = &lint.Analyzer{
+	Name:              "globalrand",
+	Doc:               "forbid top-level math/rand functions and constant-seeded sources in deterministic packages; randomness must flow from config-derived seeds",
+	DeterministicOnly: true,
+	Run:               run,
+}
+
+func run(pass *lint.Pass) error {
+	// Top-level draws from the global source.
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || !randPkg(fn.Pkg().Path()) {
+			continue
+		}
+		if fn.Signature().Recv() != nil || constructors[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"rand.%s draws from the process-global source: deterministic packages must thread a config-seeded *rand.Rand instead",
+			fn.Name())
+	}
+	// Constant-seeded sources: rand.NewSource(1) bakes the seed into
+	// the binary instead of the config.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if fn.Name() != "NewSource" && fn.Name() != "NewPCG" {
+				return true
+			}
+			allConst := true
+			for _, arg := range call.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+					allConst = false
+					break
+				}
+			}
+			if allConst {
+				pass.Reportf(call.Pos(),
+					"rand.%s with a constant seed: seeds in deterministic packages must derive from config, not literals",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"qvr/internal/lint/globalrand"
+	"qvr/internal/lint/linttest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	linttest.Run(t, globalrand.Analyzer, "testdata/fixture")
+}

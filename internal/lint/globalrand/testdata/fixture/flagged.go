@@ -1,0 +1,14 @@
+package fixture
+
+import "math/rand"
+
+// Top-level draws use the process-global source; constant seeds bake
+// the science's inputs into the binary.
+func flagged() int {
+	n := rand.Intn(10)       // want "rand.Intn draws from the process-global source"
+	f := rand.Float64()      // want "rand.Float64 draws from the process-global source"
+	src := rand.NewSource(1) // want "rand.NewSource with a constant seed"
+	r := rand.New(src)
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return n + r.Intn(10) + int(f)
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// A reasoned directive exempts a deliberate constant seed.
+func suppressed() int {
+	r := rand.New(rand.NewSource(99)) //qvr:globalrand fixture: pinned demo seed
+	return r.Intn(10)
+}

@@ -1,0 +1,183 @@
+// Package goroutineshare flags goroutines in the deterministic
+// packages that mutate captured (shared) state. The fleet worker
+// pool's sanctioned idiom is strict sharding: a worker may write only
+// worker-local state — its own obs.Shard, its own sink, its own slot
+// of a results slice indexed by a goroutine-local variable. A write
+// through a captured variable at a shared location races, and even
+// under a lock its effect depends on goroutine schedule, which the
+// byte-identical contract bans from anything emitted.
+//
+// Flagged inside `go func(...) { ... }` bodies:
+//
+//   - assignment or ++/-- through a captured variable itself
+//     (x = …, x += …, x++), or through a captured struct field or
+//     pointer (x.f = …, *p = …);
+//   - writes to a captured slice/map element whose index is not
+//     goroutine-local (results[w] where w is captured or constant:
+//     two workers can collide on the slot; results[i] with i a
+//     goroutine-local parameter is the sharding idiom and passes);
+//   - method calls on a captured *math/rand.Rand (a shared RNG's
+//     draw order depends on the schedule).
+package goroutineshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qvr/internal/lint"
+)
+
+// Analyzer is the goroutineshare check.
+var Analyzer = &lint.Analyzer{
+	Name:              "goroutineshare",
+	Doc:               "flag goroutines that mutate captured non-sharded state in deterministic packages",
+	DeterministicOnly: true,
+	Run:               run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// captured reports whether the object is declared outside the func
+// literal — a variable the goroutine shares with its launcher.
+func captured(lit *ast.FuncLit, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+func checkGoroutine(pass *lint.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				checkWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, stmt.X)
+		case *ast.CallExpr:
+			checkRandCall(pass, lit, stmt)
+		}
+		return true
+	})
+}
+
+// checkWrite flags a write whose destination is shared state.
+func checkWrite(pass *lint.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(e)
+		if captured(lit, obj) {
+			pass.Reportf(e.Pos(),
+				"goroutine writes captured variable %s: shared mutable state must be sharded (worker-local shard/sink, or a results slot indexed by a goroutine-local variable)",
+				e.Name)
+		}
+	case *ast.IndexExpr:
+		obj := rootObject(pass, e.X)
+		if obj == nil || !captured(lit, obj) {
+			return
+		}
+		if !goroutineLocalExpr(pass, lit, e.Index) {
+			pass.Reportf(e.Pos(),
+				"goroutine writes %s at an index that is not goroutine-local: workers can collide on the slot — index shared results by a goroutine-local variable",
+				obj.Name())
+		}
+	case *ast.SelectorExpr:
+		if obj := rootObject(pass, e.X); obj != nil && captured(lit, obj) {
+			pass.Reportf(e.Pos(),
+				"goroutine writes field %s of captured %s: shared mutable state must be sharded per worker",
+				e.Sel.Name, obj.Name())
+		}
+	case *ast.StarExpr:
+		if obj := rootObject(pass, e.X); obj != nil && captured(lit, obj) {
+			pass.Reportf(e.Pos(),
+				"goroutine writes through captured pointer %s: shared mutable state must be sharded per worker",
+				obj.Name())
+		}
+	}
+}
+
+// checkRandCall flags draws from a captured shared RNG.
+func checkRandCall(pass *lint.Pass, lit *ast.FuncLit, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := rootObject(pass, sel.X)
+	if obj == nil || !captured(lit, obj) {
+		return
+	}
+	if t, ok := obj.Type().(*types.Pointer); ok {
+		if named, ok := t.Elem().(*types.Named); ok {
+			pkg := named.Obj().Pkg()
+			if pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") && named.Obj().Name() == "Rand" {
+				pass.Reportf(call.Pos(),
+					"goroutine draws from captured *rand.Rand %s: a shared RNG's sequence depends on goroutine schedule — give each worker its own config-seeded generator",
+					obj.Name())
+			}
+		}
+	}
+}
+
+// rootObject peels selectors/indexes/derefs to the base identifier's
+// object: results[i] -> results, s.cfg.Obs -> s.
+func rootObject(pass *lint.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// goroutineLocalExpr reports whether every variable the expression
+// mentions is declared inside the func literal (its params included),
+// making the expression's value private to this goroutine.
+func goroutineLocalExpr(pass *lint.Pass, lit *ast.FuncLit, expr ast.Expr) bool {
+	local := true
+	sawVar := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+			sawVar = true
+			if captured(lit, v) {
+				local = false
+			}
+		}
+		return true
+	})
+	// A constant index (results[0]) names one shared slot every
+	// instance of the goroutine collides on.
+	return local && sawVar
+}

@@ -1,0 +1,12 @@
+package goroutineshare_test
+
+import (
+	"testing"
+
+	"qvr/internal/lint/goroutineshare"
+	"qvr/internal/lint/linttest"
+)
+
+func TestGoroutineshare(t *testing.T) {
+	linttest.Run(t, goroutineshare.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import "sync"
+
+// The fleet worker-pool idiom: contiguous shards, results indexed by
+// a goroutine-local variable, joined before any read. Nothing shared
+// is written at a location another worker can touch.
+func cleanSharded(specs []int) []int {
+	results := make([]int, len(specs))
+	workers := 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := len(specs)*w/workers, len(specs)*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				results[i] = specs[i] * 2
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// Goroutine-local state and channel sends are always fine.
+func cleanLocal(out chan<- int) {
+	go func() {
+		sum := 0
+		for i := 0; i < 10; i++ {
+			sum += i
+		}
+		out <- sum
+	}()
+}

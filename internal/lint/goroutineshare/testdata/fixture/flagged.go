@@ -1,0 +1,57 @@
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// A bare write through a captured variable: every goroutine collides
+// on the same location.
+func flaggedWrite(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want "goroutine writes captured variable total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Indexing shared results by a captured variable: two workers can
+// land on the same slot.
+func flaggedSharedSlot(results []int) {
+	var wg sync.WaitGroup
+	w := 0
+	for ; w < len(results); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w] = w * 2 // want "not goroutine-local"
+		}()
+	}
+	wg.Wait()
+}
+
+type acc struct{ n int }
+
+// Field writes through a captured pointer are shared state too.
+func flaggedField(a *acc) {
+	done := make(chan struct{})
+	go func() {
+		a.n = 42 // want "goroutine writes field n of captured a"
+		close(done)
+	}()
+	<-done
+}
+
+// Drawing from a shared RNG makes the sequence depend on goroutine
+// schedule even when each draw is locked.
+func flaggedRand(r *rand.Rand, out chan<- int) {
+	go func() {
+		out <- r.Intn(10) // want "goroutine draws from captured \\*rand.Rand r"
+	}()
+}

@@ -1,0 +1,14 @@
+package fixture
+
+// A reasoned directive exempts a single-goroutine handoff joined by a
+// channel before the value is read.
+func suppressedWrite() int {
+	done := make(chan struct{})
+	n := 0
+	go func() {
+		n = 7 //qvr:goroutineshare fixture: single goroutine, joined on done before n is read
+		close(done)
+	}()
+	<-done
+	return n
+}

@@ -1,0 +1,183 @@
+// Package linttest is the fixture harness for the determinism-contract
+// analyzers — a dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest. A fixture is a
+// directory of Go files (conventionally testdata/fixture under the
+// analyzer's package) forming one package; every line that should be
+// flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment, and the harness fails the test on any mismatch in either
+// direction: a diagnostic with no want, or a want with no diagnostic.
+// Suppression directives (//qvr:<analyzer> <reason>) are honored
+// exactly as the qvr-vet driver honors them, so fixtures can pin the
+// directive path too.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"qvr/internal/lint"
+	"qvr/internal/lint/load"
+)
+
+// moduleRoot walks up from the working directory to the directory
+// holding go.mod, so fixtures can import qvr/... packages.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	sessOnce sync.Once
+	sess     *load.Session
+	sessErr  error
+)
+
+// session lazily builds one shared load.Session over the module plus
+// the standard-library packages fixtures lean on. Shared because the
+// `go list -export -deps` snapshot is the expensive part.
+func session(t *testing.T) *load.Session {
+	t.Helper()
+	sessOnce.Do(func() {
+		sess, sessErr = load.New(moduleRoot(t), "./...", "time", "math/rand", "sort", "slices", "fmt", "sync")
+	})
+	if sessErr != nil {
+		t.Fatalf("linttest: %v", sessErr)
+	}
+	return sess
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Run type-checks the fixture directory, runs the analyzer over it,
+// applies directive suppression, and diffs the surviving diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	s := session(t)
+	pkg, err := s.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pass := &lint.Pass{
+		Analyzer:  a,
+		Fset:      s.Fset(),
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+	dirs := lint.ParseDirectives(s.Fset(), pkg.Files)
+	diags := lint.Suppress(s.Fset(), pass.Diagnostics(), dirs)
+
+	wants := collectWants(t, dir)
+	type lineKey struct {
+		file string
+		line int
+	}
+	got := map[lineKey][]string{}
+	for _, d := range diags {
+		pos := s.Fset().Position(d.Pos)
+		k := lineKey{filepath.Base(pos.Filename), pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for k, patterns := range wants {
+		msgs := got[lineKey{k.file, k.line}]
+		for _, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Fatalf("linttest: %s:%d: bad want pattern %q: %v", k.file, k.line, p, err)
+			}
+			matched := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, p, msgs)
+				continue
+			}
+			msgs = append(msgs[:matched], msgs[matched+1:]...)
+		}
+		got[lineKey{k.file, k.line}] = msgs
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants scans the fixture sources for want comments.
+func collectWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	wants := map[wantKey][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for line, text := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+				pat, err := unquoteWant(m[1])
+				if err != nil {
+					t.Fatalf("linttest: %s:%d: %v", e.Name(), line+1, err)
+				}
+				wants[wantKey{e.Name(), line + 1}] = append(wants[wantKey{e.Name(), line + 1}], pat)
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant resolves the two escapes want patterns need inside a
+// quoted string: \" and \\.
+func unquoteWant(s string) (string, error) {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash in want pattern %q", s)
+			}
+			i++
+		}
+		out = append(out, s[i])
+	}
+	return string(out), nil
+}

@@ -1,0 +1,189 @@
+// Package load turns Go package patterns into parsed, type-checked
+// syntax for the lint suite, using only the standard library. It
+// shells out once to `go list -e -export -deps -json` for
+// module-aware package resolution plus compiler export data, parses
+// each target package's non-test sources with go/parser, and
+// type-checks them with go/types against a gc-export-data importer —
+// the same division of labor golang.org/x/tools/go/packages performs,
+// minus the dependency this build environment cannot vendor.
+//
+// Test files are deliberately out of scope: the determinism contract
+// binds the code that produces the science, and tests legitimately
+// use fixed literal seeds and wall-clock timeouts.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Meta is the slice of `go list -json` output the loader consumes.
+type Meta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Package is one type-checked target package.
+type Package struct {
+	Meta  *Meta
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Session resolves and type-checks packages against one `go list`
+// snapshot. Create it with New; it is not safe for concurrent use.
+type Session struct {
+	fset  *token.FileSet
+	dir   string
+	metas map[string]*Meta
+	roots []string // non-DepOnly packages, in go list order
+	imp   types.Importer
+}
+
+// New lists patterns (plus their transitive dependencies, with export
+// data) in the module rooted at dir. Pattern "./..." loads the whole
+// module; bare import paths ("time") pull in packages a fixture needs
+// beyond the module's own dependency closure.
+func New(dir string, patterns ...string) (*Session, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: keeps every listed package pure Go, so export data
+	// exists for the full closure on any builder.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	s := &Session{fset: token.NewFileSet(), dir: dir, metas: map[string]*Meta{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m Meta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		mm := m
+		s.metas[m.ImportPath] = &mm
+		if !m.DepOnly && !m.Standard {
+			s.roots = append(s.roots, m.ImportPath)
+		}
+	}
+	s.imp = importer.ForCompiler(s.fset, "gc", s.lookup)
+	return s, nil
+}
+
+// lookup feeds compiler export data to the gc importer.
+func (s *Session) lookup(path string) (io.ReadCloser, error) {
+	m, ok := s.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no listed package %q", path)
+	}
+	if m.Export == "" {
+		return nil, fmt.Errorf("load: no export data for %q (does it build?)", path)
+	}
+	return os.Open(m.Export)
+}
+
+// Fset returns the session's shared file set.
+func (s *Session) Fset() *token.FileSet { return s.fset }
+
+// Roots returns the import paths the patterns named directly (not
+// dependency-only, not standard library), in go list order.
+func (s *Session) Roots() []string {
+	return append([]string(nil), s.roots...)
+}
+
+// Load parses and type-checks one listed package from source.
+func (s *Session) Load(importPath string) (*Package, error) {
+	m, ok := s.metas[importPath]
+	if !ok {
+		return nil, fmt.Errorf("load: package %q not in session", importPath)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	pkg, err := s.check(importPath, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Meta = m
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks an ad-hoc directory of Go files (a
+// test fixture) as one package whose imports resolve through the
+// session. Dir order is made deterministic by sorting file names.
+func (s *Session) CheckDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	return s.check("fixture/"+filepath.Base(dir), files)
+}
+
+func (s *Session) check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(s.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: s.imp}
+	tpkg, err := conf.Check(path, s.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,79 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qvr/internal/lint/load"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadTypechecksModulePackage(t *testing.T) {
+	sess, err := load.New(moduleRoot(t), "./internal/stats")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	roots := sess.Roots()
+	if len(roots) != 1 || roots[0] != "qvr/internal/stats" {
+		t.Fatalf("Roots = %v, want [qvr/internal/stats]", roots)
+	}
+	pkg, err := sess.Load("qvr/internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types.Name() != "stats" {
+		t.Errorf("package name %q, want stats", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("NearestRank") == nil {
+		t.Errorf("type-checked qvr/internal/stats lost NearestRank; scope: %v", pkg.Types.Scope().Names())
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("no Uses recorded: analyzers need resolved identifiers")
+	}
+}
+
+func TestLoadResolvesCrossPackageDeps(t *testing.T) {
+	// fleet imports pipeline, framesink and obs — the gc-export-data
+	// importer must resolve the whole module closure.
+	sess, err := load.New(moduleRoot(t), "./internal/fleet")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pkg, err := sess.Load("qvr/internal/fleet")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("Run") == nil {
+		t.Error("fleet.Run missing from type-checked scope")
+	}
+}
+
+func TestRootsExcludeDependencies(t *testing.T) {
+	sess, err := load.New(moduleRoot(t), "./internal/fleet")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, r := range sess.Roots() {
+		if r != "qvr/internal/fleet" {
+			t.Errorf("dependency %s leaked into Roots", r)
+		}
+	}
+}

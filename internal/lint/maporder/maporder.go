@@ -1,0 +1,238 @@
+// Package maporder flags `for … range` over a map whose body feeds an
+// emission path — the classic byte-identical killer: Go randomizes
+// map iteration order, so anything order-sensitive assembled inside
+// such a loop (a slice that later lands in a JSON report, a direct
+// write to an output stream) differs run to run.
+//
+// Two body shapes are flagged:
+//
+//   - an append to a slice declared outside the loop that is not
+//     subsequently sorted in the same function after the loop (the
+//     sorted-keys idiom — collect, sort.Strings, then range the
+//     slice — stays clean, because the append target is sorted before
+//     anything reads it; a slice declared inside the body is
+//     per-iteration state that dies before order can leak);
+//   - a call to an emitting function or method (name prefixed Write,
+//     Emit, Fprint or Print), where the iteration order reaches the
+//     output stream directly and no later sort can repair it.
+//
+// Commutative bodies — map copies, scalar accumulation, per-key state
+// mutation, counter increments — are order-independent and pass.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"qvr/internal/lint"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &lint.Analyzer{
+	Name:              "maporder",
+	Doc:               "flag map iteration that assembles order-sensitive output (unsorted appends, direct writes) in deterministic packages",
+	DeterministicOnly: true,
+	Run:               run,
+}
+
+// emitPrefixes mark functions/methods whose call inside a map range
+// streams data out in iteration order.
+var emitPrefixes = []string{"Write", "Emit", "Fprint", "Print"}
+
+func emitName(name string) bool {
+	for _, p := range emitPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, fn, body)
+			// Keep descending: nested func literals are visited again
+			// with their own bodies, which is harmless — ranges are
+			// attributed to the innermost enclosing function below.
+			return true
+		})
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d, d.Body
+	case *ast.FuncLit:
+		return d, d.Body
+	}
+	return nil, nil
+}
+
+// checkFunc examines every map-range loop whose innermost enclosing
+// function is fn, so append targets are matched against sorts in the
+// same function.
+func checkFunc(pass *lint.Pass, fn ast.Node, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inner, _ := funcBody(n); inner != nil && inner != fn {
+			return false // belongs to the nested function's own pass
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapRange(pass, rs) {
+			ranges = append(ranges, rs)
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		checkRange(pass, body, rs)
+	}
+}
+
+func isMapRange(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkRange(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				target := appendTarget(pass, stmt.Lhs[i])
+				if target == nil {
+					continue
+				}
+				// A slice declared inside the loop body is reborn every
+				// iteration: it cannot carry iteration order out.
+				if target.Pos() >= rs.Body.Pos() && target.Pos() <= rs.Body.End() {
+					continue
+				}
+				if !sortedAfter(pass, fnBody, rs, target) {
+					pass.Reportf(stmt.Pos(),
+						"append to %s inside range over a map: iteration order leaks into the slice — range sorted keys instead, or sort %s before it is emitted (in this function)",
+						target.Name(), target.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := calleeName(pass, stmt); ok && emitName(name) {
+				pass.Reportf(stmt.Pos(),
+					"%s called inside range over a map: iteration order reaches the emission path directly — iterate sorted keys instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTarget resolves the variable (or struct field) the append
+// writes to: the object of the root identifier chain's final name.
+func appendTarget(pass *lint.Pass, lhs ast.Expr) types.Object {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.ObjectOf(e.Sel).(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// calleeName extracts the called function or method name for the
+// emit-prefix test; plain identifiers and selectors both count.
+func calleeName(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fun.Name, true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fun.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// sortFuncs lists the sort/slices entry points that repair an
+// unordered append.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether target is passed to a sort call after
+// the range loop ends, anywhere later in the enclosing function.
+func sortedAfter(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn, ok := pass.ObjectOf(call.Fun).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refersTo reports whether expr mentions the object (directly or as a
+// selector field) anywhere in its tree.
+func refersTo(pass *lint.Pass, expr ast.Expr, target types.Object) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == target {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"qvr/internal/lint/linttest"
+	"qvr/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "testdata/fixture")
+}

@@ -1,0 +1,58 @@
+package fixture
+
+import "sort"
+
+// The sorted-keys idiom: collect, sort, then consume — order is
+// repaired before anything reads the slice.
+func cleanSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts too.
+func cleanSortSlice(m map[string]int) []row {
+	var rows []row
+	for name := range m {
+		rows = append(rows, row{Name: name})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Map copies, per-key state mutation and scalar accumulation are
+// commutative: iteration order cannot reach the output.
+func cleanCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cleanSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A slice declared inside the body is reborn every iteration —
+// per-iteration scratch, not an order leak.
+func cleanBodyLocal(m map[string][]int) map[string]int {
+	counts := make(map[string]int, len(m))
+	for k, vs := range m {
+		var big []int
+		for _, v := range vs {
+			if v > 10 {
+				big = append(big, v)
+			}
+		}
+		counts[k] = len(big)
+	}
+	return counts
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+type row struct{ Name string }
+
+// An append that survives the loop, never sorted: the report's row
+// order is the map's iteration order.
+func flaggedAppend(m map[string]int) []row {
+	var rows []row
+	for name := range m {
+		rows = append(rows, row{Name: name}) // want "append to rows inside range over a map"
+	}
+	return rows
+}
+
+// A direct write inside the loop: iteration order reaches the stream
+// and no later sort can repair it.
+func flaggedEmit(w io.Writer, m map[string]int) {
+	for name, v := range m {
+		fmt.Fprintf(w, "%s %d\n", name, v) // want "Fprintf called inside range over a map"
+	}
+}
+
+// Appending into a struct field that outlives the loop leaks the same
+// way a variable does.
+type report struct{ Rows []row }
+
+func flaggedField(m map[string]int) report {
+	var rep report
+	for name := range m {
+		rep.Rows = append(rep.Rows, row{Name: name}) // want "append to Rows inside range over a map"
+	}
+	return rep
+}

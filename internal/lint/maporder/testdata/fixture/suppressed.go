@@ -1,0 +1,10 @@
+package fixture
+
+// A reasoned directive exempts a loop whose consumer sorts for it.
+func suppressedAppend(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) //qvr:maporder fixture: the single caller sorts before emitting
+	}
+	return names
+}

@@ -1,0 +1,51 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qvr/internal/lint/load"
+	"qvr/internal/lint/suite"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestModuleIsClean runs the full analyzer suite over the entire
+// module, exactly as `make lint` does. The tree must produce zero
+// findings: every wall-clock read, rand source, map-order emission
+// and goroutine share is either fixed or allow-listed with a reason.
+// This makes the determinism contract a tier-1 test, not just a CI
+// step someone can forget to run.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	sess, err := load.New(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := suite.Run(sess)
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

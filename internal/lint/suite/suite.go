@@ -1,0 +1,126 @@
+// Package suite registers the determinism-contract analyzers and
+// implements the run loop the qvr-vet driver and the self-check test
+// share: load each package, run the applicable analyzers, apply
+// directive suppression, and fold directive hygiene (a //qvr:
+// directive with no analyzer name, an unknown analyzer, or a missing
+// reason) into the diagnostic stream itself — so an unexplained
+// allow-list entry fails the build exactly like a violation.
+package suite
+
+import (
+	"fmt"
+	"sort"
+
+	"qvr/internal/lint"
+	"qvr/internal/lint/counterlit"
+	"qvr/internal/lint/globalrand"
+	"qvr/internal/lint/goroutineshare"
+	"qvr/internal/lint/load"
+	"qvr/internal/lint/maporder"
+	"qvr/internal/lint/wallclock"
+)
+
+// All returns the registered analyzers, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		wallclock.Analyzer,
+		globalrand.Analyzer,
+		maporder.Analyzer,
+		goroutineshare.Analyzer,
+		counterlit.Analyzer,
+	}
+}
+
+// Finding is one resolved diagnostic, positioned and ready to print.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col: message (analyzer).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Run lints every root package of the session and returns the
+// surviving findings sorted by position. A hard error (a package that
+// fails to load or type-check) aborts: the lint gate must never pass
+// by silently skipping code.
+func Run(sess *load.Session) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, path := range sess.Roots() {
+		pkg, err := sess.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		var diags []lint.Diagnostic
+		for _, a := range All() {
+			if !a.AppliesTo(path) {
+				continue
+			}
+			pass := &lint.Pass{
+				Analyzer:  a,
+				Fset:      sess.Fset(),
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		dirs := lint.ParseDirectives(sess.Fset(), pkg.Files)
+		diags = lint.Suppress(sess.Fset(), diags, dirs)
+		for _, d := range diags {
+			pos := sess.Fset().Position(d.Pos)
+			findings = append(findings, Finding{
+				Analyzer: d.Analyzer,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+		// Directive hygiene: every directive must name a known analyzer
+		// and carry a reason. An unexplained allow-list entry is a
+		// finding, not a free pass.
+		for _, dir := range dirs {
+			switch {
+			case dir.Analyzer == "" || !known[dir.Analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: "directive",
+					File:     dir.File, Line: dir.Line, Col: 1,
+					Message: fmt.Sprintf("//qvr: directive names unknown analyzer %q", dir.Analyzer),
+				})
+			case dir.Reason == "":
+				findings = append(findings, Finding{
+					Analyzer: "directive",
+					File:     dir.File, Line: dir.Line, Col: 1,
+					Message: fmt.Sprintf("//qvr:%s directive carries no reason: every allow-list entry must say why the site is exempt", dir.Analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

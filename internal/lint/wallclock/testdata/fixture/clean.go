@@ -1,0 +1,11 @@
+package fixture
+
+import "time"
+
+// Duration arithmetic and formatting are unit bookkeeping on values
+// the simulation owns — no host clock involved.
+func clean(frameSeconds float64) (time.Duration, string) {
+	d := time.Duration(frameSeconds * float64(time.Second))
+	deadline := d + 5*time.Millisecond
+	return deadline.Round(time.Millisecond), deadline.String()
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "time"
+
+// Every host-clock read and real-time wait is a violation.
+func flagged() (float64, <-chan time.Time) {
+	start := time.Now()               // want "time.Now reads the host clock"
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep reads the host clock"
+	d := time.Since(start)            // want "time.Since reads the host clock"
+	t := time.NewTicker(time.Second)  // want "time.NewTicker reads the host clock"
+	t.Stop()
+	return d.Seconds(), time.After(time.Second) // want "time.After reads the host clock"
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "time"
+
+// A reasoned directive on the flagged line or the line above it
+// suppresses the diagnostic.
+func suppressed() float64 {
+	start := time.Now() //qvr:wallclock fixture: declared wall-clock field
+	//qvr:wallclock fixture: the directive may also sit on the line above
+	d := time.Since(start)
+	return d.Seconds()
+}
+
+// A directive with no reason never suppresses (and the driver flags
+// the bare directive itself).
+func unexplained() {
+	//qvr:wallclock
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}

@@ -1,0 +1,62 @@
+// Package wallclock forbids wall-clock reads and real-time waits in
+// the deterministic packages. Every emitted number there must be a
+// pure function of configuration and the scenario clock; a time.Now
+// (or a sleep that gates when work happens) makes output depend on
+// the host, which the byte-identical contract bans.
+//
+// Legitimate sites — a CLI holding its scrape endpoint open, the
+// fleet's declared WallSeconds field, the live transport that moves
+// real bytes in real time — carry an explicit reasoned directive:
+//
+//	//qvr:wallclock <reason>
+//
+// on the flagged line or the line above it.
+package wallclock
+
+import (
+	"go/types"
+
+	"qvr/internal/lint"
+)
+
+// banned lists the package-level time functions that read or wait on
+// the host clock. Duration arithmetic (time.Second, Duration.Seconds)
+// stays legal: it is unit bookkeeping, not clock access.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Analyzer is the wallclock check.
+var Analyzer = &lint.Analyzer{
+	Name:              "wallclock",
+	Doc:               "forbid time.Now/Since/Sleep/After (and friends) in deterministic packages; allow only via //qvr:wallclock <reason>",
+	DeterministicOnly: true,
+	Run:               run,
+}
+
+func run(pass *lint.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		// Methods (Duration.Seconds, Time.Sub) are value arithmetic on
+		// times the caller already holds; only package-level clock
+		// functions mint host time.
+		if fn.Signature().Recv() != nil || !banned[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"time.%s reads the host clock: deterministic packages must derive every value from config and the scenario clock (suppress with '//qvr:wallclock <reason>' if this site is genuinely wall-clock by design)",
+			fn.Name())
+	}
+	return nil
+}

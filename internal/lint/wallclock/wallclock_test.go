@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"qvr/internal/lint/linttest"
+	"qvr/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "testdata/fixture")
+}

@@ -54,7 +54,7 @@ func NewTransport(bandwidthBps float64, rtt time.Duration) *Transport {
 	return &Transport{
 		bandwidthBps: bandwidthBps,
 		rtt:          rtt,
-		last:         time.Now(),
+		last:         time.Now(), //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 		deliver:      make(chan Packet, 64),
 		acks:         make(chan Ack, 64),
 	}
@@ -72,7 +72,7 @@ func (t *Transport) Send(stream string, payload []byte) error {
 		return ErrClosed
 	}
 	// Refill tokens.
-	now := time.Now()
+	now := time.Now() //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 	elapsed := now.Sub(t.last).Seconds()
 	t.tokens += elapsed * t.bandwidthBps / 8
 	maxBurst := t.bandwidthBps / 8 * 0.01 // 10ms of burst
@@ -93,13 +93,13 @@ func (t *Transport) Send(stream string, payload []byte) error {
 	t.mu.Unlock()
 
 	if wait > 0 {
-		time.Sleep(wait)
+		time.Sleep(wait) //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 	}
-	sent := time.Now()
+	sent := time.Now() //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 	go func() {
 		defer t.wg.Done()
 		if t.rtt > 0 {
-			time.Sleep(t.rtt / 2)
+			time.Sleep(t.rtt / 2) //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 		}
 		cp := make([]byte, len(payload))
 		copy(cp, payload)
@@ -110,7 +110,7 @@ func (t *Transport) Send(stream string, payload []byte) error {
 			return
 		}
 		t.deliver <- Packet{Stream: stream, Payload: cp, SentAt: sent}
-		t.acks <- Ack{Stream: stream, Bytes: len(cp), Latency: time.Since(sent)}
+		t.acks <- Ack{Stream: stream, Bytes: len(cp), Latency: time.Since(sent)} //qvr:wallclock the live Transport moves real bytes in real wall time by design; it is not on the deterministic sim path
 	}()
 	return nil
 }

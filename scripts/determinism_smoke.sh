@@ -47,15 +47,20 @@ shift 5
 mkdir -p bin
 for w in "$w1" "$w2"; do
     echo "$name-smoke: probing on $w worker(s)..."
-    # extra is word-split on purpose; bin/ paths carry no whitespace.
-    extra=""
-    if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
-        extra="$extra -counters bin/$prefix-counters-w$w.ndjson"
-    fi
-    if [ "${SMOKE_SERIES:-0}" = "1" ]; then
-        extra="$extra -series bin/$prefix-series-w$w.ndjson"
-    fi
-    "$@" -workers "$w" -format json $extra > "bin/$prefix-w$w.json"
+    # Build the per-run flag list as positional args inside a subshell:
+    # every path survives intact even with whitespace (no SC2086
+    # word-split string), and the outer "$@" is untouched for the next
+    # iteration.
+    (
+        set -- "$@" -workers "$w" -format json
+        if [ "${SMOKE_COUNTERS:-0}" = "1" ]; then
+            set -- "$@" -counters "bin/$prefix-counters-w$w.ndjson"
+        fi
+        if [ "${SMOKE_SERIES:-0}" = "1" ]; then
+            set -- "$@" -series "bin/$prefix-series-w$w.ndjson"
+        fi
+        exec "$@" > "bin/$prefix-w$w.json"
+    )
 done
 
 for layer in counters series; do
