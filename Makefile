@@ -86,6 +86,18 @@ autoscale-smoke:
 # This is the 100k-session contract in CI-sized form: the run must
 # also fit the CI memory budget, because per-session state is a
 # compact summary, not a FrameRecord slice.
+#
+# The giga step is the mixed-fidelity contract at 1,000,000 sessions:
+# giga-steady rides the calibrated surrogate fast path with a 0.2%
+# stratified exact sample, so the same determinism smoke (fidelity
+# error-bound block included in the byte diff) completes in CI time.
+# The awk gate then scrapes the w1 report: the peak phase must have
+# carried the full million sessions, and every per-phase cross-check
+# error must sit strictly inside the declared tolerance. A separate
+# timed pass archives the fast path's throughput (sessions/s) as
+# bin/BENCH_obs_giga.txt; the surrogate-vs-exact ratio at equal fleet
+# shape lives in bin/BENCH_edge.json (BenchmarkFleetSurrogate vs
+# BenchmarkFleetStreaming).
 scale-smoke:
 	@mkdir -p bin
 	@SMOKE_COUNTERS=1 SMOKE_SERIES=1 ./scripts/determinism_smoke.sh scale scale 1 4 '' \
@@ -96,6 +108,22 @@ scale-smoke:
 	@grep -q '<svg' bin/BENCH_obs.html \
 		|| { echo "scale smoke FAIL: bin/BENCH_obs.html carries no charts"; exit 1; }
 	@echo "archived mega-steady run report as bin/BENCH_obs.html ($$(wc -c < bin/BENCH_obs.html) bytes)"
+	@SMOKE_COUNTERS=1 SMOKE_SERIES=1 SMOKE_FIDELITY=1 ./scripts/determinism_smoke.sh giga giga 1 4 '' \
+		$(GO) run ./cmd/qvr-scenario -builtin giga-steady -frames 2 -warmup 1
+	@awk -F': *' '/"active"/ { gsub(/,/, "", $$2); if ($$2 + 0 > n) n = $$2 + 0 } \
+		/"max_error"/ { gsub(/,/, "", $$2); if ($$2 + 0 > e) e = $$2 + 0 } \
+		END { \
+			if (n + 0 < 1000000 || e + 0 <= 0 || e + 0 >= 0.15) { \
+				printf "giga smoke FAIL: peak %s sessions, max cross-check error %s (need >= 1000000 within (0, 0.15))\n", n, e; exit 1 \
+			} \
+			printf "giga OK: %s sessions at peak, max cross-check error %s within tolerance\n", n, e \
+		}' bin/giga-w1.json
+	@start=$$(date +%s); \
+		$(GO) run ./cmd/qvr-scenario -builtin giga-steady -frames 2 -warmup 1 -workers 4 > /dev/null; \
+		end=$$(date +%s); wall=$$((end - start)); [ "$$wall" -gt 0 ] || wall=1; \
+		rate=$$((2200000 / wall)); \
+		echo "giga-steady: 2,200,000 session-windows in $${wall}s ($${rate} sessions/s on the surrogate fast path)" \
+			| tee bin/BENCH_obs_giga.txt
 
 # Capacity smoke: the HPL-style probe in miniature on the
 # capacity-probe built-in. Three gates: (1) the knee-curve JSON is

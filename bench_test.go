@@ -23,6 +23,7 @@ import (
 	"qvr/internal/scenario"
 	"qvr/internal/scene"
 	"qvr/internal/stats"
+	"qvr/internal/surrogate"
 	"qvr/internal/uca"
 )
 
@@ -441,6 +442,38 @@ func BenchmarkFleetStreaming(b *testing.B) {
 	}
 	b.ReportMetric(s.AggregateFPS, "agg-fps")
 	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkFleetSurrogate is the mixed-fidelity twin of
+// BenchmarkFleetStreaming: the identical 32-session fleet, but with
+// the calibrated analytic fast path carrying every unsampled session
+// while the default stratified exact sample cross-checks it (the run
+// fails the bench if the refute harness trips). Both benchmarks
+// report sessions/s, so their ratio in the BENCH_edge.json stream is
+// the fast path's speedup at identical fleet shape. The per-op cost
+// here includes calibration (a fresh model per op, as every
+// production run calibrates), which bounds the speedup at this small
+// session count; the giga-steady smoke shows the asymptotic ratio.
+func BenchmarkFleetSurrogate(b *testing.B) {
+	specs := streamingBenchSpecs(b)
+	var s fleet.Summary
+	var r fleet.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = fleet.Run(fleet.Config{Specs: specs, Workers: 4, Fidelity: &fleet.Fidelity{
+			Runner: surrogate.New(), ExactFraction: fleet.DefaultExactFraction,
+		}})
+		s = r.Summarize()
+	}
+	if r.Fidelity == nil || r.Fidelity.Refuted {
+		b.Fatal("mixed-fidelity run refuted or missing its fidelity report")
+	}
+	b.ReportMetric(s.AggregateFPS, "agg-fps")
+	b.ReportMetric(s.P99MTPMs, "p99-mtp-ms")
+	b.ReportMetric(r.Fidelity.MaxError*100, "max-error-%")
+	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "sessions/s")
 }
 
 // BenchmarkFleetMaterialized reproduces the pre-streaming engine:

@@ -217,8 +217,17 @@ func printTable(rep capacity.Report) {
 	}
 	fmt.Printf("  slo: %s\n", strings.Join(targets, ", "))
 	p := rep.Params
-	fmt.Printf("  search [%d, %d]; knee grid %d points +-%.0f%%; window %.0f s; frames %d, warmup %d\n\n",
+	fmt.Printf("  search [%d, %d]; knee grid %d points +-%.0f%%; window %.0f s; frames %d, warmup %d\n",
 		p.MinSessions, p.MaxSessions, p.GridPoints, p.GridSpan*100, p.WindowSeconds, p.Frames, p.Warmup)
+	if p.ExactFraction > 0 {
+		lean := ""
+		if p.Lean {
+			lean = ", lean engine"
+		}
+		fmt.Printf("  fidelity: surrogate fast path, %.2f%% exact sample%s; knee confirmed by exact DES\n",
+			p.ExactFraction*100, lean)
+	}
+	fmt.Println()
 
 	fmt.Println("search trace:")
 	fmt.Printf("  %8s %5s %8s %6s %5s %5s\n", "sessions", "met", "p99(ms)", "share", "drop", "fail")
@@ -245,6 +254,16 @@ func printTable(rep capacity.Report) {
 			pt.Dropped, pt.FailedOver, pt.AggregateFPS, pt.GPUSeconds)
 	}
 
+	if ke := rep.KneeExact; ke != nil {
+		fmt.Println()
+		fmt.Printf("knee confirmation (exact DES at %d sessions): p99 %.1f ms, share %.0f%%, slo %s\n",
+			ke.Sessions, ke.P99MTPMs, ke.TargetShare*100, metCell(ke.Met))
+		if fast, ok := fastKneePoint(rep); ok {
+			fmt.Printf("  fast path read p99 %.1f ms at the knee — delta %+.1f ms\n",
+				fast.P99MTPMs, fast.P99MTPMs-ke.P99MTPMs)
+		}
+	}
+
 	if len(rep.Scaling) > 0 {
 		fmt.Println()
 		fmt.Printf("scaling study (weak: %d sessions/worker; strong: %d sessions):\n",
@@ -264,6 +283,22 @@ func metCell(met bool) string {
 		return "ok"
 	}
 	return "MISS"
+}
+
+// fastKneePoint finds the fast-path reading at the knee session count,
+// for the side-by-side with the exact-DES confirmation.
+func fastKneePoint(rep capacity.Report) (capacity.Point, bool) {
+	for _, pt := range rep.Knee {
+		if pt.Sessions == rep.KneeSessions {
+			return pt, true
+		}
+	}
+	for _, pt := range rep.Search {
+		if pt.Sessions == rep.KneeSessions {
+			return pt, true
+		}
+	}
+	return capacity.Point{}, false
 }
 
 func strongSessions(rep capacity.Report) int {
@@ -295,6 +330,9 @@ func printCSV(rep capacity.Report) {
 	}
 	for _, pt := range rep.Knee {
 		point("knee", pt)
+	}
+	if ke := rep.KneeExact; ke != nil {
+		point("knee-exact", *ke)
 	}
 	for _, sp := range rep.Scaling {
 		w.Row("scaling-"+sp.Mode, fmt.Sprintf("%d", sp.Sessions),

@@ -197,6 +197,14 @@ func printTable(r scenario.Result) {
 			p.Active, s.Migrated, s.FailedOver, s.Dropped,
 			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.TargetShare*100, sloCell(p))
 	}
+	for _, p := range r.Phases {
+		if lines := cliout.FidelityLines(p.Fleet.Fidelity); lines != nil {
+			fmt.Printf("phase %s:\n", p.Phase.Name)
+			for _, ln := range lines {
+				fmt.Println("  " + ln)
+			}
+		}
+	}
 
 	fmt.Println()
 	fmt.Println("per-cluster utilization (assigned/capacity):")
@@ -272,9 +280,10 @@ type jsonPhaseRow struct {
 	// verdict against the [slo] targets and ScaleEvents the autoscaler
 	// decisions taken on this window — both omitted when their mode is
 	// off.
-	GPUSeconds  float64            `json:"gpu_seconds"`
-	SLOMet      *bool              `json:"slo_met,omitempty"`
-	ScaleEvents []fleet.ScaleEvent `json:"scale_events,omitempty"`
+	GPUSeconds  float64               `json:"gpu_seconds"`
+	SLOMet      *bool                 `json:"slo_met,omitempty"`
+	ScaleEvents []fleet.ScaleEvent    `json:"scale_events,omitempty"`
+	Fidelity    *fleet.FidelityReport `json:"fidelity,omitempty"`
 }
 
 // printJSON emits the deterministic report: phase summaries carry no
@@ -335,6 +344,7 @@ func printJSON(r scenario.Result) {
 			GPUSeconds:  p.GPUSeconds,
 			SLOMet:      p.SLOMet,
 			ScaleEvents: p.ScaleEvents,
+			Fidelity:    p.Fleet.Fidelity,
 		})
 	}
 	if err := cliout.WriteJSON(os.Stdout, report); err != nil {

@@ -8,9 +8,13 @@
 //	qvr-fleet -sessions 64 -workers 8 -mix mixed -frames 120
 //	qvr-fleet -sessions 32 -gpus 2 -format json
 //	qvr-fleet -sessions 16 -net lte -format csv > fleet.csv
+//	qvr-fleet -sessions 1000 -fidelity 0.05
 //
 // Mixes: mixed, flagship, congested. Designs: local, remote, static,
-// ffr, dfr, qvr-sw, qvr.
+// ffr, dfr, qvr-sw, qvr. With -fidelity, most sessions run through
+// the calibrated analytic surrogate and a stratified exact-DES sample
+// cross-checks it; the error bars print under the summary, and a
+// surrogate past its tolerance fails the run.
 package main
 
 import (
@@ -23,8 +27,10 @@ import (
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
 	"qvr/internal/netsim"
+	"qvr/internal/obs"
 	"qvr/internal/obs/series"
 	"qvr/internal/pipeline"
+	"qvr/internal/surrogate"
 )
 
 // netAliases accepts the short spellings alongside the Table 2 names.
@@ -43,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet base seed")
 	gpus := flag.Int("gpus", 0, "shared remote cluster size; 0 disables admission (uncontended per-session clusters)")
 	cell := flag.Int("cell", 0, "sessions per network cell before bandwidth sharing; 0 = uncontended")
+	fidelity := flag.Float64("fidelity", 0, "mixed-fidelity exact-sample fraction (0 = every session on exact DES)")
+	calibration := flag.Int("calibration", 0, "surrogate calibration runs per session class (0 = default)")
 	format := flag.String("format", "table", "output format: "+cliout.FormatNames())
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -89,6 +97,16 @@ func main() {
 	if *gpus > 0 {
 		cfg.Admission = fleet.Admission{Cluster: gpu.DefaultRemote().WithGPUs(*gpus)}
 	}
+	if *fidelity > 0 {
+		if *fidelity > 1 {
+			fail("-fidelity must be in (0, 1], got %g", *fidelity)
+		}
+		cfg.Fidelity = &fleet.Fidelity{
+			Runner:        surrogate.New(),
+			ExactFraction: *fidelity,
+			Calibration:   *calibration,
+		}
+	}
 	cfg.Obs = obsFlags.Registry()
 	cfg.Tracer = obsFlags.Tracer()
 	cfg.TraceLabel = "fleet"
@@ -103,7 +121,16 @@ func main() {
 		if g := r.Contention.Grid; g != nil {
 			clusters = g.Clusters
 		}
-		rec.EndWindow(series.Window{Label: "fleet", Gauges: series.GaugesOf(sum, clusters)})
+		gauges := series.GaugesOf(sum, clusters)
+		if f := r.Fidelity; f != nil {
+			gauges.Fidelity = &series.FidelityGauge{
+				Exact:     f.ExactSessions,
+				Surrogate: f.SurrogateSessions,
+				MaxError:  f.MaxError,
+				Refuted:   f.Refuted,
+			}
+		}
+		rec.EndWindow(series.Window{Label: "fleet", Gauges: gauges})
 	}
 	switch form {
 	case cliout.Table:
@@ -114,6 +141,12 @@ func main() {
 		printCSV(r)
 	}
 	obsFlags.Finish("qvr-fleet", fleet.Expectations(r))
+	// Refute-and-refine, the failing half: the report above carries
+	// the error bars either way, but a surrogate past its declared
+	// tolerance must fail the run, not just annotate it.
+	if err := obs.RefuteSurrogate(r.RefuteChecks()); err != nil {
+		fail("%v", err)
+	}
 }
 
 func fail(format string, args ...interface{}) {
@@ -135,6 +168,9 @@ func printTable(r fleet.Result) {
 	}
 	fmt.Println()
 	fmt.Println(r)
+	for _, ln := range cliout.FidelityLines(r.Fidelity) {
+		fmt.Println(ln)
+	}
 }
 
 // jsonSessionRow is the per-session slice of the JSON report.
@@ -152,12 +188,14 @@ type jsonSessionRow struct {
 
 func printJSON(r fleet.Result) {
 	report := struct {
-		Summary  fleet.Summary    `json:"summary"`
-		Sessions []jsonSessionRow `json:"sessions"`
-		Dropped  []string         `json:"dropped"`
+		Summary  fleet.Summary         `json:"summary"`
+		Fidelity *fleet.FidelityReport `json:"fidelity,omitempty"`
+		Sessions []jsonSessionRow      `json:"sessions"`
+		Dropped  []string              `json:"dropped"`
 	}{
-		Summary: r.Summarize(),
-		Dropped: []string{},
+		Summary:  r.Summarize(),
+		Fidelity: r.Fidelity,
+		Dropped:  []string{},
 	}
 	for _, sr := range r.Sessions {
 		cfg, st := sr.Config, sr.Stats

@@ -60,7 +60,11 @@ func main() {
 			if n := len(sc.Topology.Clusters); n > 0 {
 				grid = fmt.Sprintf(", %d-cluster grid (see qvr-edge)", n)
 			}
-			fmt.Printf("%-24s %d phases, mix %s%s\n", name, len(sc.Phases), sc.Mix, grid)
+			fidelity := ""
+			if f := sc.Fidelity; f != nil {
+				fidelity = fmt.Sprintf(", [fidelity] fast path (%.2f%% exact)", f.ExactFraction*100)
+			}
+			fmt.Printf("%-24s %d phases, mix %s%s%s\n", name, len(sc.Phases), sc.Mix, grid, fidelity)
 		}
 		return
 	}
@@ -142,6 +146,14 @@ func printTable(r scenario.Result) {
 			p.Active, p.Arrived, p.Departed, s.Dropped, s.FailedOver,
 			s.P50MTPMs, s.P95MTPMs, s.P99MTPMs, s.MeanFPS, s.TargetShare*100)
 	}
+	for _, p := range r.Phases {
+		if lines := cliout.FidelityLines(p.Fleet.Fidelity); lines != nil {
+			fmt.Printf("phase %s:\n", p.Phase.Name)
+			for _, ln := range lines {
+				fmt.Println("  " + ln)
+			}
+		}
+	}
 	fmt.Println()
 	roll := r.Rollup
 	fmt.Printf("baseline p99 %.1f ms (%s); worst p99 %.1f ms (%s), %.1fx baseline\n",
@@ -160,13 +172,14 @@ func printTable(r scenario.Result) {
 
 // jsonPhaseRow flattens one phase for the JSON report.
 type jsonPhaseRow struct {
-	Name     string        `json:"name"`
-	StartS   float64       `json:"start_s"`
-	DurS     float64       `json:"duration_s"`
-	Active   int           `json:"active"`
-	Arrived  int           `json:"arrived"`
-	Departed int           `json:"departed"`
-	Summary  fleet.Summary `json:"summary"`
+	Name     string                `json:"name"`
+	StartS   float64               `json:"start_s"`
+	DurS     float64               `json:"duration_s"`
+	Active   int                   `json:"active"`
+	Arrived  int                   `json:"arrived"`
+	Departed int                   `json:"departed"`
+	Summary  fleet.Summary         `json:"summary"`
+	Fidelity *fleet.FidelityReport `json:"fidelity,omitempty"`
 }
 
 // printJSON emits the deterministic report: phase summaries carry no
@@ -196,6 +209,7 @@ func printJSON(r scenario.Result) {
 			Arrived:  p.Arrived,
 			Departed: p.Departed,
 			Summary:  p.Summary.Summary,
+			Fidelity: p.Fleet.Fidelity,
 		})
 	}
 	if err := cliout.WriteJSON(os.Stdout, report); err != nil {

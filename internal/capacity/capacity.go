@@ -177,6 +177,12 @@ type Params struct {
 	ScaleWorkers      []int   `json:"scale_workers,omitempty"`
 	SessionsPerWorker int     `json:"sessions_per_worker,omitempty"`
 	StrongSessions    int     `json:"strong_sessions,omitempty"`
+	// ExactFraction/Calibration/Lean echo the scenario's [fidelity]
+	// declaration when the probe rode the calibrated fast path
+	// (omitted for exact-only probes).
+	ExactFraction float64 `json:"exact_fraction,omitempty"`
+	Calibration   int     `json:"calibration,omitempty"`
+	Lean          bool    `json:"lean,omitempty"`
 }
 
 // Report is a completed capacity probe.
@@ -197,6 +203,12 @@ type Report struct {
 	// the knee curve in ascending session order.
 	Search []Point `json:"search"`
 	Knee   []Point `json:"knee_curve"`
+	// KneeExact is the exact-DES confirmation of the knee: when the
+	// search and sweep rode the scenario's [fidelity] fast path, the
+	// found knee is re-run once with the surrogate off, so the
+	// reported capacity rests on the exact simulation, not on the
+	// model that was only sampled against it. Nil for exact probes.
+	KneeExact *Point `json:"knee_exact,omitempty"`
 	// Scaling is the weak/strong study in run order (empty when
 	// ScaleWorkers is).
 	Scaling []ScalingPoint `json:"scaling,omitempty"`
@@ -376,6 +388,11 @@ func Probe(cfg Config) (Report, error) {
 		Search: []Point{},
 		Knee:   []Point{},
 	}
+	if f := sc.Fidelity; f != nil {
+		rep.Params.ExactFraction = f.ExactFraction
+		rep.Params.Calibration = f.Calibration
+		rep.Params.Lean = f.Lean
+	}
 	emit := func(e Event) {
 		if cfg.Observer != nil {
 			cfg.Observer(e)
@@ -459,6 +476,25 @@ func Probe(cfg Config) (Report, error) {
 			return Report{}, err
 		}
 		rep.Knee = append(rep.Knee, pt)
+	}
+
+	// Refute-and-refine, the capacity edition: when the search and
+	// sweep rode the [fidelity] fast path, confirm the knee itself
+	// through the exact DES once, so the reported capacity never rests
+	// on the surrogate alone. Deliberately outside the probe-point
+	// cache and its CProbePoints counter — it is a confirmation, not a
+	// probe evaluation.
+	if sc.Fidelity != nil && knee > 0 {
+		exactOpt := opt
+		exactOpt.ExactOnly = true
+		pr, err := scenario.RunPoint(sc, knee, exactOpt)
+		if err != nil {
+			return Report{}, err
+		}
+		pt := pointOf(pr, cfg.WindowSeconds)
+		rep.KneeExact = &pt
+		endWindow(fmt.Sprintf("knee-exact n=%d", knee), pr.Summary, pr.Verdict.Met)
+		emit(Event{Event: "point", Stage: "knee-exact", Point: &pt, WallSeconds: pr.WallSeconds})
 	}
 
 	// The scaling study. Weak scaling: sessions-per-worker held fixed,

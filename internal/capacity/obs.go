@@ -8,8 +8,9 @@ import "qvr/internal/obs"
 // session counts across the search trace and the knee curve — each
 // distinct count was simulated exactly once, everything else was a
 // cache hit. The scaling study bypasses the cache by design (it is a
-// wall-clock measurement), so its runs are deliberately outside this
-// count.
+// wall-clock measurement), and the exact-DES knee confirmation is a
+// confirmation rather than a probe evaluation, so both are
+// deliberately outside this count.
 func Expectations(rep Report) []obs.Expectation {
 	seen := map[int]bool{}
 	for _, pt := range rep.Search {

@@ -75,6 +75,36 @@ func WriteParams(w io.Writer, rep Report, topo edge.Topology, placement string) 
 	if err := line("window-seconds", "%.1f", p.WindowSeconds); err != nil {
 		return err
 	}
+	if p.ExactFraction > 0 {
+		if err := line("fidelity.exact-fraction", "%.4f", p.ExactFraction); err != nil {
+			return err
+		}
+		if p.Calibration > 0 {
+			if err := line("fidelity.calibration", "%d", p.Calibration); err != nil {
+				return err
+			}
+		}
+		if err := line("fidelity.lean", "%t", p.Lean); err != nil {
+			return err
+		}
+	}
+	if ke := rep.KneeExact; ke != nil {
+		// Both readings of the knee, side by side: the fast-path sweep's
+		// and the exact-DES confirmation's. A future reader of the params
+		// file sees at a glance how far the surrogate sat from the truth
+		// at the one session count that matters.
+		if fast, ok := kneePoint(rep); ok {
+			if err := line("knee.fast-path-p99-mtp-ms", "%.3f", fast.P99MTPMs); err != nil {
+				return err
+			}
+		}
+		if err := line("knee.exact-p99-mtp-ms", "%.3f", ke.P99MTPMs); err != nil {
+			return err
+		}
+		if err := line("knee.exact-met", "%t", ke.Met); err != nil {
+			return err
+		}
+	}
 	if len(p.ScaleWorkers) > 0 {
 		ws := make([]string, len(p.ScaleWorkers))
 		for i, n := range p.ScaleWorkers {
@@ -95,6 +125,23 @@ func WriteParams(w io.Writer, rep Report, topo edge.Topology, placement string) 
 		}
 	}
 	return nil
+}
+
+// kneePoint finds the fast-path reading at the knee session count in
+// the report's curves (the search trace holds it when the sweep's grid
+// rounded past it).
+func kneePoint(rep Report) (Point, bool) {
+	for _, pt := range rep.Knee {
+		if pt.Sessions == rep.KneeSessions {
+			return pt, true
+		}
+	}
+	for _, pt := range rep.Search {
+		if pt.Sessions == rep.KneeSessions {
+			return pt, true
+		}
+	}
+	return Point{}, false
 }
 
 // writeSLOParams spells the declared targets only, matching the [slo]

@@ -1,0 +1,38 @@
+package cliout
+
+import (
+	"fmt"
+
+	"qvr/internal/fleet"
+)
+
+// FidelityLines renders a mixed-fidelity cross-check report as table
+// lines: the session split (surrogate fast path vs stratified exact
+// sample vs calibration runs) followed by one error-bar line per
+// checked metric — exact value, surrogate value, relative error
+// against the declared tolerance. All four fleet CLIs print this same
+// block, so the error bars read identically everywhere. Returns nil
+// for a nil report (an exact-only run).
+func FidelityLines(f *fleet.FidelityReport) []string {
+	if f == nil {
+		return nil
+	}
+	verdict := "within tolerance"
+	if f.Refuted {
+		verdict = "REFUTED"
+	}
+	lines := []string{fmt.Sprintf(
+		"fidelity: %d surrogate + %d exact (%.2f%% sample) + %d calibration; max error %.2f%% — %s",
+		f.SurrogateSessions, f.ExactSessions, f.ExactFraction*100,
+		f.CalibrationSessions, f.MaxError*100, verdict)}
+	for _, c := range f.Checks {
+		mark := "ok"
+		if !c.OK {
+			mark = "REFUTED"
+		}
+		lines = append(lines, fmt.Sprintf(
+			"  %-14s exact %12.4f  surrogate %12.4f  err %6.2f%% (tol %5.1f%%) %s",
+			c.Metric, c.Exact, c.Surrogate, c.Error*100, c.Tolerance*100, mark))
+	}
+	return lines
+}

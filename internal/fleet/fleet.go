@@ -94,6 +94,19 @@ type Config struct {
 	// names this run in the trace (scenario phase, capacity point...).
 	Tracer     *obs.Tracer
 	TraceLabel string
+	// Fidelity, when set, turns the run mixed-fidelity: sessions
+	// execute through the analytic fast path except for a deterministic
+	// stratified sample cross-checked against the exact DES. The
+	// comparison lands in Result.Fidelity.
+	Fidelity *Fidelity
+	// Source, when set, replaces Specs with a pure per-index spec
+	// generator and switches Run to the lean engine: per-session state
+	// shrinks to two float64s, which is what lets a million-session
+	// timeline fit a CI memory budget. Lean runs support plain
+	// uncontended fleets only (no Admission, Placer, CellCapacity or
+	// Tracer); Run panics otherwise, because the scenario layer
+	// validates this before it ever builds a Source.
+	Source *SpecSource
 }
 
 // SessionResult pairs a spec with its completed simulation: the
@@ -121,12 +134,21 @@ type Result struct {
 	// WallSeconds is the host wall-clock time the run took. It is the
 	// only non-deterministic field.
 	WallSeconds float64
+	// Fidelity carries the mixed-fidelity cross-check report (nil in
+	// pure-exact runs).
+	Fidelity *FidelityReport
+	// lean holds the compact roll-up of a Source-driven run, where
+	// Sessions stays empty by design.
+	lean *leanResult
 }
 
 // Run simulates every admitted session across the worker pool and
 // aggregates the results. The outcome is deterministic for fixed
 // Specs regardless of Workers.
 func Run(cfg Config) Result {
+	if cfg.Source != nil {
+		return runLean(cfg)
+	}
 	start := time.Now() //qvr:wallclock feeds WallSeconds, the result's one declared non-deterministic field
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -143,6 +165,21 @@ func Run(cfg Config) Result {
 		traceRun = cfg.Tracer.BeginRun(cfg.TraceLabel)
 	}
 
+	// Mixed fidelity: classify, calibrate and mark the stratified
+	// exact sample before the pool starts, single-threaded and in spec
+	// order — the fidelity split can never depend on the worker count.
+	// The class keys see the post-admission configs, so the surrogate
+	// models the same contention the exact simulator pays.
+	var fid *fidelityState
+	if cfg.Fidelity != nil && cfg.Fidelity.Runner != nil && len(admitted) > 0 {
+		var ctl *obs.Shard
+		if cfg.Obs != nil {
+			ctl = cfg.Obs.Ctl()
+		}
+		fid = newFidelityState(cfg.Fidelity, len(admitted),
+			func(i int) pipeline.Config { return admitted[i].Config }, ctl)
+	}
+
 	results := make([]SessionResult, len(admitted))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -156,18 +193,26 @@ func Run(cfg Config) Result {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			runShard(cfg, admitted, results, lo, hi, traceRun)
+			runShard(cfg, admitted, results, lo, hi, traceRun, fid)
 		}(lo, hi)
 	}
 	wg.Wait()
 
-	return Result{
+	res := Result{
 		Sessions:    results,
 		Dropped:     dropped,
 		Workers:     workers,
 		Contention:  contention,
 		WallSeconds: time.Since(start).Seconds(), //qvr:wallclock WallSeconds is the result's one declared non-deterministic field
 	}
+	if fid != nil {
+		var ctl *obs.Shard
+		if cfg.Obs != nil {
+			ctl = cfg.Obs.Ctl()
+		}
+		res.Fidelity = fid.report(ctl)
+	}
+	return res
 }
 
 // runShard simulates admitted[lo:hi] with worker-local state: one
@@ -177,18 +222,40 @@ func Run(cfg Config) Result {
 // limited to the simulator itself. When counters are on, the worker
 // also owns one registry shard and one StageSink reused across its
 // whole range — the per-frame path stays allocation-free either way.
-func runShard(cfg Config, admitted []SessionSpec, results []SessionResult, lo, hi, traceRun int) {
+func runShard(cfg Config, admitted []SessionSpec, results []SessionResult, lo, hi, traceRun int, fid *fidelityState) {
 	frames := 0
+	predFrames := 0
 	for i := lo; i < hi; i++ {
 		frames += admitted[i].Config.MeasuredFrames()
+		if fid != nil && fid.marks[i] {
+			predFrames += admitted[i].Config.MeasuredFrames()
+		}
 	}
 	buf := make([]float64, 0, frames)
+	var predBuf []float64
+	if predFrames > 0 {
+		predBuf = make([]float64, 0, predFrames)
+	}
 	var sink framesink.StatsSink
 	var stage obs.StageSink
 	if cfg.Obs != nil {
 		stage = obs.StageSink{Shard: cfg.Obs.NewShard(), Next: &sink}
 	}
 	for i := lo; i < hi; i++ {
+		if fid != nil && !fid.marks[i] {
+			// Analytic fast path: the prediction is a pure per-session
+			// function, so its place in the results (and its samples'
+			// region of the shard buffer) match any worker count. It
+			// bypasses the stage sink — CSessionsSimulated and
+			// CFramesMeasured stay exact-DES books.
+			var sum framesink.Summary
+			sum, buf = fid.runner.RunSession(admitted[i].Config, buf)
+			if cfg.Obs != nil {
+				stage.Shard.Inc(obs.CSessionsSurrogate)
+			}
+			results[i] = SessionResult{Spec: admitted[i], Config: admitted[i].Config, Stats: sum}
+			continue
+		}
 		sink.Reset(buf)
 		// The sink chain, innermost first: StatsSink always terminates;
 		// StageSink taps stage timings when counters are on; a
@@ -213,6 +280,18 @@ func runShard(cfg Config, admitted []SessionSpec, results []SessionResult, lo, h
 			Stats:  sink.Summary(),
 		}
 		buf = sink.Buffer()
+		if fid != nil {
+			// The cross-check pair: this session ran exact above; the
+			// surrogate now predicts the same config, and the report
+			// compares the two books after the pool quiesces. Workers
+			// write disjoint rank rows, indexed by spec position.
+			if cfg.Obs != nil {
+				stage.Shard.Inc(obs.CFidelityExact)
+			}
+			r := fid.rank[i]
+			fid.exact[r] = results[i].Stats
+			fid.pred[r], predBuf = fid.runner.RunSession(admitted[i].Config, predBuf)
+		}
 	}
 }
 

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"qvr/internal/framesink"
+	"qvr/internal/obs"
+	"qvr/internal/pipeline"
+	"qvr/internal/stats"
+)
+
+// SpecSource is the lean engine's population: a pure per-index spec
+// generator in place of a materialized spec slice. A million-session
+// fleet never exists in memory as specs — each worker mints its
+// shard's specs transiently, and per-session retained state shrinks
+// to two float64s plus the motion-to-photon samples.
+type SpecSource struct {
+	// N is the population size.
+	N int
+	// MeasuredFrames is the uniform per-session measured frame count,
+	// used to pre-size the per-shard sample buffers.
+	MeasuredFrames int
+	// At mints the spec with index i. It must be a pure function of i
+	// (the scenario layer builds it from Mix.Minter plus the phase
+	// view) and safe for concurrent calls from the worker pool.
+	At func(i int) SessionSpec
+}
+
+// leanResult is the cached roll-up of a Source-driven run: the
+// summary is computed once inside runLean — in exactly Summarize's
+// accumulation order — because the per-session results it would scan
+// are never retained.
+type leanResult struct {
+	summary Summary
+	frames  int64
+}
+
+// runLean executes a Source-driven population. It mirrors Run's
+// sharding (contiguous index ranges, worker-local sinks and buffers,
+// results keyed by spec position) but keeps only fps and bytes per
+// session plus the per-shard sample buffers, merged once for the
+// exact percentiles. Everything aggregated is either indexed by spec
+// position and summed in spec order, or an order-independent sorted
+// multiset — the worker count can never reach the numbers.
+func runLean(cfg Config) Result {
+	start := time.Now() //qvr:wallclock feeds WallSeconds, the result's one declared non-deterministic field
+	if cfg.Placer != nil || cfg.Admission.Enabled || cfg.Admission.Cluster.GPUs > 0 ||
+		cfg.CellCapacity > 0 || cfg.Tracer != nil {
+		panic("fleet: lean Source runs support plain uncontended fleets only")
+	}
+	src := cfg.Source
+	n := src.N
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+
+	var ctl *obs.Shard
+	if cfg.Obs != nil {
+		ctl = cfg.Obs.Ctl()
+	}
+	var fid *fidelityState
+	if cfg.Fidelity != nil && cfg.Fidelity.Runner != nil && n > 0 {
+		fid = newFidelityState(cfg.Fidelity, n,
+			func(i int) pipeline.Config { return src.At(i).Config }, ctl)
+	}
+
+	fps := make([]float64, n)
+	bytes := make([]float64, n)
+	shardBufs := make([][]float64, workers)
+	shardFrames := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shardBufs[w], shardFrames[w] = runLeanShard(cfg, src, fps, bytes, lo, hi, fid)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// The roll-up replicates Summarize's accumulation order exactly:
+	// spec-order sums over the compact arrays, then one merged sort of
+	// the per-shard sample buffers (shards are contiguous index ranges,
+	// so the concatenation is the same per-session order Summarize's
+	// merge would walk).
+	s := Summary{Sessions: n, Workers: workers}
+	if n > 0 {
+		meeting := 0
+		for i := 0; i < n; i++ {
+			f := fps[i]
+			s.MeanFPS += f
+			s.AggregateFPS += f
+			s.AggregateMBps += f * bytes[i] / 1e6
+			if f >= 0.95*pipeline.TargetFPS {
+				meeting++
+			}
+		}
+		s.MeanFPS /= float64(n)
+		s.TargetShare = float64(meeting) / float64(n)
+		total := 0
+		for _, b := range shardBufs {
+			total += len(b)
+		}
+		mtps := make([]float64, 0, total)
+		for _, b := range shardBufs {
+			mtps = append(mtps, b...)
+		}
+		sort.Float64s(mtps)
+		s.P50MTPMs = stats.NearestRankSorted(mtps, 0.50) * 1000
+		s.P95MTPMs = stats.NearestRankSorted(mtps, 0.95) * 1000
+		s.P99MTPMs = stats.NearestRankSorted(mtps, 0.99) * 1000
+	}
+	var frames int64
+	for _, f := range shardFrames {
+		frames += f
+	}
+
+	res := Result{
+		Workers:     workers,
+		WallSeconds: time.Since(start).Seconds(), //qvr:wallclock WallSeconds is the result's one declared non-deterministic field
+		lean:        &leanResult{summary: s, frames: frames},
+	}
+	if fid != nil {
+		res.Fidelity = fid.report(ctl)
+	}
+	return res
+}
+
+// runLeanShard is runShard's lean twin: same worker-local sink/buffer
+// reuse, same fidelity split, but the only retained per-session state
+// is fps[i] and bytes[i] (workers write disjoint index ranges) plus
+// the shard's sample buffer, returned for the merged percentiles
+// along with the shard's exact-DES frame count.
+func runLeanShard(cfg Config, src *SpecSource, fps, bytes []float64, lo, hi int, fid *fidelityState) ([]float64, int64) {
+	buf := make([]float64, 0, (hi-lo)*src.MeasuredFrames)
+	var predBuf []float64
+	var sink framesink.StatsSink
+	var stage obs.StageSink
+	if cfg.Obs != nil {
+		stage = obs.StageSink{Shard: cfg.Obs.NewShard(), Next: &sink}
+	}
+	var exactFrames int64
+	for i := lo; i < hi; i++ {
+		sp := src.At(i)
+		if fid != nil && !fid.marks[i] {
+			var sum framesink.Summary
+			sum, buf = fid.runner.RunSession(sp.Config, buf)
+			if cfg.Obs != nil {
+				stage.Shard.Inc(obs.CSessionsSurrogate)
+			}
+			fps[i], bytes[i] = sum.FPS, sum.AvgBytesSent
+			continue
+		}
+		sink.Reset(buf)
+		var dst pipeline.FrameSink = &sink
+		if cfg.Obs != nil {
+			stage.Shard.Inc(obs.CSessionsSimulated)
+			dst = &stage
+		}
+		pipeline.NewSession(sp.Config).RunSink(dst)
+		sum := sink.Summary()
+		// Buffer() is the session's own region, not the shard
+		// accumulation — extend buf past it so the merged percentiles
+		// see every session, not just the last exact one. (The append
+		// copies the region onto itself when no reallocation happened.)
+		buf = append(buf, sink.Buffer()...)
+		exactFrames += int64(sum.Frames)
+		fps[i], bytes[i] = sum.FPS, sum.AvgBytesSent
+		if fid != nil {
+			if cfg.Obs != nil {
+				stage.Shard.Inc(obs.CFidelityExact)
+			}
+			r := fid.rank[i]
+			fid.exact[r] = sum
+			fid.pred[r], predBuf = fid.runner.RunSession(sp.Config, predBuf)
+		}
+	}
+	return buf, exactFrames
+}
+
+// TotalMeasuredFrames is the run's CFramesMeasured book: the measured
+// frames that streamed through the stage sinks. In a mixed-fidelity
+// run that is the exact sample only (surrogate sessions bypass the
+// sinks); in a lean run the per-session results are gone, so the
+// count comes from the cached roll-up.
+func (r Result) TotalMeasuredFrames() int64 {
+	if r.Fidelity != nil {
+		return r.Fidelity.ExactFrames
+	}
+	if r.lean != nil {
+		return r.lean.frames
+	}
+	var frames int64
+	for _, s := range r.Sessions {
+		frames += int64(s.Stats.Frames)
+	}
+	return frames
+}

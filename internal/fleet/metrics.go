@@ -51,8 +51,17 @@ type Summary struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// Summarize rolls the per-session results up into fleet metrics.
+// Summarize rolls the per-session results up into fleet metrics. A
+// lean (Source-driven) run returns its cached roll-up — computed
+// inside the run in this method's exact accumulation order — because
+// the per-session results were never retained.
 func (r Result) Summarize() Summary {
+	if r.lean != nil {
+		s := r.lean.summary
+		s.Workers = r.Workers
+		s.WallSeconds = r.WallSeconds
+		return s
+	}
 	s := Summary{
 		Sessions:    len(r.Sessions),
 		Dropped:     len(r.Dropped),

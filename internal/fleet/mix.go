@@ -107,6 +107,25 @@ func (m Mix) SpecsRange(start, n int, design pipeline.Design, frames, warmup int
 	if n <= 0 {
 		return nil, fmt.Errorf("fleet: session count %d must be positive", n)
 	}
+	mint, err := m.Minter(design, frames, warmup, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]SessionSpec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = mint(start + i)
+	}
+	return specs, nil
+}
+
+// Minter hoists SpecsRange's per-mix work — the weighted tier
+// shuffle, app resolution, and the per-tier base config — and returns
+// a pure per-global-index generator: mint(g) is byte-identical to
+// SpecsRange's session g for the same arguments. The closure is safe
+// for concurrent calls, which is what lets the lean fleet engine mint
+// a million-session population transiently inside its worker shards
+// instead of materializing the spec slice.
+func (m Mix) Minter(design pipeline.Design, frames, warmup int, baseSeed int64) (func(g int) SessionSpec, error) {
 	if len(m.Tiers) == 0 {
 		return nil, fmt.Errorf("fleet: mix %q has no tiers", m.Name)
 	}
@@ -125,10 +144,10 @@ func (m Mix) SpecsRange(start, n int, design pipeline.Design, frames, warmup int
 	rng := rand.New(rand.NewSource(baseSeed*2654435761 + 97))
 	rng.Shuffle(len(cycle), func(i, j int) { cycle[i], cycle[j] = cycle[j], cycle[i] })
 
-	specs := make([]SessionSpec, n)
-	for i := 0; i < n; i++ {
-		g := start + i // global session index
-		t := cycle[g%len(cycle)]
+	// One resolved base config per cycle entry; mint copies it and
+	// fills the per-session fields.
+	bases := make([]pipeline.Config, len(cycle))
+	for i, t := range cycle {
 		app, ok := scene.AppByName(t.App)
 		if !ok {
 			return nil, fmt.Errorf("fleet: mix %q tier %q: unknown app %q", m.Name, t.Name, t.App)
@@ -137,18 +156,22 @@ func (m Mix) SpecsRange(start, n int, design pipeline.Design, frames, warmup int
 		cfg.GPU = cfg.GPU.WithFrequency(t.FreqMHz)
 		cfg.Network = t.Network
 		cfg.Profile = t.Profile
-		cfg.Seed = baseSeed + int64(g)*1009 + 7
 		if frames > 0 {
 			cfg.Frames = frames
 		}
 		if warmup >= 0 {
 			cfg.Warmup = warmup
 		}
-		specs[i] = SessionSpec{
+		bases[i] = cfg
+	}
+	return func(g int) SessionSpec {
+		t := cycle[g%len(cycle)]
+		cfg := bases[g%len(cycle)]
+		cfg.Seed = baseSeed + int64(g)*1009 + 7
+		return SessionSpec{
 			Name:   fmt.Sprintf("%s-%03d", t.Name, g),
 			Region: t.Region,
 			Config: cfg,
 		}
-	}
-	return specs, nil
+	}, nil
 }

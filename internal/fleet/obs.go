@@ -14,23 +14,56 @@ import (
 // obs.Refute comparing the two is a genuine cross-check of the fleet's
 // bookkeeping.
 func Expectations(r Result) []obs.Expectation {
-	var frames int64
-	for _, s := range r.Sessions {
-		frames += int64(s.Stats.Frames)
+	// CSessionsSimulated and CFramesMeasured are exact-DES books: in a
+	// mixed-fidelity run the surrogate sessions bypass the stage sinks,
+	// so only the stratified exact sample counts; in a lean run the
+	// cached roll-up stands in for the unretained per-session results.
+	simulated := int64(len(r.Sessions))
+	if r.lean != nil {
+		simulated = int64(r.lean.summary.Sessions)
+	}
+	if f := r.Fidelity; f != nil {
+		simulated = int64(f.ExactSessions)
 	}
 	exps := []obs.Expectation{
 		{
-			Counter: obs.CSessionsSimulated, Want: int64(len(r.Sessions)),
-			Source: "len(Result.Sessions)",
+			Counter: obs.CSessionsSimulated, Want: simulated,
+			Source: "exact-DES sessions in Result",
 		},
 		{
-			Counter: obs.CFramesMeasured, Want: frames,
-			Source: "sum of Stats.Frames over sessions",
+			Counter: obs.CFramesMeasured, Want: r.TotalMeasuredFrames(),
+			Source: "sum of Stats.Frames over exact-DES sessions",
 		},
 		{
 			Counter: obs.CAdmitDropped, Want: int64(len(r.Dropped)),
 			Source: "len(Result.Dropped)",
 		},
+	}
+	if f := r.Fidelity; f != nil {
+		var refuted int64
+		for _, c := range f.Checks {
+			if !c.OK {
+				refuted++
+			}
+		}
+		exps = append(exps,
+			obs.Expectation{
+				Counter: obs.CSessionsSurrogate, Want: int64(f.SurrogateSessions),
+				Source: "FidelityReport.SurrogateSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CFidelityExact, Want: int64(f.ExactSessions),
+				Source: "FidelityReport.ExactSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CSurrogateCalibrated, Want: int64(f.CalibrationSessions),
+				Source: "FidelityReport.CalibrationSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CFidelityRefuted, Want: refuted,
+				Source: "failing checks in FidelityReport",
+			},
+		)
 	}
 	if g := r.Contention.Grid; g != nil {
 		exps = append(exps,

@@ -76,6 +76,19 @@ const (
 	// CProbePoints counts capacity-probe evaluations that actually ran
 	// a fleet (cache misses; the probe memoizes per session count).
 	CProbePoints
+	// CSessionsSurrogate counts sessions executed by the calibrated
+	// analytic fast path instead of the exact discrete-event pipeline.
+	CSessionsSurrogate
+	// CFidelityExact counts sessions of a mixed-fidelity run that the
+	// stratified sampler routed through the exact DES for cross-checking.
+	CFidelityExact
+	// CSurrogateCalibrated counts exact DES sessions run purely to
+	// calibrate the surrogate's per-class exemplar table.
+	CSurrogateCalibrated
+	// CFidelityRefuted counts fidelity-check metrics whose surrogate
+	// error exceeded the declared tolerance (incremented at the
+	// comparison site, so a clean run holds this at zero).
+	CFidelityRefuted
 
 	numCounters
 )
@@ -99,6 +112,10 @@ var counterNames = [numCounters]string{
 	CScaleSuppressedCooldown: "autoscale_suppressed_cooldown_total",
 	CPhases:                  "scenario_phases_total",
 	CProbePoints:             "capacity_probe_points_total",
+	CSessionsSurrogate:       "fleet_sessions_surrogate_total",
+	CFidelityExact:           "fidelity_exact_sample_total",
+	CSurrogateCalibrated:     "surrogate_calibration_sessions_total",
+	CFidelityRefuted:         "fidelity_refuted_metrics_total",
 }
 
 // counterHelp is the operator-facing description of every counter,
@@ -121,6 +138,10 @@ var counterHelp = [numCounters]string{
 	CScaleSuppressedCooldown: "Autoscaler decisions suppressed by the per-cluster cooldown.",
 	CPhases:                  "Scenario phase windows executed.",
 	CProbePoints:             "Capacity-probe evaluations that ran a fleet (cache misses).",
+	CSessionsSurrogate:       "Sessions executed by the calibrated analytic fast path.",
+	CFidelityExact:           "Sessions routed through the exact DES by the stratified fidelity sampler.",
+	CSurrogateCalibrated:     "Exact DES sessions run to calibrate the surrogate exemplar table.",
+	CFidelityRefuted:         "Fidelity-check metrics whose surrogate error exceeded tolerance.",
 }
 
 // String returns the counter's catalogue name.

@@ -66,6 +66,43 @@ func Refute(snap Snapshot, exps []Expectation) ([]Check, error) {
 	return checks, nil
 }
 
+// SurrogateCheck is one fidelity comparison between the exact DES and
+// the analytic surrogate on the same stratified session sample: a
+// named metric, both books' values, the error (relative for scale
+// metrics, absolute for shares), and the declared tolerance. OK is
+// decided at the comparison site so the check record is the audit
+// trail, not a recomputation.
+type SurrogateCheck struct {
+	Metric    string  `json:"metric"`
+	Exact     float64 `json:"exact"`
+	Surrogate float64 `json:"surrogate"`
+	Error     float64 `json:"error"`
+	Tolerance float64 `json:"tolerance"`
+	OK        bool    `json:"ok"`
+}
+
+// RefuteSurrogate is the refute-and-refine gate for the analytic fast
+// path: given the per-metric fidelity checks of a mixed run, it
+// returns an error naming every metric whose surrogate drifted past
+// its tolerance. A refuted surrogate means the calibrated model no
+// longer reproduces the exact simulation it stands in for, and
+// callers are expected to fail the run loudly rather than report
+// numbers the double-entry books cannot back.
+func RefuteSurrogate(checks []SurrogateCheck) error {
+	var failed []string
+	for _, c := range checks {
+		if !c.OK {
+			failed = append(failed, fmt.Sprintf("%s exact %.6g surrogate %.6g (error %.4f > tolerance %.4f)",
+				c.Metric, c.Exact, c.Surrogate, c.Error, c.Tolerance))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("obs: surrogate refuted on %d metric(s): %s",
+			len(failed), strings.Join(failed, "; "))
+	}
+	return nil
+}
+
 // RefuteWindowSums is the flight recorder's double-entry audit: the
 // per-window counter deltas the series recorder emitted, summed per
 // counter name, must reproduce the final snapshot exactly — a window

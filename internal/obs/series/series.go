@@ -66,6 +66,19 @@ type Gauges struct {
 	// Clusters is the per-site slice: GPU count, capacity, assignment,
 	// load and queue depth per edge cluster (empty outside grid mode).
 	Clusters []fleet.ClusterLoad `json:"clusters,omitempty"`
+	// Fidelity is the window's mixed-fidelity split and cross-check
+	// reading (nil when every session ran the exact DES).
+	Fidelity *FidelityGauge `json:"fidelity,omitempty"`
+}
+
+// FidelityGauge is the per-window mixed-fidelity reading: how the
+// window's sessions split across the surrogate fast path and the
+// stratified exact sample, and how far the surrogate drifted.
+type FidelityGauge struct {
+	Exact     int     `json:"exact"`
+	Surrogate int     `json:"surrogate"`
+	MaxError  float64 `json:"max_error"`
+	Refuted   bool    `json:"refuted"`
 }
 
 // GaugesOf projects a windowed fleet summary and grid cluster report
@@ -287,6 +300,11 @@ func sanitizeGauges(g Gauges) Gauges {
 	g.MeanFPS = finite(g.MeanFPS)
 	g.Load = finite(g.Load)
 	g.QueueMs = finite(g.QueueMs)
+	if g.Fidelity != nil {
+		f := *g.Fidelity
+		f.MaxError = finite(f.MaxError)
+		g.Fidelity = &f
+	}
 	for i := range g.Clusters {
 		g.Clusters[i].Load = finite(g.Clusters[i].Load)
 		g.Clusters[i].QueueMs = finite(g.Clusters[i].QueueMs)

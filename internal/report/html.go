@@ -142,6 +142,44 @@ func Render(w io.Writer, run Run, title string) error {
 	}
 	renderChart(&b, c)
 
+	// Mixed-fidelity runs: the cross-check error per window, with
+	// refuted windows flagged. The table below carries the session
+	// split (surrogate vs exact sample) behind each reading.
+	hasFidelity := false
+	for _, win := range run.Windows {
+		if win.Fidelity != nil {
+			hasFidelity = true
+			break
+		}
+	}
+	if hasFidelity {
+		s := chartSeries{Name: "max error", Color: seriesSlots[0]}
+		var markers []marker
+		for i, win := range run.Windows {
+			f := win.Fidelity
+			if f == nil {
+				continue
+			}
+			s.Pts = append(s.Pts, pt{X: mid(i), Y: f.MaxError})
+			if f.Refuted {
+				markers = append(markers, marker{
+					X: mid(i), Y: f.MaxError, Shape: "diamond", Color: seriesSlots[7],
+					Title: fmt.Sprintf("%s: surrogate refuted", win.Label),
+				})
+			}
+		}
+		c = chart{
+			Title:   "Mixed-fidelity cross-check error (surrogate vs exact sample)",
+			YLabel:  "max relative error",
+			XLabel:  xLabel,
+			XMax:    dur,
+			Bands:   bands,
+			Series:  []chartSeries{s},
+			Markers: markers,
+		}
+		renderChart(&b, c)
+	}
+
 	// Per-cluster charts, when the stream carries a grid report.
 	// Identity is the cluster's topology order, fixed for the whole
 	// report; past maxSlots the extras live in the table only.
@@ -243,7 +281,7 @@ func renderTable(b *strings.Builder, run Run, wt0, wt1 []float64) {
 	b.WriteString("<h2>Windows</h2>\n<table>\n<thead><tr>" +
 		"<th>#</th><th>phase</th><th>t (s)</th><th>sessions</th>" +
 		"<th>P99 MTP (ms)</th><th>90-FPS share</th><th>load</th><th>GPUs</th>" +
-		"<th>migrated</th><th>scale &plusmn;</th><th>SLO</th>" +
+		"<th>migrated</th><th>scale &plusmn;</th><th>fidelity</th><th>SLO</th>" +
 		"</tr></thead>\n<tbody>\n")
 	for i, win := range run.Windows {
 		gpus := "&mdash;"
@@ -266,10 +304,19 @@ func renderTable(b *strings.Builder, run Run, wt0, wt1 []float64) {
 				verdict = "<td class=\"bad\">✗ missed</td>"
 			}
 		}
+		fidelity := "<td class=\"na\">&mdash;</td>"
+		if f := win.Fidelity; f != nil {
+			cls := "ok"
+			if f.Refuted {
+				cls = "bad"
+			}
+			fidelity = fmt.Sprintf("<td class=\"%s\">%d surr / %d exact, err %s</td>",
+				cls, f.Surrogate, f.Exact, num(f.MaxError))
+		}
 		fmt.Fprintf(b, "<tr><td>%d</td><td>%s</td><td>%s&ndash;%s</td><td>%d</td>"+
-			"<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td>%s</tr>\n",
+			"<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td>%s%s</tr>\n",
 			win.Index, html.EscapeString(win.Label), num(wt0[i]), num(wt1[i]), win.Sessions,
-			num(win.P99MTPMs), num(win.FPSShare), num(win.Load), gpus, win.Migrated, scale, verdict)
+			num(win.P99MTPMs), num(win.FPSShare), num(win.Load), gpus, win.Migrated, scale, fidelity, verdict)
 	}
 	b.WriteString("</tbody>\n</table>\n")
 }

@@ -319,6 +319,38 @@ duration = 120
 sessions = 20000
 `,
 
+	// giga-steady: the mixed-fidelity scale proof. A million active
+	// sessions — two orders past mega-steady — made affordable by the
+	// [fidelity] section: the lean engine mints specs transiently
+	// inside the workers, the calibrated analytic surrogate serves the
+	// bulk, and a 0.2% stratified exact-DES sample refutes the
+	// surrogate per metric every phase (the run fails loudly if any
+	// error bound is exceeded). Tiny frame counts keep even a million
+	// sessions inside a CI smoke budget.
+	"giga-steady": `
+[scenario]
+name   = giga-steady
+mix    = mixed
+frames = 4
+warmup = 2
+
+[fidelity]
+exact-fraction = 0.002
+lean           = true
+
+[phase ramp]
+duration = 60
+sessions = 200000
+
+[phase peak]
+duration = 120
+sessions = 1000000
+
+[phase sustain]
+duration = 120
+sessions = 1000000
+`,
+
 	// capacity-probe: the HPL.dat of this repo. A plain two-site grid
 	// with a declared SLO and a single steady phase — deliberately
 	// boring, because it exists to be *probed*: `qvr-capacity` binary-
@@ -403,6 +435,19 @@ func BuiltinNames() []string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	return names
+}
+
+// FidelityBuiltinNames lists the built-in scenarios that declare a
+// [fidelity] section — the set capable of the calibrated analytic
+// fast path, which qvr-scenario's -list output annotates.
+func FidelityBuiltinNames() []string {
+	var names []string
+	for _, name := range BuiltinNames() {
+		if sc, err := Builtin(name); err == nil && sc.Fidelity != nil {
+			names = append(names, sc.Name)
+		}
+	}
 	return names
 }
 

@@ -1,0 +1,266 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qvr/internal/fleet"
+	"qvr/internal/obs"
+	"qvr/internal/obs/series"
+)
+
+// withFidelity forces the mixed-fidelity fast path onto a scenario
+// that doesn't declare one; scenarios with their own [fidelity]
+// section keep it. The generous fraction keeps the cross-check sample
+// statistically meaningful at smoke frame counts, and two budgets are
+// widened to match the miniature sample's resolution: target_share is
+// quantized at 1/exact-sessions, and the percentile checks ride the
+// tail of a few hundred draws, so the production budgets (which
+// giga-steady meets with ~2% error at a million sessions) sit below
+// what a phase this small can even resolve.
+func withFidelity(sc Scenario) Scenario {
+	if sc.Fidelity == nil {
+		sc.Fidelity = &Fidelity{
+			ExactFraction: 0.4,
+			Calibration:   6,
+			Tolerance:     fleet.Tolerance{MTP: 0.25, Share: 0.3},
+		}
+	}
+	return sc
+}
+
+// TestFidelityBoundsAcrossBuiltins is the satellite acceptance check:
+// on every built-in scenario, at smoke frame counts, the calibrated
+// surrogate must stay inside its declared error bounds. Run itself
+// fails loudly on a refuted phase, so mustRun doubles as the bound
+// check; the loop then audits the report's bookkeeping. The two scale
+// built-ins are excluded here — `make scale-smoke` runs them end to
+// end, giga-steady on this very fast path.
+func TestFidelityBoundsAcrossBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if name == "mega-steady" || name == "giga-steady" {
+			continue // hundreds of thousands of sessions; covered by the scale smoke
+		}
+		sc := withFidelity(mustBuiltin(t, name))
+		// Slightly richer windows than `tiny`: the percentile checks
+		// compare tails of per-session sample distributions, and at 12
+		// frames a phase's p95/p99 rides on a handful of draws.
+		r := mustRun(t, sc, Options{FramesOverride: 24, WarmupOverride: Warmup(8)})
+		for _, p := range r.Phases {
+			if p.Active == 0 {
+				continue
+			}
+			f := p.Fleet.Fidelity
+			if f == nil {
+				t.Errorf("%s/%s: mixed run carries no fidelity report", name, p.Phase.Name)
+				continue
+			}
+			if f.Refuted {
+				t.Errorf("%s/%s: refuted with max error %.4f", name, p.Phase.Name, f.MaxError)
+			}
+			if len(f.Checks) != 7 {
+				t.Errorf("%s/%s: %d per-metric checks, want 7", name, p.Phase.Name, len(f.Checks))
+			}
+			admitted := p.Active - len(p.Fleet.Dropped)
+			if f.ExactSessions+f.SurrogateSessions != admitted {
+				t.Errorf("%s/%s: %d exact + %d surrogate != %d admitted",
+					name, p.Phase.Name, f.ExactSessions, f.SurrogateSessions, admitted)
+			}
+		}
+	}
+}
+
+// TestFidelitySampleWorkerInvariant: the stratified exact sample is
+// chosen before the pool starts, so the whole cross-check report —
+// split, error bars, verdict — and the phase summaries must be
+// identical for any worker count.
+func TestFidelitySampleWorkerInvariant(t *testing.T) {
+	sc := withFidelity(mustBuiltin(t, "steady"))
+	var prev []byte
+	for _, workers := range []int{1, 3, 7} {
+		opt := tiny
+		opt.Workers = workers
+		r := mustRun(t, sc, opt)
+		sums, roll := phaseDigest(r)
+		fids := make([]*fleet.FidelityReport, len(r.Phases))
+		for i, p := range r.Phases {
+			fids[i] = p.Fleet.Fidelity
+		}
+		blob, err := json.Marshal(struct {
+			Sums []fleet.PhaseSummary
+			Roll fleet.Rollup
+			Fids []*fleet.FidelityReport
+		}{sums, roll, fids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, blob) {
+			t.Fatalf("workers=%d changed the fidelity report:\n%s\nvs\n%s", workers, prev, blob)
+		}
+		prev = blob
+	}
+}
+
+// TestRefutedSurrogateFailsRun: the failing half of refute-and-refine
+// at the scenario layer. Tolerances no real model can meet force a
+// refutation, and the run must fail loudly, naming the phase.
+func TestRefutedSurrogateFailsRun(t *testing.T) {
+	sc := mustBuiltin(t, "steady")
+	sc.Fidelity = &Fidelity{
+		ExactFraction: 0.25,
+		Tolerance:     fleet.Tolerance{MTP: 1e-12, FPS: 1e-12, Bytes: 1e-12, Share: 1e-12},
+	}
+	_, err := Run(sc, tiny)
+	if err == nil {
+		t.Fatal("run with unmeetable tolerances succeeded")
+	}
+	if !strings.Contains(err.Error(), "surrogate refuted") {
+		t.Errorf("error does not name the refutation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "phase") {
+		t.Errorf("error does not name the failing phase: %v", err)
+	}
+}
+
+// TestExactOnlyStripsSurrogate: the -exact-only escape hatch removes
+// the fast path — no fidelity block, and the science identical to a
+// scenario that never declared [fidelity] at all.
+func TestExactOnlyStripsSurrogate(t *testing.T) {
+	plain := mustBuiltin(t, "steady")
+	mixed := withFidelity(mustBuiltin(t, "steady"))
+
+	opt := tiny
+	opt.ExactOnly = true
+	got := mustRun(t, mixed, opt)
+	want := mustRun(t, plain, tiny)
+	for _, p := range got.Phases {
+		if p.Fleet.Fidelity != nil {
+			t.Errorf("phase %s still carries a fidelity report under ExactOnly", p.Phase.Name)
+		}
+	}
+	gs, gr := phaseDigest(got)
+	ws, wr := phaseDigest(want)
+	gb, _ := json.Marshal(struct {
+		S []fleet.PhaseSummary
+		R fleet.Rollup
+	}{gs, gr})
+	wb, _ := json.Marshal(struct {
+		S []fleet.PhaseSummary
+		R fleet.Rollup
+	}{ws, wr})
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("ExactOnly science differs from a fidelity-free run:\n%s\nvs\n%s", gb, wb)
+	}
+}
+
+// leanEquivScenario is a plain growing timeline declared twice over:
+// the lean transient-spec engine and the materialized-spec engine
+// must agree on it to the byte.
+const leanEquivScenario = `
+[scenario]
+name   = lean-equiv
+mix    = mixed
+frames = 12
+warmup = 4
+
+[fidelity]
+exact-fraction  = 0.25
+lean            = true
+# Miniature phases yield single-digit exact samples; see withFidelity
+# on why target_share needs a granularity-matched budget here.
+tolerance.share = 0.3
+
+[phase ramp]
+duration = 30
+sessions = 60
+
+[phase peak]
+duration = 30
+sessions = 90
+`
+
+// TestLeanTimelineMatchesStandard: the million-session mode is an
+// engine swap, not a science change. The same timeline run lean and
+// standard must produce identical phase summaries, roll-up, and
+// fidelity reports. (This is the scenario-level regression test for
+// the lean shard-buffer truncation bug.)
+func TestLeanTimelineMatchesStandard(t *testing.T) {
+	leanSc, err := ParseString(leanEquivScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdSc := leanSc
+	f := *leanSc.Fidelity
+	f.Lean = false
+	stdSc.Fidelity = &f
+
+	report := func(sc Scenario) []byte {
+		r := mustRun(t, sc, tiny)
+		sums, roll := phaseDigest(r)
+		fids := make([]*fleet.FidelityReport, len(r.Phases))
+		for i, p := range r.Phases {
+			fids[i] = p.Fleet.Fidelity
+		}
+		blob, err := json.Marshal(struct {
+			Sums []fleet.PhaseSummary
+			Roll fleet.Rollup
+			Fids []*fleet.FidelityReport
+		}{sums, roll, fids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	lean, std := report(leanSc), report(stdSc)
+	if !bytes.Equal(lean, std) {
+		t.Errorf("lean engine diverged from standard engine:\n%s\nvs\n%s", lean, std)
+	}
+}
+
+// TestSeriesCarriesFidelityGauge: the flight recorder must surface
+// the per-window fidelity split and error bound — the raw material of
+// qvr-report's cross-check chart.
+func TestSeriesCarriesFidelityGauge(t *testing.T) {
+	sc := withFidelity(mustBuiltin(t, "steady"))
+	reg := obs.New()
+	rec := series.New(reg, 0)
+	opt := tiny
+	opt.Obs = reg
+	opt.Series = rec
+	r := mustRun(t, sc, opt)
+	if _, err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rec.NDJSON(), []byte(`"fidelity"`)) {
+		t.Error("series stream carries no fidelity gauge")
+	}
+	if len(r.Phases) == 0 {
+		t.Fatal("no phases ran")
+	}
+}
+
+// TestFidelityBuiltinNamesAnnotatesFastPath: the registry must know
+// which built-ins declare the fast path (qvr-scenario -list renders
+// the annotation from this), and giga-steady — the 1M-session proof —
+// must be one of them, in lean mode.
+func TestFidelityBuiltinNamesAnnotatesFastPath(t *testing.T) {
+	names := FidelityBuiltinNames()
+	found := false
+	for _, name := range names {
+		sc := mustBuiltin(t, name)
+		if sc.Fidelity == nil {
+			t.Errorf("%s listed as fidelity-capable but declares no [fidelity] section", name)
+		}
+		if name == "giga-steady" {
+			found = true
+			if !sc.Fidelity.Lean {
+				t.Error("giga-steady must run the lean engine")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("giga-steady missing from FidelityBuiltinNames: %v", names)
+	}
+}

@@ -16,13 +16,27 @@ import (
 func Expectations(res Result) []obs.Expectation {
 	var sessions, frames, dropped, failedOver int64
 	var gpuMs, gpuEntries int64
+	var surrogate, exact, calibrated, refuted int64
+	fidelity := false
 	for _, pr := range res.Phases {
 		s := pr.Summary.Summary
 		sessions += int64(s.Sessions)
 		dropped += int64(s.Dropped)
 		failedOver += int64(s.FailedOver)
-		for _, sr := range pr.Fleet.Sessions {
-			frames += int64(sr.Stats.Frames)
+		frames += pr.Fleet.TotalMeasuredFrames()
+		if f := pr.Fleet.Fidelity; f != nil {
+			// Mixed-fidelity phases keep exact-DES books: only the
+			// stratified sample streamed through the stage sinks.
+			fidelity = true
+			sessions += int64(f.ExactSessions) - int64(s.Sessions)
+			surrogate += int64(f.SurrogateSessions)
+			exact += int64(f.ExactSessions)
+			calibrated += int64(f.CalibrationSessions)
+			for _, c := range f.Checks {
+				if !c.OK {
+					refuted++
+				}
+			}
 		}
 		gpuMs += int64(math.Round(pr.GPUSeconds * 1000))
 		if g := pr.Fleet.Contention.Grid; g != nil {
@@ -32,9 +46,29 @@ func Expectations(res Result) []obs.Expectation {
 
 	exps := []obs.Expectation{
 		{Counter: obs.CPhases, Want: int64(len(res.Phases)), Source: "len(Result.Phases)"},
-		{Counter: obs.CSessionsSimulated, Want: sessions, Source: "sum of phase Summary.Sessions"},
-		{Counter: obs.CFramesMeasured, Want: frames, Source: "sum of Stats.Frames over phases"},
+		{Counter: obs.CSessionsSimulated, Want: sessions, Source: "sum of exact-DES phase sessions"},
+		{Counter: obs.CFramesMeasured, Want: frames, Source: "sum of exact-DES frames over phases"},
 		{Counter: obs.CAdmitDropped, Want: dropped, Source: "sum of phase Summary.Dropped"},
+	}
+	if fidelity {
+		exps = append(exps,
+			obs.Expectation{
+				Counter: obs.CSessionsSurrogate, Want: surrogate,
+				Source: "sum of phase FidelityReport.SurrogateSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CFidelityExact, Want: exact,
+				Source: "sum of phase FidelityReport.ExactSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CSurrogateCalibrated, Want: calibrated,
+				Source: "sum of phase FidelityReport.CalibrationSessions",
+			},
+			obs.Expectation{
+				Counter: obs.CFidelityRefuted, Want: refuted,
+				Source: "failing checks across phase FidelityReports",
+			},
+		)
 	}
 
 	if len(res.Scenario.Topology.Clusters) > 0 {

@@ -80,6 +80,16 @@ import (
 //	p99-mtp-ms      = 40   # windowed P99 motion-to-photon ceiling
 //	min-90fps-share = 0.75 # floor on sessions holding 90 FPS
 //
+// A [fidelity] section switches on the mixed-fidelity fast path:
+// sessions run through the calibrated analytic surrogate except for a
+// stratified exact-DES sample that refutes the surrogate per metric:
+//
+//	[fidelity]
+//	exact-fraction  = 0.05 # per-class exact-DES share, in (0,1]
+//	calibration     = 3    # exact runs per class for the exemplar table
+//	lean            = true # lean engine: transient specs, million-session mode
+//	tolerance.mtp   = 0.15 # per-metric error budgets (fps/bytes/share too)
+//
 // Phases execute in file order. Unknown keys are errors: a typo in a
 // scenario file should fail loudly, not silently simulate something
 // else. Phase durations must be positive and cluster names unique —
@@ -130,8 +140,10 @@ func Parse(r io.Reader) (Scenario, error) {
 	var curCluster *edge.ClusterSpec // cluster section being filled
 	inScenario := true               // until the first non-[scenario] header
 	inSLO := false                   // inside the [slo] section
+	inFidelity := false              // inside the [fidelity] section
 	sawScenario := false
 	sawSLO := false
+	sawFidelity := false
 	sawPenalty := false
 	curLine := 0                     // header line of the section being filled
 	clusterLines := map[string]int{} // cluster name -> defining header line
@@ -178,7 +190,7 @@ func Parse(r io.Reader) (Scenario, error) {
 			if err := flush(); err != nil {
 				return Scenario{}, err
 			}
-			inScenario, inSLO = false, false
+			inScenario, inSLO, inFidelity = false, false, false
 			switch {
 			case header == "scenario":
 				if sawScenario {
@@ -194,6 +206,15 @@ func Parse(r io.Reader) (Scenario, error) {
 				inSLO = true
 				if sc.SLO == nil {
 					sc.SLO = &fleet.SLO{}
+				}
+			case header == "fidelity":
+				if sawFidelity {
+					return Scenario{}, fmt.Errorf("line %d: duplicate [fidelity] section", lineNo)
+				}
+				sawFidelity = true
+				inFidelity = true
+				if sc.Fidelity == nil {
+					sc.Fidelity = &Fidelity{ExactFraction: fleet.DefaultExactFraction}
 				}
 			case strings.HasPrefix(header, "phase"):
 				name := strings.TrimSpace(strings.TrimPrefix(header, "phase"))
@@ -233,6 +254,8 @@ func Parse(r io.Reader) (Scenario, error) {
 			err = setScenarioKey(&sc, key, value)
 		case inSLO:
 			err = setSLOKey(sc.SLO, key, value)
+		case inFidelity:
+			err = setFidelityKey(sc.Fidelity, key, value)
 		case curCluster != nil:
 			err = setClusterKey(curCluster, key, value)
 		default:
@@ -372,6 +395,51 @@ func setSLOKey(slo *fleet.SLO, key, value string) error {
 		slo.Min90FPSShare = f
 	default:
 		return fmt.Errorf("unknown [slo] key %q", key)
+	}
+	return nil
+}
+
+// setFidelityKey fills one [fidelity] section key.
+func setFidelityKey(f *Fidelity, key, value string) error {
+	if metric, ok := strings.CutPrefix(key, "tolerance."); ok {
+		v, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		switch metric {
+		case "mtp":
+			f.Tolerance.MTP = v
+		case "fps":
+			f.Tolerance.FPS = v
+		case "bytes":
+			f.Tolerance.Bytes = v
+		case "share":
+			f.Tolerance.Share = v
+		default:
+			return fmt.Errorf("unknown [fidelity] key %q", key)
+		}
+		return nil
+	}
+	switch key {
+	case "exact-fraction":
+		v, err := parseFiniteFloat(value, key)
+		if err != nil {
+			return err
+		}
+		f.ExactFraction = v
+	case "calibration":
+		return parseNonNegInt(value, key, &f.Calibration)
+	case "lean":
+		switch value {
+		case "true":
+			f.Lean = true
+		case "false":
+			f.Lean = false
+		default:
+			return fmt.Errorf("lean: expected true or false, got %q", value)
+		}
+	default:
+		return fmt.Errorf("unknown [fidelity] key %q", key)
 	}
 	return nil
 }

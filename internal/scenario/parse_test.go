@@ -322,7 +322,7 @@ func TestBuiltinsParseAndValidate(t *testing.T) {
 	names := BuiltinNames()
 	want := []string{"capacity-probe", "churn", "cluster-outage-failover", "diurnal",
 		"edge-autoscale-flashcrowd", "edge-imbalance", "edge-regional-outage",
-		"flash-crowd", "mega-steady", "net-brownout", "steady"}
+		"flash-crowd", "giga-steady", "mega-steady", "net-brownout", "steady"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("built-ins = %v, want %v", names, want)
 	}

@@ -6,6 +6,7 @@ import (
 	"qvr/internal/edge"
 	"qvr/internal/fleet"
 	"qvr/internal/gpu"
+	"qvr/internal/obs"
 )
 
 // The single-point runner: one steady-state fleet window at an exact
@@ -34,6 +35,10 @@ type PointResult struct {
 	// only non-deterministic field, reported for scaling studies and
 	// excluded from deterministic output.
 	WallSeconds float64
+	// Fidelity is the mixed-fidelity cross-check report for the point;
+	// nil when the scenario declares no [fidelity] section or the run
+	// was exact-only.
+	Fidelity *fleet.FidelityReport
 }
 
 // RunPoint runs the scenario's population at exactly n sessions for
@@ -58,36 +63,58 @@ func RunPoint(sc Scenario, n int, opt Options) (PointResult, error) {
 	}
 
 	mix, _ := fleet.MixByName(sc.Mix) // Validate checked it
-	specs, err := mix.Specs(n, sc.Design, frames, warmup, sc.Seed)
-	if err != nil {
-		return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
-	}
-
-	// Grid mode gets a fresh scheduler per point: capacity is a
-	// steady-state question, so placements start from scratch rather
-	// than inheriting another point's stickiness.
-	var grid *edge.Grid
-	if len(sc.Topology.Clusters) > 0 {
-		policy, _ := edge.PolicyByName(sc.Placement)
-		grid, err = edge.NewGrid(sc.Topology, policy)
+	var fc fleet.Config
+	if sc.Fidelity != nil && sc.Fidelity.Lean {
+		// A lean point is phase-less: global indices 0..n-1, no seed
+		// shift, so mint(i) is byte-identical to mix.Specs's session i
+		// without ever materializing the slice. Validate guarantees the
+		// layers lean excludes (grid, admission, cells) are off.
+		mint, err := mix.Minter(sc.Design, frames, warmup, sc.Seed)
 		if err != nil {
 			return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
-		if sc.MigrationPenaltyMs >= 0 {
-			grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
-		}
-		grid.SetObs(opt.Obs)
-		if err := grid.BeginPhase(nil, nil); err != nil {
+		fc = fleet.Config{Workers: opt.Workers, Source: &fleet.SpecSource{
+			N: n, MeasuredFrames: frames, At: mint,
+		}}
+		fc.Obs = opt.Obs
+	} else {
+		specs, err := mix.Specs(n, sc.Design, frames, warmup, sc.Seed)
+		if err != nil {
 			return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
-	}
 
-	fc := fleetConfig(sc, specs, opt.Workers, grid, sc.GPUs)
-	fc.Obs = opt.Obs
-	fc.Tracer = opt.Tracer
-	fc.TraceLabel = fmt.Sprintf("%s@%d", sc.Name, n)
+		// Grid mode gets a fresh scheduler per point: capacity is a
+		// steady-state question, so placements start from scratch rather
+		// than inheriting another point's stickiness.
+		var grid *edge.Grid
+		if len(sc.Topology.Clusters) > 0 {
+			policy, _ := edge.PolicyByName(sc.Placement)
+			grid, err = edge.NewGrid(sc.Topology, policy)
+			if err != nil {
+				return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+			}
+			if sc.MigrationPenaltyMs >= 0 {
+				grid.HandoffSeconds = sc.MigrationPenaltyMs / 1000
+			}
+			grid.SetObs(opt.Obs)
+			if err := grid.BeginPhase(nil, nil); err != nil {
+				return PointResult{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+			}
+		}
+
+		fc = fleetConfig(sc, specs, opt.Workers, grid, sc.GPUs)
+		fc.Obs = opt.Obs
+		fc.Tracer = opt.Tracer
+		fc.TraceLabel = fmt.Sprintf("%s@%d", sc.Name, n)
+	}
+	fc.Fidelity = fidelityConfig(sc, opt)
 	r := fleet.Run(fc)
-	pt := PointResult{Sessions: n, WallSeconds: r.WallSeconds}
+	if fr := r.Fidelity; fr != nil {
+		if err := obs.RefuteSurrogate(fr.Checks); err != nil {
+			return PointResult{}, fmt.Errorf("scenario %q at %d sessions: %w", sc.Name, n, err)
+		}
+	}
+	pt := PointResult{Sessions: n, WallSeconds: r.WallSeconds, Fidelity: r.Fidelity}
 	sum := r.Summarize()
 	sum.WallSeconds, sum.Workers = 0, 0
 	pt.Summary = sum
@@ -95,7 +122,7 @@ func RunPoint(sc Scenario, n int, opt Options) (PointResult, error) {
 		pt.Verdict = sc.SLO.Evaluate(sum)
 	}
 	switch {
-	case grid != nil:
+	case len(sc.Topology.Clusters) > 0:
 		for _, c := range sc.Topology.Clusters {
 			pt.GPUs += c.GPUs
 		}

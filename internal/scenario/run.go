@@ -9,6 +9,7 @@ import (
 	"qvr/internal/fleet"
 	"qvr/internal/obs"
 	"qvr/internal/obs/series"
+	"qvr/internal/surrogate"
 )
 
 // Options tunes how a timeline executes without changing what it
@@ -35,6 +36,12 @@ type Options struct {
 	// contributed, keyed on the scenario clock. Series must record the
 	// same registry as Obs. Does not affect results.
 	Series *series.Recorder
+	// ExactOnly disables the scenario's [fidelity] fast path for this
+	// run: every session goes through the exact DES. The capacity
+	// prober uses it to confirm a fast-path knee exactly. A lean
+	// scenario stays on the lean engine — ExactOnly strips only the
+	// surrogate, not the transient-spec population.
+	ExactOnly bool
 }
 
 // Warmup wraps a warmup frame count for Options.WarmupOverride.
@@ -141,35 +148,71 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		ctl = opt.Obs.Ctl()
 	}
 
+	// A lean timeline never materializes its population: departures
+	// always take the oldest sessions, so with the layers lean excludes
+	// (per-phase mixes, grid, admission) the active population is
+	// always the contiguous global-index window [lo, next), and every
+	// phase's specs can be minted transiently inside the fleet workers.
+	lean := sc.Fidelity != nil && sc.Fidelity.Lean
+	var mint func(int) fleet.SessionSpec
+	if lean {
+		mix, _ := fleet.MixByName(sc.Mix) // Validate checked it
+		var err error
+		mint, err = mix.Minter(sc.Design, frames, warmup, sc.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+
 	var (
 		active    []fleet.SessionSpec // carried population, oldest first
+		lo        int                 // lean: oldest live global index
 		next      int                 // global arrival counter
 		now       float64             // scenario clock
 		summaries []fleet.PhaseSummary
 	)
 	for pi, ph := range sc.Phases {
 		departed := 0
+		activeN := func() int {
+			if lean {
+				return next - lo
+			}
+			return len(active)
+		}
 
 		// Population edits, in a fixed order so the timeline is
 		// deterministic: explicit departures, churn, arrivals, then
 		// the absolute target. Departing sessions are always the
-		// oldest — the morning cohort logs off first.
-		if d := min(ph.Depart, len(active)); d > 0 {
-			active = active[d:]
+		// oldest — the morning cohort logs off first. The lean branch
+		// runs the same arithmetic on the [lo, next) window.
+		if d := min(ph.Depart, activeN()); d > 0 {
+			if lean {
+				lo += d
+			} else {
+				active = active[d:]
+			}
 			departed += d
 		}
-		churned := int(math.Floor(ph.Churn * float64(len(active))))
+		churned := int(math.Floor(ph.Churn * float64(activeN())))
 		if churned > 0 {
-			active = active[churned:]
+			if lean {
+				lo += churned
+			} else {
+				active = active[churned:]
+			}
 			departed += churned
 		}
 		arrive := ph.Arrive + int(math.Round(ph.ArrivalRate*ph.DurationSeconds)) + churned
 		if t := ph.Sessions; t >= 0 {
-			switch have := len(active) + arrive; {
+			switch have := activeN() + arrive; {
 			case have > t:
 				shed := have - t
-				if fromActive := min(shed, len(active)); fromActive > 0 {
-					active = active[fromActive:]
+				if fromActive := min(shed, activeN()); fromActive > 0 {
+					if lean {
+						lo += fromActive
+					} else {
+						active = active[fromActive:]
+					}
 					departed += fromActive
 					shed -= fromActive
 				}
@@ -179,37 +222,61 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			}
 		}
 		if arrive > 0 {
-			mixName := sc.Mix
-			if ph.Mix != "" {
-				mixName = ph.Mix
+			if lean {
+				next += arrive
+			} else {
+				mixName := sc.Mix
+				if ph.Mix != "" {
+					mixName = ph.Mix
+				}
+				mix, _ := fleet.MixByName(mixName) // Validate checked it
+				specs, err := mix.SpecsRange(next, arrive, sc.Design, frames, warmup, sc.Seed)
+				if err != nil {
+					return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
+				}
+				next += arrive
+				active = append(active, specs...)
 			}
-			mix, _ := fleet.MixByName(mixName) // Validate checked it
-			specs, err := mix.SpecsRange(next, arrive, sc.Design, frames, warmup, sc.Seed)
-			if err != nil {
-				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
-			}
-			next += arrive
-			active = append(active, specs...)
 		}
 
 		// Phase view of the carried population: same identities, a
 		// phase-derived seed, this phase's frame budget, and any
 		// cell derates. The carried specs themselves stay pristine —
-		// a brownout ends when its phase does.
+		// a brownout ends when its phase does. The lean view applies
+		// the identical transform inside the At closure, so session
+		// lo+i is byte-identical to the materialized runSpecs[i].
 		phFrames := frames
 		if ph.Frames > 0 && opt.FramesOverride <= 0 {
 			phFrames = ph.Frames
 		}
-		runSpecs := make([]fleet.SessionSpec, len(active))
-		for i, sp := range active {
-			cfg := sp.Config
-			cfg.Seed += int64(pi+1) * phaseSeedStride
-			cfg.Frames = phFrames
-			cfg.Warmup = warmup
-			if f, ok := ph.NetScale[cfg.Network.Name]; ok {
-				cfg.Network = cfg.Network.Scaled(f)
+		var runSpecs []fleet.SessionSpec
+		var source *fleet.SpecSource
+		if lean {
+			seedShift := int64(pi+1) * phaseSeedStride
+			phLo := lo
+			source = &fleet.SpecSource{
+				N:              next - lo,
+				MeasuredFrames: phFrames,
+				At: func(i int) fleet.SessionSpec {
+					sp := mint(phLo + i)
+					sp.Config.Seed += seedShift
+					sp.Config.Frames = phFrames
+					sp.Config.Warmup = warmup
+					return sp
+				},
 			}
-			runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Region: sp.Region, Config: cfg}
+		} else {
+			runSpecs = make([]fleet.SessionSpec, len(active))
+			for i, sp := range active {
+				cfg := sp.Config
+				cfg.Seed += int64(pi+1) * phaseSeedStride
+				cfg.Frames = phFrames
+				cfg.Warmup = warmup
+				if f, ok := ph.NetScale[cfg.Network.Name]; ok {
+					cfg.Network = cfg.Network.Scaled(f)
+				}
+				runSpecs[i] = fleet.SessionSpec{Name: sp.Name, Region: sp.Region, Config: cfg}
+			}
 		}
 
 		if grid != nil {
@@ -235,9 +302,25 @@ func Run(sc Scenario, opt Options) (Result, error) {
 		}
 		fc := fleetConfig(sc, runSpecs, opt.Workers, grid, phaseGPUs(sc, ph))
 		fc.Obs = opt.Obs
-		fc.Tracer = opt.Tracer
-		fc.TraceLabel = ph.Name
+		if lean {
+			// The lean engine keeps no per-session results to trace;
+			// the tracer still gets its phase marks above.
+			fc.Source = source
+		} else {
+			fc.Tracer = opt.Tracer
+			fc.TraceLabel = ph.Name
+		}
+		fc.Fidelity = fidelityConfig(sc, opt)
 		r := fleet.Run(fc)
+		if fr := r.Fidelity; fr != nil {
+			// Refute-and-refine, the failing half: a surrogate that
+			// drifted past its declared tolerance fails the whole run
+			// loudly, naming the phase — a silently wrong fast path is
+			// worse than no fast path.
+			if err := obs.RefuteSurrogate(fr.Checks); err != nil {
+				return Result{}, fmt.Errorf("scenario %q phase %q: %w", sc.Name, ph.Name, err)
+			}
+		}
 
 		sum := r.Summarize()
 		// Wall time and pool size are host artifacts, not science;
@@ -254,7 +337,7 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			Phase:    ph,
 			Arrived:  arrive,
 			Departed: departed,
-			Active:   len(active),
+			Active:   activeN(),
 			Fleet:    r,
 			Summary:  psum,
 		}
@@ -288,9 +371,18 @@ func Run(sc Scenario, opt Options) (Result, error) {
 			// The window closes here — after the fleet quiesced and the
 			// autoscaler took its end-of-window decisions — so the delta
 			// snapshot sees every increment the phase caused.
+			gauges := series.GaugesOf(sum, gridClusters)
+			if fr := r.Fidelity; fr != nil {
+				gauges.Fidelity = &series.FidelityGauge{
+					Exact:     fr.ExactSessions,
+					Surrogate: fr.SurrogateSessions,
+					MaxError:  fr.MaxError,
+					Refuted:   fr.Refuted,
+				}
+			}
 			opt.Series.EndWindow(series.Window{
 				T0: now, T1: now + ph.DurationSeconds, Label: ph.Name,
-				Gauges: series.GaugesOf(sum, gridClusters),
+				Gauges: gauges,
 				SLOMet: pr.SLOMet,
 				Scale:  pr.ScaleEvents,
 			})
@@ -333,6 +425,24 @@ func autoscaleReport(phases []PhaseResult, totalSeconds float64) *fleet.Autoscal
 		rep.SavedFraction = 1 - rep.GPUSeconds/rep.StaticPeakGPUSeconds
 	}
 	return rep
+}
+
+// fidelityConfig turns the scenario's [fidelity] declaration into the
+// fleet seam, with a fresh surrogate model per call: each phase (and
+// each capacity point) calibrates against its own population, so
+// exemplars never leak across windows. Nil when the scenario declares
+// no fidelity section or the caller asked for exact-only execution.
+func fidelityConfig(sc Scenario, opt Options) *fleet.Fidelity {
+	f := sc.Fidelity
+	if f == nil || opt.ExactOnly {
+		return nil
+	}
+	return &fleet.Fidelity{
+		Runner:        surrogate.New(),
+		ExactFraction: f.ExactFraction,
+		Calibration:   f.Calibration,
+		Tolerance:     f.Tolerance,
+	}
 }
 
 // phaseGPUs resolves the effective cluster size for a phase: the

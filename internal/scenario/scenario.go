@@ -17,9 +17,10 @@
 // the whole timeline is reproducible bit-for-bit for any worker
 // count.
 //
-// Eleven built-in scenarios ship with the package: steady, diurnal,
+// Twelve built-in scenarios ship with the package: steady, diurnal,
 // flash-crowd, net-brownout, cluster-outage-failover, churn, the
-// 20,000-session mega-steady scale proof, and the grid timelines
+// 20,000-session mega-steady scale proof, the 1,000,000-session
+// mixed-fidelity giga-steady proof, and the grid timelines
 // edge-regional-outage, edge-imbalance, edge-autoscale-flashcrowd and
 // capacity-probe. They are written in the same file format the parser
 // accepts, so they double as format documentation and parser test
@@ -92,8 +93,35 @@ type Scenario struct {
 	// Frames/Warmup are the per-session measured and warmup frame
 	// counts simulated in each phase window.
 	Frames, Warmup int
+	// Fidelity declares the mixed-fidelity fast path (the [fidelity]
+	// section): sessions run through the calibrated analytic surrogate
+	// except for a stratified exact-DES sample cross-checked per
+	// metric. Nil means every session runs the exact simulation.
+	Fidelity *Fidelity
 	// Phases is the timeline, in order.
 	Phases []Phase
+}
+
+// Fidelity is the [fidelity] section: the mixed-fidelity contract a
+// scenario declares for itself.
+type Fidelity struct {
+	// ExactFraction is the per-class share of sessions routed through
+	// the exact DES as the refutation sample (exact-fraction key).
+	// Must be in (0, 1]; every class contributes at least one session.
+	ExactFraction float64
+	// Calibration is the exact runs per calibration class that build
+	// the surrogate's exemplar table (calibration key); 0 = default.
+	Calibration int
+	// Lean switches the timeline to the lean fleet engine: specs are
+	// minted per index inside the workers and per-session retained
+	// state shrinks to two floats — the million-session mode. Lean
+	// timelines must be plain (no grid, no admission cluster, no cell
+	// sharing, no autoscale, no per-phase mix/gpus/net-scale): those
+	// layers need the materialized population.
+	Lean bool
+	// Tolerance is the per-metric error budget (tolerance.* keys);
+	// zero fields take the fleet defaults.
+	Tolerance fleet.Tolerance
 }
 
 // Phase is one window of the timeline.
@@ -216,6 +244,51 @@ func (sc Scenario) Validate() error {
 		}
 		if err := sc.Autoscale.Validate(); err != nil {
 			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	if f := sc.Fidelity; f != nil {
+		if !(f.ExactFraction > 0 && f.ExactFraction <= 1) {
+			return fmt.Errorf("scenario %q: [fidelity] exact-fraction %v out of (0,1]", sc.Name, f.ExactFraction)
+		}
+		if f.Calibration < 0 {
+			return fmt.Errorf("scenario %q: [fidelity] calibration must not be negative, got %d", sc.Name, f.Calibration)
+		}
+		for _, t := range []struct {
+			key string
+			v   float64
+		}{{"tolerance.mtp", f.Tolerance.MTP}, {"tolerance.fps", f.Tolerance.FPS},
+			{"tolerance.bytes", f.Tolerance.Bytes}, {"tolerance.share", f.Tolerance.Share}} {
+			if !(t.v >= 0 && !math.IsInf(t.v, 0)) {
+				return fmt.Errorf("scenario %q: [fidelity] %s %v must be non-negative and finite", sc.Name, t.key, t.v)
+			}
+		}
+		if f.Lean {
+			// Lean mode's contiguous-window population arithmetic and
+			// transient spec minting hold only for plain uncontended
+			// timelines; every exclusion here names a layer that needs
+			// the materialized spec slice.
+			switch {
+			case gridMode:
+				return fmt.Errorf("scenario %q: [fidelity] lean and [cluster] sections are mutually exclusive", sc.Name)
+			case sc.GPUs >= 0:
+				return fmt.Errorf("scenario %q: [fidelity] lean needs the admission layer off (omit gpus)", sc.Name)
+			case sc.CellCapacity > 0:
+				return fmt.Errorf("scenario %q: [fidelity] lean and cell-capacity are mutually exclusive", sc.Name)
+			case sc.Autoscale != nil:
+				return fmt.Errorf("scenario %q: [fidelity] lean and autoscale.* are mutually exclusive", sc.Name)
+			}
+			for i, ph := range sc.Phases {
+				where := fmt.Sprintf("scenario %q phase %d (%q)", sc.Name, i, ph.Name)
+				if ph.Mix != "" {
+					return fmt.Errorf("%s: per-phase mix needs the materialized population ([fidelity] lean off)", where)
+				}
+				if ph.GPUs >= 0 {
+					return fmt.Errorf("%s: gpus needs the admission layer ([fidelity] lean off)", where)
+				}
+				if len(ph.NetScale) > 0 {
+					return fmt.Errorf("%s: net-scale needs the materialized population ([fidelity] lean off)", where)
+				}
+			}
 		}
 	}
 	seen := map[string]bool{}

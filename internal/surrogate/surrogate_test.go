@@ -1,0 +1,178 @@
+package surrogate_test
+
+import (
+	"reflect"
+	"testing"
+
+	"qvr/internal/fleet"
+	"qvr/internal/framesink"
+	"qvr/internal/pipeline"
+	"qvr/internal/surrogate"
+)
+
+// testConfigs builds a handful of heterogeneous session configs the
+// same way the fleet does (short sessions keep race-enabled runs
+// fast).
+func testConfigs(t *testing.T, n int) []pipeline.Config {
+	t.Helper()
+	mix, ok := fleet.MixByName("mixed")
+	if !ok {
+		t.Fatal("mixed mix missing")
+	}
+	specs, err := mix.Specs(n, pipeline.QVR, 12, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]pipeline.Config, n)
+	for i, sp := range specs {
+		cfgs[i] = sp.Config
+	}
+	return cfgs
+}
+
+// exactSummary runs the full discrete-event simulation on one config.
+func exactSummary(cfg pipeline.Config) framesink.Summary {
+	var sink framesink.StatsSink
+	sink.Reset(nil)
+	pipeline.NewSession(cfg).RunSink(&sink)
+	return sink.Summary()
+}
+
+// TestClassOfZeroesOnlySeed: two sessions that differ only by seed
+// share a calibration class; the class key itself carries no seed.
+func TestClassOfZeroesOnlySeed(t *testing.T) {
+	cfgs := testConfigs(t, 2)
+	m := surrogate.New()
+	a := cfgs[0]
+	b := a
+	b.Seed = a.Seed + 99
+	if m.ClassOf(a) != m.ClassOf(b) {
+		t.Error("same config with different seeds landed in different classes")
+	}
+	if m.ClassOf(a).Seed != 0 {
+		t.Errorf("class key kept seed %d, want 0", m.ClassOf(a).Seed)
+	}
+}
+
+// TestUncalibratedFallsBackToExact: a class the model never saw must
+// not fabricate numbers — RunSession on an empty table is the exact
+// simulation, bit for bit.
+func TestUncalibratedFallsBackToExact(t *testing.T) {
+	cfg := testConfigs(t, 1)[0]
+	m := surrogate.New()
+	got, buf := m.RunSession(cfg, nil)
+	want := exactSummary(cfg)
+	if got.AvgMTPSeconds != want.AvgMTPSeconds || got.FPS != want.FPS ||
+		got.AvgBytesSent != want.AvgBytesSent || got.Frames != want.Frames {
+		t.Errorf("fallback summary %+v != exact %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.MTPSorted, want.MTPSorted) {
+		t.Error("fallback sample distribution differs from the exact run")
+	}
+	if len(buf) != want.Frames {
+		t.Errorf("returned buffer holds %d samples, want %d", len(buf), want.Frames)
+	}
+}
+
+// TestRunSessionExtendsBuffer pins the worker-buffer contract both
+// paths share with framesink.StatsSink: the returned slice is the
+// caller's buffer extended in place — never just the session's own
+// region — so a lean shard can treat it as the accumulated sample
+// buffer. (Truncating it here is exactly the bug that collapses a
+// shard's merged percentiles to its last session.)
+func TestRunSessionExtendsBuffer(t *testing.T) {
+	cfgs := testConfigs(t, 2)
+	prefix := []float64{0.001, 0.002, 0.003}
+
+	for _, tc := range []struct {
+		name      string
+		calibrate bool
+	}{{"fallback", false}, {"calibrated", true}} {
+		m := surrogate.New()
+		cfg := cfgs[0]
+		if tc.calibrate {
+			cal := cfg
+			cal.Seed = cfg.Seed + 1
+			m.Calibrate([]pipeline.Config{cal})
+		}
+		buf := append([]float64(nil), prefix...)
+		sum, buf := m.RunSession(cfg, buf)
+		if len(buf) != len(prefix)+sum.Frames {
+			t.Errorf("%s: buffer grew to %d samples, want %d prior + %d session",
+				tc.name, len(buf), len(prefix), sum.Frames)
+		}
+		if !reflect.DeepEqual(buf[:len(prefix)], prefix) {
+			t.Errorf("%s: prior buffer contents clobbered: %v", tc.name, buf[:len(prefix)])
+		}
+		if !reflect.DeepEqual(sum.MTPSorted, buf[len(prefix):]) {
+			t.Errorf("%s: summary region does not alias the buffer tail", tc.name)
+		}
+	}
+}
+
+// TestPredictionIsPure: the prediction is a pure function of (config,
+// calibration list) — two independently calibrated models agree
+// exactly, and repeated predictions never drift. This is what lets
+// the fast path inherit the worker-count determinism contract.
+func TestPredictionIsPure(t *testing.T) {
+	cfg := testConfigs(t, 1)[0]
+	cal := cfg
+	cal.Seed = cfg.Seed + 7
+
+	predict := func() framesink.Summary {
+		m := surrogate.New()
+		m.Calibrate([]pipeline.Config{cal})
+		sum, _ := m.RunSession(cfg, nil)
+		return sum
+	}
+	a, b := predict(), predict()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identically calibrated models disagree")
+	}
+
+	m := surrogate.New()
+	m.Calibrate([]pipeline.Config{cal})
+	s1, buf := m.RunSession(cfg, nil)
+	s2, _ := m.RunSession(cfg, buf[:len(buf):len(buf)])
+	if s1.AvgMTPSeconds != s2.AvgMTPSeconds || !reflect.DeepEqual(s1.MTPSorted, s2.MTPSorted) {
+		t.Error("repeated prediction of the same session drifted")
+	}
+}
+
+// TestPredictionResamplesExemplar: a calibrated prediction copies the
+// exemplar's scalar metrics and resamples its motion-to-photon
+// distribution — every drawn sample is one of the exemplar's own, and
+// different session seeds draw different traces.
+func TestPredictionResamplesExemplar(t *testing.T) {
+	cfg := testConfigs(t, 1)[0]
+	cal := cfg
+	cal.Seed = cfg.Seed + 7
+	ex := exactSummary(cal)
+
+	m := surrogate.New()
+	m.Calibrate([]pipeline.Config{cal})
+	if m.Classes() != 1 {
+		t.Fatalf("calibration built %d classes, want 1", m.Classes())
+	}
+	sum, _ := m.RunSession(cfg, nil)
+	if sum.FPS != ex.FPS || sum.AvgBytesSent != ex.AvgBytesSent {
+		t.Errorf("prediction fps/bytes %.3f/%.0f != exemplar %.3f/%.0f",
+			sum.FPS, sum.AvgBytesSent, ex.FPS, ex.AvgBytesSent)
+	}
+	pool := map[float64]bool{}
+	for _, v := range ex.MTPSorted {
+		pool[v] = true
+	}
+	for _, v := range sum.MTPSorted {
+		if !pool[v] {
+			t.Fatalf("resampled value %v is not one of the exemplar's samples", v)
+		}
+	}
+
+	other := cfg
+	other.Seed = cfg.Seed + 1000
+	osum, _ := m.RunSession(other, nil)
+	if reflect.DeepEqual(sum.MTPSorted, osum.MTPSorted) {
+		t.Error("different seeds drew identical traces; resampling is not seeded")
+	}
+}

@@ -30,6 +30,13 @@
 # it arms the window-sum audit (every window's counter deltas must sum
 # to the final snapshot).
 #
+# With SMOKE_FIDELITY=1, the command must be a mixed-fidelity run: each
+# JSON report is required to carry the surrogate error-bound block
+# ("fidelity" with its "checks" and "max_error"), so the byte diff
+# provably covers the refute-and-refine bookkeeping — the stratified
+# exact sample, the per-metric error bars, the verdict — not just the
+# headline metrics.
+#
 # The unfiltered reports are kept in bin/ for CI to archive.
 set -eu
 
@@ -97,3 +104,13 @@ else
     fi
 fi
 echo "$name determinism OK (workers $w1 == workers $w2)"
+
+if [ "${SMOKE_FIDELITY:-0}" = "1" ]; then
+    for f in "$a" "$b"; do
+        if ! grep -q '"fidelity"' "$f" || ! grep -q '"checks"' "$f" || ! grep -q '"max_error"' "$f"; then
+            echo "$name fidelity FAIL: $f carries no surrogate error-bound block" >&2
+            exit 1
+        fi
+    done
+    echo "$name fidelity OK: error-bound block present and byte-identical across workers"
+fi
